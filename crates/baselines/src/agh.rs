@@ -1,0 +1,220 @@
+//! Anchor Graph Hashing [Liu, Wang, Kumar & Chang, ICML 2011].
+//!
+//! Approximates the data manifold with a sparse anchor graph: each point is
+//! connected to its `s` nearest of `a` k-means anchors with Gaussian kernel
+//! weights (rows normalized). The binary codes come from thresholding the
+//! graph-Laplacian eigenvectors, computed cheaply on the small `a × a`
+//! matrix `M = Λ^{-1/2} Zᵀ Z Λ^{-1/2}`.
+
+use crate::UnsupervisedHasher;
+use uhscm_eval::BitCodes;
+use uhscm_linalg::{jacobi_eigen, kmeans, rng, vecops, Matrix};
+
+/// A fitted Anchor Graph Hashing model.
+#[derive(Debug, Clone)]
+pub struct Agh {
+    /// `a × d` anchor points.
+    anchors: Matrix,
+    /// Gaussian kernel bandwidth (σ²).
+    bandwidth: f64,
+    /// Nearest anchors kept per point.
+    s: usize,
+    /// `a × k` spectral projection (already includes Λ^{-1/2} V Σ^{-1/2}).
+    projection: Matrix,
+}
+
+impl Agh {
+    /// Fit with `s = 3` nearest anchors and an anchor count that scales
+    /// with the code length (`max(2k, 32)`, capped at `n/2`, always > k so
+    /// enough non-trivial eigenvectors exist).
+    pub fn train(features: &Matrix, bits: usize, seed: u64) -> Self {
+        let a = (2 * bits)
+            .max(32)
+            .min(features.rows() / 2)
+            .max(bits + 1);
+        Self::train_with(features, bits, a, 3, seed)
+    }
+
+    /// Fit with explicit anchor count and sparsity.
+    ///
+    /// # Panics
+    /// Panics if `bits ≥ anchors` (the trivial eigenvector is excluded) or
+    /// `s` is zero.
+    pub fn train_with(
+        features: &Matrix,
+        bits: usize,
+        n_anchors: usize,
+        s: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(s > 0, "s must be positive");
+        assert!(
+            bits < n_anchors,
+            "bits ({bits}) must be below the anchor count ({n_anchors})"
+        );
+        let mut r = rng::seeded(seed ^ 0xa6_11);
+        let km = kmeans(features, n_anchors, 50, &mut r);
+        let anchors = km.centroids;
+
+        // Bandwidth: mean squared distance to the s-th nearest anchor.
+        let mut bandwidth = 0.0;
+        for i in 0..features.rows() {
+            let mut dists: Vec<f64> = (0..n_anchors)
+                .map(|c| vecops::sq_dist(features.row(i), anchors.row(c)))
+                .collect();
+            dists.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            bandwidth += dists[s - 1];
+        }
+        bandwidth = (bandwidth / features.rows() as f64).max(1e-9);
+
+        let z = truncated_affinity(features, &anchors, s, bandwidth);
+
+        // Λ = diag(Zᵀ1); M = Λ^{-1/2} ZᵀZ Λ^{-1/2}.
+        let mut lambda = vec![0.0; n_anchors];
+        for i in 0..z.rows() {
+            for (c, &v) in z.row(i).iter().enumerate() {
+                lambda[c] += v;
+            }
+        }
+        let lam_inv_sqrt: Vec<f64> =
+            lambda.iter().map(|&l| 1.0 / l.max(1e-12).sqrt()).collect();
+        let ztz = z.t_matmul(&z);
+        let mut m = ztz;
+        for i in 0..n_anchors {
+            for j in 0..n_anchors {
+                m[(i, j)] *= lam_inv_sqrt[i] * lam_inv_sqrt[j];
+            }
+        }
+        let ed = jacobi_eigen(&m);
+
+        // Skip the trivial eigenvector (eigenvalue 1); keep the next `bits`.
+        let mut projection = Matrix::zeros(n_anchors, bits);
+        for b in 0..bits {
+            let col = b + 1;
+            let sigma = ed.values[col].max(1e-12).sqrt();
+            for row in 0..n_anchors {
+                projection[(row, b)] = lam_inv_sqrt[row] * ed.vectors[(row, col)] / sigma;
+            }
+        }
+        Self { anchors, bandwidth, s, projection }
+    }
+}
+
+/// `n × a` row-normalized truncated Gaussian affinities to the anchors.
+fn truncated_affinity(features: &Matrix, anchors: &Matrix, s: usize, bandwidth: f64) -> Matrix {
+    let n = features.rows();
+    let a = anchors.rows();
+    let mut z = Matrix::zeros(n, a);
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(a);
+    for i in 0..n {
+        dists.clear();
+        for c in 0..a {
+            dists.push((vecops::sq_dist(features.row(i), anchors.row(c)), c));
+        }
+        dists.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"));
+        let mut sum = 0.0;
+        for &(d, c) in dists.iter().take(s) {
+            let w = (-d / bandwidth).exp();
+            z[(i, c)] = w;
+            sum += w;
+        }
+        if sum > 0.0 {
+            for v in z.row_mut(i) {
+                *v /= sum;
+            }
+        }
+    }
+    z
+}
+
+impl UnsupervisedHasher for Agh {
+    fn name(&self) -> &'static str {
+        "AGH"
+    }
+
+    fn encode(&self, features: &Matrix) -> BitCodes {
+        let z = truncated_affinity(features, &self.anchors, self.s, self.bandwidth);
+        BitCodes::from_real(&z.matmul(&self.projection))
+    }
+
+    fn bits(&self) -> usize {
+        self.projection.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(seed: u64, per: usize) -> (Matrix, Vec<usize>) {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [[0.0, 0.0, 0.0], [6.0, 0.0, 0.0], [0.0, 6.0, 0.0], [0.0, 0.0, 6.0]];
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per {
+                rows.push(vec![
+                    center[0] + 0.4 * rng::gauss(&mut r),
+                    center[1] + 0.4 * rng::gauss(&mut r),
+                    center[2] + 0.4 * rng::gauss(&mut r),
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn codes_reflect_cluster_structure() {
+        let (x, labels) = blobs(1, 30);
+        let agh = Agh::train_with(&x, 4, 16, 3, 2);
+        let codes = agh.encode(&x);
+        let mut intra = (0.0, 0);
+        let mut inter = (0.0, 0);
+        for i in 0..codes.len() {
+            for j in (i + 1)..codes.len() {
+                let d = codes.hamming(i, &codes, j) as f64;
+                if labels[i] == labels[j] {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        assert!(inter.0 / inter.1 as f64 > intra.0 / intra.1 as f64 + 0.5);
+    }
+
+    #[test]
+    fn out_of_sample_encoding_consistent() {
+        // Points near a training point should land on nearby codes.
+        let (x, _) = blobs(3, 25);
+        let agh = Agh::train_with(&x, 6, 16, 3, 4);
+        let train_codes = agh.encode(&x);
+        let mut probe = x.select_rows(&[0]);
+        probe.row_mut(0)[0] += 0.05;
+        let probe_code = agh.encode(&probe);
+        assert!(probe_code.hamming(0, &train_codes, 0) <= 1);
+    }
+
+    #[test]
+    fn affinity_rows_normalized_and_sparse() {
+        let (x, _) = blobs(5, 20);
+        let mut r = rng::seeded(6);
+        let anchors = kmeans(&x, 10, 30, &mut r).centroids;
+        let z = truncated_affinity(&x, &anchors, 3, 1.0);
+        for i in 0..z.rows() {
+            let row = z.row(i);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert_eq!(row.iter().filter(|&&v| v > 0.0).count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the anchor count")]
+    fn too_many_bits_rejected() {
+        let (x, _) = blobs(7, 10);
+        let _ = Agh::train_with(&x, 16, 16, 3, 1);
+    }
+}

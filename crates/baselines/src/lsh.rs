@@ -1,0 +1,107 @@
+//! Locality-Sensitive Hashing [Gionis, Indyk & Motwani, VLDB 1999].
+//!
+//! The classic data-independent baseline: `k` random Gaussian hyperplanes
+//! through the data mean. Its MAP anchors the bottom of Table 1.
+
+use crate::UnsupervisedHasher;
+use uhscm_eval::BitCodes;
+use uhscm_linalg::{rng, Matrix};
+
+/// Random-hyperplane LSH.
+#[derive(Debug, Clone)]
+pub struct Lsh {
+    mean: Vec<f64>,
+    /// `d × k` random projection.
+    projection: Matrix,
+}
+
+impl Lsh {
+    /// "Train" = record the data mean and draw random hyperplanes.
+    pub fn train(features: &Matrix, bits: usize, seed: u64) -> Self {
+        assert!(bits > 0, "bits must be positive");
+        let mut r = rng::seeded(seed ^ 0x15a8);
+        Self {
+            mean: features.col_means(),
+            projection: rng::gauss_matrix(&mut r, features.cols(), bits, 1.0),
+        }
+    }
+}
+
+impl UnsupervisedHasher for Lsh {
+    fn name(&self) -> &'static str {
+        "LSH"
+    }
+
+    fn encode(&self, features: &Matrix) -> BitCodes {
+        let mut centered = features.clone();
+        centered.center_rows(&self.mean);
+        BitCodes::from_real(&centered.matmul(&self.projection))
+    }
+
+    fn bits(&self) -> usize {
+        self.projection.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::vecops;
+
+    #[test]
+    fn deterministic_and_correct_width() {
+        let mut r = rng::seeded(1);
+        let x = rng::gauss_matrix(&mut r, 30, 8, 1.0);
+        let a = Lsh::train(&x, 12, 5);
+        let b = Lsh::train(&x, 12, 5);
+        assert_eq!(a.encode(&x), b.encode(&x));
+        assert_eq!(a.bits(), 12);
+        assert_eq!(a.encode(&x).len(), 30);
+    }
+
+    #[test]
+    fn nearby_points_get_nearby_codes() {
+        // LSH preserves angles in expectation: near-duplicate vectors must
+        // collide on most hyperplanes.
+        let mut r = rng::seeded(2);
+        let base = rng::gauss_vec(&mut r, 16, 1.0);
+        let mut near = base.clone();
+        near[0] += 0.01;
+        let far: Vec<f64> = base.iter().map(|v| -v).collect();
+        let x = Matrix::from_rows(&[base, near, far]);
+        let lsh = Lsh::train(&x, 64, 3);
+        let codes = lsh.encode(&x);
+        let d_near = codes.hamming(0, &codes, 1);
+        let d_far = codes.hamming(0, &codes, 2);
+        assert!(d_near < d_far, "near {d_near} !< far {d_far}");
+        assert!(d_near <= 8);
+    }
+
+    #[test]
+    fn different_seeds_give_different_planes() {
+        let mut r = rng::seeded(3);
+        let x = rng::gauss_matrix(&mut r, 10, 6, 1.0);
+        let a = Lsh::train(&x, 16, 1).encode(&x);
+        let b = Lsh::train(&x, 16, 2).encode(&x);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_centering_balances_bits() {
+        // Shifted data: without centering all projections would saturate.
+        let mut r = rng::seeded(4);
+        let mut x = rng::gauss_matrix(&mut r, 200, 8, 1.0);
+        for v in x.as_mut_slice() {
+            *v += 100.0;
+        }
+        let lsh = Lsh::train(&x, 32, 7);
+        let codes = lsh.encode(&x);
+        // Count +1 bits across all codes; should be near half.
+        let total: f64 = (0..codes.len())
+            .map(|i| codes.unpack(i).iter().filter(|&&b| b > 0.0).count() as f64)
+            .sum();
+        let frac = total / (200.0 * 32.0);
+        assert!((0.3..0.7).contains(&frac), "bit balance {frac}");
+        let _ = vecops::mean(&[frac]);
+    }
+}

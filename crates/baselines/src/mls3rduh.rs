@@ -1,0 +1,187 @@
+//! MLS³RDUH: Deep Unsupervised Hashing via Manifold-based Local Semantic
+//! Similarity Structure Reconstructing [Tu, Mao & Wei, IJCAI 2020].
+//!
+//! The method reconstructs a local similarity structure by *intersecting*
+//! two views of the data: raw cosine similarity and manifold similarity
+//! from a two-step random walk on the kNN graph. Pairs that are close under
+//! both views become pseudo-similar, pairs far under both views
+//! pseudo-dissimilar, conflicting pairs stay unlabeled; a hashing network
+//! is trained against the reconstructed structure.
+
+use crate::deep::{train_masked_pairwise, DeepBaselineConfig, DeepHasher};
+use uhscm_linalg::{vecops, Matrix};
+use uhscm_nn::pairwise::cosine_matrix;
+
+/// Structure-construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Mls3Params {
+    /// Neighborhood size of the kNN graph.
+    pub knn: usize,
+    /// Cosine percentile (in σ units above the mean) for the similar view.
+    pub sim_sigma: f64,
+}
+
+impl Default for Mls3Params {
+    fn default() -> Self {
+        Self { knn: 10, sim_sigma: 1.5 }
+    }
+}
+
+/// Build the manifold-reconstructed similarity structure.
+///
+/// Returns `(target, weights)` in the masked-pairwise convention.
+pub fn manifold_structure(features: &Matrix, params: Mls3Params) -> (Matrix, Matrix) {
+    let n = features.rows();
+    let k = params.knn.min(n.saturating_sub(1)).max(1);
+    let (cos, _) = cosine_matrix(features);
+
+    // kNN lists by cosine.
+    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| cos[(i, b)].partial_cmp(&cos[(i, a)]).expect("finite"));
+        order.truncate(k);
+        neighbors.push(order);
+    }
+
+    // Two-step manifold affinity M_ij = Σ_l W_il W_jl over the row-stochastic
+    // kNN transition matrix, accumulated sparsely through an inverted index.
+    let mut w_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n]; // column → (row, weight)
+    for i in 0..n {
+        let total: f64 = neighbors[i].iter().map(|&j| cos[(i, j)].max(0.0) + 1e-9).sum();
+        for &j in &neighbors[i] {
+            let w = (cos[(i, j)].max(0.0) + 1e-9) / total;
+            w_entries[j].push((i, w));
+        }
+    }
+    let mut manifold = Matrix::zeros(n, n);
+    for col in w_entries.iter() {
+        for &(i, wi) in col {
+            for &(j, wj) in col {
+                manifold[(i, j)] += wi * wj;
+            }
+        }
+    }
+
+    // Moments of the cosine view.
+    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            values.push(cos[(i, j)]);
+        }
+    }
+    let mu = vecops::mean(&values);
+    let sigma = vecops::variance(&values).sqrt().max(1e-9);
+    let hi = mu + params.sim_sigma * sigma;
+
+    let mut target = Matrix::zeros(n, n);
+    let mut weights = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let cos_close = cos[(i, j)] >= hi;
+            let manifold_close = manifold[(i, j)] > 0.0;
+            if cos_close && manifold_close {
+                target[(i, j)] = 1.0;
+                weights[(i, j)] = 1.0;
+            } else if !manifold_close && cos[(i, j)] < mu {
+                target[(i, j)] = -1.0;
+                weights[(i, j)] = 1.0;
+            }
+            // Conflicting evidence → unlabeled.
+        }
+    }
+    (target, weights)
+}
+
+/// Train MLS³RDUH.
+pub fn train(
+    features: &Matrix,
+    bits: usize,
+    config: &DeepBaselineConfig,
+    seed: u64,
+) -> DeepHasher {
+    let (target, weights) = manifold_structure(features, Mls3Params::default());
+    train_masked_pairwise(features, &target, &weights, bits, config, "MLS3RDUH", seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnsupervisedHasher;
+    use uhscm_linalg::rng;
+
+    fn clustered(seed: u64, per: usize) -> (Matrix, Vec<usize>) {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..per {
+                let mut v = rng::gauss_vec(&mut r, 10, 0.25);
+                v[c * 3] += 1.0;
+                vecops::normalize(&mut v);
+                rows.push(v);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn positive_labels_mostly_within_clusters() {
+        let (x, labels) = clustered(1, 15);
+        let (target, weights) = manifold_structure(&x, Mls3Params::default());
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..x.rows() {
+            for j in 0..x.rows() {
+                if i != j && weights[(i, j)] > 0.0 && target[(i, j)] > 0.0 {
+                    total += 1;
+                    if labels[i] == labels[j] {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0, "no positives labeled");
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn manifold_view_leaves_conflicts_unlabeled() {
+        let (x, _) = clustered(2, 15);
+        let (_, weights) = manifold_structure(&x, Mls3Params::default());
+        let n = x.rows();
+        let labeled: usize = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && weights[(i, j)] > 0.0)
+            .count();
+        assert!(labeled < n * (n - 1), "no unlabeled band");
+    }
+
+    #[test]
+    fn end_to_end_training() {
+        let (x, labels) = clustered(3, 15);
+        let cfg = DeepBaselineConfig { epochs: 25, ..DeepBaselineConfig::test_profile() };
+        let model = train(&x, 12, &cfg, 4);
+        assert_eq!(model.name(), "MLS3RDUH");
+        let codes = model.encode(&x);
+        let mut intra = (0.0, 0);
+        let mut inter = (0.0, 0);
+        for i in 0..codes.len() {
+            for j in (i + 1)..codes.len() {
+                let d = codes.hamming(i, &codes, j) as f64;
+                if labels[i] == labels[j] {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        assert!(inter.0 / inter.1 as f64 > intra.0 / intra.1 as f64);
+    }
+}

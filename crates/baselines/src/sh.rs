@@ -1,0 +1,159 @@
+//! Spectral Hashing [Weiss, Torralba & Fergus, NeurIPS 2009].
+//!
+//! PCA-align the data, then threshold the analytical eigenfunctions of the
+//! 1-D Laplacian on each principal interval: candidate eigenfunctions
+//! `Φ_{j,m}(x) = sin(π/2 + mπ x / (b_j − a_j))` have eigenvalues
+//! `λ_{j,m} = (mπ / (b_j − a_j))²`; the `k` smallest eigenvalues across all
+//! dimensions pick the bits.
+
+use crate::UnsupervisedHasher;
+use uhscm_eval::BitCodes;
+use uhscm_linalg::{Matrix, Pca};
+
+/// One selected eigenfunction: PCA dimension and mode number.
+#[derive(Debug, Clone, Copy)]
+struct EigenFn {
+    dim: usize,
+    mode: usize,
+}
+
+/// A fitted Spectral Hashing model.
+#[derive(Debug, Clone)]
+pub struct SpectralHashing {
+    pca: Pca,
+    /// Per-PCA-dimension interval `[a_j, b_j]` from the training data.
+    ranges: Vec<(f64, f64)>,
+    selected: Vec<EigenFn>,
+}
+
+impl SpectralHashing {
+    /// Fit on training features.
+    pub fn train(features: &Matrix, bits: usize, _seed: u64) -> Self {
+        assert!(bits > 0, "bits must be positive");
+        let n_pca = bits.min(features.cols());
+        let pca = Pca::fit(features, n_pca);
+        let projected = pca.transform(features);
+
+        let ranges: Vec<(f64, f64)> = (0..n_pca)
+            .map(|j| {
+                let col = projected.col(j);
+                let mn = col.iter().copied().fold(f64::INFINITY, f64::min);
+                let mx = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // Guard degenerate intervals.
+                if mx - mn < 1e-9 {
+                    (mn - 0.5, mx + 0.5)
+                } else {
+                    (mn, mx)
+                }
+            })
+            .collect();
+
+        // Enumerate candidate eigenfunctions and keep the k smallest
+        // eigenvalues. Modes per dimension capped at `bits` (more than
+        // enough: eigenvalues grow quadratically in the mode).
+        let mut candidates: Vec<(f64, EigenFn)> = Vec::new();
+        for (j, &(a, b)) in ranges.iter().enumerate() {
+            let len = b - a;
+            for m in 1..=bits {
+                let lambda = (m as f64 * std::f64::consts::PI / len).powi(2);
+                candidates.push((lambda, EigenFn { dim: j, mode: m }));
+            }
+        }
+        candidates.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite eigenvalues"));
+        let selected = candidates.into_iter().take(bits).map(|(_, f)| f).collect();
+        Self { pca, ranges, selected }
+    }
+
+    fn eigenfunction_value(&self, f: EigenFn, x: f64) -> f64 {
+        let (a, b) = self.ranges[f.dim];
+        let t = ((x - a) / (b - a)).clamp(0.0, 1.0);
+        (std::f64::consts::FRAC_PI_2 + f.mode as f64 * std::f64::consts::PI * t).sin()
+    }
+}
+
+impl UnsupervisedHasher for SpectralHashing {
+    fn name(&self) -> &'static str {
+        "SH"
+    }
+
+    fn encode(&self, features: &Matrix) -> BitCodes {
+        let projected = self.pca.transform(features);
+        let mut codes = Matrix::zeros(features.rows(), self.selected.len());
+        for i in 0..features.rows() {
+            let row = projected.row(i).to_vec();
+            for (b, &f) in self.selected.iter().enumerate() {
+                codes[(i, b)] = self.eigenfunction_value(f, row[f.dim]);
+            }
+        }
+        BitCodes::from_real(&codes)
+    }
+
+    fn bits(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::rng;
+
+    #[test]
+    fn produces_requested_bits() {
+        let mut r = rng::seeded(1);
+        let x = rng::gauss_matrix(&mut r, 60, 10, 1.0);
+        let sh = SpectralHashing::train(&x, 16, 0);
+        assert_eq!(sh.bits(), 16);
+        assert_eq!(sh.encode(&x).len(), 60);
+    }
+
+    #[test]
+    fn more_bits_than_dims_reuses_modes() {
+        // bits > feature dim: higher modes on the widest dimensions.
+        let mut r = rng::seeded(2);
+        let x = rng::gauss_matrix(&mut r, 60, 4, 1.0);
+        let sh = SpectralHashing::train(&x, 12, 0);
+        assert_eq!(sh.bits(), 12);
+        // Some selected functions must use mode > 1.
+        assert!(sh.selected.iter().any(|f| f.mode > 1));
+    }
+
+    #[test]
+    fn widest_dimension_selected_first() {
+        // One dominant-variance dimension ⇒ its mode-1 eigenfunction has the
+        // smallest eigenvalue and must be among the selected bits.
+        let mut r = rng::seeded(3);
+        let mut rows = Vec::new();
+        for _ in 0..100 {
+            rows.push(vec![10.0 * rng::gauss(&mut r), rng::gauss(&mut r), rng::gauss(&mut r)]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let sh = SpectralHashing::train(&x, 2, 0);
+        assert!(sh.selected.iter().any(|f| f.dim == 0 && f.mode == 1));
+    }
+
+    #[test]
+    fn near_duplicates_collide() {
+        let mut r = rng::seeded(4);
+        let base = rng::gauss_vec(&mut r, 8, 1.0);
+        let mut near = base.clone();
+        near[1] += 1e-6;
+        let mut train_rows = vec![base.clone(), near.clone()];
+        for _ in 0..50 {
+            train_rows.push(rng::gauss_vec(&mut r, 8, 1.0));
+        }
+        let x = Matrix::from_rows(&train_rows);
+        let sh = SpectralHashing::train(&x, 16, 0);
+        let codes = sh.encode(&x);
+        assert_eq!(codes.hamming(0, &codes, 1), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut r = rng::seeded(5);
+        let x = rng::gauss_matrix(&mut r, 40, 6, 1.0);
+        let a = SpectralHashing::train(&x, 8, 0).encode(&x);
+        let b = SpectralHashing::train(&x, 8, 0).encode(&x);
+        assert_eq!(a, b);
+    }
+}

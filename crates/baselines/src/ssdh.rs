@@ -1,0 +1,153 @@
+//! Semantic Structure-based unsupervised Deep Hashing
+//! [Yang et al., IJCAI 2018].
+//!
+//! SSDH estimates the distribution of pairwise feature cosine similarities
+//! with a Gaussian model and labels the confident tails: pairs far above the
+//! mean are pseudo-similar (+1), pairs below a lower threshold
+//! pseudo-dissimilar (−1), everything in between is left unlabeled. The
+//! hashing network is then trained to reproduce the pseudo structure.
+
+use crate::deep::{train_masked_pairwise, DeepBaselineConfig, DeepHasher};
+use uhscm_linalg::{vecops, Matrix};
+use uhscm_nn::pairwise::cosine_matrix;
+
+/// Thresholds in units of the cosine distribution's standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct SsdhThresholds {
+    /// Pairs with `cos ≥ μ + similar · σ` are labeled +1.
+    pub similar: f64,
+    /// Pairs with `cos ≤ μ − dissimilar · σ` are labeled −1.
+    pub dissimilar: f64,
+}
+
+impl Default for SsdhThresholds {
+    fn default() -> Self {
+        Self { similar: 2.0, dissimilar: 0.0 }
+    }
+}
+
+/// Build SSDH's pseudo-label structure from feature cosines.
+///
+/// Returns `(target, weights)`: ±1 targets with weight 1 on confidently
+/// labeled pairs, weight 0 elsewhere.
+pub fn semantic_structure(features: &Matrix, thresholds: SsdhThresholds) -> (Matrix, Matrix) {
+    let n = features.rows();
+    let (cos, _) = cosine_matrix(features);
+    // Moments over off-diagonal entries.
+    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            values.push(cos[(i, j)]);
+        }
+    }
+    let mu = vecops::mean(&values);
+    let sigma = vecops::variance(&values).sqrt().max(1e-9);
+    let hi = mu + thresholds.similar * sigma;
+    let lo = mu - thresholds.dissimilar * sigma;
+
+    let mut target = Matrix::zeros(n, n);
+    let mut weights = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = cos[(i, j)];
+            if c >= hi {
+                target[(i, j)] = 1.0;
+                weights[(i, j)] = 1.0;
+            } else if c <= lo {
+                target[(i, j)] = -1.0;
+                weights[(i, j)] = 1.0;
+            }
+        }
+    }
+    (target, weights)
+}
+
+/// Train SSDH.
+pub fn train(
+    features: &Matrix,
+    bits: usize,
+    config: &DeepBaselineConfig,
+    seed: u64,
+) -> DeepHasher {
+    let (target, weights) = semantic_structure(features, SsdhThresholds::default());
+    train_masked_pairwise(features, &target, &weights, bits, config, "SSDH", seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnsupervisedHasher;
+    use uhscm_linalg::rng;
+
+    fn clustered_features(seed: u64) -> Matrix {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for _ in 0..15 {
+                let mut v = rng::gauss_vec(&mut r, 10, 0.25);
+                v[c] += 1.0;
+                vecops::normalize(&mut v);
+                rows.push(v);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn structure_labels_tails_only() {
+        let x = clustered_features(1);
+        let (target, weights) = semantic_structure(&x, SsdhThresholds::default());
+        let n = x.rows();
+        let labeled: usize = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && weights[(i, j)] > 0.0)
+            .count();
+        let total = n * (n - 1);
+        assert!(labeled > 0, "no pairs labeled");
+        assert!(labeled < total, "everything labeled — thresholds degenerate");
+        // Labeled targets are exactly ±1.
+        for i in 0..n {
+            for j in 0..n {
+                if weights[(i, j)] > 0.0 {
+                    assert!(target[(i, j)].abs() == 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_cluster_pairs_labeled_similar() {
+        let x = clustered_features(2);
+        let (target, weights) = semantic_structure(&x, SsdhThresholds::default());
+        // Count how many (+1)-labeled pairs are truly same-cluster.
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..x.rows() {
+            for j in 0..x.rows() {
+                if i != j && weights[(i, j)] > 0.0 && target[(i, j)] > 0.0 {
+                    total += 1;
+                    if i / 15 == j / 15 {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total} correct");
+    }
+
+    #[test]
+    fn end_to_end_training() {
+        let x = clustered_features(3);
+        let model = train(&x, 8, &DeepBaselineConfig::test_profile(), 5);
+        assert_eq!(model.name(), "SSDH");
+        let codes = model.encode(&x);
+        // Same-cluster codes closer than cross-cluster on average.
+        let d_same = codes.hamming(0, &codes, 1);
+        let d_diff = codes.hamming(0, &codes, 44);
+        assert!(d_diff >= d_same);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests across the baseline hashing methods.
+
+use proptest::prelude::*;
+use uhscm_baselines::{BaselineKind, DeepBaselineConfig, UnsupervisedHasher};
+use uhscm_linalg::{rng, vecops, Matrix};
+
+/// Clustered unit-norm features with at least 2·bits rows (AGH's anchors).
+fn features(seed: u64, n_per_cluster: usize, d: usize) -> Matrix {
+    let mut r = rng::seeded(seed);
+    let mut rows = Vec::new();
+    for c in 0..4 {
+        for _ in 0..n_per_cluster {
+            let mut v = rng::gauss_vec(&mut r, d, 0.3);
+            v[c % d] += 1.0;
+            vecops::normalize(&mut v);
+            rows.push(v);
+        }
+    }
+    Matrix::from_rows(&rows)
+}
+
+fn shallow() -> impl Strategy<Value = BaselineKind> {
+    prop::sample::select(vec![
+        BaselineKind::Lsh,
+        BaselineKind::Sh,
+        BaselineKind::Itq,
+        BaselineKind::Agh,
+    ])
+}
+
+fn deep() -> impl Strategy<Value = BaselineKind> {
+    prop::sample::select(vec![
+        BaselineKind::Ssdh,
+        BaselineKind::Gh,
+        BaselineKind::Bgan,
+        BaselineKind::Mls3rduh,
+        BaselineKind::Cib,
+        BaselineKind::Uth,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shallow_methods_well_formed(kind in shallow(), seed in any::<u64>(), bits in 2usize..10) {
+        let x = features(seed, 20, 12);
+        let cfg = DeepBaselineConfig { epochs: 2, ..DeepBaselineConfig::test_profile() };
+        let model = kind.train(&x, bits, &cfg, seed);
+        let codes = model.encode(&x);
+        prop_assert_eq!(codes.len(), x.rows());
+        prop_assert_eq!(codes.bits(), bits);
+        prop_assert_eq!(model.bits(), bits);
+        // Encoding is a pure function.
+        prop_assert_eq!(model.encode(&x), codes);
+    }
+
+    #[test]
+    fn deep_methods_well_formed(kind in deep(), seed in any::<u64>()) {
+        let x = features(seed, 12, 10);
+        let cfg = DeepBaselineConfig { epochs: 2, ..DeepBaselineConfig::test_profile() };
+        let model = kind.train(&x, 8, &cfg, seed);
+        let codes = model.encode(&x);
+        prop_assert_eq!(codes.len(), x.rows());
+        prop_assert_eq!(codes.bits(), 8);
+        prop_assert_eq!(model.encode(&x), codes);
+    }
+
+    #[test]
+    fn training_is_seed_deterministic(kind in deep(), seed in any::<u64>()) {
+        let x = features(7, 10, 8);
+        let cfg = DeepBaselineConfig { epochs: 2, ..DeepBaselineConfig::test_profile() };
+        let a = kind.train(&x, 8, &cfg, seed).encode(&x);
+        let b = kind.train(&x, 8, &cfg, seed).encode(&x);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_sample_encoding_works(kind in shallow(), seed in any::<u64>()) {
+        // Encode points never seen at fit time (query/database protocol).
+        let train = features(seed, 20, 12);
+        let test = features(seed.wrapping_add(1), 5, 12);
+        let cfg = DeepBaselineConfig::test_profile();
+        let model = kind.train(&train, 6, &cfg, seed);
+        let codes = model.encode(&test);
+        prop_assert_eq!(codes.len(), test.rows());
+    }
+}

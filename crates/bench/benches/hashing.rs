@@ -1,0 +1,42 @@
+//! Micro-benchmarks for the retrieval path: packing, ranking, metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use uhscm_eval::{mean_average_precision, pr_curve, BitCodes, HammingRanker};
+use uhscm_linalg::rng;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    let mut r = rng::seeded(2);
+    let db_real = rng::gauss_matrix(&mut r, 2_000, 64, 1.0);
+    let q_real = rng::gauss_matrix(&mut r, 50, 64, 1.0);
+
+    group.bench_function("pack_2000x64", |bench| {
+        bench.iter(|| black_box(BitCodes::from_real(&db_real)));
+    });
+
+    let db = BitCodes::from_real(&db_real);
+    let q = BitCodes::from_real(&q_real);
+    let ranker = HammingRanker::new(db);
+
+    group.bench_function("rank_one_query_db2000", |bench| {
+        bench.iter(|| black_box(ranker.rank(&q, 0)));
+    });
+
+    let rel = |qi: usize, di: usize| (qi * 31 + di * 7) % 5 == 0;
+    group.bench_function("map_50q_db2000", |bench| {
+        bench.iter(|| black_box(mean_average_precision(&ranker, &q, &rel, 2_000)));
+    });
+
+    group.bench_function("pr_curve_50q_db2000", |bench| {
+        bench.iter(|| black_box(pr_curve(&ranker, &q, &rel)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks for the linear-algebra kernels underneath everything.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use uhscm_linalg::{jacobi_eigen, rng, vecops, Pca};
+use uhscm_nn::pairwise::cosine_matrix;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    let mut r = rng::seeded(1);
+    let a = rng::gauss_matrix(&mut r, 128, 128, 1.0);
+    let b = rng::gauss_matrix(&mut r, 128, 128, 1.0);
+    group.bench_function("matmul_128x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+
+    let data = rng::gauss_matrix(&mut r, 256, 64, 1.0);
+    let cov = data.covariance();
+    group.bench_function("jacobi_eigen_64", |bench| {
+        bench.iter_batched(|| cov.clone(), |m| black_box(jacobi_eigen(&m)), BatchSize::SmallInput);
+    });
+
+    group.bench_function("pca_fit_256x64_k16", |bench| {
+        bench.iter(|| black_box(Pca::fit(&data, 16)));
+    });
+
+    let batch = rng::gauss_matrix(&mut r, 128, 64, 1.0);
+    group.bench_function("cosine_matrix_128x64", |bench| {
+        bench.iter(|| black_box(cosine_matrix(&batch)));
+    });
+
+    let logits: Vec<f64> = (0..81).map(|i| 0.2 + 0.001 * i as f64).collect();
+    group.bench_function("softmax_81", |bench| {
+        bench.iter(|| black_box(vecops::softmax_scaled(&logits, 243.0)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 2: Precision@N curves on the three datasets (64 and 128 bits).
+
+use serde::Serialize;
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_data::DatasetKind;
+use uhscm_eval::{precision_at_n, HammingRanker};
+
+#[derive(Serialize)]
+struct Series {
+    dataset: String,
+    method: String,
+    bits: usize,
+    n_values: Vec<usize>,
+    precision: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bit_widths: Vec<usize> = scale
+        .bit_widths()
+        .into_iter()
+        .filter(|&b| b == 64 || b == 128 || scale == Scale::Smoke)
+        .collect();
+    let methods = Method::table1();
+    println!("# Figure 2 — Precision@N curves (scale: {})\n", scale.id());
+
+    let mut records: Vec<Series> = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[figure2] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        let db_size = data.dataset.split.database.len();
+        // N grid like the paper's x-axis (100..5000), clamped to database.
+        let n_values: Vec<usize> = [100usize, 200, 500, 1000, 2000, 3000, 4000, 5000]
+            .iter()
+            .copied()
+            .filter(|&n| n <= db_size)
+            .collect();
+        for &bits in &bit_widths {
+            let mut rows = Vec::new();
+            for &method in &methods {
+                let codes = run_method(&data, method, bits, scale);
+                let ranker = HammingRanker::new(codes.db);
+                let p = precision_at_n(&ranker, &codes.query, &data.relevance(), &n_values);
+                let mut row = vec![codes.name.clone()];
+                row.extend(p.iter().map(|&v| f3(v)));
+                rows.push(row);
+                records.push(Series {
+                    dataset: kind.name().into(),
+                    method: codes.name,
+                    bits,
+                    n_values: n_values.clone(),
+                    precision: p,
+                });
+            }
+            let mut headers = vec!["Method".to_string()];
+            headers.extend(n_values.iter().map(|n| format!("P@{n}")));
+            println!("## {} @ {bits} bits\n", kind.name());
+            println!("{}", markdown_table(&headers, &rows));
+        }
+    }
+    if let Some(path) = write_json(&format!("figure2_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 3: Precision-Recall curves (hash-lookup protocol) on the three
+//! datasets (64 and 128 bits), Hamming radius swept from 0 to k.
+
+use serde::Serialize;
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_data::DatasetKind;
+use uhscm_eval::{pr_curve, HammingRanker};
+
+#[derive(Serialize)]
+struct Series {
+    dataset: String,
+    method: String,
+    bits: usize,
+    radius: Vec<u32>,
+    precision: Vec<f64>,
+    recall: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bit_widths: Vec<usize> = scale
+        .bit_widths()
+        .into_iter()
+        .filter(|&b| b == 64 || b == 128 || scale == Scale::Smoke)
+        .collect();
+    let methods = Method::table1();
+    println!("# Figure 3 — Precision-Recall curves (scale: {})\n", scale.id());
+
+    let mut records: Vec<Series> = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[figure3] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        for &bits in &bit_widths {
+            // Render precision at fixed recall grid points for the table.
+            let recall_grid = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+            let mut rows = Vec::new();
+            for &method in &methods {
+                let codes = run_method(&data, method, bits, scale);
+                let ranker = HammingRanker::new(codes.db);
+                let pr = pr_curve(&ranker, &codes.query, &data.relevance());
+                // Precision at the first radius reaching each recall level.
+                let mut row = vec![codes.name.clone()];
+                for &target in &recall_grid {
+                    let p = pr
+                        .iter()
+                        .find(|pt| pt.recall >= target - 1e-9)
+                        .map_or(f64::NAN, |pt| pt.precision);
+                    row.push(f3(p));
+                }
+                rows.push(row);
+                records.push(Series {
+                    dataset: kind.name().into(),
+                    method: codes.name,
+                    bits,
+                    radius: pr.iter().map(|p| p.radius).collect(),
+                    precision: pr.iter().map(|p| p.precision).collect(),
+                    recall: pr.iter().map(|p| p.recall).collect(),
+                });
+            }
+            let mut headers = vec!["Method".to_string()];
+            headers.extend(recall_grid.iter().map(|r| format!("P@R≥{r}")));
+            println!("## {} @ {bits} bits\n", kind.name());
+            println!("{}", markdown_table(&headers, &rows));
+        }
+    }
+    if let Some(path) = write_json(&format!("figure3_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 4: sensitivity of UHSCM to the hyper-parameters τ, α, λ, γ and β
+//! at 64 bits on the three datasets (§4.6).
+
+use serde::Serialize;
+use uhscm_bench::context::EXPERIMENT_SEED;
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, write_json, ExperimentData, Scale};
+use uhscm_core::pipeline::SimilaritySource;
+use uhscm_core::trainer::{train_hashing_network, Regularizer};
+use uhscm_core::UhscmConfig;
+use uhscm_data::DatasetKind;
+use uhscm_eval::{mean_average_precision, HammingRanker};
+
+#[derive(Serialize)]
+struct Sweep {
+    dataset: String,
+    parameter: String,
+    values: Vec<f64>,
+    map: Vec<f64>,
+}
+
+/// One hyper-parameter sweep, following the paper's grids.
+struct Axis {
+    name: &'static str,
+    values: Vec<f64>,
+    apply: fn(&mut UhscmConfig, f64),
+}
+
+fn axes() -> Vec<Axis> {
+    vec![
+        Axis {
+            name: "tau_factor", // τ = factor · m, swept 1m..4m (Fig. 4a)
+            values: vec![1.0, 2.0, 3.0, 4.0],
+            apply: |c, v| c.tau_factor = v,
+        },
+        Axis {
+            name: "alpha", // Fig. 4b: 0.1..0.5
+            values: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            apply: |c, v| c.alpha = v,
+        },
+        Axis {
+            name: "lambda", // Fig. 4c: 0.5..1.0
+            values: vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            apply: |c, v| c.lambda = v,
+        },
+        Axis {
+            name: "gamma", // Fig. 4d: 0.1..0.6
+            values: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            apply: |c, v| c.gamma = v,
+        },
+        Axis {
+            name: "beta", // Fig. 4e: 0..0.1
+            values: vec![0.0, 0.001, 0.01, 0.05, 0.1],
+            apply: |c, v| c.beta = v,
+        },
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bits = 64;
+    println!("# Figure 4 — hyper-parameter sensitivity @ {bits} bits (scale: {})\n", scale.id());
+
+    let mut records: Vec<Sweep> = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[figure4] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        let top_n = data.map_top_n();
+        let pipeline = data.pipeline();
+        println!("## {}\n", kind.name());
+        for axis in axes() {
+            let mut maps = Vec::new();
+            for &v in &axis.values {
+                let mut config = scale.uhscm_config(kind, bits);
+                (axis.apply)(&mut config, v);
+                // τ affects the similarity matrix; rebuild inside the loop.
+                let outcome =
+                    pipeline.build_similarity(&SimilaritySource::default(), config.tau_factor);
+                let model = train_hashing_network(
+                    pipeline.train_features(),
+                    &outcome.q,
+                    &config,
+                    Regularizer::Modified,
+                    EXPERIMENT_SEED ^ 0x7261,
+                );
+                let ranker = HammingRanker::new(model.encode(&data.db_features));
+                let map = mean_average_precision(
+                    &ranker,
+                    &model.encode(&data.query_features),
+                    &data.relevance(),
+                    top_n,
+                );
+                eprintln!("[figure4] {} {}={v} → MAP {map:.3}", kind.name(), axis.name);
+                maps.push(map);
+            }
+            let headers: Vec<String> = std::iter::once(axis.name.to_string())
+                .chain(axis.values.iter().map(|v| format!("{v}")))
+                .collect();
+            let mut row = vec!["MAP".to_string()];
+            row.extend(maps.iter().map(|&m| f3(m)));
+            println!("{}", markdown_table(&headers, &[row]));
+            records.push(Sweep {
+                dataset: kind.name().into(),
+                parameter: axis.name.into(),
+                values: axis.values.clone(),
+                map: maps,
+            });
+        }
+    }
+    if let Some(path) = write_json(&format!("figure4_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

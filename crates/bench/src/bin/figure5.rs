@@ -1,0 +1,80 @@
+//! Figure 5: t-SNE visualization of 64-bit database hash codes on CIFAR10
+//! for UHSCM, CIB, MLS³RDUH and BGAN.
+//!
+//! The paper shows 2-D scatter plots; this harness writes the embedding
+//! coordinates (JSON, plottable with any tool) and reports the
+//! cluster-separation score of each embedding — the quantitative version of
+//! "the clusters of each class are separated from each other".
+
+use serde::Serialize;
+use uhscm_baselines::BaselineKind;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_core::variants::Variant;
+use uhscm_data::{share_label, DatasetKind};
+use uhscm_eval::{cluster_separation, tsne_2d, TsneConfig};
+
+#[derive(Serialize)]
+struct Embedding {
+    method: String,
+    separation: f64,
+    /// Item class (first label) per embedded point.
+    class: Vec<usize>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bits = 64;
+    // Embed a database subsample (exact t-SNE is O(n²)).
+    let sample = match scale {
+        Scale::Smoke => 150,
+        Scale::Quick => 600,
+        Scale::Full => 1_000,
+    };
+    let methods = [
+        Method::Uhscm(Variant::Full),
+        Method::Baseline(BaselineKind::Cib),
+        Method::Baseline(BaselineKind::Mls3rduh),
+        Method::Baseline(BaselineKind::Bgan),
+    ];
+    println!("# Figure 5 — t-SNE of CIFAR10 database codes @ {bits} bits (scale: {})\n", scale.id());
+
+    let data = ExperimentData::build(DatasetKind::Cifar10Like, scale);
+    let db = &data.dataset.split.database;
+    let take = sample.min(db.len());
+    let labels: Vec<Vec<usize>> = (0..take)
+        .map(|i| data.dataset.labels[db[i]].clone())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for method in methods {
+        let codes = run_method(&data, method, bits, scale);
+        // Unpack the first `take` database codes into ±1 vectors for t-SNE.
+        let unpacked = uhscm_linalg::Matrix::from_rows(
+            &(0..take).map(|i| codes.db.unpack(i)).collect::<Vec<_>>(),
+        );
+        let emb = tsne_2d(&unpacked, &TsneConfig { seed: 5, ..TsneConfig::default() });
+        let sep = cluster_separation(&emb, &|i, j| share_label(&labels[i], &labels[j]));
+        eprintln!("[figure5] {} separation {sep:.3}", codes.name);
+        rows.push(vec![codes.name.clone(), format!("{sep:.3}")]);
+        records.push(Embedding {
+            method: codes.name,
+            separation: sep,
+            class: labels.iter().map(|l| l[0]).collect(),
+            x: (0..take).map(|i| emb[(i, 0)]).collect(),
+            y: (0..take).map(|i| emb[(i, 1)]).collect(),
+        });
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Method".to_string(), "cluster separation (inter/intra)".to_string()],
+            &rows
+        )
+    );
+    if let Some(path) = write_json(&format!("figure5_{}", scale.id()), &records) {
+        println!("embeddings written to {}", path.display());
+    }
+}

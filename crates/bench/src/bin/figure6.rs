@@ -1,0 +1,91 @@
+//! Figure 6: top-10 retrieved results on CIFAR10 (64 bits) for UHSCM, CIB,
+//! BGAN and MLS³RDUH.
+//!
+//! The paper frames each retrieved image green (relevant) or red
+//! (irrelevant); without pixels we print the structural equivalent — per
+//! query, the retrieved class names with ✓/✗ relevance flags — and report
+//! each method's error count over the query panel.
+
+use serde::Serialize;
+use uhscm_baselines::BaselineKind;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_core::variants::Variant;
+use uhscm_data::DatasetKind;
+use uhscm_eval::{top_k, HammingRanker};
+
+#[derive(Serialize)]
+struct Panel {
+    method: String,
+    query_class: Vec<String>,
+    /// Per query: retrieved item classes.
+    retrieved: Vec<Vec<String>>,
+    /// Per query: relevance flags.
+    relevant: Vec<Vec<bool>>,
+    faults: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bits = 64;
+    let top = 10;
+    let n_queries = 8;
+    let methods = [
+        Method::Uhscm(Variant::Full),
+        Method::Baseline(BaselineKind::Cib),
+        Method::Baseline(BaselineKind::Bgan),
+        Method::Baseline(BaselineKind::Mls3rduh),
+    ];
+    println!("# Figure 6 — top-{top} retrieval on CIFAR10 @ {bits} bits (scale: {})\n", scale.id());
+
+    let data = ExperimentData::build(DatasetKind::Cifar10Like, scale);
+    let ds = &data.dataset;
+    let class_of = |item: usize| ds.class_names[ds.labels[item][0]].clone();
+
+    let mut fault_rows = Vec::new();
+    let mut records = Vec::new();
+    for method in methods {
+        let codes = run_method(&data, method, bits, scale);
+        let ranker = HammingRanker::new(codes.db);
+        let rel = data.relevance();
+        let mut faults = 0usize;
+        let mut query_class = Vec::new();
+        let mut retrieved = Vec::new();
+        let mut relevant = Vec::new();
+        println!("## {}\n", codes.name);
+        for qi in 0..n_queries.min(ds.split.query.len()) {
+            let hits = top_k(&ranker, &codes.query, qi, &rel, top);
+            let q_class = class_of(ds.split.query[qi]);
+            let line: Vec<String> = hits
+                .iter()
+                .map(|h| {
+                    let c = class_of(ds.split.database[h.index]);
+                    if h.relevant {
+                        format!("✓{c}")
+                    } else {
+                        faults += 1;
+                        format!("✗{c}")
+                    }
+                })
+                .collect();
+            println!("query[{qi}] ({q_class}): {}", line.join(" "));
+            query_class.push(q_class);
+            retrieved.push(
+                hits.iter().map(|h| class_of(ds.split.database[h.index])).collect(),
+            );
+            relevant.push(hits.iter().map(|h| h.relevant).collect());
+        }
+        println!();
+        fault_rows.push(vec![codes.name.clone(), faults.to_string()]);
+        records.push(Panel { method: codes.name, query_class, retrieved, relevant, faults });
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Method".to_string(), format!("faults in {n_queries}×top-{top}")],
+            &fault_rows
+        )
+    );
+    if let Some(path) = write_json(&format!("figure6_{}", scale.id()), &records) {
+        println!("panels written to {}", path.display());
+    }
+}

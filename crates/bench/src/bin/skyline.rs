@@ -1,0 +1,91 @@
+//! Supervised skyline: how close does unsupervised UHSCM get to CSQ, the
+//! supervised method the paper cites as state of the art (§2.2)?
+//!
+//! Not an experiment from the paper's evaluation — an extra diagnostic this
+//! reproduction adds: CSQ trains the *same* backbone with ground-truth
+//! labels (Hadamard hash centers), upper-bounding what any unsupervised
+//! similarity signal could achieve.
+
+use serde::Serialize;
+use uhscm_baselines::{csq, DeepBaselineConfig, UnsupervisedHasher};
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_core::variants::Variant;
+use uhscm_data::DatasetKind;
+use uhscm_eval::{mean_average_precision, HammingRanker};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    uhscm: f64,
+    csq: f64,
+    gap: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bits = 64; // power of two, as the Hadamard construction requires
+    println!("# Supervised skyline (CSQ) vs UHSCM @ {bits} bits (scale: {})\n", scale.id());
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[skyline] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        let top_n = data.map_top_n();
+
+        let uhscm_codes = run_method(&data, Method::Uhscm(Variant::Full), bits, scale);
+        let ranker = HammingRanker::new(uhscm_codes.db);
+        let uhscm_map =
+            mean_average_precision(&ranker, &uhscm_codes.query, &data.relevance(), top_n);
+
+        // CSQ with ground-truth training labels.
+        let ds = &data.dataset;
+        let pipeline = data.pipeline();
+        let train_labels = ds.labels_of(&ds.split.train);
+        let cfg = DeepBaselineConfig { epochs: scale.epochs(), ..DeepBaselineConfig::default() };
+        let model = csq::train(
+            pipeline.train_features(),
+            &train_labels,
+            ds.class_names.len(),
+            bits,
+            &cfg,
+            data.seed ^ 0xc59,
+        );
+        let ranker = HammingRanker::new(model.encode(&data.db_features));
+        let csq_map = mean_average_precision(
+            &ranker,
+            &model.encode(&data.query_features),
+            &data.relevance(),
+            top_n,
+        );
+        eprintln!("[skyline] {}: UHSCM {uhscm_map:.3} vs CSQ {csq_map:.3}", kind.name());
+        rows.push(vec![
+            kind.name().to_string(),
+            f3(uhscm_map),
+            f3(csq_map),
+            f3(csq_map - uhscm_map),
+        ]);
+        records.push(Row {
+            dataset: kind.name().into(),
+            uhscm: uhscm_map,
+            csq: csq_map,
+            gap: csq_map - uhscm_map,
+        });
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Dataset".into(),
+                "UHSCM (unsup.)".into(),
+                "CSQ (supervised)".into(),
+                "gap".into()
+            ],
+            &rows
+        )
+    );
+    if let Some(path) = write_json(&format!("skyline_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 1: MAP of Hamming ranking for different numbers of hash bits on
+//! the three image datasets, all methods.
+
+use serde::Serialize;
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_data::DatasetKind;
+use uhscm_eval::{mean_average_precision, HammingRanker};
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    method: String,
+    bits: usize,
+    map: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bit_widths = scale.bit_widths();
+    let methods = Method::table1();
+    println!("# Table 1 — MAP of Hamming ranking (scale: {})\n", scale.id());
+
+    let mut records: Vec<Cell> = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[table1] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        let top_n = data.map_top_n();
+        let mut rows = Vec::new();
+        for &method in &methods {
+            let mut row = vec![method.name()];
+            for &bits in &bit_widths {
+                let codes = run_method(&data, method, bits, scale);
+                let ranker = HammingRanker::new(codes.db);
+                let map =
+                    mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
+                eprintln!("[table1] {} {} {bits}b → MAP {map:.3}", kind.name(), codes.name);
+                records.push(Cell {
+                    dataset: kind.name().into(),
+                    method: codes.name,
+                    bits,
+                    map,
+                });
+                row.push(f3(map));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["Method".to_string()];
+        headers.extend(bit_widths.iter().map(|b| format!("{b} bits")));
+        println!("## {}\n", kind.name());
+        println!("{}", markdown_table(&headers, &rows));
+    }
+    if let Some(path) = write_json(&format!("table1_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

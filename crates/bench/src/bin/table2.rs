@@ -1,0 +1,57 @@
+//! Table 2: MAPs of UHSCM and its 14 ablation variants on the three
+//! datasets across hash-code lengths (§4.4).
+
+use serde::Serialize;
+use uhscm_bench::report::f3;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_core::variants::Variant;
+use uhscm_data::DatasetKind;
+use uhscm_eval::{mean_average_precision, HammingRanker};
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    variant: String,
+    bits: usize,
+    map: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let bit_widths = scale.bit_widths();
+    let variants = Variant::table2();
+    println!("# Table 2 — ablation study (scale: {})\n", scale.id());
+
+    let mut records: Vec<Cell> = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[table2] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        let top_n = data.map_top_n();
+        let mut rows = Vec::new();
+        for &variant in &variants {
+            let mut row = vec![variant.name()];
+            for &bits in &bit_widths {
+                let codes = run_method(&data, Method::Uhscm(variant), bits, scale);
+                let ranker = HammingRanker::new(codes.db);
+                let map =
+                    mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
+                eprintln!("[table2] {} {} {bits}b → MAP {map:.3}", kind.name(), variant.name());
+                records.push(Cell {
+                    dataset: kind.name().into(),
+                    variant: variant.name(),
+                    bits,
+                    map,
+                });
+                row.push(f3(map));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["Variant".to_string()];
+        headers.extend(bit_widths.iter().map(|b| format!("{b} bits")));
+        println!("## {}\n", kind.name());
+        println!("{}", markdown_table(&headers, &rows));
+    }
+    if let Some(path) = write_json(&format!("table2_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 3: wall-clock time consumption (preprocessing + training to
+//! convergence) of the deep methods and UHSCM on each dataset.
+//!
+//! The paper reports minutes on a GPU testbed; this harness reports seconds
+//! on the local machine. The comparison of interest is *relative*: UHSCM's
+//! cost must be comparable to SSDH/GH/CIB and well below BGAN/MLS³RDUH.
+
+use serde::Serialize;
+use uhscm_baselines::BaselineKind;
+use uhscm_bench::{markdown_table, run_method, write_json, ExperimentData, Method, Scale};
+use uhscm_core::variants::Variant;
+use uhscm_data::DatasetKind;
+
+#[derive(Serialize)]
+struct Timing {
+    dataset: String,
+    method: String,
+    preprocess_secs: f64,
+    train_secs: f64,
+    total_secs: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    // The paper's Table 3 compares the deep methods (+ UHSCM) at a fixed
+    // code length; 64 bits is its running example.
+    let bits = 64;
+    let methods = [
+        Method::Baseline(BaselineKind::Ssdh),
+        Method::Baseline(BaselineKind::Gh),
+        Method::Baseline(BaselineKind::Bgan),
+        Method::Baseline(BaselineKind::Mls3rduh),
+        Method::Baseline(BaselineKind::Cib),
+        Method::Uhscm(Variant::Full),
+    ];
+    println!("# Table 3 — time consumption (seconds, scale: {})\n", scale.id());
+
+    let mut records: Vec<Timing> = Vec::new();
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.name()]).collect();
+    for kind in DatasetKind::ALL {
+        eprintln!("[table3] building {} …", kind.name());
+        let data = ExperimentData::build(kind, scale);
+        for (mi, &method) in methods.iter().enumerate() {
+            let codes = run_method(&data, method, bits, scale);
+            records.push(Timing {
+                dataset: kind.name().into(),
+                method: codes.name.clone(),
+                preprocess_secs: codes.preprocess_secs,
+                train_secs: codes.train_secs,
+                total_secs: codes.total_secs(),
+            });
+            rows[mi].push(format!("{:.2}", codes.total_secs()));
+            eprintln!(
+                "[table3] {} {} → {:.2}s (prep {:.2}s + train {:.2}s)",
+                kind.name(),
+                codes.name,
+                codes.total_secs(),
+                codes.preprocess_secs,
+                codes.train_secs
+            );
+        }
+    }
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(DatasetKind::ALL.iter().map(|k| k.name().to_string()));
+    println!("{}", markdown_table(&headers, &rows));
+    if let Some(path) = write_json(&format!("table3_{}", scale.id()), &records) {
+        println!("results written to {}", path.display());
+    }
+}

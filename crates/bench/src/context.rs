@@ -1,0 +1,159 @@
+//! Experiment scales and per-dataset context.
+
+use uhscm_core::pipeline::Pipeline;
+use uhscm_core::UhscmConfig;
+use uhscm_data::{share_label, Dataset, DatasetConfig, DatasetKind};
+use uhscm_linalg::Matrix;
+
+/// Master seed shared by all experiments (datasets, checkpoints, training).
+pub const EXPERIMENT_SEED: u64 = 20230618; // SIGMOD '23 opening day
+
+/// Experiment scale: trades fidelity for wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long sanity pass (used by the integration tests).
+    Smoke,
+    /// Default: faithful shapes at reduced n.
+    Quick,
+    /// The scale used for EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Resolve from CLI args (`--scale X`) or `UHSCM_SCALE`, default Quick.
+    pub fn from_env_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let from_cli = args
+            .windows(2)
+            .find(|w| w[0] == "--scale")
+            .map(|w| w[1].clone());
+        let raw = from_cli
+            .or_else(|| std::env::var("UHSCM_SCALE").ok())
+            .unwrap_or_else(|| "quick".into());
+        match raw.to_lowercase().as_str() {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Dataset sizes for this scale.
+    pub fn dataset_config(self) -> DatasetConfig {
+        match self {
+            Scale::Smoke => DatasetConfig {
+                n_train: 200,
+                n_query: 80,
+                n_database: 600,
+                ..DatasetConfig::default()
+            },
+            Scale::Quick => DatasetConfig {
+                n_train: 800,
+                n_query: 300,
+                n_database: 2_400,
+                ..DatasetConfig::default()
+            },
+            Scale::Full => DatasetConfig::default(),
+        }
+    }
+
+    /// Training epochs for UHSCM and the deep baselines.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Quick => 25,
+            Scale::Full => 40,
+        }
+    }
+
+    /// Hash-code lengths swept by the tables.
+    pub fn bit_widths(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![16, 32],
+            _ => vec![32, 64, 96, 128],
+        }
+    }
+
+    /// UHSCM configuration for a dataset at this scale.
+    pub fn uhscm_config(self, kind: DatasetKind, bits: usize) -> UhscmConfig {
+        UhscmConfig { bits, epochs: self.epochs(), ..UhscmConfig::for_dataset(kind) }
+    }
+
+    /// Lower-case identifier (for file names).
+    pub fn id(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Everything needed to run methods on one dataset: the data itself, a
+/// bound pipeline, and cached backbone features of each split.
+pub struct ExperimentData {
+    pub dataset: Dataset,
+    pub query_features: Matrix,
+    pub db_features: Matrix,
+    pub seed: u64,
+}
+
+impl ExperimentData {
+    /// Generate the dataset for `kind` at `scale` and extract features.
+    pub fn build(kind: DatasetKind, scale: Scale) -> Self {
+        let dataset = Dataset::generate(kind, &scale.dataset_config(), EXPERIMENT_SEED);
+        let pipeline = Pipeline::new(&dataset, EXPERIMENT_SEED);
+        let query_features = pipeline.features_of(&dataset.split.query);
+        let db_features = pipeline.features_of(&dataset.split.database);
+        Self { dataset, query_features, db_features, seed: EXPERIMENT_SEED }
+    }
+
+    /// A pipeline bound to this dataset (cheap to rebuild: the checkpoints
+    /// are derived deterministically from the seed).
+    pub fn pipeline(&self) -> Pipeline<'_> {
+        Pipeline::new(&self.dataset, self.seed)
+    }
+
+    /// Ground-truth relevance between query position and database position.
+    pub fn relevance(&self) -> impl Fn(usize, usize) -> bool + '_ {
+        let ds = &self.dataset;
+        move |qi: usize, di: usize| {
+            share_label(&ds.labels[ds.split.query[qi]], &ds.labels[ds.split.database[di]])
+        }
+    }
+
+    /// MAP cut-off: the paper's 5 000, clamped to the database size.
+    pub fn map_top_n(&self) -> usize {
+        5_000.min(self.dataset.split.database.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_to_quick() {
+        // No --scale in the test binary's args and env unset → Quick.
+        std::env::remove_var("UHSCM_SCALE");
+        assert_eq!(Scale::from_env_args(), Scale::Quick);
+    }
+
+    #[test]
+    fn smoke_context_builds() {
+        let data = ExperimentData::build(DatasetKind::Cifar10Like, Scale::Smoke);
+        assert_eq!(data.query_features.rows(), 80);
+        assert_eq!(data.db_features.rows(), 600);
+        assert_eq!(data.map_top_n(), 600);
+        let rel = data.relevance();
+        // Relevance is well-defined on the full grid corners.
+        let _ = rel(0, 0);
+        let _ = rel(79, 599);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Smoke.dataset_config().n_train < Scale::Quick.dataset_config().n_train);
+        assert!(Scale::Quick.dataset_config().n_train < Scale::Full.dataset_config().n_train);
+        assert!(Scale::Smoke.epochs() < Scale::Full.epochs());
+    }
+}

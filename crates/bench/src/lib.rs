@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Binaries (one per experiment):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | MAP of all methods × 3 datasets × {32,64,96,128} bits |
+//! | `figure2` | P@N curves (64/128 bits) |
+//! | `figure3` | precision-recall curves over Hamming radii |
+//! | `table2` | the 15-row ablation study |
+//! | `table3` | wall-clock time consumption per method |
+//! | `figure4` | hyper-parameter sensitivity sweeps (τ, α, λ, γ, β) |
+//! | `figure5` | t-SNE visualization + cluster-separation scores |
+//! | `figure6` | top-10 retrieval panels with relevance flags |
+//! | `ablation_sim` | *(extra)* simulation-design knob sweeps |
+//! | `skyline` | *(extra)* supervised CSQ skyline vs UHSCM |
+//!
+//! Every binary accepts `--scale smoke|quick|full` (default `quick`; the
+//! environment variable `UHSCM_SCALE` is the fallback) and writes both a
+//! human-readable table to stdout and a JSON record under `results/`.
+
+pub mod context;
+pub mod methods;
+pub mod report;
+
+pub use context::{ExperimentData, Scale};
+pub use methods::{run_method, Method, MethodCodes};
+pub use report::{markdown_table, write_json};

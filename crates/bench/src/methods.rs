@@ -1,0 +1,133 @@
+//! A uniform runner over UHSCM (and its ablation variants) plus all
+//! baselines: train on the experiment's training split, encode the query
+//! and database splits, and report wall-clock timings.
+
+use crate::context::{ExperimentData, Scale};
+use std::time::Instant;
+use uhscm_baselines::{BaselineKind, DeepBaselineConfig};
+use uhscm_core::variants::Variant;
+use uhscm_eval::BitCodes;
+
+/// A method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// UHSCM or one of its Table 2 variants.
+    Uhscm(Variant),
+    /// One of the ten baselines.
+    Baseline(BaselineKind),
+}
+
+impl Method {
+    /// Paper-facing name.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Uhscm(v) => v.name(),
+            Method::Baseline(b) => b.name().to_string(),
+        }
+    }
+
+    /// The Table 1 line-up: nine baselines then UHSCM.
+    pub fn table1() -> Vec<Method> {
+        let mut out: Vec<Method> =
+            BaselineKind::TABLE1.iter().map(|&b| Method::Baseline(b)).collect();
+        out.push(Method::Uhscm(Variant::Full));
+        out
+    }
+}
+
+/// Codes and timings produced by one training run.
+pub struct MethodCodes {
+    pub name: String,
+    pub query: BitCodes,
+    pub db: BitCodes,
+    /// Similarity-matrix / pseudo-label construction time (preprocessing).
+    pub preprocess_secs: f64,
+    /// Network training (or shallow fitting) time.
+    pub train_secs: f64,
+}
+
+impl MethodCodes {
+    /// Total time, as reported in the paper's Table 3.
+    pub fn total_secs(&self) -> f64 {
+        self.preprocess_secs + self.train_secs
+    }
+}
+
+/// Train `method` at `bits` on `data` and encode both evaluation splits.
+pub fn run_method(data: &ExperimentData, method: Method, bits: usize, scale: Scale) -> MethodCodes {
+    match method {
+        Method::Uhscm(variant) => {
+            let pipeline = data.pipeline();
+            let config = scale.uhscm_config(data.dataset.kind, bits);
+            let t0 = Instant::now();
+            let outcome = pipeline.build_similarity(&variant.similarity_source(), config.tau_factor);
+            let preprocess_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let model = uhscm_core::trainer::train_hashing_network(
+                pipeline.train_features(),
+                &outcome.q,
+                &config,
+                variant.regularizer(),
+                data.seed ^ 0x7261,
+            );
+            let train_secs = t1.elapsed().as_secs_f64();
+            MethodCodes {
+                name: variant.name(),
+                query: model.encode(&data.query_features),
+                db: model.encode(&data.db_features),
+                preprocess_secs,
+                train_secs,
+            }
+        }
+        Method::Baseline(kind) => {
+            let pipeline = data.pipeline();
+            let train_features = pipeline.train_features().clone();
+            let deep_cfg = DeepBaselineConfig {
+                epochs: scale.epochs(),
+                ..DeepBaselineConfig::default()
+            };
+            let t0 = Instant::now();
+            let model = kind.train(&train_features, bits, &deep_cfg, data.seed ^ 0xba5e);
+            let train_secs = t0.elapsed().as_secs_f64();
+            MethodCodes {
+                name: kind.name().to_string(),
+                query: model.encode(&data.query_features),
+                db: model.encode(&data.db_features),
+                preprocess_secs: 0.0,
+                train_secs,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_data::DatasetKind;
+    use uhscm_eval::{mean_average_precision, HammingRanker};
+
+    #[test]
+    fn table1_lineup_matches_paper() {
+        let methods = Method::table1();
+        assert_eq!(methods.len(), 10);
+        assert_eq!(methods[0].name(), "LSH");
+        assert_eq!(methods.last().unwrap().name(), "UHSCM");
+    }
+
+    #[test]
+    fn uhscm_beats_lsh_at_smoke_scale() {
+        let data = ExperimentData::build(DatasetKind::Cifar10Like, Scale::Smoke);
+        let top_n = data.map_top_n();
+        let map_of = |m: Method| {
+            let codes = run_method(&data, m, 16, Scale::Smoke);
+            let ranker = HammingRanker::new(codes.db);
+            mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n)
+        };
+        let uhscm = map_of(Method::Uhscm(Variant::Full));
+        let lsh = map_of(Method::Baseline(BaselineKind::Lsh));
+        assert!(
+            uhscm > lsh,
+            "UHSCM ({uhscm:.3}) did not beat LSH ({lsh:.3}) even at smoke scale"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Result rendering: markdown tables to stdout, JSON records to `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Serialize `record` as pretty JSON under `results/<name>.json`.
+///
+/// Returns the path written. Errors are reported, not fatal — a read-only
+/// checkout still prints results to stdout.
+pub fn write_json<T: Serialize>(name: &str, record: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let json = match serde_json::to_string_pretty(record) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("warning: serialization failed: {e}");
+            return None;
+        }
+    };
+    match fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Format a float like the paper's tables (three decimals).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = markdown_table(
+            &["Method".into(), "MAP".into()],
+            &[
+                vec!["LSH".into(), "0.257".into()],
+                vec!["UHSCM".into(), "0.831".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(t.contains("| UHSCM  | 0.831 |"));
+    }
+
+    #[test]
+    fn f3_formats_three_decimals() {
+        assert_eq!(f3(0.8314159), "0.831");
+        assert_eq!(f3(1.0), "1.000");
+    }
+}

@@ -1,0 +1,144 @@
+//! UHSCM hyper-parameters (§4.1 and §4.6).
+
+use uhscm_data::DatasetKind;
+
+/// All hyper-parameters of the UHSCM pipeline.
+///
+/// Defaults follow the paper: τ = 3m (Figure 4a), mini-batch 128, SGD with
+/// momentum 0.9 / weight decay 1e-5 / lr 0.006, and the per-dataset
+/// (α, λ, γ, β) settings of §4.6.
+#[derive(Debug, Clone)]
+pub struct UhscmConfig {
+    /// Hash-code length `k`.
+    pub bits: usize,
+    /// Softmax temperature as a multiple of the concept count: τ = `tau_factor` · m.
+    pub tau_factor: f64,
+    /// Weight of the modified contrastive regularizer (Eq. 9/11).
+    pub alpha: f64,
+    /// Weight of the quantization term (Eq. 11).
+    pub beta: f64,
+    /// Temperature of the contrastive term (Eq. 8).
+    pub gamma: f64,
+    /// Similarity threshold defining positives: `Ψ_i = { j | q_ij ≥ λ }`.
+    pub lambda: f64,
+    /// Training epochs (outer `repeat` of Algorithm 1).
+    pub epochs: usize,
+    /// Mini-batch size `t`.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// SGD weight decay.
+    pub weight_decay: f64,
+    /// Hidden layer widths of the hashing head.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for UhscmConfig {
+    fn default() -> Self {
+        Self {
+            bits: 64,
+            tau_factor: 3.0,
+            alpha: 0.2,
+            beta: 0.001,
+            gamma: 0.2,
+            lambda: 0.8,
+            epochs: 40,
+            batch_size: 128,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-5,
+            hidden: vec![128],
+        }
+    }
+}
+
+impl UhscmConfig {
+    /// The per-dataset hyper-parameters selected in §4.6:
+    /// CIFAR10 (α=0.2, λ=0.8, γ=0.2, β=0.001),
+    /// NUS-WIDE (α=0.1, λ=0.5, γ=0.2, β=0.001),
+    /// MIRFlickr-25K (α=0.3, λ=0.6, γ=0.5, β=0.001).
+    pub fn for_dataset(kind: DatasetKind) -> Self {
+        let base = Self::default();
+        match kind {
+            DatasetKind::Cifar10Like => {
+                Self { alpha: 0.2, lambda: 0.8, gamma: 0.2, beta: 0.001, ..base }
+            }
+            DatasetKind::NusWideLike => {
+                Self { alpha: 0.1, lambda: 0.5, gamma: 0.2, beta: 0.001, ..base }
+            }
+            DatasetKind::FlickrLike => {
+                Self { alpha: 0.3, lambda: 0.6, gamma: 0.5, beta: 0.001, ..base }
+            }
+        }
+    }
+
+    /// Fast settings for unit tests.
+    pub fn test_profile() -> Self {
+        Self { bits: 16, epochs: 5, batch_size: 32, ..Self::default() }
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violated constraint, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bits == 0 {
+            return Err("bits must be positive".into());
+        }
+        if self.batch_size < 2 {
+            return Err("batch_size must be at least 2 (pairwise losses)".into());
+        }
+        if self.tau_factor <= 0.0 || self.tau_factor.is_nan() {
+            return Err("tau_factor must be positive".into());
+        }
+        if self.gamma <= 0.0 || self.gamma.is_nan() {
+            return Err("gamma must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err("lambda must lie in [0, 1]".into());
+        }
+        if self.alpha < 0.0 || self.beta < 0.0 {
+            return Err("alpha and beta must be non-negative".into());
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err("learning_rate must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_per_dataset() {
+        let c = UhscmConfig::for_dataset(DatasetKind::Cifar10Like);
+        assert_eq!((c.alpha, c.lambda, c.gamma, c.beta), (0.2, 0.8, 0.2, 0.001));
+        let n = UhscmConfig::for_dataset(DatasetKind::NusWideLike);
+        assert_eq!((n.alpha, n.lambda, n.gamma, n.beta), (0.1, 0.5, 0.2, 0.001));
+        let f = UhscmConfig::for_dataset(DatasetKind::FlickrLike);
+        assert_eq!((f.alpha, f.lambda, f.gamma, f.beta), (0.3, 0.6, 0.5, 0.001));
+    }
+
+    #[test]
+    fn default_is_valid() {
+        assert!(UhscmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = UhscmConfig::default();
+        c.bits = 0;
+        assert!(c.validate().is_err());
+        c = UhscmConfig::default();
+        c.lambda = 1.5;
+        assert!(c.validate().is_err());
+        c = UhscmConfig::default();
+        c.gamma = 0.0;
+        assert!(c.validate().is_err());
+        c = UhscmConfig::default();
+        c.batch_size = 1;
+        assert!(c.validate().is_err());
+    }
+}

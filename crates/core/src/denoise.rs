@@ -1,0 +1,120 @@
+//! Semantic concept denoising (§3.3.2, Eq. 4-5).
+//!
+//! A concept is kept only if the number of images for which it is the
+//! *most probable* concept lies in `[0.5·n/m, 0.5·n]`: concepts claimed by
+//! more than half the images cannot distinguish them, and concepts claimed
+//! by almost no image are likely out-of-domain noise.
+
+use uhscm_linalg::{vecops, Matrix};
+
+/// Eq. 4: per-concept frequency `f(c_j)` — the number of images whose
+/// argmax concept is `j`.
+pub fn concept_frequencies(distributions: &Matrix) -> Vec<usize> {
+    let mut freq = vec![0usize; distributions.cols()];
+    for i in 0..distributions.rows() {
+        freq[vecops::argmax(distributions.row(i))] += 1;
+    }
+    freq
+}
+
+/// Eq. 5: should concept with frequency `f` be discarded, given `n` images
+/// and `m` concepts? Keeps `0.5·n/m ≤ f ≤ 0.5·n`.
+pub fn discard(f: usize, n: usize, m: usize) -> bool {
+    let f = f as f64;
+    let n = n as f64;
+    let m = m as f64;
+    !(0.5 * n / m <= f && f <= 0.5 * n)
+}
+
+/// Apply Eq. 4-5: return the indices of retained concepts, in order.
+///
+/// If the criterion would discard *everything* (possible on pathological
+/// inputs), the single most balanced concept is kept so downstream code
+/// always has a non-empty vocabulary; the paper does not define this edge
+/// case because it cannot occur at its data scales.
+pub fn denoise_concepts(distributions: &Matrix) -> Vec<usize> {
+    let n = distributions.rows();
+    let m = distributions.cols();
+    let freq = concept_frequencies(distributions);
+    let kept: Vec<usize> =
+        (0..m).filter(|&j| !discard(freq[j], n, m)).collect();
+    if !kept.is_empty() {
+        return kept;
+    }
+    // Fallback: keep the concept whose frequency is closest to n/m.
+    let ideal = n as f64 / m as f64;
+    let best = (0..m)
+        .min_by(|&a, &b| {
+            let da = (freq[a] as f64 - ideal).abs();
+            let db = (freq[b] as f64 - ideal).abs();
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("at least one concept");
+    vec![best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distribution matrix with specified argmax per image.
+    fn dist_with_argmax(argmaxes: &[usize], m: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = argmaxes
+            .iter()
+            .map(|&a| {
+                let mut row = vec![0.1 / (m as f64 - 1.0); m];
+                row[a] = 0.9;
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn frequencies_count_argmaxes() {
+        let d = dist_with_argmax(&[0, 0, 1, 2, 2, 2], 4);
+        assert_eq!(concept_frequencies(&d), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn discard_bounds_match_eq5() {
+        // n=100, m=10: keep 5 ≤ f ≤ 50.
+        assert!(discard(4, 100, 10));
+        assert!(!discard(5, 100, 10));
+        assert!(!discard(50, 100, 10));
+        assert!(discard(51, 100, 10));
+        assert!(discard(0, 100, 10));
+        assert!(discard(100, 100, 10));
+    }
+
+    #[test]
+    fn denoise_drops_dominant_and_absent_concepts() {
+        // 10 images, 5 concepts: concept 0 claims 6 (> 0.5n = 5, drop),
+        // concept 3 claims 0 (< 0.5 n/m = 1, drop), 1 and 2 balanced.
+        let d = dist_with_argmax(&[0, 0, 0, 0, 0, 0, 1, 1, 2, 2], 5);
+        assert_eq!(denoise_concepts(&d), vec![1, 2]);
+    }
+
+    #[test]
+    fn denoise_keeps_balanced_vocabulary() {
+        // Perfectly balanced argmaxes: everything kept.
+        let d = dist_with_argmax(&[0, 1, 2, 3, 0, 1, 2, 3], 4);
+        assert_eq!(denoise_concepts(&d), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fallback_when_everything_discarded() {
+        // 2 images, 2 concepts, both argmax concept 0: f = [2, 0];
+        // upper bound 0.5n = 1 discards concept 0, lower bound 0.5 discards
+        // concept 1 → fallback keeps the one closest to n/m = 1.
+        let d = dist_with_argmax(&[0, 0], 2);
+        assert_eq!(denoise_concepts(&d), vec![0]);
+    }
+
+    #[test]
+    fn retained_indices_sorted_unique() {
+        let d = dist_with_argmax(&[0, 1, 1, 2, 3, 3, 3, 3, 3, 3, 4, 4], 6);
+        let kept = denoise_concepts(&d);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+}

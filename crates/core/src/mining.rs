@@ -1,0 +1,84 @@
+//! Semantic concept mining (§3.3.1, Eq. 1-2).
+
+use uhscm_linalg::{vecops, Matrix};
+
+/// Convert an `n × m` image-text score matrix (Eq. 1) into per-image concept
+/// distributions (Eq. 2): row `i` becomes `softmax(τ · s_i)` with
+/// `τ = tau_factor · m`.
+///
+/// Each returned row is a probability distribution over the `m` concepts;
+/// `d_ij` is the model's belief that image `i` contains concept `j`.
+///
+/// ```
+/// use uhscm_core::concept_distributions;
+/// use uhscm_linalg::Matrix;
+///
+/// // Two images scored against three concepts (CLIP-like score range).
+/// let scores = Matrix::from_rows(&[vec![0.32, 0.21, 0.20], vec![0.20, 0.19, 0.30]]);
+/// let d = concept_distributions(&scores, 3.0); // τ = 3m, the paper's setting
+/// assert!((d.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(d[(0, 0)] > 0.5); // image 0 is confidently concept 0
+/// ```
+pub fn concept_distributions(scores: &Matrix, tau_factor: f64) -> Matrix {
+    assert!(scores.cols() > 0, "no concepts to distribute over");
+    assert!(tau_factor > 0.0, "temperature factor must be positive");
+    let tau = tau_factor * scores.cols() as f64;
+    let mut out = Matrix::zeros(scores.rows(), scores.cols());
+    for i in 0..scores.rows() {
+        let row = vecops::softmax_scaled(scores.row(i), tau);
+        out.row_mut(i).copy_from_slice(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_distributions() {
+        let scores = Matrix::from_rows(&[vec![0.3, 0.25, 0.2], vec![0.2, 0.2, 0.31]]);
+        let d = concept_distributions(&scores, 3.0);
+        for row in d.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn argmax_preserved() {
+        let scores = Matrix::from_rows(&[vec![0.22, 0.31, 0.2], vec![0.33, 0.2, 0.21]]);
+        let d = concept_distributions(&scores, 3.0);
+        assert_eq!(vecops::argmax(d.row(0)), 1);
+        assert_eq!(vecops::argmax(d.row(1)), 0);
+    }
+
+    #[test]
+    fn higher_tau_factor_sharpens() {
+        let scores = Matrix::from_rows(&[vec![0.30, 0.25]]);
+        let soft = concept_distributions(&scores, 1.0);
+        let sharp = concept_distributions(&scores, 4.0);
+        assert!(sharp[(0, 0)] > soft[(0, 0)]);
+    }
+
+    #[test]
+    fn temperature_scales_with_concept_count() {
+        // τ = factor · m: the same score gap is sharpened more when the
+        // vocabulary is larger.
+        let two = Matrix::from_rows(&[vec![0.30, 0.25]]);
+        let four = Matrix::from_rows(&[vec![0.30, 0.25, 0.0, 0.0]]);
+        let d2 = concept_distributions(&two, 1.0);
+        let d4 = concept_distributions(&four, 1.0);
+        // Gap between top-2 masses, renormalized to the top-2 only.
+        let g2 = d2[(0, 0)] / (d2[(0, 0)] + d2[(0, 1)]);
+        let g4 = d4[(0, 0)] / (d4[(0, 0)] + d4[(0, 1)]);
+        assert!(g4 > g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_rejected() {
+        let scores = Matrix::from_rows(&[vec![0.1, 0.2]]);
+        let _ = concept_distributions(&scores, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The semantic similarity matrix `Q` (§3.3, Eq. 3 and Eq. 6).
+
+use uhscm_linalg::{vecops, Matrix};
+
+/// Eq. 3 / Eq. 6: `q_ij = cos(d_i, d_j)` over per-image concept
+/// distributions. Returns a symmetric `n × n` matrix with unit diagonal.
+pub fn similarity_from_distributions(distributions: &Matrix) -> Matrix {
+    cosine_gram(distributions)
+}
+
+/// The `UHSCM_IF` ablation (Table 2 row 3): cosine similarity of raw VLP
+/// image features, skipping concept mining entirely.
+pub fn similarity_from_features(features: &Matrix) -> Matrix {
+    cosine_gram(features)
+}
+
+/// Cosine Gram matrix of the rows of `x`.
+fn cosine_gram(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    // Normalize rows once, then a single symmetric pass of dot products.
+    let mut unit = x.clone();
+    for i in 0..n {
+        vecops::normalize(unit.row_mut(i));
+    }
+    let mut q = Matrix::zeros(n, n);
+    for i in 0..n {
+        q[(i, i)] = 1.0;
+        let ri = unit.row(i).to_vec();
+        for j in (i + 1)..n {
+            let v = vecops::dot(&ri, unit.row(j));
+            q[(i, j)] = v;
+            q[(j, i)] = v;
+        }
+    }
+    q
+}
+
+/// Element-wise mean of several similarity matrices (the `UHSCM_avg`
+/// ablation, Table 2 row 6).
+///
+/// # Panics
+/// Panics if the list is empty or shapes differ.
+pub fn mean_similarity(matrices: &[Matrix]) -> Matrix {
+    assert!(!matrices.is_empty(), "mean of zero similarity matrices");
+    let mut acc = matrices[0].clone();
+    for m in &matrices[1..] {
+        acc.axpy(1.0, m);
+    }
+    acc.scale(1.0 / matrices.len() as f64);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_similarity_one() {
+        let d = Matrix::from_rows(&[vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2]]);
+        let q = similarity_from_distributions(&d);
+        assert!((q[(0, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_similarity_zero() {
+        let d = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let q = similarity_from_distributions(&d);
+        assert!(q[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_with_unit_diagonal() {
+        let d = Matrix::from_rows(&[
+            vec![0.6, 0.3, 0.1],
+            vec![0.2, 0.5, 0.3],
+            vec![0.1, 0.1, 0.8],
+        ]);
+        let q = similarity_from_distributions(&d);
+        for i in 0..3 {
+            assert!((q[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((q[(i, j)] - q[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nonnegative_for_distributions() {
+        // Probability vectors have non-negative entries, so cosines are ≥ 0.
+        let d = Matrix::from_rows(&[vec![0.9, 0.1, 0.0], vec![0.0, 0.2, 0.8]]);
+        let q = similarity_from_distributions(&d);
+        assert!(q.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mean_similarity_averages() {
+        let a = Matrix::full(2, 2, 0.2);
+        let b = Matrix::full(2, 2, 0.4);
+        let m = mean_similarity(&[a, b]);
+        assert!(m.as_slice().iter().all(|&v| (v - 0.3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn shared_concept_raises_similarity() {
+        // Images {A,B} share concept 0 heavily; C is concentrated elsewhere.
+        let d = Matrix::from_rows(&[
+            vec![0.7, 0.2, 0.1],
+            vec![0.6, 0.1, 0.3],
+            vec![0.05, 0.05, 0.9],
+        ]);
+        let q = similarity_from_distributions(&d);
+        assert!(q[(0, 1)] > q[(0, 2)]);
+        assert!(q[(0, 1)] > q[(1, 2)]);
+    }
+}

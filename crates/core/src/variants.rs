@@ -1,0 +1,188 @@
+//! The ablation variants of Table 2 (§4.4) as named configurations.
+
+use crate::pipeline::{Pipeline, Regularizer, SimilaritySource};
+use crate::trainer::TrainedHasher;
+use crate::UhscmConfig;
+use uhscm_data::vocab;
+use uhscm_vlp::PromptTemplate;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// `UHSCM` — the full model ("Ours").
+    Full,
+    /// Row 1, `UHSCM_coco` — MS-COCO-80 as the original concept set.
+    Coco,
+    /// Row 2, `UHSCM_nus&coco` — the 153-category union.
+    NusAndCoco,
+    /// Row 3, `UHSCM_IF` — raw VLP image-feature cosine similarity.
+    ImageFeatures,
+    /// Row 4, `UHSCM_P1` — prompt "the {c}".
+    Prompt1,
+    /// Row 5, `UHSCM_P2` — prompt "it contains the {c}".
+    Prompt2,
+    /// Row 6, `UHSCM_avg` — mean of the three templates' matrices.
+    AveragedPrompts,
+    /// Row 7, `UHSCM_w/o de` — no concept denoising.
+    WithoutDenoise,
+    /// Rows 8-12, `UHSCM_cN` — k-means the concepts into `N` clusters.
+    Clustered(usize),
+    /// Row 13, `UHSCM_w/o MCL` — drop the contrastive regularizer.
+    WithoutMcl,
+    /// Row 14, `UHSCM_CL` — CIB's original contrastive loss instead.
+    OriginalCl,
+}
+
+impl Variant {
+    /// Every row of Table 2 in the paper's order, "Ours" last.
+    pub fn table2() -> Vec<Variant> {
+        vec![
+            Variant::Coco,
+            Variant::NusAndCoco,
+            Variant::ImageFeatures,
+            Variant::Prompt1,
+            Variant::Prompt2,
+            Variant::AveragedPrompts,
+            Variant::WithoutDenoise,
+            Variant::Clustered(20),
+            Variant::Clustered(30),
+            Variant::Clustered(40),
+            Variant::Clustered(50),
+            Variant::Clustered(60),
+            Variant::WithoutMcl,
+            Variant::OriginalCl,
+            Variant::Full,
+        ]
+    }
+
+    /// The label used in the paper's table.
+    pub fn name(&self) -> String {
+        match self {
+            Variant::Full => "UHSCM".into(),
+            Variant::Coco => "UHSCM_coco".into(),
+            Variant::NusAndCoco => "UHSCM_nus&coco".into(),
+            Variant::ImageFeatures => "UHSCM_IF".into(),
+            Variant::Prompt1 => "UHSCM_P1".into(),
+            Variant::Prompt2 => "UHSCM_P2".into(),
+            Variant::AveragedPrompts => "UHSCM_avg".into(),
+            Variant::WithoutDenoise => "UHSCM_w/o de".into(),
+            Variant::Clustered(n) => format!("UHSCM_c{n}"),
+            Variant::WithoutMcl => "UHSCM_w/o MCL".into(),
+            Variant::OriginalCl => "UHSCM_CL".into(),
+        }
+    }
+
+    /// How this variant constructs its similarity matrix.
+    pub fn similarity_source(&self) -> SimilaritySource {
+        let default_vocab = vocab::nus_wide_81();
+        let template = PromptTemplate::PhotoOfThe;
+        match self {
+            Variant::Full | Variant::WithoutMcl | Variant::OriginalCl => {
+                SimilaritySource::ConceptsDenoised { vocab: default_vocab, template }
+            }
+            Variant::Coco => SimilaritySource::ConceptsDenoised {
+                vocab: vocab::coco_80(),
+                template,
+            },
+            Variant::NusAndCoco => SimilaritySource::ConceptsDenoised {
+                vocab: vocab::nus_and_coco(),
+                template,
+            },
+            Variant::ImageFeatures => SimilaritySource::ClipFeatures,
+            Variant::Prompt1 => SimilaritySource::ConceptsDenoised {
+                vocab: default_vocab,
+                template: PromptTemplate::The,
+            },
+            Variant::Prompt2 => SimilaritySource::ConceptsDenoised {
+                vocab: default_vocab,
+                template: PromptTemplate::ItContains,
+            },
+            Variant::AveragedPrompts => SimilaritySource::ConceptsAveraged {
+                vocab: default_vocab,
+                templates: PromptTemplate::ALL.to_vec(),
+            },
+            Variant::WithoutDenoise => SimilaritySource::ConceptsRaw {
+                vocab: default_vocab,
+                template,
+            },
+            Variant::Clustered(n) => SimilaritySource::ConceptsClustered {
+                vocab: default_vocab,
+                template,
+                clusters: *n,
+            },
+        }
+    }
+
+    /// Which contrastive regularizer this variant trains with.
+    pub fn regularizer(&self) -> Regularizer {
+        match self {
+            Variant::WithoutMcl => Regularizer::None,
+            Variant::OriginalCl => Regularizer::OriginalCib,
+            _ => Regularizer::Modified,
+        }
+    }
+
+    /// Train this variant on a pipeline.
+    pub fn train(&self, pipeline: &Pipeline<'_>, config: &UhscmConfig) -> TrainedHasher {
+        pipeline.train_with_regularizer(&self.similarity_source(), config, self.regularizer())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_data::{Dataset, DatasetConfig, DatasetKind};
+
+    #[test]
+    fn table2_has_fifteen_rows() {
+        let rows = Variant::table2();
+        assert_eq!(rows.len(), 15);
+        assert_eq!(rows.last(), Some(&Variant::Full));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Variant::Full.name(), "UHSCM");
+        assert_eq!(Variant::Clustered(50).name(), "UHSCM_c50");
+        assert_eq!(Variant::WithoutDenoise.name(), "UHSCM_w/o de");
+        assert_eq!(Variant::NusAndCoco.name(), "UHSCM_nus&coco");
+    }
+
+    #[test]
+    fn regularizers_assigned_correctly() {
+        assert_eq!(Variant::Full.regularizer(), Regularizer::Modified);
+        assert_eq!(Variant::WithoutMcl.regularizer(), Regularizer::None);
+        assert_eq!(Variant::OriginalCl.regularizer(), Regularizer::OriginalCib);
+    }
+
+    #[test]
+    fn vocabulary_sizes_per_variant() {
+        match Variant::Coco.similarity_source() {
+            SimilaritySource::ConceptsDenoised { vocab, .. } => assert_eq!(vocab.len(), 80),
+            other => panic!("unexpected source {other:?}"),
+        }
+        match Variant::NusAndCoco.similarity_source() {
+            SimilaritySource::ConceptsDenoised { vocab, .. } => assert_eq!(vocab.len(), 153),
+            other => panic!("unexpected source {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_variant_trains_on_tiny_data() {
+        let ds = Dataset::generate(DatasetKind::Cifar10Like, &DatasetConfig::tiny(), 21);
+        let pipeline = Pipeline::new(&ds, 3);
+        let config = UhscmConfig { bits: 8, epochs: 2, batch_size: 32, ..UhscmConfig::default() };
+        // A representative subset (full Table 2 runs live in the bench
+        // harness); includes each structurally distinct code path.
+        for v in [
+            Variant::Full,
+            Variant::ImageFeatures,
+            Variant::AveragedPrompts,
+            Variant::Clustered(10),
+            Variant::OriginalCl,
+        ] {
+            let model = v.train(&pipeline, &config);
+            assert_eq!(model.bits(), 8, "variant {} failed", v.name());
+        }
+    }
+}

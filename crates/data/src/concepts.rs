@@ -1,0 +1,249 @@
+//! A shared latent semantic space for concept names.
+//!
+//! A pre-trained VLP model places semantically equivalent words near each
+//! other regardless of surface form: CLIP scores an image of a car highly
+//! against both "car" (MS-COCO) and "cars" (NUS-WIDE). The simulated VLP
+//! model in `uhscm-vlp` gets the same behaviour from this module:
+//!
+//! 1. [`canonical`] folds surface variants onto one canonical concept name
+//!    (plural forms, synonyms like `automobile`/`car`, `sea`/`ocean`, …).
+//! 2. [`prototype`] maps a canonical name deterministically (by FNV-1a hash
+//!    of the name seeding an RNG) to a unit direction in the latent space, so
+//!    the *same word means the same direction everywhere* — across datasets,
+//!    vocabularies and processes.
+
+use uhscm_linalg::rng;
+use uhscm_linalg::vecops;
+
+/// Surface-form → canonical-concept folding.
+///
+/// Covers the overlaps between the CIFAR-10 / NUS-WIDE-21 / MIRFlickr-24
+/// label sets and the NUS-WIDE-81 / MS-COCO-80 mining vocabularies. Names
+/// without an entry are already canonical (lower-cased, trimmed).
+pub fn canonical(name: &str) -> String {
+    let lower = name.trim().to_lowercase();
+    let folded = match lower.as_str() {
+        // vehicles
+        "automobile" | "cars" => "car",
+        "plane" => "airplane",
+        "boats" | "ship" => "boat",
+        "trucks" => "truck",
+        "transport" => "vehicle",
+        // animals
+        "birds" => "bird",
+        "horses" => "horse",
+        "animals" => "animal",
+        "elk" => "deer",
+        "whales" => "whale",
+        // people
+        "people" => "person",
+        "swimmers" => "swimmer",
+        // plants & scenery
+        "flowers" => "flower",
+        "plants" | "plant life" | "potted plant" => "plant",
+        "trees" => "tree",
+        "sea" => "ocean",
+        "nighttime" => "night",
+        "structures" => "buildings",
+        "rocks" => "rock",
+        other => other,
+    };
+    folded.to_string()
+}
+
+/// Semantic relatedness: concepts that are distinct but share meaning with
+/// a broader concept (a portrait *contains* a person, a river *is* water in
+/// a landscape). A real VLP text tower embeds such pairs with substantial
+/// cosine similarity; the simulated tower gets the same behaviour by mixing
+/// the related base concept's direction into the prototype with the given
+/// weight.
+fn related(canonical_name: &str) -> Option<(&'static str, f64)> {
+    match canonical_name {
+        "portrait" => Some(("person", 0.9)),
+        "female" => Some(("person", 0.9)),
+        "male" => Some(("person", 0.9)),
+        "baby" => Some(("person", 0.7)),
+        "swimmer" => Some(("person", 0.8)),
+        "river" => Some(("water", 0.9)),
+        "indoor" => Some(("house", 0.7)),
+        "cityscape" => Some(("buildings", 0.8)),
+        "harbor" => Some(("boat", 0.7)),
+        "garden" => Some(("plant", 0.7)),
+        "glacier" => Some(("snow", 0.6)),
+        "valley" => Some(("mountain", 0.6)),
+        _ => None,
+    }
+}
+
+/// Deterministic unit-norm latent prototype for a concept name.
+///
+/// Two calls with names that share a [`canonical`] form return the same
+/// vector, for any process and any call order. Concepts with a related
+/// base blend the base prototype into their own direction.
+pub fn prototype(name: &str, dim: usize) -> Vec<f64> {
+    let canon = canonical(name);
+    let mut r = rng::seeded(fnv1a(canon.as_bytes()));
+    let mut v = rng::gauss_vec(&mut r, dim, 1.0);
+    vecops::normalize(&mut v);
+    if let Some((base, weight)) = related(&canon) {
+        let base_proto = prototype(base, dim);
+        for (own, b) in v.iter_mut().zip(&base_proto) {
+            *own += weight * b;
+        }
+        vecops::normalize(&mut v);
+    }
+    v
+}
+
+/// FNV-1a hash of a byte string (stable across runs and platforms, unlike
+/// `DefaultHasher`). Public because `uhscm-vlp` derives deterministic
+/// per-image encoder noise from hashed latent bytes.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A cached prototype table over a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct ConceptSpace {
+    dim: usize,
+    names: Vec<String>,
+    prototypes: Vec<Vec<f64>>,
+}
+
+impl ConceptSpace {
+    /// Build the space for `names`, caching one prototype per name.
+    pub fn new(names: &[String], dim: usize) -> Self {
+        let prototypes = names.iter().map(|n| prototype(n, dim)).collect();
+        Self { dim, names: names.to_vec(), prototypes }
+    }
+
+    /// Latent dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Concept names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Prototype of the `i`-th concept.
+    pub fn prototype(&self, i: usize) -> &[f64] {
+        &self.prototypes[i]
+    }
+
+    /// Index of a concept whose canonical form matches `name`'s, if any.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        let target = canonical(name);
+        self.names.iter().position(|n| canonical(n) == target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_folds_synonyms() {
+        assert_eq!(canonical("automobile"), canonical("cars"));
+        assert_eq!(canonical("plane"), canonical("airplane"));
+        assert_eq!(canonical("sea"), canonical("ocean"));
+        assert_eq!(canonical("plant life"), canonical("plants"));
+        assert_eq!(canonical("People"), canonical("person"));
+    }
+
+    #[test]
+    fn canonical_keeps_distinct_concepts_distinct() {
+        assert_ne!(canonical("cat"), canonical("dog"));
+        assert_ne!(canonical("water"), canonical("ocean"));
+        assert_ne!(canonical("sky"), canonical("clouds"));
+    }
+
+    #[test]
+    fn prototypes_deterministic_and_unit_norm() {
+        let a = prototype("cat", 32);
+        let b = prototype("cat", 32);
+        assert_eq!(a, b);
+        assert!((vecops::norm(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synonym_prototypes_identical() {
+        assert_eq!(prototype("automobile", 16), prototype("cars", 16));
+        assert_eq!(prototype("birds", 16), prototype("bird", 16));
+    }
+
+    #[test]
+    fn distinct_concepts_nearly_orthogonal() {
+        // Random unit vectors in R^64 concentrate near orthogonality.
+        let dim = 64;
+        let names = ["cat", "dog", "airplane", "sunset", "pizza", "glacier"];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                let c = vecops::cosine(&prototype(a, dim), &prototype(b, dim));
+                assert!(c.abs() < 0.45, "{a} vs {b}: cos={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn concept_space_find_uses_canonical() {
+        let names: Vec<String> = ["cars", "cat", "plane"].iter().map(|s| s.to_string()).collect();
+        let space = ConceptSpace::new(&names, 8);
+        assert_eq!(space.find("automobile"), Some(0));
+        assert_eq!(space.find("airplane"), Some(2));
+        assert_eq!(space.find("zebra"), None);
+        assert_eq!(space.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod relatedness_tests {
+    use super::*;
+
+    #[test]
+    fn related_concepts_share_direction() {
+        let person = prototype("person", 64);
+        for name in ["portrait", "female", "male", "baby"] {
+            let p = prototype(name, 64);
+            let c = vecops::cosine(&person, &p);
+            assert!(c > 0.4, "{name} vs person: cos={c}");
+        }
+        let water = prototype("water", 64);
+        let river = prototype("river", 64);
+        assert!(vecops::cosine(&water, &river) > 0.4);
+    }
+
+    #[test]
+    fn related_concepts_remain_distinct() {
+        // Relatedness must not make them identical.
+        let person = prototype("person", 64);
+        let portrait = prototype("portrait", 64);
+        assert!(vecops::cosine(&person, &portrait) < 0.95);
+        assert_ne!(person, portrait);
+    }
+
+    #[test]
+    fn relatedness_is_deterministic() {
+        assert_eq!(prototype("portrait", 32), prototype("portrait", 32));
+    }
+}

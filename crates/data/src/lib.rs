@@ -1,0 +1,24 @@
+//! Concept vocabularies and synthetic image datasets for the UHSCM
+//! reproduction.
+//!
+//! The paper evaluates on CIFAR10, NUS-WIDE and MIRFlickr-25K and mines
+//! concepts from the 81 NUS-WIDE / 80 MS-COCO class vocabularies. Real image
+//! corpora are not available in this environment, so this crate synthesizes
+//! datasets with the same *label topology* (single- vs multi-label, class
+//! counts, co-occurrence structure) over a shared latent semantic space:
+//!
+//! * [`vocab`] — the NUS-WIDE-81, MS-COCO-80, CIFAR-10, NUS-WIDE-21 and
+//!   MIRFlickr-24 class-name lists, verbatim,
+//! * [`concepts`] — a deterministic map from concept *names* to latent
+//!   prototype directions, with a synonym table so that e.g. CIFAR10's
+//!   "automobile" and NUS-WIDE's "cars" denote the same underlying semantics
+//!   (as a pre-trained VLP model's text tower would),
+//! * [`dataset`] — the synthetic dataset generator and the
+//!   train/query/database split protocol of §4.1.
+
+pub mod concepts;
+pub mod dataset;
+pub mod vocab;
+
+pub use concepts::{canonical, prototype, stable_hash, ConceptSpace};
+pub use dataset::{share_label, Dataset, DatasetConfig, DatasetKind, Split};

@@ -1,0 +1,137 @@
+//! The concept vocabularies and dataset class lists used by the paper.
+//!
+//! * [`nus_wide_81`] — the 81 NUS-WIDE concepts, the paper's default
+//!   "randomly collected" concept set `C` for *all three* datasets (§4.1).
+//! * [`coco_80`] — the 80 MS-COCO categories, used by the `UHSCM_coco`
+//!   ablation (Table 2 row 1).
+//! * [`nus_and_coco`] — their union with duplicates removed; the paper
+//!   reports 153 distinct categories (Table 2 row 2).
+//! * [`cifar10_classes`], [`nus_wide_21`], [`mirflickr_24`] — the evaluation
+//!   label sets of the three datasets.
+
+/// The 81 NUS-WIDE concept labels.
+pub const NUS_WIDE_81: [&str; 81] = [
+    "airport", "animal", "beach", "bear", "birds", "boats", "book", "bridge",
+    "buildings", "cars", "castle", "cat", "cityscape", "clouds", "computer",
+    "coral", "cow", "dancing", "dog", "earthquake", "elk", "fire", "fish",
+    "flags", "flowers", "food", "fox", "frost", "garden", "glacier", "grass",
+    "harbor", "horses", "house", "lake", "leaf", "map", "military", "moon",
+    "mountain", "nighttime", "ocean", "person", "plane", "plants", "police",
+    "protest", "railroad", "rainbow", "reflection", "road", "rocks",
+    "running", "sand", "sign", "sky", "snow", "soccer", "sports", "statue",
+    "street", "sun", "sunset", "surf", "swimmers", "tattoo", "temple",
+    "tiger", "tower", "town", "toy", "train", "tree", "valley", "vehicle",
+    "water", "waterfall", "wedding", "whales", "window", "zebra",
+];
+
+/// The 80 MS-COCO object categories.
+pub const COCO_80: [&str; 80] = [
+    "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train",
+    "truck", "boat", "traffic light", "fire hydrant", "stop sign",
+    "parking meter", "bench", "bird", "cat", "dog", "horse", "sheep", "cow",
+    "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella",
+    "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard",
+    "sports ball", "kite", "baseball bat", "baseball glove", "skateboard",
+    "surfboard", "tennis racket", "bottle", "wine glass", "cup", "fork",
+    "knife", "spoon", "bowl", "banana", "apple", "sandwich", "orange",
+    "broccoli", "carrot", "hot dog", "pizza", "donut", "cake", "chair",
+    "couch", "potted plant", "bed", "dining table", "toilet", "tv",
+    "laptop", "mouse", "remote", "keyboard", "cell phone", "microwave",
+    "oven", "toaster", "sink", "refrigerator", "book", "clock", "vase",
+    "scissors", "teddy bear", "hair drier", "toothbrush",
+];
+
+/// The 10 CIFAR-10 classes.
+pub const CIFAR10_CLASSES: [&str; 10] = [
+    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse",
+    "ship", "truck",
+];
+
+/// The 21 most-frequent NUS-WIDE classes used for retrieval evaluation.
+pub const NUS_WIDE_21: [&str; 21] = [
+    "animal", "beach", "buildings", "cars", "clouds", "flowers", "grass",
+    "lake", "mountain", "ocean", "person", "plants", "reflection", "road",
+    "rocks", "sky", "snow", "sunset", "toy", "water", "window",
+];
+
+/// The 24 MIRFlickr-25K annotation classes.
+pub const MIRFLICKR_24: [&str; 24] = [
+    "animals", "baby", "bird", "car", "clouds", "dog", "female", "flower",
+    "food", "indoor", "lake", "male", "night", "people", "plant life",
+    "portrait", "river", "sea", "sky", "structures", "sunset", "transport",
+    "tree", "water",
+];
+
+/// NUS-WIDE 81 as owned strings.
+pub fn nus_wide_81() -> Vec<String> {
+    NUS_WIDE_81.iter().map(|s| s.to_string()).collect()
+}
+
+/// MS-COCO 80 as owned strings.
+pub fn coco_80() -> Vec<String> {
+    COCO_80.iter().map(|s| s.to_string()).collect()
+}
+
+/// Union of NUS-WIDE 81 and MS-COCO 80 with duplicates removed.
+///
+/// The paper reports "a total of 153 different categories" for this union
+/// (§4.4.1), implying 8 shared names; with these verbatim lists the shared
+/// names are `person, train, cow, bear, zebra, cat, dog, book` — exactly 8.
+pub fn nus_and_coco() -> Vec<String> {
+    let mut out = nus_wide_81();
+    for c in COCO_80 {
+        if !out.iter().any(|existing| existing == c) {
+            out.push(c.to_string());
+        }
+    }
+    out
+}
+
+/// CIFAR-10 classes as owned strings.
+pub fn cifar10_classes() -> Vec<String> {
+    CIFAR10_CLASSES.iter().map(|s| s.to_string()).collect()
+}
+
+/// NUS-WIDE 21 evaluation classes as owned strings.
+pub fn nus_wide_21() -> Vec<String> {
+    NUS_WIDE_21.iter().map(|s| s.to_string()).collect()
+}
+
+/// MIRFlickr 24 classes as owned strings.
+pub fn mirflickr_24() -> Vec<String> {
+    MIRFLICKR_24.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vocabulary_sizes_match_paper() {
+        assert_eq!(NUS_WIDE_81.len(), 81);
+        assert_eq!(COCO_80.len(), 80);
+        assert_eq!(CIFAR10_CLASSES.len(), 10);
+        assert_eq!(NUS_WIDE_21.len(), 21);
+        assert_eq!(MIRFLICKR_24.len(), 24);
+    }
+
+    #[test]
+    fn union_has_153_categories() {
+        assert_eq!(nus_and_coco().len(), 153);
+    }
+
+    #[test]
+    fn no_duplicates_within_each_vocabulary() {
+        for list in [&NUS_WIDE_81[..], &COCO_80[..], &CIFAR10_CLASSES[..], &MIRFLICKR_24[..]] {
+            let set: HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn nus21_is_subset_of_nus81() {
+        let full: HashSet<_> = NUS_WIDE_81.iter().collect();
+        assert!(NUS_WIDE_21.iter().all(|c| full.contains(c)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for dataset synthesis and the concept space.
+
+use proptest::prelude::*;
+use uhscm_data::{canonical, prototype, share_label, Dataset, DatasetConfig, DatasetKind};
+use uhscm_linalg::vecops;
+
+fn any_kind() -> impl Strategy<Value = DatasetKind> {
+    prop::sample::select(vec![
+        DatasetKind::Cifar10Like,
+        DatasetKind::NusWideLike,
+        DatasetKind::FlickrLike,
+    ])
+}
+
+fn small_config() -> impl Strategy<Value = DatasetConfig> {
+    (20usize..80, 5usize..20, 60usize..150).prop_map(|(n_train, n_query, n_database)| {
+        DatasetConfig { n_train, n_query, n_database, ..DatasetConfig::default() }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dataset_invariants(kind in any_kind(), cfg in small_config(), seed in any::<u64>()) {
+        let ds = Dataset::generate(kind, &cfg, seed);
+        // Sizes.
+        prop_assert_eq!(ds.len(), cfg.n_query + cfg.n_database);
+        prop_assert_eq!(ds.split.query.len(), cfg.n_query);
+        prop_assert_eq!(ds.split.database.len(), cfg.n_database);
+        prop_assert_eq!(ds.split.train.len(), cfg.n_train);
+        // Labels valid, sorted, non-empty.
+        for l in &ds.labels {
+            prop_assert!(!l.is_empty());
+            prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(l.iter().all(|&c| c < ds.class_names.len()));
+        }
+        // Latents unit-norm.
+        for row in ds.latents.iter_rows() {
+            prop_assert!((vecops::norm(row) - 1.0).abs() < 1e-9);
+        }
+        // Train ⊆ database, query ∩ database = ∅.
+        let db: std::collections::HashSet<_> = ds.split.database.iter().collect();
+        prop_assert!(ds.split.train.iter().all(|i| db.contains(i)));
+        prop_assert!(ds.split.query.iter().all(|i| !db.contains(i)));
+    }
+
+    #[test]
+    fn generation_deterministic(kind in any_kind(), seed in any::<u64>()) {
+        let cfg = DatasetConfig { n_train: 30, n_query: 10, n_database: 80, ..DatasetConfig::default() };
+        let a = Dataset::generate(kind, &cfg, seed);
+        let b = Dataset::generate(kind, &cfg, seed);
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.latents.as_slice(), b.latents.as_slice());
+    }
+
+    #[test]
+    fn share_label_is_symmetric_intersection(
+        a in prop::collection::btree_set(0usize..20, 0..6),
+        b in prop::collection::btree_set(0usize..20, 0..6),
+    ) {
+        let av: Vec<usize> = a.iter().copied().collect();
+        let bv: Vec<usize> = b.iter().copied().collect();
+        let expected = a.intersection(&b).next().is_some();
+        prop_assert_eq!(share_label(&av, &bv), expected);
+        prop_assert_eq!(share_label(&bv, &av), expected);
+    }
+
+    #[test]
+    fn canonical_is_idempotent(name in "[a-z ]{1,20}") {
+        let once = canonical(&name);
+        prop_assert_eq!(canonical(&once), once);
+    }
+
+    #[test]
+    fn prototypes_unit_norm_any_dim(name in "[a-z]{1,12}", dim in 2usize..128) {
+        let p = prototype(&name, dim);
+        prop_assert_eq!(p.len(), dim);
+        prop_assert!((vecops::norm(&p) - 1.0).abs() < 1e-9);
+    }
+}

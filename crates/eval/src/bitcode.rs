@@ -1,0 +1,284 @@
+//! Bit-packed binary hash codes.
+//!
+//! The paper's codes live in `{-1, +1}^k`; retrieval only ever consumes them
+//! through Hamming distance, `H_d(b_i, b_j) = (k − b_i^T b_j) / 2`, which for
+//! packed bits is exactly the popcount of the XOR. Packing 64 bits per word
+//! makes Hamming ranking over the whole database a handful of XOR/popcount
+//! instructions per pair.
+
+use std::io::{self, Read, Write};
+use uhscm_linalg::Matrix;
+
+const MAGIC: &[u8; 4] = b"UHBC";
+const FORMAT_VERSION: u32 = 1;
+
+/// A set of `n` binary codes of `bits` bits each, packed 64 per word.
+///
+/// Bit convention: bit set ⇔ the real-valued code entry is `> 0` ⇔ `+1`
+/// (`sgn` in the paper returns −1 at zero, matching "returns 1 if the input
+/// is positive and −1 otherwise").
+///
+/// ```
+/// use uhscm_eval::BitCodes;
+/// use uhscm_linalg::Matrix;
+///
+/// let relaxed = Matrix::from_rows(&[vec![0.9, -0.2, 0.4], vec![-0.3, -0.8, 0.4]]);
+/// let codes = BitCodes::from_real(&relaxed);
+/// assert_eq!(codes.bits(), 3);
+/// assert_eq!(codes.hamming(0, &codes, 1), 1); // only bit 0 differs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCodes {
+    n: usize,
+    bits: usize,
+    words_per_code: usize,
+    data: Vec<u64>,
+}
+
+impl BitCodes {
+    /// Quantize the rows of a real-valued code matrix with `sgn`.
+    pub fn from_real(codes: &Matrix) -> Self {
+        let n = codes.rows();
+        let bits = codes.cols();
+        let words_per_code = bits.div_ceil(64);
+        let mut data = vec![0u64; n * words_per_code];
+        for i in 0..n {
+            let row = codes.row(i);
+            let words = &mut data[i * words_per_code..(i + 1) * words_per_code];
+            for (b, &v) in row.iter().enumerate() {
+                if v > 0.0 {
+                    words[b / 64] |= 1u64 << (b % 64);
+                }
+            }
+        }
+        Self { n, bits, words_per_code, data }
+    }
+
+    /// Build from explicit ±1 sign rows (`true` ⇔ +1).
+    pub fn from_bools(rows: &[Vec<bool>]) -> Self {
+        let n = rows.len();
+        let bits = rows.first().map_or(0, Vec::len);
+        let words_per_code = bits.div_ceil(64);
+        let mut data = vec![0u64; n * words_per_code];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), bits, "ragged code rows");
+            let words = &mut data[i * words_per_code..(i + 1) * words_per_code];
+            for (b, &set) in row.iter().enumerate() {
+                if set {
+                    words[b / 64] |= 1u64 << (b % 64);
+                }
+            }
+        }
+        Self { n, bits, words_per_code, data }
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Code length in bits (`k`).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The packed words of code `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_code..(i + 1) * self.words_per_code]
+    }
+
+    /// Hamming distance between code `i` of `self` and code `j` of `other`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the two sets have different code lengths.
+    #[inline]
+    pub fn hamming(&self, i: usize, other: &BitCodes, j: usize) -> u32 {
+        debug_assert_eq!(self.bits, other.bits, "code length mismatch");
+        self.code(i)
+            .iter()
+            .zip(other.code(j))
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Unpack code `i` back to ±1 reals.
+    pub fn unpack(&self, i: usize) -> Vec<f64> {
+        let words = self.code(i);
+        (0..self.bits)
+            .map(|b| if words[b / 64] >> (b % 64) & 1 == 1 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Serialize the packed codes (magic `UHBC`, version, dims, raw words —
+    /// all little-endian). A trained system persists its database codes once
+    /// and serves lookups from the reloaded set.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(self.n as u64).to_le_bytes())?;
+        w.write_all(&(self.bits as u64).to_le_bytes())?;
+        for &word in &self.data {
+            w.write_all(&word.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize codes written by [`Self::save`].
+    ///
+    /// Returns `InvalidData` errors for wrong magic/version or impossible
+    /// dimensions, and `UnexpectedEof` for truncation.
+    pub fn load(r: &mut impl Read) -> io::Result<BitCodes> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a UHSCM bitcode file"));
+        }
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != FORMAT_VERSION {
+            return Err(bad("unsupported bitcode format version"));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let n = u64::from_le_bytes(buf8) as usize;
+        r.read_exact(&mut buf8)?;
+        let bits = u64::from_le_bytes(buf8) as usize;
+        if bits == 0 || bits > 1 << 20 || n > 1 << 32 {
+            return Err(bad("bitcode dimensions out of range"));
+        }
+        let words_per_code = bits.div_ceil(64);
+        let mut data = vec![0u64; n * words_per_code];
+        for word in &mut data {
+            r.read_exact(&mut buf8)?;
+            *word = u64::from_le_bytes(buf8);
+        }
+        Ok(BitCodes { n, bits, words_per_code, data })
+    }
+
+    /// Append all codes from `other` (same bit width).
+    ///
+    /// # Panics
+    /// Panics on bit-width mismatch.
+    pub fn extend(&mut self, other: &BitCodes) {
+        assert_eq!(self.bits, other.bits, "code length mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.n += other.n;
+    }
+
+    /// Unpack every code into an `n × bits` ±1 matrix.
+    pub fn unpack_all(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.bits);
+        for i in 0..self.n {
+            m.row_mut(i).copy_from_slice(&self.unpack(i));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_convention_positive_only() {
+        // 0.0 must quantize to −1 (paper: "returns -1 otherwise").
+        let m = Matrix::from_rows(&[vec![0.5, -0.5, 0.0]]);
+        let codes = BitCodes::from_real(&m);
+        assert_eq!(codes.unpack(0), vec![1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn hamming_hand_computed() {
+        let a = BitCodes::from_bools(&[vec![true, true, false, false]]);
+        let b = BitCodes::from_bools(&[vec![true, false, true, false]]);
+        assert_eq!(a.hamming(0, &b, 0), 2);
+        assert_eq!(a.hamming(0, &a, 0), 0);
+    }
+
+    #[test]
+    fn hamming_matches_inner_product_identity() {
+        // H_d = (k − bᵀb') / 2 for ±1 codes.
+        let m = Matrix::from_rows(&[
+            vec![1.0, -1.0, 1.0, 1.0, -1.0],
+            vec![-1.0, -1.0, 1.0, -1.0, 1.0],
+        ]);
+        let codes = BitCodes::from_real(&m);
+        let dot: f64 = m.row(0).iter().zip(m.row(1)).map(|(a, b)| a * b).sum();
+        let expected = (5.0 - dot) / 2.0;
+        assert_eq!(codes.hamming(0, &codes, 1) as f64, expected);
+    }
+
+    #[test]
+    fn multiword_codes() {
+        // 130 bits spans three words.
+        let row: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let other: Vec<bool> = (0..130).map(|i| i % 3 == 1).collect();
+        let a = BitCodes::from_bools(&[row.clone()]);
+        let b = BitCodes::from_bools(&[other.clone()]);
+        let expected =
+            row.iter().zip(&other).filter(|(x, y)| x != y).count() as u32;
+        assert_eq!(a.hamming(0, &b, 0), expected);
+        assert_eq!(a.bits(), 130);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let m = Matrix::from_rows(&[vec![0.5; 130], vec![-0.5; 130]]);
+        let codes = BitCodes::from_real(&m);
+        let mut buf = Vec::new();
+        codes.save(&mut buf).unwrap();
+        let loaded = BitCodes::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(codes, loaded);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let garbage = b"definitely not a bitcode file at all";
+        assert!(BitCodes::load(&mut garbage.as_ref()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let m = Matrix::from_rows(&[vec![1.0; 64]]);
+        let codes = BitCodes::from_real(&m);
+        let mut buf = Vec::new();
+        codes.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(BitCodes::load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn extend_appends_codes() {
+        let mut a = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, -1.0, 1.0]]));
+        let b = BitCodes::from_real(&Matrix::from_rows(&[vec![-1.0, -1.0, 1.0], vec![1.0, 1.0, 1.0]]));
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.unpack(1), vec![-1.0, -1.0, 1.0]);
+        assert_eq!(a.unpack(2), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "code length mismatch")]
+    fn extend_rejects_width_mismatch() {
+        let mut a = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, -1.0]]));
+        let b = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, -1.0, 1.0]]));
+        a.extend(&b);
+    }
+
+    #[test]
+    fn unpack_round_trip() {
+        let m = Matrix::from_rows(&[vec![0.3, -0.2, 0.9, -0.7], vec![-0.1, 0.4, -0.6, 0.2]]);
+        let codes = BitCodes::from_real(&m);
+        let unpacked = codes.unpack_all();
+        let recoded = BitCodes::from_real(&unpacked);
+        assert_eq!(codes, recoded);
+    }
+}

@@ -1,0 +1,388 @@
+//! A bucketed Hamming-space index for hash-lookup retrieval.
+//!
+//! The paper's hash-lookup protocol (§4.2) retrieves "the returned points
+//! given any Hamming radius". A linear scan does that in `O(n)` per query;
+//! this index does better for small radii the way production systems do:
+//! codes are bucketed by a `prefix_bits`-bit substring, and a query probes
+//! every bucket whose prefix lies within the radius (multi-index probing).
+//! For radius `r < prefix_bits` this visits only `Σ_{i≤r} C(prefix_bits, i)`
+//! buckets instead of all `n` codes.
+
+use crate::BitCodes;
+use std::collections::HashMap;
+
+/// A multi-probe Hamming index over a set of binary codes.
+///
+/// Supports incremental growth ([`Self::insert`]) and logical deletion
+/// ([`Self::remove`]): a production database adds new images continuously
+/// and retires stale ones without rebuilding the index.
+///
+/// ```
+/// use uhscm_eval::{BitCodes, HashIndex};
+/// use uhscm_linalg::Matrix;
+///
+/// let db = BitCodes::from_real(&Matrix::from_rows(&[
+///     vec![1.0, 1.0, 1.0, 1.0],
+///     vec![-1.0, 1.0, 1.0, 1.0],
+///     vec![-1.0, -1.0, -1.0, -1.0],
+/// ]));
+/// let index = HashIndex::build(db, 2);
+/// let query = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, 1.0, 1.0, 1.0]]));
+/// // Items within Hamming radius 1 of the query, as (index, distance):
+/// assert_eq!(index.lookup(&query, 0, 1), vec![(0, 0), (1, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    codes: BitCodes,
+    prefix_bits: usize,
+    /// Bucket id (code prefix) → item indices.
+    buckets: HashMap<u64, Vec<u32>>,
+    /// Logically deleted items (skipped by lookups).
+    tombstones: std::collections::HashSet<u32>,
+}
+
+impl HashIndex {
+    /// Build an index with a prefix of `prefix_bits` bits (≤ 24 keeps probe
+    /// fan-out reasonable; clamped to the code length and to 24).
+    ///
+    /// # Panics
+    /// Panics on an empty code set or zero-width codes.
+    pub fn build(codes: BitCodes, prefix_bits: usize) -> Self {
+        assert!(!codes.is_empty(), "cannot index zero codes");
+        assert!(codes.bits() > 0, "cannot index zero-width codes");
+        let prefix_bits = prefix_bits.clamp(1, codes.bits().min(24));
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for i in 0..codes.len() {
+            let key = prefix_of(&codes, i, prefix_bits);
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        Self { codes, prefix_bits, buckets, tombstones: std::collections::HashSet::new() }
+    }
+
+    /// Append new codes to the index, returning the index of the first
+    /// inserted item. `O(added)`, no rebuild.
+    ///
+    /// # Panics
+    /// Panics if the new codes' bit width differs from the indexed codes'.
+    pub fn insert(&mut self, added: &BitCodes) -> usize {
+        assert_eq!(added.bits(), self.codes.bits(), "code length mismatch");
+        let first = self.codes.len();
+        self.codes.extend(added);
+        for offset in 0..added.len() {
+            let i = first + offset;
+            let key = prefix_of(&self.codes, i, self.prefix_bits);
+            self.buckets.entry(key).or_default().push(i as u32);
+        }
+        first
+    }
+
+    /// Logically delete item `i`: it no longer appears in lookups. Returns
+    /// whether the item was present (not already removed). `O(1)`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.codes.len(), "item {i} out of range");
+        self.tombstones.insert(i as u32)
+    }
+
+    /// Number of live (non-deleted) items.
+    pub fn live_len(&self) -> usize {
+        self.codes.len() - self.tombstones.len()
+    }
+
+    /// Reasonable default prefix: 16 bits (or fewer for short codes).
+    pub fn with_default_prefix(codes: BitCodes) -> Self {
+        let p = codes.bits().min(16);
+        Self::build(codes, p)
+    }
+
+    /// Number of indexed codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the index is empty (never true — construction requires codes).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Width of the bucketing prefix actually used.
+    pub fn prefix_bits(&self) -> usize {
+        self.prefix_bits
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The indexed codes.
+    pub fn codes(&self) -> &BitCodes {
+        &self.codes
+    }
+
+    /// All items within Hamming distance `radius` of query `qi`, with their
+    /// exact distances, sorted by (distance, index).
+    ///
+    /// Exact: multi-probes every bucket whose prefix is within `radius` of
+    /// the query's prefix (a necessary condition for a full-code match), then
+    /// verifies the full distance. Falls back to a linear scan when the
+    /// probe fan-out would exceed the collection size.
+    pub fn lookup(&self, queries: &BitCodes, qi: usize, radius: u32) -> Vec<(u32, u32)> {
+        assert_eq!(queries.bits(), self.codes.bits(), "code length mismatch");
+        let mut out = Vec::new();
+        let fanout = probe_fanout(self.prefix_bits, radius.min(self.prefix_bits as u32));
+        if fanout >= self.codes.len() as u128 {
+            // Probing would touch more buckets than there are points.
+            for j in 0..self.codes.len() {
+                if self.tombstones.contains(&(j as u32)) {
+                    continue;
+                }
+                let d = queries.hamming(qi, &self.codes, j);
+                if d <= radius {
+                    out.push((j as u32, d));
+                }
+            }
+        } else {
+            let qprefix = prefix_of(queries, qi, self.prefix_bits);
+            let mut probe = |key: u64, out: &mut Vec<(u32, u32)>| {
+                if let Some(items) = self.buckets.get(&key) {
+                    for &j in items {
+                        if self.tombstones.contains(&j) {
+                            continue;
+                        }
+                        let d = queries.hamming(qi, &self.codes, j as usize);
+                        if d <= radius {
+                            out.push((j, d));
+                        }
+                    }
+                }
+            };
+            // Enumerate prefixes at distance 0..=min(radius, prefix_bits).
+            let max_flip = radius.min(self.prefix_bits as u32) as usize;
+            let mut flips: Vec<usize> = Vec::with_capacity(max_flip);
+            enumerate_probes(qprefix, self.prefix_bits, max_flip, 0, &mut flips, &mut probe, &mut out);
+        }
+        out.sort_unstable_by_key(|&(j, d)| (d, j));
+        out
+    }
+
+    /// Top-`k` nearest items to query `qi` by expanding-ring lookup:
+    /// increases the radius until at least `k` items are found (or the ring
+    /// covers the whole space), then truncates.
+    pub fn knn(&self, queries: &BitCodes, qi: usize, k: usize) -> Vec<(u32, u32)> {
+        let bits = self.codes.bits() as u32;
+        let k = k.min(self.live_len());
+        let mut radius = 0;
+        loop {
+            let hits = self.lookup(queries, qi, radius);
+            if hits.len() >= k || radius >= bits {
+                let mut hits = hits;
+                hits.truncate(k);
+                return hits;
+            }
+            // Exponential-ish ring growth amortizes re-probing.
+            radius = (radius * 2 + 1).min(bits);
+        }
+    }
+}
+
+/// First `prefix_bits` bits of code `i` as a bucket key.
+fn prefix_of(codes: &BitCodes, i: usize, prefix_bits: usize) -> u64 {
+    let word = codes.code(i)[0];
+    if prefix_bits >= 64 {
+        word
+    } else {
+        word & ((1u64 << prefix_bits) - 1)
+    }
+}
+
+/// Number of buckets probed for a radius (`Σ_{i≤r} C(p, i)`).
+fn probe_fanout(prefix_bits: usize, radius: u32) -> u128 {
+    let mut total: u128 = 0;
+    let mut binom: u128 = 1;
+    for i in 0..=radius as usize {
+        if i > 0 {
+            binom = binom * (prefix_bits + 1 - i) as u128 / i as u128;
+        }
+        total = total.saturating_add(binom);
+    }
+    total
+}
+
+/// Recursively enumerate all prefixes within `max_flip` flips of `base`,
+/// invoking `probe` on each.
+fn enumerate_probes(
+    base: u64,
+    prefix_bits: usize,
+    max_flip: usize,
+    start: usize,
+    flips: &mut Vec<usize>,
+    probe: &mut impl FnMut(u64, &mut Vec<(u32, u32)>),
+    out: &mut Vec<(u32, u32)>,
+) {
+    let mut key = base;
+    for &f in flips.iter() {
+        key ^= 1u64 << f;
+    }
+    probe(key, out);
+    if flips.len() == max_flip {
+        return;
+    }
+    for bit in start..prefix_bits {
+        flips.push(bit);
+        enumerate_probes(base, prefix_bits, max_flip, bit + 1, flips, probe, out);
+        flips.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::{rng, Matrix};
+
+    fn random_codes(n: usize, bits: usize, seed: u64) -> BitCodes {
+        let mut r = rng::seeded(seed);
+        BitCodes::from_real(&rng::gauss_matrix(&mut r, n, bits, 1.0))
+    }
+
+    /// Brute-force reference lookup.
+    fn linear_lookup(q: &BitCodes, qi: usize, db: &BitCodes, radius: u32) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = (0..db.len())
+            .filter_map(|j| {
+                let d = q.hamming(qi, db, j);
+                (d <= radius).then_some((j as u32, d))
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(j, d)| (d, j));
+        out
+    }
+
+    #[test]
+    fn lookup_matches_linear_scan() {
+        let db = random_codes(300, 32, 1);
+        let q = random_codes(5, 32, 2);
+        let index = HashIndex::build(db.clone(), 12);
+        for qi in 0..q.len() {
+            for radius in [0u32, 2, 5, 9, 16, 32] {
+                let expected = linear_lookup(&q, qi, &db, radius);
+                let got = index.lookup(&q, qi, radius);
+                assert_eq!(got, expected, "qi={qi} radius={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_returns_nearest() {
+        let db = random_codes(200, 24, 3);
+        let q = random_codes(3, 24, 4);
+        let index = HashIndex::build(db.clone(), 10);
+        for qi in 0..q.len() {
+            let hits = index.knn(&q, qi, 7);
+            assert_eq!(hits.len(), 7);
+            // Compare against the 7 smallest brute-force distances.
+            let mut all: Vec<u32> = (0..db.len()).map(|j| q.hamming(qi, &db, j)).collect();
+            all.sort_unstable();
+            let dists: Vec<u32> = hits.iter().map(|&(_, d)| d).collect();
+            assert_eq!(dists, all[..7].to_vec());
+        }
+    }
+
+    #[test]
+    fn exact_duplicate_found_at_radius_zero() {
+        let m = Matrix::from_rows(&[vec![1.0, -1.0, 1.0, 1.0], vec![-1.0, -1.0, 1.0, -1.0]]);
+        let db = BitCodes::from_real(&m);
+        let index = HashIndex::build(db, 3);
+        let q = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, -1.0, 1.0, 1.0]]));
+        let hits = index.lookup(&q, 0, 0);
+        assert_eq!(hits, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn prefix_clamped_to_code_length() {
+        let db = random_codes(50, 8, 5);
+        let index = HashIndex::build(db, 64);
+        assert_eq!(index.prefix_bits(), 8);
+        assert!(index.bucket_count() <= 256);
+    }
+
+    #[test]
+    fn buckets_partition_items() {
+        let db = random_codes(500, 32, 6);
+        let index = HashIndex::build(db, 10);
+        let total: usize = index.buckets.values().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        assert_eq!(index.len(), 500);
+    }
+
+    #[test]
+    fn full_radius_returns_everything() {
+        let db = random_codes(100, 16, 7);
+        let q = random_codes(1, 16, 8);
+        let index = HashIndex::build(db, 8);
+        let hits = index.lookup(&q, 0, 16);
+        assert_eq!(hits.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "code length mismatch")]
+    fn mismatched_query_width_panics() {
+        let db = random_codes(10, 16, 9);
+        let q = random_codes(1, 32, 10);
+        let index = HashIndex::build(db, 8);
+        let _ = index.lookup(&q, 0, 1);
+    }
+
+    #[test]
+    fn insert_extends_lookups() {
+        let db = random_codes(50, 16, 11);
+        let mut index = HashIndex::build(db.clone(), 8);
+        let extra = random_codes(20, 16, 12);
+        let first = index.insert(&extra);
+        assert_eq!(first, 50);
+        assert_eq!(index.len(), 70);
+        // Every inserted item is findable at radius = bits.
+        let q = random_codes(1, 16, 13);
+        let hits = index.lookup(&q, 0, 16);
+        assert_eq!(hits.len(), 70);
+        // Lookup still matches a brute-force scan over the extended set.
+        let mut all = db.clone();
+        all.extend(&extra);
+        assert_eq!(index.lookup(&q, 0, 5), linear_lookup(&q, 0, &all, 5));
+    }
+
+    #[test]
+    fn removed_items_disappear_from_lookups_and_knn() {
+        let db = random_codes(30, 16, 14);
+        let mut index = HashIndex::build(db, 8);
+        let q = random_codes(1, 16, 15);
+        let nearest = index.knn(&q, 0, 1)[0].0 as usize;
+        assert!(index.remove(nearest));
+        assert!(!index.remove(nearest), "double-remove should report absent");
+        assert_eq!(index.live_len(), 29);
+        let hits = index.lookup(&q, 0, 16);
+        assert_eq!(hits.len(), 29);
+        assert!(hits.iter().all(|&(j, _)| j as usize != nearest));
+        let new_nearest = index.knn(&q, 0, 1)[0].0 as usize;
+        assert_ne!(new_nearest, nearest);
+    }
+
+    #[test]
+    fn knn_clamps_to_live_items() {
+        let db = random_codes(5, 8, 16);
+        let mut index = HashIndex::build(db, 4);
+        index.remove(0);
+        index.remove(1);
+        let q = random_codes(1, 8, 17);
+        assert_eq!(index.knn(&q, 0, 10).len(), 3);
+    }
+
+    #[test]
+    fn probe_fanout_binomial_sums() {
+        assert_eq!(probe_fanout(10, 0), 1);
+        assert_eq!(probe_fanout(10, 1), 11);
+        assert_eq!(probe_fanout(10, 2), 56);
+        assert_eq!(probe_fanout(4, 4), 16);
+    }
+}

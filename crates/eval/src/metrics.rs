@@ -1,0 +1,209 @@
+//! Retrieval metrics: MAP@n, P@N curves, PR curves (§4.2).
+//!
+//! Ground truth is supplied as a relevance predicate `relevant(query_index,
+//! database_index)`; the paper's definition is "share at least one common
+//! label". Rankings come from [`crate::HammingRanker`].
+
+use crate::{BitCodes, HammingRanker};
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Hamming radius that produced this point.
+    pub radius: u32,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// Mean Average Precision over the top `n` ranked results (Eq. 12).
+///
+/// For each query: `AP = Σ_i I(i)/N · Σ_{j≤i} I(j)/i` over the top `n`
+/// returns, where `N` is the number of relevant results in the top `n`.
+/// Queries with no relevant result in the top `n` contribute `AP = 0`.
+pub fn mean_average_precision(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    relevant: &dyn Fn(usize, usize) -> bool,
+    top_n: usize,
+) -> f64 {
+    let nq = queries.len();
+    assert!(nq > 0, "MAP over zero queries");
+    let mut total = 0.0;
+    for qi in 0..nq {
+        let ranked = ranker.rank(queries, qi);
+        let n = top_n.min(ranked.len());
+        let mut hits = 0u32;
+        let mut precision_sum = 0.0;
+        for (pos, &db_idx) in ranked[..n].iter().enumerate() {
+            if relevant(qi, db_idx as usize) {
+                hits += 1;
+                precision_sum += f64::from(hits) / (pos + 1) as f64;
+            }
+        }
+        if hits > 0 {
+            total += precision_sum / f64::from(hits);
+        }
+    }
+    total / nq as f64
+}
+
+/// Precision among the top `n` results for each `n` in `ns`, averaged over
+/// queries (the P@N curves of Figure 2).
+pub fn precision_at_n(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    relevant: &dyn Fn(usize, usize) -> bool,
+    ns: &[usize],
+) -> Vec<f64> {
+    let nq = queries.len();
+    assert!(nq > 0, "P@N over zero queries");
+    let max_n = ns.iter().copied().max().unwrap_or(0).min(ranker.database().len());
+    let mut out = vec![0.0; ns.len()];
+    for qi in 0..nq {
+        let ranked = ranker.rank(queries, qi);
+        // Prefix relevant counts up to max_n.
+        let mut cum = Vec::with_capacity(max_n);
+        let mut hits = 0usize;
+        for &db_idx in &ranked[..max_n] {
+            if relevant(qi, db_idx as usize) {
+                hits += 1;
+            }
+            cum.push(hits);
+        }
+        for (slot, &n) in out.iter_mut().zip(ns) {
+            let n = n.min(max_n);
+            if n > 0 {
+                *slot += cum[n - 1] as f64 / n as f64;
+            }
+        }
+    }
+    for v in &mut out {
+        *v /= nq as f64;
+    }
+    out
+}
+
+/// Precision-recall curve of the hash-lookup protocol (Figure 3): for each
+/// Hamming radius `r ∈ 0..=k`, micro-averaged precision and recall of the
+/// set of database points within distance `r` of the query.
+pub fn pr_curve(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    relevant: &dyn Fn(usize, usize) -> bool,
+) -> Vec<PrPoint> {
+    let nq = queries.len();
+    assert!(nq > 0, "PR curve over zero queries");
+    let bits = ranker.database().bits();
+    // Per-radius totals across all queries.
+    let mut retrieved = vec![0u64; bits + 1];
+    let mut retrieved_relevant = vec![0u64; bits + 1];
+    let mut total_relevant = 0u64;
+    for qi in 0..nq {
+        let dists = ranker.distances(queries, qi);
+        for (db_idx, &d) in dists.iter().enumerate() {
+            retrieved[d as usize] += 1;
+            if relevant(qi, db_idx) {
+                retrieved_relevant[d as usize] += 1;
+                total_relevant += 1;
+            }
+        }
+    }
+    // Prefix sums turn per-distance counts into within-radius counts.
+    let mut points = Vec::with_capacity(bits + 1);
+    let mut ret_cum = 0u64;
+    let mut rel_cum = 0u64;
+    for r in 0..=bits {
+        ret_cum += retrieved[r];
+        rel_cum += retrieved_relevant[r];
+        let precision = if ret_cum == 0 { 1.0 } else { rel_cum as f64 / ret_cum as f64 };
+        let recall = if total_relevant == 0 { 0.0 } else { rel_cum as f64 / total_relevant as f64 };
+        points.push(PrPoint { radius: r as u32, precision, recall });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::Matrix;
+
+    /// DB with codes at distances 0,1,2,3 from the all-minus query.
+    fn fixture() -> (HammingRanker, BitCodes) {
+        let db = BitCodes::from_real(&Matrix::from_rows(&[
+            vec![-1.0, -1.0, -1.0], // d=0
+            vec![1.0, -1.0, -1.0],  // d=1
+            vec![1.0, 1.0, -1.0],   // d=2
+            vec![1.0, 1.0, 1.0],    // d=3
+        ]));
+        let q = BitCodes::from_real(&Matrix::from_rows(&[vec![-1.0, -1.0, -1.0]]));
+        (HammingRanker::new(db), q)
+    }
+
+    #[test]
+    fn perfect_ranking_gives_map_one() {
+        let (ranker, q) = fixture();
+        // Relevant = the two nearest.
+        let rel = |_q: usize, d: usize| d <= 1;
+        let map = mean_average_precision(&ranker, &q, &rel, 4);
+        assert!((map - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_map() {
+        let (ranker, q) = fixture();
+        // Relevant = the two farthest → ranked at positions 3,4.
+        let rel = |_q: usize, d: usize| d >= 2;
+        let map = mean_average_precision(&ranker, &q, &rel, 4);
+        // AP = (1/2)(1/3 + 2/4) = 5/12.
+        assert!((map - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_respects_top_n_cutoff() {
+        let (ranker, q) = fixture();
+        let rel = |_q: usize, d: usize| d == 3; // only the farthest is relevant
+        let map = mean_average_precision(&ranker, &q, &rel, 2);
+        assert_eq!(map, 0.0, "relevant item beyond cutoff must not count");
+    }
+
+    #[test]
+    fn precision_at_n_hand_computed() {
+        let (ranker, q) = fixture();
+        let rel = |_q: usize, d: usize| d <= 1;
+        let p = precision_at_n(&ranker, &q, &rel, &[1, 2, 4]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+        assert!((p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_shape() {
+        let (ranker, q) = fixture();
+        let rel = |_q: usize, d: usize| d <= 1;
+        let pr = pr_curve(&ranker, &q, &rel);
+        assert_eq!(pr.len(), 4); // radii 0..=3
+        // Radius 0: retrieves exactly the relevant d=0 point.
+        assert_eq!(pr[0].precision, 1.0);
+        assert!((pr[0].recall - 0.5).abs() < 1e-12);
+        // Radius 3: everything retrieved.
+        assert!((pr[3].recall - 1.0).abs() < 1e-12);
+        assert!((pr[3].precision - 0.5).abs() < 1e-12);
+        // Recall is non-decreasing in the radius.
+        assert!(pr.windows(2).all(|w| w[0].recall <= w[1].recall + 1e-12));
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        let (ranker, q) = fixture();
+        let rel = |_q: usize, d: usize| d % 2 == 0;
+        let map = mean_average_precision(&ranker, &q, &rel, 4);
+        assert!((0.0..=1.0).contains(&map));
+        for p in precision_at_n(&ranker, &q, &rel, &[1, 2, 3, 4]) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for pt in pr_curve(&ranker, &q, &rel) {
+            assert!((0.0..=1.0).contains(&pt.precision));
+            assert!((0.0..=1.0).contains(&pt.recall));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Hamming ranking over a code database.
+
+use crate::BitCodes;
+
+/// Ranks database codes by Hamming distance from query codes.
+///
+/// Because distances are integers in `0..=bits`, ranking is a counting sort:
+/// `O(n + k)` per query with stable (index-ascending) order inside each
+/// distance bucket — deterministic tie-breaking matters for reproducible
+/// MAP numbers.
+#[derive(Debug, Clone)]
+pub struct HammingRanker {
+    db: BitCodes,
+}
+
+impl HammingRanker {
+    /// Build a ranker over `db`.
+    pub fn new(db: BitCodes) -> Self {
+        Self { db }
+    }
+
+    /// The database codes.
+    pub fn database(&self) -> &BitCodes {
+        &self.db
+    }
+
+    /// Distances from query `qi` of `queries` to every database code.
+    pub fn distances(&self, queries: &BitCodes, qi: usize) -> Vec<u32> {
+        (0..self.db.len()).map(|j| queries.hamming(qi, &self.db, j)).collect()
+    }
+
+    /// Database indices sorted by ascending Hamming distance (stable).
+    pub fn rank(&self, queries: &BitCodes, qi: usize) -> Vec<u32> {
+        let dists = self.distances(queries, qi);
+        counting_rank(&dists, self.db.bits())
+    }
+
+    /// Per-distance histogram of database points: `hist[d]` = how many
+    /// database codes lie at exactly distance `d`. Used by the hash-lookup
+    /// protocol (PR curves over Hamming radii).
+    pub fn distance_histogram(&self, queries: &BitCodes, qi: usize) -> Vec<u32> {
+        let mut hist = vec![0u32; self.db.bits() + 1];
+        for d in self.distances(queries, qi) {
+            hist[d as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Counting sort of indices by distance value.
+fn counting_rank(dists: &[u32], max_dist: usize) -> Vec<u32> {
+    let mut buckets = vec![0u32; max_dist + 2];
+    for &d in dists {
+        buckets[d as usize + 1] += 1;
+    }
+    for i in 1..buckets.len() {
+        buckets[i] += buckets[i - 1];
+    }
+    let mut out = vec![0u32; dists.len()];
+    for (idx, &d) in dists.iter().enumerate() {
+        let slot = &mut buckets[d as usize];
+        out[*slot as usize] = idx as u32;
+        *slot += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::Matrix;
+
+    fn codes(rows: &[Vec<f64>]) -> BitCodes {
+        BitCodes::from_real(&Matrix::from_rows(rows))
+    }
+
+    #[test]
+    fn rank_orders_by_distance() {
+        let db = codes(&[
+            vec![1.0, 1.0, 1.0, 1.0],    // d=4 from query
+            vec![-1.0, -1.0, -1.0, -1.0], // d=0
+            vec![1.0, -1.0, -1.0, -1.0],  // d=1
+        ]);
+        let q = codes(&[vec![-1.0, -1.0, -1.0, -1.0]]);
+        let ranker = HammingRanker::new(db);
+        assert_eq!(ranker.rank(&q, 0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let db = codes(&[
+            vec![1.0, -1.0], // d=1
+            vec![-1.0, 1.0], // d=1
+            vec![-1.0, -1.0], // d=0
+        ]);
+        let q = codes(&[vec![-1.0, -1.0]]);
+        let ranker = HammingRanker::new(db);
+        assert_eq!(ranker.rank(&q, 0), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_counts_all_points() {
+        let db = codes(&[
+            vec![1.0, 1.0],
+            vec![1.0, -1.0],
+            vec![-1.0, -1.0],
+            vec![-1.0, 1.0],
+        ]);
+        let q = codes(&[vec![1.0, 1.0]]);
+        let ranker = HammingRanker::new(db);
+        let hist = ranker.distance_histogram(&q, 0);
+        assert_eq!(hist, vec![1, 2, 1]);
+        assert_eq!(hist.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn rank_is_permutation() {
+        let db = codes(&[
+            vec![1.0, -1.0, 1.0],
+            vec![-1.0, -1.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![-1.0, 1.0, -1.0],
+            vec![1.0, 1.0, -1.0],
+        ]);
+        let q = codes(&[vec![1.0, 1.0, 1.0]]);
+        let ranker = HammingRanker::new(db);
+        let mut r = ranker.rank(&q, 0);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Exact t-SNE [van der Maaten & Hinton 2008] for Figure 5.
+//!
+//! The paper visualizes 64-bit hash codes of the CIFAR10 database with
+//! t-SNE to compare cluster structure across methods. The databases used in
+//! this reproduction are small (≤ a few thousand points), so the exact
+//! `O(n²)` algorithm suffices — no Barnes–Hut approximation needed.
+
+use uhscm_linalg::{rng, vecops, Matrix};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 400, learning_rate: 120.0, exaggeration: 12.0, seed: 0 }
+    }
+}
+
+/// Embed the rows of `data` into 2-D with exact t-SNE.
+///
+/// # Panics
+/// Panics if `data` has fewer than 3 rows or the perplexity is infeasible
+/// (`3 · perplexity ≥ n` is clamped instead of panicking).
+pub fn tsne_2d(data: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in the input space.
+    let mut d2 = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = vecops::sq_dist(data.row(i), data.row(j));
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+
+    // Symmetrized affinities with per-point bandwidth from binary search.
+    let mut p = vec![0.0; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let cond = conditional_probabilities(row, i, perplexity);
+        for (j, &pj) in cond.iter().enumerate() {
+            p[i * n + j] += pj;
+            p[j * n + i] += pj;
+        }
+    }
+    let psum: f64 = p.iter().sum();
+    for v in &mut p {
+        *v = (*v / psum).max(1e-12);
+    }
+
+    // Gradient descent on the 2-D embedding.
+    let mut r = rng::seeded(config.seed ^ 0x7e5e_a1b2);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [1e-2 * rng::gauss(&mut r), 1e-2 * rng::gauss(&mut r)])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    let exaggeration_end = config.iterations / 4;
+    let mut q = vec![0.0; n * n];
+    let mut grad = vec![[0.0f64; 2]; n];
+
+    for iter in 0..config.iterations {
+        let exag = if iter < exaggeration_end { config.exaggeration } else { 1.0 };
+        let momentum = if iter < config.iterations / 2 { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+
+        grad.fill([0.0, 0.0]);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / qsum).max(1e-12);
+                let coef = 4.0 * (exag * p[i * n + j] - qij) * w;
+                grad[i][0] += coef * (y[i][0] - y[j][0]);
+                grad[i][1] += coef * (y[i][1] - y[j][1]);
+            }
+        }
+        for i in 0..n {
+            for c in 0..2 {
+                vel[i][c] = momentum * vel[i][c] - config.learning_rate * grad[i][c];
+                y[i][c] += vel[i][c];
+            }
+        }
+        // Keep the embedding centered.
+        let mx = y.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let my = y.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        for pt in &mut y {
+            pt[0] -= mx;
+            pt[1] -= my;
+        }
+    }
+
+    let mut out = Matrix::zeros(n, 2);
+    for (i, pt) in y.iter().enumerate() {
+        out[(i, 0)] = pt[0];
+        out[(i, 1)] = pt[1];
+    }
+    out
+}
+
+/// Binary-search the Gaussian bandwidth for point `i` so the conditional
+/// distribution over `j ≠ i` reaches the target perplexity; returns the
+/// conditional probabilities (entry `i` is zero).
+fn conditional_probabilities(d2_row: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
+    let target_entropy = perplexity.ln();
+    let mut beta = 1.0; // 1 / (2σ²)
+    let (mut beta_min, mut beta_max) = (0.0f64, f64::INFINITY);
+    let n = d2_row.len();
+    let mut probs = vec![0.0; n];
+    for _ in 0..64 {
+        let mut sum = 0.0;
+        for (j, &d) in d2_row.iter().enumerate() {
+            probs[j] = if j == i { 0.0 } else { (-beta * d).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            // All mass collapsed; soften.
+            beta /= 2.0;
+            continue;
+        }
+        let mut entropy = 0.0;
+        for pj in probs.iter_mut() {
+            *pj /= sum;
+            if *pj > 1e-12 {
+                entropy -= *pj * pj.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = (beta + beta_min) / 2.0;
+        }
+    }
+    probs
+}
+
+/// Cluster-separation score for an embedding: mean pairwise distance between
+/// points of *different* classes divided by mean distance within the *same*
+/// class (higher = clearer structure, quantifying Figure 5's visual claim).
+pub fn cluster_separation(embedding: &Matrix, same_class: &dyn Fn(usize, usize) -> bool) -> f64 {
+    let n = embedding.rows();
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = vecops::sq_dist(embedding.row(i), embedding.row(j)).sqrt();
+            if same_class(i, j) {
+                intra.0 += d;
+                intra.1 += 1;
+            } else {
+                inter.0 += d;
+                inter.1 += 1;
+            }
+        }
+    }
+    if intra.1 == 0 || inter.1 == 0 || intra.0 <= 0.0 {
+        return 1.0;
+    }
+    (inter.0 / inter.1 as f64) / (intra.0 / intra.1 as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well-separated input clusters.
+    fn two_clusters(per: usize) -> (Matrix, Vec<usize>) {
+        let mut r = rng::seeded(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..per {
+                let center = if c == 0 { -5.0 } else { 5.0 };
+                rows.push(vec![
+                    center + 0.1 * rng::gauss(&mut r),
+                    center + 0.1 * rng::gauss(&mut r),
+                    0.1 * rng::gauss(&mut r),
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn separates_clusters() {
+        let (data, labels) = two_clusters(25);
+        let cfg = TsneConfig { iterations: 250, seed: 3, ..TsneConfig::default() };
+        let emb = tsne_2d(&data, &cfg);
+        let sep = cluster_separation(&emb, &|i, j| labels[i] == labels[j]);
+        assert!(sep > 2.0, "separation {sep}");
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (data, _) = two_clusters(10);
+        let emb = tsne_2d(&data, &TsneConfig { iterations: 50, ..TsneConfig::default() });
+        assert_eq!(emb.shape(), (20, 2));
+        assert!(emb.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, _) = two_clusters(8);
+        let cfg = TsneConfig { iterations: 60, seed: 9, ..TsneConfig::default() };
+        let a = tsne_2d(&data, &cfg);
+        let b = tsne_2d(&data, &cfg);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn separation_score_on_mixed_embedding_near_one() {
+        // Random labels on a random embedding → inter ≈ intra.
+        let mut r = rng::seeded(5);
+        let emb = rng::gauss_matrix(&mut r, 100, 2, 1.0);
+        let sep = cluster_separation(&emb, &|i, j| (i + j) % 2 == 0);
+        assert!((0.7..1.3).contains(&sep), "sep {sep}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = tsne_2d(&data, &TsneConfig::default());
+    }
+}

@@ -1,0 +1,174 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Spectral Hashing, ITQ (through PCA), Anchor Graph Hashing and t-SNE all
+//! need eigenpairs of small symmetric matrices (covariances, graph
+//! Laplacians). The cyclic Jacobi method is simple, numerically robust, and
+//! more than fast enough at the dimensionalities this reproduction uses
+//! (≤ a few hundred).
+
+use crate::Matrix;
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) V^T`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as *columns*, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// The eigenvector for `values[k]`, copied out as a vector.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        self.vectors.col(k)
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Sweeps annihilate off-diagonal entries until the off-diagonal Frobenius
+/// mass falls below `1e-12 * ||A||_F` or `max_sweeps` is reached (both are
+/// ample for the well-conditioned covariance/affinity matrices used here).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &Matrix) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * a.frobenius_norm().max(1e-300);
+    let max_sweeps = 100;
+
+    for _ in 0..max_sweeps {
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
+            .sum::<f64>()
+            .sqrt();
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p,q,θ): M = Gᵀ M G, V = V G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use rand::Rng;
+
+    fn reconstruct(ed: &EigenDecomposition) -> Matrix {
+        let lam = Matrix::from_diag(&ed.values);
+        ed.vectors.matmul(&lam).matmul(&ed.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let ed = jacobi_eigen(&a);
+        assert!((ed.values[0] - 3.0).abs() < 1e-10);
+        assert!((ed.values[1] - 2.0).abs() < 1e-10);
+        assert!((ed.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_hand_computed() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let ed = jacobi_eigen(&a);
+        assert!((ed.values[0] - 3.0).abs() < 1e-10);
+        assert!((ed.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = ed.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_random_symmetric_matrix() {
+        let mut r = rng::seeded(11);
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = r.gen_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let ed = jacobi_eigen(&a);
+        let diff = reconstruct(&ed).sub(&a);
+        assert!(diff.max_abs() < 1e-8, "reconstruction error {}", diff.max_abs());
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut r = rng::seeded(5);
+        let n = 10;
+        let x = rng::gauss_matrix(&mut r, 40, n, 1.0);
+        let cov = x.covariance();
+        let ed = jacobi_eigen(&cov);
+        let gram = ed.vectors.t_matmul(&ed.vectors);
+        let diff = gram.sub(&Matrix::identity(n));
+        assert!(diff.max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn covariance_eigenvalues_nonnegative() {
+        let mut r = rng::seeded(6);
+        let x = rng::gauss_matrix(&mut r, 30, 8, 1.0);
+        let ed = jacobi_eigen(&x.covariance());
+        assert!(ed.values.iter().all(|&l| l > -1e-10));
+        // Descending order.
+        assert!(ed.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+}

@@ -1,0 +1,121 @@
+//! Hadamard matrices (Sylvester construction).
+//!
+//! Central Similarity Quantization (CSQ, described in the paper's §2.2)
+//! uses the rows of a Hadamard matrix as hash centers: for `H ∈ {±1}^{k×k}`
+//! with `H Hᵀ = k·I`, any two distinct rows are at Hamming distance exactly
+//! `k/2` — maximally separated centers for free.
+
+use crate::Matrix;
+
+/// The Sylvester Hadamard matrix of order `n` (`n` must be a power of two).
+///
+/// Returns an `n × n` ±1 matrix with mutually orthogonal rows.
+///
+/// # Panics
+/// Panics if `n` is zero or not a power of two.
+pub fn hadamard(n: usize) -> Matrix {
+    assert!(n > 0 && n.is_power_of_two(), "Hadamard order must be a power of two, got {n}");
+    let mut h = Matrix::zeros(n, n);
+    // H[i][j] = (−1)^{popcount(i & j)} — the closed form of the Sylvester
+    // recursion H_{2n} = [[H, H], [H, −H]].
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] = if (i & j).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        }
+    }
+    h
+}
+
+/// `count` maximally separated ±1 hash centers of length `bits`.
+///
+/// Rows of the order-`bits` Hadamard matrix (and, if more are needed, their
+/// negations) — following CSQ's construction. `bits` must be a power of two
+/// and `count ≤ 2·bits`.
+///
+/// # Panics
+/// Panics if the construction cannot supply `count` centers.
+pub fn hadamard_centers(count: usize, bits: usize) -> Matrix {
+    assert!(
+        count <= 2 * bits,
+        "cannot place {count} centers in {bits} bits (max {})",
+        2 * bits
+    );
+    let h = hadamard(bits);
+    let mut centers = Matrix::zeros(count, bits);
+    for c in 0..count {
+        let row = h.row(c % bits);
+        let sign = if c < bits { 1.0 } else { -1.0 };
+        for (dst, &v) in centers.row_mut(c).iter_mut().zip(row) {
+            *dst = sign * v;
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn rows_orthogonal() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let h = hadamard(n);
+            for i in 0..n {
+                for j in 0..n {
+                    let d = vecops::dot(h.row(i), h.row(j));
+                    let expected = if i == j { n as f64 } else { 0.0 };
+                    assert_eq!(d, expected, "n={n} rows {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_pm_one() {
+        let h = hadamard(8);
+        assert!(h.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn distinct_centers_at_half_hamming() {
+        // Orthogonal ±1 rows disagree in exactly k/2 positions.
+        let centers = hadamard_centers(10, 16);
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let hd = centers
+                    .row(i)
+                    .iter()
+                    .zip(centers.row(j))
+                    .filter(|(a, b)| a != b)
+                    .count();
+                assert!(
+                    hd == 8 || hd == 16,
+                    "centers {i},{j} at distance {hd} (expected 8 or 16)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negated_rows_used_beyond_order() {
+        let centers = hadamard_centers(20, 16);
+        for c in 0..4 {
+            let pos = centers.row(c).to_vec();
+            let neg = centers.row(16 + c).to_vec();
+            assert!(pos.iter().zip(&neg).all(|(a, b)| *a == -*b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = hadamard(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_centers_rejected() {
+        let _ = hadamard_centers(40, 16);
+    }
+}

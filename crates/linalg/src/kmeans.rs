@@ -1,0 +1,205 @@
+//! K-means clustering with k-means++ initialization.
+//!
+//! Used by the paper's clustering-based denoising ablations (`UHSCM_c20` …
+//! `UHSCM_c60`, Table 2 rows 8-12), which cluster the raw concept set into
+//! `n` groups instead of frequency-denoising it, and by Anchor Graph Hashing
+//! to pick anchors.
+
+use crate::vecops::sq_dist;
+use crate::Matrix;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Run k-means++ followed by Lloyd iterations on the rows of `data`.
+///
+/// Converges when assignments stop changing or after `max_iter` rounds.
+/// Empty clusters are re-seeded with the point farthest from its centroid.
+///
+/// # Panics
+/// Panics if `k == 0` or `k` exceeds the number of rows.
+pub fn kmeans(data: &Matrix, k: usize, max_iter: usize, rng: &mut impl Rng) -> KMeansResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k={k} exceeds number of points {n}");
+
+    let mut centroids = kmeanspp_init(data, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    for iter in 0..max_iter {
+        iterations = iter + 1;
+        // Assign step.
+        let mut changed = false;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let row = data.row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_dist(row, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if *slot != best {
+                *slot = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            for (s, &v) in sums.row_mut(a).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                // Re-seed an empty cluster with the worst-fit point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(data.row(a), centroids.row(assignments[a]));
+                        let db = sq_dist(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).expect("NaN distance")
+                    })
+                    .expect("nonempty data");
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / count as f64;
+                for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *cv = s * inv;
+                }
+            }
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(assignments[i])))
+        .sum();
+    KMeansResult { centroids, assignments, inertia, iterations }
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones proportional to
+/// squared distance from the nearest already-chosen centroid.
+fn kmeanspp_init(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut min_d: Vec<f64> = (0..n).map(|i| sq_dist(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = min_d.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in min_d.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for (i, slot) in min_d.iter_mut().enumerate() {
+            let dnew = sq_dist(data.row(i), centroids.row(c));
+            if dnew < *slot {
+                *slot = dnew;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn blobs(rng: &mut impl Rng, per_blob: usize) -> Matrix {
+        // Three well-separated 2-D blobs.
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut rows = Vec::new();
+        for c in &centers {
+            for _ in 0..per_blob {
+                rows.push(vec![
+                    c[0] + 0.3 * rng::gauss(rng),
+                    c[1] + 0.3 * rng::gauss(rng),
+                ]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_well_formed_blobs() {
+        let mut r = rng::seeded(2);
+        let data = blobs(&mut r, 30);
+        let res = kmeans(&data, 3, 100, &mut r);
+        // All points of one blob share an assignment.
+        for blob in 0..3 {
+            let first = res.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(res.assignments[blob * 30 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(res.inertia < 3.0 * 30.0 * 0.5, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let mut r = rng::seeded(1);
+        let res = kmeans(&data, 3, 50, &mut r);
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn one_cluster_centroid_is_mean() {
+        let data = Matrix::from_rows(&[vec![1.0, 1.0], vec![3.0, 5.0]]);
+        let mut r = rng::seeded(1);
+        let res = kmeans(&data, 1, 50, &mut r);
+        assert!((res.centroids[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((res.centroids[(0, 1)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignments_cover_all_points() {
+        let mut r = rng::seeded(4);
+        let data = rng::gauss_matrix(&mut r, 50, 4, 1.0);
+        let res = kmeans(&data, 5, 30, &mut r);
+        assert_eq!(res.assignments.len(), 50);
+        assert!(res.assignments.iter().all(|&a| a < 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of points")]
+    fn k_larger_than_n_panics() {
+        let data = Matrix::from_rows(&[vec![0.0]]);
+        let mut r = rng::seeded(1);
+        let _ = kmeans(&data, 2, 10, &mut r);
+    }
+}

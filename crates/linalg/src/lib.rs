@@ -1,0 +1,29 @@
+//! Dense linear-algebra substrate for the UHSCM reproduction.
+//!
+//! Everything downstream — the simulated VLP model, the neural-network
+//! runtime, the shallow hashing baselines (ITQ, SH, AGH, …) and the
+//! evaluation stack (t-SNE) — is built on the small, allocation-conscious
+//! kernels in this crate:
+//!
+//! * [`Matrix`] — row-major dense matrix with the handful of BLAS-like
+//!   operations the paper's algorithms need,
+//! * [`eigen`] — a Jacobi eigensolver for symmetric matrices,
+//! * [`pca`] — principal component analysis on top of the eigensolver,
+//! * [`kmeans`] — k-means++ clustering (used by the `UHSCM_cn` ablations),
+//! * [`rng`] — seeded Gaussian/uniform sampling helpers,
+//! * [`vecops`] — vector kernels (dot, cosine, softmax, …).
+
+pub mod eigen;
+pub mod hadamard;
+pub mod kmeans;
+pub mod matrix;
+pub mod pca;
+pub mod rng;
+pub mod svd;
+pub mod vecops;
+
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use kmeans::{kmeans, KMeansResult};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use svd::{gram_schmidt, random_orthogonal, svd, Svd};

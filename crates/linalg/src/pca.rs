@@ -1,0 +1,127 @@
+//! Principal component analysis.
+//!
+//! PCA is the preprocessing step of ITQ and Spectral Hashing: data is
+//! mean-centered and projected onto the top-`k` eigenvectors of the
+//! covariance matrix.
+
+use crate::{jacobi_eigen, Matrix};
+
+/// A fitted PCA transform: mean vector plus top-`k` principal directions.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `d × k` projection: columns are principal directions.
+    components: Matrix,
+    /// Eigenvalues for the retained components, descending.
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA on the rows of `data`, keeping `k` components.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the data dimensionality or `data` is empty.
+    pub fn fit(data: &Matrix, k: usize) -> Self {
+        assert!(data.rows() > 0, "PCA on empty data");
+        assert!(k <= data.cols(), "k={k} exceeds dimensionality {}", data.cols());
+        let mean = data.col_means();
+        let cov = data.covariance();
+        let ed = jacobi_eigen(&cov);
+        let d = data.cols();
+        let mut components = Matrix::zeros(d, k);
+        for j in 0..k {
+            for i in 0..d {
+                components[(i, j)] = ed.vectors[(i, j)];
+            }
+        }
+        Self { mean, components, explained: ed.values[..k].to_vec() }
+    }
+
+    /// Project the rows of `data` into the `k`-dimensional PCA space.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut centered = data.clone();
+        centered.center_rows(&self.mean);
+        centered.matmul(&self.components)
+    }
+
+    /// Number of retained components.
+    pub fn k(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Eigenvalues of the retained components (descending).
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// The fitted mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use crate::vecops;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along (1,1) with tiny orthogonal noise: PC1 ≈ ±(1,1)/√2.
+        let mut r = rng::seeded(3);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let t = rng::gauss(&mut r) * 5.0;
+            let e = rng::gauss(&mut r) * 0.01;
+            rows.push(vec![t + e, t - e]);
+        }
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 1);
+        let pc1 = pca.components.col(0);
+        let cos = vecops::cosine(&pc1, &[1.0, 1.0]).abs();
+        assert!(cos > 0.999, "cos={cos}");
+    }
+
+    #[test]
+    fn transformed_data_is_centered() {
+        let mut r = rng::seeded(4);
+        let data = rng::gauss_matrix(&mut r, 100, 6, 1.0);
+        let pca = Pca::fit(&data, 3);
+        let proj = pca.transform(&data);
+        let means = proj.col_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-10));
+    }
+
+    #[test]
+    fn transformed_dims_decorrelated() {
+        let mut r = rng::seeded(8);
+        let data = rng::gauss_matrix(&mut r, 300, 5, 1.0);
+        let pca = Pca::fit(&data, 5);
+        let proj = pca.transform(&data);
+        let cov = proj.covariance();
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    assert!(cov[(i, j)].abs() < 1e-8, "cov[{i}{j}]={}", cov[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_descending() {
+        let mut r = rng::seeded(12);
+        let data = rng::gauss_matrix(&mut r, 80, 7, 1.0);
+        let pca = Pca::fit(&data, 7);
+        let ev = pca.explained_variance();
+        assert!(ev.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dimensionality")]
+    fn k_too_large_panics() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let _ = Pca::fit(&data, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Seeded random sampling helpers.
+//!
+//! Every stochastic component of the reproduction (dataset synthesis, SimClip
+//! noise, network initialization, SGD shuffling, LSH projections, …) draws
+//! through these helpers from an explicitly seeded [`rand::rngs::StdRng`], so
+//! whole experiments are bit-reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct a deterministically seeded RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample a standard normal via the Box–Muller transform.
+///
+/// `rand` 0.8 does not ship a Gaussian distribution (that lives in
+/// `rand_distr`, which is outside the sanctioned dependency set), so we
+/// implement the classic transform directly.
+pub fn gauss(rng: &mut impl Rng) -> f64 {
+    // Guard u1 away from 0 so ln() is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a length-`n` vector of i.i.d. `N(0, sigma^2)` entries.
+pub fn gauss_vec(rng: &mut impl Rng, n: usize, sigma: f64) -> Vec<f64> {
+    (0..n).map(|_| sigma * gauss(rng)).collect()
+}
+
+/// Fill a matrix buffer with i.i.d. `N(0, sigma^2)` entries.
+pub fn gauss_matrix(rng: &mut impl Rng, rows: usize, cols: usize, sigma: f64) -> crate::Matrix {
+    crate::Matrix::from_vec(rows, cols, gauss_vec(rng, rows * cols, sigma))
+}
+
+/// Fisher–Yates shuffled index permutation `0..n`.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` (first `k` of a permutation).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n} without replacement");
+    let mut perm = permutation(rng, n);
+    perm.truncate(k);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| r.gen::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| r.gen::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gauss_moments_roughly_standard() {
+        let mut rng = seeded(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| gauss(&mut rng)).collect();
+        let m = crate::vecops::mean(&xs);
+        let v = crate::vecops::variance(&xs);
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(7);
+        let mut p = permutation(&mut rng, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_without_replacement_distinct() {
+        let mut rng = seeded(9);
+        let s = sample_without_replacement(&mut rng, 50, 20);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 20);
+        assert!(t.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn oversampling_panics() {
+        let mut rng = seeded(3);
+        let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+}

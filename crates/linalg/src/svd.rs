@@ -1,0 +1,175 @@
+//! Small-matrix singular value decomposition and orthogonal factors.
+//!
+//! ITQ's rotation update solves an orthogonal Procrustes problem each
+//! iteration, which needs the SVD of a `k × k` matrix (`k` = code length ≤
+//! 128). The SVD here goes through the Jacobi symmetric eigensolver on
+//! `AᵀA`, which is accurate and plenty fast at these sizes.
+
+use crate::{jacobi_eigen, Matrix};
+use rand::Rng;
+
+/// Thin SVD `A = U Σ Vᵀ` of an `m × n` matrix with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `m × n`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, descending, length `n`.
+    pub sigma: Vec<f64>,
+    /// `n × n`, orthonormal columns.
+    pub v: Matrix,
+}
+
+/// Compute the thin SVD of `a` via the eigendecomposition of `AᵀA`.
+///
+/// Columns of `U` belonging to (numerically) zero singular values are
+/// completed by Gram–Schmidt so `U` always has orthonormal columns.
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()`.
+pub fn svd(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    assert!(m >= n, "svd requires rows ≥ cols (got {m}×{n}); transpose first");
+    let ata = a.t_matmul(a);
+    let ed = jacobi_eigen(&ata);
+    let sigma: Vec<f64> = ed.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let v = ed.vectors;
+
+    // U = A V Σ⁻¹ for non-degenerate columns.
+    let av = a.matmul(&v);
+    let mut u = Matrix::zeros(m, n);
+    let tol = sigma.first().copied().unwrap_or(0.0) * 1e-12 + 1e-300;
+    for j in 0..n {
+        if sigma[j] > tol {
+            let inv = 1.0 / sigma[j];
+            for i in 0..m {
+                u[(i, j)] = av[(i, j)] * inv;
+            }
+        }
+    }
+    complete_orthonormal(&mut u, &sigma, tol);
+    Svd { u, sigma, v }
+}
+
+/// Replace zero columns of `u` with unit vectors orthogonal to the rest.
+fn complete_orthonormal(u: &mut Matrix, sigma: &[f64], tol: f64) {
+    let (m, n) = u.shape();
+    for j in 0..n {
+        if sigma[j] > tol {
+            continue;
+        }
+        // Try standard basis vectors until Gram-Schmidt leaves a residual.
+        for basis in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[basis] = 1.0;
+            for prev in 0..n {
+                if prev == j || (sigma[prev] <= tol && prev > j) {
+                    continue;
+                }
+                let proj: f64 = (0..m).map(|i| cand[i] * u[(i, prev)]).sum();
+                for (i, c) in cand.iter_mut().enumerate() {
+                    *c -= proj * u[(i, prev)];
+                }
+            }
+            let norm = crate::vecops::norm(&cand);
+            if norm > 1e-6 {
+                for (i, c) in cand.iter().enumerate() {
+                    u[(i, j)] = c / norm;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// A uniformly random `n × n` rotation-ish matrix: QR (Gram–Schmidt) of a
+/// Gaussian matrix. Used to initialize ITQ and as LSH-style projections.
+pub fn random_orthogonal(n: usize, rng: &mut impl Rng) -> Matrix {
+    let g = crate::rng::gauss_matrix(rng, n, n, 1.0);
+    gram_schmidt(&g)
+}
+
+/// Orthonormalize the columns of `a` (modified Gram–Schmidt). Columns that
+/// collapse numerically are replaced with random directions and re-run.
+pub fn gram_schmidt(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    let mut q = a.clone();
+    for j in 0..n {
+        for prev in 0..j {
+            let proj: f64 = (0..m).map(|i| q[(i, j)] * q[(i, prev)]).sum();
+            for i in 0..m {
+                q[(i, j)] -= proj * q[(i, prev)];
+            }
+        }
+        let norm: f64 = (0..m).map(|i| q[(i, j)] * q[(i, j)]).sum::<f64>().sqrt();
+        assert!(norm > 1e-10, "rank-deficient input to gram_schmidt");
+        for i in 0..m {
+            q[(i, j)] /= norm;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn assert_orthonormal_cols(m: &Matrix, tol: f64) {
+        let gram = m.t_matmul(m);
+        let diff = gram.sub(&Matrix::identity(m.cols()));
+        assert!(diff.max_abs() < tol, "not orthonormal: {}", diff.max_abs());
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let mut r = rng::seeded(1);
+        let a = rng::gauss_matrix(&mut r, 8, 5, 1.0);
+        let s = svd(&a);
+        let rec = s.u.matmul(&Matrix::from_diag(&s.sigma)).matmul(&s.v.transpose());
+        assert!(rec.sub(&a).max_abs() < 1e-8);
+        assert_orthonormal_cols(&s.u, 1e-8);
+        assert_orthonormal_cols(&s.v, 1e-8);
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let mut r = rng::seeded(2);
+        let a = rng::gauss_matrix(&mut r, 10, 6, 1.0);
+        let s = svd(&a);
+        assert!(s.sigma.iter().all(|&x| x >= 0.0));
+        assert!(s.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn svd_of_rank_deficient_matrix() {
+        // Rank-1: second singular value zero; U still orthonormal.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let s = svd(&a);
+        assert!(s.sigma[1] < 1e-10);
+        assert_orthonormal_cols(&s.u, 1e-6);
+        let rec = s.u.matmul(&Matrix::from_diag(&s.sigma)).matmul(&s.v.transpose());
+        assert!(rec.sub(&a).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let mut r = rng::seeded(3);
+        let q = random_orthogonal(7, &mut r);
+        assert_orthonormal_cols(&q, 1e-10);
+        // Rows too (square orthogonal).
+        assert_orthonormal_cols(&q.transpose(), 1e-10);
+    }
+
+    #[test]
+    fn procrustes_recovers_rotation() {
+        // Given B = V R* for a known rotation, the Procrustes solution
+        // R = U_s W_sᵀ from svd(VᵀB) = U_s Σ W_sᵀ recovers R*.
+        let mut r = rng::seeded(4);
+        let v = rng::gauss_matrix(&mut r, 20, 4, 1.0);
+        let rstar = random_orthogonal(4, &mut r);
+        let b = v.matmul(&rstar);
+        let s = svd(&v.t_matmul(&b));
+        let rhat = s.u.matmul(&s.v.transpose());
+        assert!(rhat.sub(&rstar).max_abs() < 1e-8);
+    }
+}

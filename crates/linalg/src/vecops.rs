@@ -1,0 +1,174 @@
+//! Vector kernels: dot products, norms, cosine similarity, softmax.
+//!
+//! These are the inner loops of concept mining (Eq. 1-3 of the paper) and of
+//! Hamming-similarity computation, so they are written to be branch-free and
+//! auto-vectorizable.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (in debug builds) on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (ℓ2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cosine similarity; returns 0 when either vector is (numerically) zero.
+///
+/// This is the similarity used throughout the paper (Eq. 3, Eq. 6, and the
+/// relaxed Hamming similarity ĥ of Eq. 11).
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Normalize `a` to unit ℓ2 norm in place; leaves zero vectors untouched.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 1e-12 {
+        for v in a {
+            *v /= n;
+        }
+    }
+}
+
+/// Numerically stable softmax of `logits` scaled by `temperature`
+/// (computes `softmax(temperature * logits)`, Eq. 2 of the paper).
+pub fn softmax_scaled(logits: &[f64], temperature: f64) -> Vec<f64> {
+    let max = logits
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(temperature * v));
+    let mut out: Vec<f64> = logits.iter().map(|&v| (temperature * v - max).exp()).collect();
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 {
+        for v in &mut out {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element (first occurrence on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_hand_computed() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norm_pythagoras() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_parallel_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-3.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax_scaled(&[1.0, 2.0, 3.0], 1.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_high_temperature_sharpens() {
+        let soft = softmax_scaled(&[0.1, 0.2], 1.0);
+        let sharp = softmax_scaled(&[0.1, 0.2], 100.0);
+        assert!(sharp[1] > soft[1]);
+        assert!(sharp[1] > 0.99);
+    }
+
+    #[test]
+    fn softmax_extreme_logits_stable() {
+        let p = softmax_scaled(&[1e6, -1e6], 1.0);
+        assert!(p[0].is_finite() && p[1].is_finite());
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn mean_variance_hand_computed() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sq_dist_hand_computed() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

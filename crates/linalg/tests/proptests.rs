@@ -1,0 +1,110 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use uhscm_linalg::{jacobi_eigen, vecops, Matrix};
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, 1..16)
+}
+
+fn paired_vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..16).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0..100.0f64, n),
+            prop::collection::vec(-100.0..100.0f64, n),
+        )
+    })
+}
+
+fn symmetric_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..8).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| {
+            let raw = Matrix::from_vec(n, n, data);
+            // Symmetrize: (A + Aᵀ)/2.
+            let mut sym = raw.add(&raw.transpose());
+            sym.scale(0.5);
+            sym
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_commutes((a, b) in paired_vecs()) {
+        prop_assert!((vecops::dot(&a, &b) - vecops::dot(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_bounded((a, b) in paired_vecs()) {
+        let c = vecops::cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn cosine_self_is_one_or_zero(a in small_vec()) {
+        let c = vecops::cosine(&a, &a);
+        let n = vecops::norm(&a);
+        if n < 1e-12 {
+            prop_assert_eq!(c, 0.0);
+        } else {
+            prop_assert!((c - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_is_simplex(a in small_vec(), tau in 0.01..10.0f64) {
+        let p = vecops::softmax_scaled(&a, tau);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in prop::collection::vec(-100.0..100.0f64, 2..16), tau in 0.1..10.0f64) {
+        let p = vecops::softmax_scaled(&a, tau);
+        prop_assert_eq!(vecops::argmax(&a), vecops::argmax(&p));
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut rng = uhscm_linalg::rng::seeded(seed);
+        let m = uhscm_linalg::rng::gauss_matrix(&mut rng, rows, cols, 1.0);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn eigen_reconstructs(a in symmetric_matrix()) {
+        let ed = jacobi_eigen(&a);
+        let lam = Matrix::from_diag(&ed.values);
+        let rec = ed.vectors.matmul(&lam).matmul(&ed.vectors.transpose());
+        let err = rec.sub(&a).max_abs();
+        prop_assert!(err < 1e-6, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigen_trace_preserved(a in symmetric_matrix()) {
+        let trace: f64 = (0..a.rows()).map(|i| a[(i, i)]).sum();
+        let ed = jacobi_eigen(&a);
+        let lam_sum: f64 = ed.values.iter().sum();
+        prop_assert!((trace - lam_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_associative_with_identity(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        let mut rng = uhscm_linalg::rng::seeded(seed);
+        let m = uhscm_linalg::rng::gauss_matrix(&mut rng, rows, cols, 1.0);
+        let left = Matrix::identity(rows).matmul(&m);
+        let right = m.matmul(&Matrix::identity(cols));
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn normalize_idempotent(mut a in small_vec()) {
+        vecops::normalize(&mut a);
+        let mut b = a.clone();
+        vecops::normalize(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Element-wise activation functions.
+
+/// An element-wise activation function.
+///
+/// `Tanh` is the paper's output activation (the differentiable surrogate for
+/// `sign`); `Relu` is used in hidden layers; `Sigmoid` appears in the BGAN
+/// baseline's discriminator; `Identity` makes a layer purely linear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Identity,
+    Tanh,
+    Relu,
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation to a single value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)`.
+    ///
+    /// All four activations admit this form, which lets the backward pass
+    /// reuse the cached forward output instead of the pre-activation.
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 4] = [
+        Activation::Identity,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::Sigmoid,
+    ];
+
+    #[test]
+    fn apply_matches_reference() {
+        assert_eq!(Activation::Identity.apply(-2.5), -2.5);
+        assert!((Activation::Tanh.apply(0.5) - 0.5f64.tanh()).abs() < 1e-15);
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-6;
+        for act in ACTS {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_output_bounded() {
+        for &x in &[-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let y = Activation::Tanh.apply(x);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_in_unit_interval() {
+        for &x in &[-50.0, 0.0, 50.0] {
+            let y = Activation::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Finite-difference gradient verification.
+//!
+//! Used throughout the test suites (here and in `uhscm-core`) to prove that
+//! every analytic backward pass — layers, the MLP stack, and the full Eq. 11
+//! hashing loss — matches the numerical gradient of the corresponding loss.
+
+use crate::Mlp;
+use uhscm_linalg::Matrix;
+
+/// Maximum relative gradient error between the analytic gradients produced by
+/// `Mlp::backward` and central finite differences of `loss`.
+///
+/// `loss` must be a deterministic function of the network *output*. The
+/// caller provides `grad_of_loss`, the analytic `dL/dy`, evaluated at the
+/// forward output.
+///
+/// Returns the worst relative error over all parameters; well-implemented
+/// backward passes land below `1e-5`.
+pub fn grad_check(
+    mlp: &mut Mlp,
+    x: &Matrix,
+    loss: &dyn Fn(&Matrix) -> f64,
+    grad_of_loss: &dyn Fn(&Matrix) -> Matrix,
+) -> f64 {
+    // Analytic gradients.
+    mlp.zero_grad();
+    let y = mlp.forward(x);
+    let dy = grad_of_loss(&y);
+    mlp.backward(&dy);
+    let analytic = mlp.flat_grads();
+
+    // Numeric gradients by central differences over flattened parameters.
+    let params = mlp.flat_params();
+    let eps = 1e-5;
+    let mut worst = 0.0f64;
+    for i in 0..params.len() {
+        let mut p_plus = params.clone();
+        p_plus[i] += eps;
+        mlp.set_flat_params(&p_plus);
+        let l_plus = loss(&mlp.infer(x));
+
+        let mut p_minus = params.clone();
+        p_minus[i] -= eps;
+        mlp.set_flat_params(&p_minus);
+        let l_minus = loss(&mlp.infer(x));
+
+        let numeric = (l_plus - l_minus) / (2.0 * eps);
+        let denom = analytic[i].abs().max(numeric.abs()).max(1e-8);
+        worst = worst.max((analytic[i] - numeric).abs() / denom);
+    }
+    mlp.set_flat_params(&params);
+    mlp.zero_grad();
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+    use uhscm_linalg::rng::seeded;
+
+    fn sum_of_squares(y: &Matrix) -> f64 {
+        y.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    fn grad_sum_of_squares(y: &Matrix) -> Matrix {
+        y.map(|v| 2.0 * v)
+    }
+
+    #[test]
+    fn linear_identity_network() {
+        let mut rng = seeded(1);
+        let mut mlp = Mlp::new(&[3, 2], &[Activation::Identity], &mut rng);
+        let x = uhscm_linalg::rng::gauss_matrix(&mut rng, 4, 3, 1.0);
+        let err = grad_check(&mut mlp, &x, &sum_of_squares, &grad_sum_of_squares);
+        assert!(err < 1e-5, "gradient error {err}");
+    }
+
+    #[test]
+    fn tanh_network() {
+        let mut rng = seeded(2);
+        let mut mlp = Mlp::new(&[4, 3], &[Activation::Tanh], &mut rng);
+        let x = uhscm_linalg::rng::gauss_matrix(&mut rng, 3, 4, 1.0);
+        let err = grad_check(&mut mlp, &x, &sum_of_squares, &grad_sum_of_squares);
+        assert!(err < 1e-5, "gradient error {err}");
+    }
+
+    #[test]
+    fn deep_relu_tanh_network() {
+        let mut rng = seeded(3);
+        let mut mlp = Mlp::hashing_network(6, &[5, 4], 3, &mut rng);
+        let x = uhscm_linalg::rng::gauss_matrix(&mut rng, 5, 6, 1.0);
+        let err = grad_check(&mut mlp, &x, &sum_of_squares, &grad_sum_of_squares);
+        assert!(err < 1e-4, "gradient error {err}");
+    }
+
+    #[test]
+    fn sigmoid_network_with_nontrivial_loss() {
+        // L = Σ (y − 0.25)³ — asymmetric, catches sign errors.
+        let loss = |y: &Matrix| y.as_slice().iter().map(|v| (v - 0.25).powi(3)).sum();
+        let grad = |y: &Matrix| y.map(|v| 3.0 * (v - 0.25) * (v - 0.25));
+        let mut rng = seeded(4);
+        let mut mlp = Mlp::new(&[3, 2], &[Activation::Sigmoid], &mut rng);
+        let x = uhscm_linalg::rng::gauss_matrix(&mut rng, 4, 3, 1.0);
+        let err = grad_check(&mut mlp, &x, &loss, &grad);
+        assert!(err < 1e-5, "gradient error {err}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Weight initialization.
+//!
+//! The paper initializes the replaced final layer of its hashing network with
+//! Xavier initialization [Glorot & Bengio 2010]; we use the same scheme for
+//! every layer of the (much smaller) MLPs here.
+
+use rand::Rng;
+use uhscm_linalg::Matrix;
+
+/// Xavier/Glorot *uniform* initialization for a `fan_in × fan_out` weight
+/// matrix: entries are drawn from `U(-a, a)` with `a = sqrt(6 / (fan_in +
+/// fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::rng::seeded;
+    use uhscm_linalg::vecops;
+
+    #[test]
+    fn entries_within_xavier_bound() {
+        let mut rng = seeded(1);
+        let w = xavier_uniform(&mut rng, 64, 16);
+        let a = (6.0 / 80.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn mean_near_zero() {
+        let mut rng = seeded(2);
+        let w = xavier_uniform(&mut rng, 100, 100);
+        let m = vecops::mean(w.as_slice());
+        assert!(m.abs() < 0.005, "mean {m}");
+    }
+
+    #[test]
+    fn variance_matches_uniform_formula() {
+        // Var(U(-a,a)) = a²/3 = 2/(fan_in+fan_out).
+        let mut rng = seeded(3);
+        let w = xavier_uniform(&mut rng, 200, 200);
+        let v = vecops::variance(w.as_slice());
+        let expected = 2.0 / 400.0;
+        assert!((v - expected).abs() < expected * 0.1, "var {v} vs {expected}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal neural-network runtime for the UHSCM reproduction.
+//!
+//! The paper trains a VGG19 backbone with a k-dimensional `tanh` head using
+//! mini-batch SGD (momentum 0.9, weight decay 1e-5). PyTorch is not available
+//! as a sanctioned dependency, so this crate implements the required subset
+//! from scratch:
+//!
+//! * [`Linear`] layers with Xavier initialization,
+//! * [`Activation`] functions (`tanh`, ReLU, sigmoid, identity),
+//! * [`Mlp`] — a feed-forward stack with exact manual back-propagation,
+//! * [`Sgd`] — SGD with momentum and weight decay,
+//! * [`grad_check`] — finite-difference gradient verification used by the
+//!   test suite to prove the backward passes correct.
+//!
+//! The hashing networks in `uhscm-core` and the deep baselines (`SSDH`,
+//! `GH`, `BGAN`, `CIB`, `MLS3RDUH`, `UTH`) are all built on [`Mlp`].
+
+pub mod activation;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod mlp;
+pub mod optimizer;
+pub mod pairwise;
+pub mod persist;
+
+pub use activation::Activation;
+pub use gradcheck::grad_check;
+pub use layer::Linear;
+pub use mlp::Mlp;
+pub use optimizer::Sgd;
+pub use persist::PersistError;

@@ -1,0 +1,218 @@
+//! Model persistence: a small, versioned, self-describing binary format.
+//!
+//! A deployed retrieval system trains the hashing network once and serves
+//! it for months; [`Mlp::save`]/[`Mlp::load`] give it a stable on-disk
+//! format without pulling a serialization framework into the hot path.
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "UHNN" | u32 version | u32 n_layers |
+//!   per layer: u32 fan_in | u32 fan_out | u8 activation |
+//!              fan_in·fan_out f64 weights | fan_out f64 biases
+//! ```
+
+use crate::{Activation, Linear, Mlp};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"UHNN";
+const VERSION: u32 = 1;
+
+/// Errors from loading a persisted model.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    /// Wrong magic bytes — not a UHSCM model file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Corrupt structure (impossible sizes, unknown activation).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a UHSCM model file (bad magic)"),
+            PersistError::BadVersion(v) => write!(f, "unsupported model format version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn activation_tag(a: Activation) -> u8 {
+    match a {
+        Activation::Identity => 0,
+        Activation::Tanh => 1,
+        Activation::Relu => 2,
+        Activation::Sigmoid => 3,
+    }
+}
+
+fn activation_from_tag(tag: u8) -> Option<Activation> {
+    match tag {
+        0 => Some(Activation::Identity),
+        1 => Some(Activation::Tanh),
+        2 => Some(Activation::Relu),
+        3 => Some(Activation::Sigmoid),
+        _ => None,
+    }
+}
+
+impl Mlp {
+    /// Serialize the network to a writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.layers().len() as u32).to_le_bytes())?;
+        for layer in self.layers() {
+            w.write_all(&(layer.fan_in() as u32).to_le_bytes())?;
+            w.write_all(&(layer.fan_out() as u32).to_le_bytes())?;
+            w.write_all(&[activation_tag(layer.activation)])?;
+            for &v in layer.weight.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            for &v in &layer.bias {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize a network previously written by [`Self::save`].
+    pub fn load(r: &mut impl Read) -> Result<Mlp, PersistError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(PersistError::BadVersion(version));
+        }
+        let n_layers = read_u32(r)? as usize;
+        if n_layers == 0 || n_layers > 64 {
+            return Err(PersistError::Corrupt("layer count out of range"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let fan_in = read_u32(r)? as usize;
+            let fan_out = read_u32(r)? as usize;
+            if fan_in == 0 || fan_out == 0 || fan_in > 1 << 20 || fan_out > 1 << 20 {
+                return Err(PersistError::Corrupt("layer dimensions out of range"));
+            }
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let activation =
+                activation_from_tag(tag[0]).ok_or(PersistError::Corrupt("unknown activation"))?;
+            let mut weights = vec![0.0f64; fan_in * fan_out];
+            for v in &mut weights {
+                *v = read_f64(r)?;
+            }
+            let mut bias = vec![0.0f64; fan_out];
+            for v in &mut bias {
+                *v = read_f64(r)?;
+            }
+            layers.push(Linear::from_parts(
+                uhscm_linalg::Matrix::from_vec(fan_in, fan_out, weights),
+                bias,
+                activation,
+            ));
+        }
+        // Validate the chain.
+        for pair in layers.windows(2) {
+            if pair[0].fan_out() != pair[1].fan_in() {
+                return Err(PersistError::Corrupt("layer dimensions do not chain"));
+            }
+        }
+        Ok(Mlp::from_layers(layers))
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::rng::seeded;
+
+    #[test]
+    fn round_trip_preserves_inference() {
+        let mut rng = seeded(1);
+        let mlp = Mlp::hashing_network(8, &[6, 5], 4, &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        let loaded = Mlp::load(&mut buf.as_slice()).unwrap();
+        let x = uhscm_linalg::rng::gauss_matrix(&mut rng, 3, 8, 1.0);
+        assert_eq!(mlp.infer(&x).as_slice(), loaded.infer(&x).as_slice());
+        assert_eq!(mlp.flat_params(), loaded.flat_params());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let data = b"NOPE....extra";
+        match Mlp::load(&mut data.as_slice()) {
+            Err(PersistError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut rng = seeded(2);
+        let mlp = Mlp::hashing_network(4, &[3], 2, &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(Mlp::load(&mut buf.as_slice()), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut rng = seeded(3);
+        let mlp = Mlp::hashing_network(4, &[3], 2, &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        buf[4] = 99; // clobber version
+        assert!(matches!(Mlp::load(&mut buf.as_slice()), Err(PersistError::BadVersion(99))));
+    }
+
+    #[test]
+    fn corrupted_activation_rejected() {
+        let mut rng = seeded(4);
+        let mlp = Mlp::hashing_network(4, &[], 2, &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        // magic(4) + version(4) + n_layers(4) + fan_in(4) + fan_out(4) = 20
+        buf[20] = 200;
+        assert!(matches!(
+            Mlp::load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt("unknown activation"))
+        ));
+    }
+}

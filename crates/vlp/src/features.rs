@@ -1,0 +1,222 @@
+//! CNN-style image features.
+//!
+//! The paper feeds 4096-d VGG19 (ImageNet-pre-trained) features to the
+//! shallow baselines and uses VGG19 as the deep methods' backbone. This
+//! extractor is the simulated stand-in: a frozen random ReLU projection of
+//! the image latent with heavier, per-image deterministic noise and a
+//! structured nonlinear distortion. It deliberately carries *less* concept
+//! information than [`crate::SimClip`]'s embeddings — the property the
+//! paper's central claim (concept-mined similarity beats feature cosine
+//! similarity) rests on.
+
+use uhscm_data::concepts::stable_hash;
+use uhscm_linalg::{rng, vecops, Matrix};
+
+/// Dimensionality of the style (nuisance) subspace.
+const STYLE_DIM: usize = 16;
+/// Expected norm of the style component (the class signal has norm ≈ 1).
+const STYLE_NORM: f64 = 1.0;
+
+/// A frozen CNN-like feature extractor.
+///
+/// Besides white per-image noise, the extractor embeds a **low-rank style
+/// subspace**: a per-image nuisance vector (think lighting, background,
+/// colour cast) of large norm living in a fixed `style_dim`-dimensional
+/// subspace of the feature space. Raw feature cosine — the signal every
+/// feature-based baseline relies on — is dominated by style, while a
+/// trained network given an accurate similarity matrix simply learns to
+/// project the style directions away. This is the simulated analogue of
+/// why CNN-feature similarity is unreliable on low-resolution CIFAR images
+/// while the paper's CLIP-concept similarity is not.
+#[derive(Debug, Clone)]
+pub struct VggFeatures {
+    /// `latent_dim × feature_dim` projection.
+    projection: Matrix,
+    /// `latent_dim × feature_dim` distortion mixing (second "layer path").
+    distortion: Matrix,
+    /// `style_dim × feature_dim` embedding of the nuisance subspace.
+    style_projection: Matrix,
+    bias: Vec<f64>,
+    /// Expected norm of the per-image white feature noise.
+    noise: f64,
+    /// Expected norm of the per-image style component.
+    style: f64,
+    seed: u64,
+    latent_dim: usize,
+}
+
+impl VggFeatures {
+    /// Instantiate a frozen extractor producing `feature_dim`-d features.
+    ///
+    /// `noise` controls the per-image noise norm; the default used across
+    /// the experiments is [`VggFeatures::with_defaults`].
+    pub fn new(latent_dim: usize, feature_dim: usize, noise: f64, seed: u64) -> Self {
+        Self::with_style(latent_dim, feature_dim, noise, STYLE_DIM, STYLE_NORM, seed)
+    }
+
+    /// Fully parameterized constructor (exposed for the calibration tests).
+    pub fn with_style(
+        latent_dim: usize,
+        feature_dim: usize,
+        noise: f64,
+        style_dim: usize,
+        style: f64,
+        seed: u64,
+    ) -> Self {
+        let mut r = rng::seeded(seed ^ 0x90a1_c2d3_e4f5_0617);
+        let scale = 1.0 / (latent_dim as f64).sqrt();
+        let projection = rng::gauss_matrix(&mut r, latent_dim, feature_dim, scale);
+        let distortion = rng::gauss_matrix(&mut r, latent_dim, feature_dim, scale);
+        // Scaled so a style-coordinate vector of norm `s` embeds with norm ≈ s.
+        let style_projection =
+            rng::gauss_matrix(&mut r, style_dim, feature_dim, 1.0 / (feature_dim as f64).sqrt());
+        let bias = rng::gauss_vec(&mut r, feature_dim, 0.1);
+        Self { projection, distortion, style_projection, bias, noise, style, seed, latent_dim }
+    }
+
+    /// Default extractor: 128-d features, noise norm 0.80 (2× the
+    /// simulated CLIP image-tower noise, giving the intended fidelity gap).
+    pub fn with_defaults(latent_dim: usize, seed: u64) -> Self {
+        Self::new(latent_dim, 128, 0.80, seed)
+    }
+
+    /// Output feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Latent dimensionality this extractor accepts.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Extract features for each row of `latents` (unit-norm rows).
+    ///
+    /// Deterministic: the same latent always maps to the same feature.
+    pub fn extract(&self, latents: &Matrix) -> Matrix {
+        assert_eq!(latents.cols(), self.latent_dim, "latent dim mismatch");
+        let linear = latents.matmul(&self.projection);
+        let warped = latents.matmul(&self.distortion);
+        let mut out = Matrix::zeros(latents.rows(), self.feature_dim());
+        let sigma = self.noise / (self.feature_dim() as f64).sqrt();
+        for i in 0..latents.rows() {
+            let mut r = rng::seeded(self.seed ^ hash_floats(latents.row(i)));
+            // Per-image style coordinates in the nuisance subspace.
+            let style_dim = self.style_projection.rows();
+            let style_coords =
+                rng::gauss_vec(&mut r, style_dim, self.style / (style_dim as f64).sqrt());
+            let row = out.row_mut(i);
+            let lin = linear.row(i);
+            let wrp = warped.row(i);
+            for (k, v) in row.iter_mut().enumerate() {
+                // ReLU main path + tanh-squashed distortion path + bias.
+                let pre = lin[k] + 0.6 * wrp[k].tanh() + self.bias[k];
+                let style_k: f64 = style_coords
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| c * self.style_projection[(s, k)])
+                    .sum();
+                *v = pre.max(0.0) + style_k + sigma * rng::gauss(&mut r);
+            }
+            vecops::normalize(row);
+        }
+        out
+    }
+}
+
+/// Stable hash of an f64 slice via its IEEE-754 bit patterns.
+fn hash_floats(values: &[f64]) -> u64 {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    stable_hash(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_data::{Dataset, DatasetConfig, DatasetKind};
+
+    fn setup() -> (Dataset, VggFeatures) {
+        let ds = Dataset::generate(DatasetKind::Cifar10Like, &DatasetConfig::tiny(), 42);
+        let vgg = VggFeatures::with_defaults(ds.latents.cols(), 9);
+        (ds, vgg)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, vgg) = setup();
+        let a = vgg.extract(&ds.latents_of(&[0, 1]));
+        let b = vgg.extract(&ds.latents_of(&[0, 1]));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn unit_norm_rows() {
+        let (ds, vgg) = setup();
+        let f = vgg.extract(&ds.latents_of(&[0, 3, 7]));
+        for row in f.iter_rows() {
+            assert!((vecops::norm(row) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn features_preserve_class_structure() {
+        // Same-class features should still be more similar on average —
+        // VGG features are weaker than CLIP, not useless.
+        let (ds, vgg) = setup();
+        let idx: Vec<usize> = (0..80).collect();
+        let f = vgg.extract(&ds.latents_of(&idx));
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                let c = vecops::cosine(f.row(i), f.row(j));
+                if ds.labels[idx[i]] == ds.labels[idx[j]] {
+                    same.push(c);
+                } else {
+                    diff.push(c);
+                }
+            }
+        }
+        assert!(vecops::mean(&same) > vecops::mean(&diff) + 0.05);
+    }
+
+    #[test]
+    fn weaker_than_clip_embeddings() {
+        // The class-separation margin of VGG features must be smaller than
+        // that of SimClip image embeddings (the paper's premise).
+        let (ds, vgg) = setup();
+        let clip = crate::SimClip::with_defaults(ds.latents.cols(), 9);
+        let idx: Vec<usize> = (0..80).collect();
+        let margin = |feats: &Matrix| {
+            let mut same = Vec::new();
+            let mut diff = Vec::new();
+            for i in 0..80 {
+                for j in (i + 1)..80 {
+                    let c = vecops::cosine(feats.row(i), feats.row(j));
+                    if ds.labels[idx[i]] == ds.labels[idx[j]] {
+                        same.push(c);
+                    } else {
+                        diff.push(c);
+                    }
+                }
+            }
+            vecops::mean(&same) - vecops::mean(&diff)
+        };
+        let vgg_margin = margin(&vgg.extract(&ds.latents_of(&idx)));
+        let clip_margin = margin(&clip.embed_images(&ds.latents_of(&idx)));
+        assert!(
+            vgg_margin < clip_margin,
+            "vgg margin {vgg_margin} not below clip margin {clip_margin}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dim mismatch")]
+    fn wrong_latent_dim_panics() {
+        let vgg = VggFeatures::with_defaults(16, 1);
+        let _ = vgg.extract(&Matrix::zeros(1, 8));
+    }
+}

@@ -1,0 +1,30 @@
+//! A simulated vision-language pretraining (VLP) model.
+//!
+//! The paper uses OpenAI's pre-trained CLIP model in exactly two ways:
+//!
+//! 1. **Image–text scoring** (Eq. 1): `s_ij = F_VLP(x_i, t_j)` where `t_j`
+//!    is a concept rendered through a prompt template;
+//! 2. **Image features** (ablation `UHSCM_IF`, Table 2 row 3): the image
+//!    tower's embedding used directly.
+//!
+//! CLIP itself (400M-pair contrastive pretraining, ViT towers) cannot be run
+//! in this environment, so [`SimClip`] reproduces the *interface and
+//! statistics* of those two operations over the synthetic latent space of
+//! `uhscm-data`: images and prompted concept texts are mapped into a shared
+//! embedding space such that cosine scores are high for concepts an image
+//! truly contains, noisy for absent ones, miscalibrated for out-of-domain
+//! concepts, and sensitive to the prompt template — the four properties the
+//! paper's pipeline (mining, denoising, prompt ablations) depends on.
+//!
+//! [`VggFeatures`] plays the role of ImageNet-pre-trained VGG19 fc7
+//! features: a *weaker* representation of the same images (heavier
+//! per-image noise, structured distortion), used as the backbone input of
+//! every deep hashing method and as the raw features of the shallow ones.
+
+pub mod clip;
+pub mod features;
+pub mod prompt;
+
+pub use clip::{SimClip, SimClipConfig};
+pub use features::VggFeatures;
+pub use prompt::PromptTemplate;

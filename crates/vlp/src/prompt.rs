@@ -1,0 +1,72 @@
+//! Prompt templates (§3.3.1 and the ablation of §4.4.3).
+
+/// The three prompt templates studied by the paper.
+///
+/// The ablation (Table 2 rows 4-6) finds `"a photo of the {c}"` best; the
+/// simulated text tower models this as template-dependent encoding noise
+/// (see [`PromptTemplate::text_noise_sigma`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PromptTemplate {
+    /// `"a photo of the {c}"` — the paper's default (UHSCM).
+    PhotoOfThe,
+    /// `"the {c}"` — variant P1.
+    The,
+    /// `"it contains the {c}"` — variant P2.
+    ItContains,
+}
+
+impl PromptTemplate {
+    /// All templates, default first.
+    pub const ALL: [PromptTemplate; 3] =
+        [PromptTemplate::PhotoOfThe, PromptTemplate::The, PromptTemplate::ItContains];
+
+    /// Render the template for a concept, exactly as written in the paper.
+    pub fn render(self, concept: &str) -> String {
+        match self {
+            PromptTemplate::PhotoOfThe => format!("a photo of the {concept}"),
+            PromptTemplate::The => format!("the {concept}"),
+            PromptTemplate::ItContains => format!("it contains the {concept}"),
+        }
+    }
+
+    /// Standard deviation of the text-tower encoding noise for this
+    /// template. A well-formed caption-like prompt anchors the text
+    /// embedding closer to the concept's true direction; terser or awkward
+    /// prompts drift further — which is how the prompt ablation's ordering
+    /// (UHSCM > P1 > P2) arises in the simulation.
+    pub fn text_noise_sigma(self) -> f64 {
+        match self {
+            PromptTemplate::PhotoOfThe => 0.15,
+            PromptTemplate::The => 0.45,
+            PromptTemplate::ItContains => 0.75,
+        }
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn id(self) -> &'static str {
+        match self {
+            PromptTemplate::PhotoOfThe => "a photo of the {c}",
+            PromptTemplate::The => "the {c}",
+            PromptTemplate::ItContains => "it contains the {c}",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_match_paper() {
+        assert_eq!(PromptTemplate::PhotoOfThe.render("cat"), "a photo of the cat");
+        assert_eq!(PromptTemplate::The.render("cat"), "the cat");
+        assert_eq!(PromptTemplate::ItContains.render("cat"), "it contains the cat");
+    }
+
+    #[test]
+    fn default_template_has_least_noise() {
+        let base = PromptTemplate::PhotoOfThe.text_noise_sigma();
+        assert!(base < PromptTemplate::The.text_noise_sigma());
+        assert!(PromptTemplate::The.text_noise_sigma() < PromptTemplate::ItContains.text_noise_sigma());
+    }
+}

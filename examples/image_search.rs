@@ -1,0 +1,84 @@
+//! A miniature hash-based image search engine.
+//!
+//! Builds the UHSCM index once, then serves several retrieval scenarios:
+//! Hamming *ranking* (top-k) and Hamming *lookup* (all items within a
+//! radius) — the two protocols of §4.2 — and prints per-query precision.
+//!
+//! ```sh
+//! cargo run --release --example image_search
+//! ```
+
+use uhscm::core::pipeline::{Pipeline, SimilaritySource};
+use uhscm::core::UhscmConfig;
+use uhscm::data::{share_label, Dataset, DatasetConfig, DatasetKind};
+use uhscm::eval::{top_k, HammingRanker};
+
+fn main() {
+    // A multi-label corpus (MIRFlickr-like), the harder retrieval setting.
+    let dataset = Dataset::generate(
+        DatasetKind::FlickrLike,
+        &DatasetConfig { n_train: 600, n_query: 60, n_database: 1_500, ..DatasetConfig::default() },
+        42,
+    );
+    let pipeline = Pipeline::new(&dataset, 7);
+    let config = UhscmConfig { bits: 64, epochs: 25, ..UhscmConfig::for_dataset(dataset.kind) };
+
+    println!("indexing {} database images @ {} bits …", dataset.split.database.len(), config.bits);
+    let model = pipeline.train(&SimilaritySource::default(), &config);
+    let (query_codes, db_codes) = pipeline.encode_splits(&model);
+    let ranker = HammingRanker::new(db_codes);
+    let names = |item: usize| -> String {
+        dataset.labels[item]
+            .iter()
+            .map(|&c| dataset.class_names[c].clone())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+
+    // Scenario A: top-k ranking.
+    println!("\n== Hamming ranking: top-5 per query ==");
+    let rel = pipeline.relevance();
+    for qi in 0..4 {
+        let q_item = dataset.split.query[qi];
+        let hits = top_k(&ranker, &query_codes, qi, &rel, 5);
+        println!("query[{qi}] tags [{}]:", names(q_item));
+        for h in &hits {
+            println!(
+                "   d={} [{}] {}",
+                h.distance,
+                names(dataset.split.database[h.index]),
+                if h.relevant { "✓" } else { "✗" }
+            );
+        }
+    }
+
+    // Scenario B: hash lookup within a radius — the constant-time
+    // candidate-probing use case that motivates learned binary codes.
+    println!("\n== Hash lookup: candidates within Hamming radius 12 ==");
+    let radius = 12u32;
+    let mut total_candidates = 0usize;
+    let mut total_relevant = 0usize;
+    for qi in 0..query_codes.len() {
+        let q_item = dataset.split.query[qi];
+        let dists = ranker.distances(&query_codes, qi);
+        for (di, &d) in dists.iter().enumerate() {
+            if d <= radius {
+                total_candidates += 1;
+                if share_label(
+                    &dataset.labels[q_item],
+                    &dataset.labels[dataset.split.database[di]],
+                ) {
+                    total_relevant += 1;
+                }
+            }
+        }
+    }
+    let db_n = dataset.split.database.len() * query_codes.len();
+    println!(
+        "probed {} of {} query-database pairs ({:.1}%), lookup precision {:.3}",
+        total_candidates,
+        db_n,
+        100.0 * total_candidates as f64 / db_n as f64,
+        total_relevant as f64 / total_candidates.max(1) as f64
+    );
+}

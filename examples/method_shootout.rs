@@ -1,0 +1,70 @@
+//! Method shoot-out: UHSCM against four baselines on one dataset.
+//!
+//! A miniature version of the paper's Table 1 — same protocol (MAP of
+//! Hamming ranking, share-a-label relevance), one dataset, 32 bits.
+//!
+//! ```sh
+//! cargo run --release --example method_shootout [cifar|nus|flickr]
+//! ```
+
+use uhscm::baselines::{BaselineKind, DeepBaselineConfig};
+use uhscm::core::pipeline::{Pipeline, SimilaritySource};
+use uhscm::core::UhscmConfig;
+use uhscm::data::{Dataset, DatasetConfig, DatasetKind};
+use uhscm::eval::{mean_average_precision, BitCodes, HammingRanker};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("nus") => DatasetKind::NusWideLike,
+        Some("flickr") => DatasetKind::FlickrLike,
+        _ => DatasetKind::Cifar10Like,
+    };
+    let bits = 32;
+    let dataset = Dataset::generate(
+        kind,
+        &DatasetConfig { n_train: 600, n_query: 150, n_database: 1_800, ..DatasetConfig::default() },
+        42,
+    );
+    let pipeline = Pipeline::new(&dataset, 7);
+    let query_features = pipeline.features_of(&dataset.split.query);
+    let db_features = pipeline.features_of(&dataset.split.database);
+    println!("shoot-out on {} @ {bits} bits\n", kind.name());
+
+    let evaluate = |name: &str, query: BitCodes, db: BitCodes| -> (String, f64) {
+        let ranker = HammingRanker::new(db);
+        let map = mean_average_precision(
+            &ranker,
+            &query,
+            &pipeline.relevance(),
+            dataset.split.database.len(),
+        );
+        (name.to_string(), map)
+    };
+
+    let mut board: Vec<(String, f64)> = Vec::new();
+
+    // UHSCM.
+    let config = UhscmConfig { bits, epochs: 25, ..UhscmConfig::for_dataset(kind) };
+    let model = pipeline.train(&SimilaritySource::default(), &config);
+    let (q, db) = pipeline.encode_splits(&model);
+    board.push(evaluate("UHSCM", q, db));
+
+    // A spread of baselines: two shallow, two deep.
+    let deep_cfg = DeepBaselineConfig { epochs: 25, ..DeepBaselineConfig::default() };
+    for kind in [BaselineKind::Lsh, BaselineKind::Itq, BaselineKind::Ssdh, BaselineKind::Cib] {
+        let hasher = kind.train(pipeline.train_features(), bits, &deep_cfg, 9);
+        board.push(evaluate(
+            kind.name(),
+            hasher.encode(&query_features),
+            hasher.encode(&db_features),
+        ));
+    }
+
+    board.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MAP"));
+    println!("{:<10} {:>7}", "method", "MAP");
+    for (name, map) in &board {
+        println!("{name:<10} {map:>7.3}");
+    }
+    assert_eq!(board[0].0, "UHSCM", "expected UHSCM to lead the board");
+    println!("\nUHSCM leads, as in the paper's Table 1.");
+}

@@ -1,0 +1,71 @@
+//! Train once, serve forever: persist the hashing network and the database
+//! codes, reload them in a fresh "process", and serve multi-probe lookups
+//! from the bucketed Hamming index.
+//!
+//! ```sh
+//! cargo run --release --example persistent_index
+//! ```
+
+use std::io::Cursor;
+use uhscm::core::pipeline::{Pipeline, SimilaritySource};
+use uhscm::core::UhscmConfig;
+use uhscm::data::{Dataset, DatasetConfig, DatasetKind};
+use uhscm::eval::{BitCodes, HashIndex};
+use uhscm::nn::Mlp;
+
+fn main() {
+    // --- Offline: train and persist --------------------------------------
+    let dataset = Dataset::generate(
+        DatasetKind::Cifar10Like,
+        &DatasetConfig { n_train: 500, n_query: 50, n_database: 2_000, ..DatasetConfig::default() },
+        42,
+    );
+    let pipeline = Pipeline::new(&dataset, 7);
+    let config = UhscmConfig { bits: 64, epochs: 20, ..UhscmConfig::for_dataset(dataset.kind) };
+    let model = pipeline.train(&SimilaritySource::default(), &config);
+    let db_codes = model.encode(&pipeline.features_of(&dataset.split.database));
+
+    // Persist network + database codes (here to memory; files in real use).
+    let mut net_blob = Vec::new();
+    model.network().save(&mut net_blob).expect("serialize network");
+    let mut code_blob = Vec::new();
+    db_codes.save(&mut code_blob).expect("serialize codes");
+    println!(
+        "persisted: network {} bytes, {} database codes {} bytes",
+        net_blob.len(),
+        db_codes.len(),
+        code_blob.len()
+    );
+
+    // --- Online: reload and serve ----------------------------------------
+    let served_net = Mlp::load(&mut Cursor::new(&net_blob)).expect("reload network");
+    let served_codes = BitCodes::load(&mut Cursor::new(&code_blob)).expect("reload codes");
+    let index = HashIndex::with_default_prefix(served_codes);
+    println!(
+        "index online: {} codes, {}-bit bucketing prefix, {} buckets",
+        index.len(),
+        index.prefix_bits(),
+        index.bucket_count()
+    );
+
+    // Encode incoming queries with the reloaded network and probe.
+    let query_codes = BitCodes::from_real(&served_net.infer(&pipeline.features_of(&dataset.split.query)));
+    let class_of = |item: usize| dataset.class_names[dataset.labels[item][0]].as_str();
+    for qi in 0..3 {
+        let q_item = dataset.split.query[qi];
+        // Radius lookup (hash-lookup protocol) …
+        let within = index.lookup(&query_codes, qi, 10);
+        // … and k-NN via expanding rings.
+        let knn = index.knn(&query_codes, qi, 5);
+        let knn_classes: Vec<&str> = knn
+            .iter()
+            .map(|&(j, _)| class_of(dataset.split.database[j as usize]))
+            .collect();
+        println!(
+            "query[{qi}] ('{}'): {} candidates within radius 10; 5-NN classes {:?}",
+            class_of(q_item),
+            within.len(),
+            knn_classes
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: train UHSCM on a small synthetic CIFAR10-like dataset and
+//! run a retrieval query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use uhscm::core::pipeline::{Pipeline, SimilaritySource};
+use uhscm::core::UhscmConfig;
+use uhscm::data::{Dataset, DatasetConfig, DatasetKind};
+use uhscm::eval::{mean_average_precision, HammingRanker};
+
+fn main() {
+    // 1. A small single-label dataset (synthetic stand-in for CIFAR10).
+    let config = DatasetConfig {
+        n_train: 500,
+        n_query: 100,
+        n_database: 1_500,
+        ..DatasetConfig::default()
+    };
+    let dataset = Dataset::generate(DatasetKind::Cifar10Like, &config, 42);
+    println!(
+        "dataset: {} ({} train / {} query / {} database items, {} classes)",
+        dataset.kind.name(),
+        dataset.split.train.len(),
+        dataset.split.query.len(),
+        dataset.split.database.len(),
+        dataset.class_names.len()
+    );
+
+    // 2. Bind the dataset to frozen VLP / feature-extractor checkpoints.
+    let pipeline = Pipeline::new(&dataset, 7);
+
+    // 3. Train the full UHSCM model: concept mining over the NUS-WIDE-81
+    //    vocabulary with "a photo of the {c}", denoising, similarity matrix,
+    //    and the Eq. 11 hashing loss.
+    let uhscm_config = UhscmConfig { bits: 64, epochs: 25, ..UhscmConfig::for_dataset(dataset.kind) };
+    let model = pipeline.train(&SimilaritySource::default(), &uhscm_config);
+    println!("trained a {}-bit hashing network", model.bits());
+
+    // 4. Encode the query and database splits and evaluate MAP.
+    let (query_codes, db_codes) = pipeline.encode_splits(&model);
+    let ranker = HammingRanker::new(db_codes);
+    let map = mean_average_precision(
+        &ranker,
+        &query_codes,
+        &pipeline.relevance(),
+        dataset.split.database.len(),
+    );
+    println!("MAP over the database: {map:.3}");
+
+    // 5. Inspect one query's nearest neighbours.
+    let hits = uhscm::eval::top_k(&ranker, &query_codes, 0, &pipeline.relevance(), 5);
+    let class_of =
+        |item: usize| dataset.class_names[dataset.labels[item][0]].as_str();
+    println!(
+        "query 0 is a '{}'; top-5 neighbours:",
+        class_of(dataset.split.query[0])
+    );
+    for hit in hits {
+        println!(
+            "  db[{}] class '{}' at Hamming distance {} ({})",
+            hit.index,
+            class_of(dataset.split.database[hit.index]),
+            hit.distance,
+            if hit.relevant { "relevant" } else { "irrelevant" }
+        );
+    }
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Splice measured tables from results/*.out into EXPERIMENTS.md placeholders."""
+import re, sys
+
+def grab(path, start=None, keep_headers=True):
+    try:
+        text = open(path).read()
+    except FileNotFoundError:
+        return f"*(missing: {path})*"
+    # Drop the trailing "results written" line and the title line.
+    lines = [l for l in text.splitlines()
+             if not l.startswith("results written") and not l.startswith("# ")
+             and not l.startswith("embeddings written") and not l.startswith("panels written")]
+    return "\n".join(lines).strip()
+
+def figure6_summary(path):
+    text = open(path).read()
+    # Keep only the fault table at the end.
+    idx = text.rfind("| Method")
+    return text[idx:].replace("results written", "").split("panels written")[0].strip()
+
+def figure5_summary(path):
+    text = open(path).read()
+    idx = text.find("| Method")
+    end = text.find("embeddings written")
+    return text[idx:end].strip()
+
+md = open("EXPERIMENTS.md").read()
+subs = {
+    "<!-- TABLE1 -->": grab("results/table1.out"),
+    "<!-- TABLE2 -->": grab("results/table2.out"),
+    "<!-- TABLE3 -->": grab("results/table3.out"),
+    "<!-- FIGURE2 -->": grab("results/figure2.out"),
+    "<!-- FIGURE3 -->": grab("results/figure3.out"),
+    "<!-- FIGURE4 -->": grab("results/figure4.out"),
+    "<!-- FIGURE5 -->": figure5_summary("results/figure5.out"),
+    "<!-- FIGURE6 -->": figure6_summary("results/figure6.out"),
+    "<!-- ABLATION_SIM -->": grab("results/ablation_sim.out"),
+    "<!-- SKYLINE -->": grab("results/skyline.out"),
+}
+for k, v in subs.items():
+    if k not in md:
+        print(f"warning: placeholder {k} not found", file=sys.stderr)
+    md = md.replace(k, v)
+open("EXPERIMENTS.md", "w").write(md)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,9 @@
+#!/bin/bash
+set -u
+cd /root/repo
+for b in table1 table2 figure2 figure3 figure4 table3 figure5 figure6; do
+  echo "=== START $b $(date +%T) ===" >> results/experiments.log
+  ./target/release/$b --scale full > results/$b.out 2> results/$b.err
+  echo "=== DONE $b $(date +%T) rc=$? ===" >> results/experiments.log
+done
+echo "ALL_EXPERIMENTS_DONE" >> results/experiments.log

@@ -1,0 +1,25 @@
+//! The `uhscm` command-line entry point. All logic lives in
+//! [`uhscm::cli`]; this binary only wires argv/stdout/exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match uhscm::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", uhscm::cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match uhscm::cli::run(&cmd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

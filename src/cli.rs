@@ -1,0 +1,494 @@
+//! The `uhscm` command-line tool: train, evaluate and query hashing models
+//! over persisted artifacts.
+//!
+//! Because every dataset in this reproduction is synthesized
+//! deterministically from a seed, a "model bundle" is three small files in
+//! a directory:
+//!
+//! * `model.nn` — the hashing network ([`crate::nn::Mlp`] format),
+//! * `db.codes` — bit-packed database codes ([`crate::eval::BitCodes`]),
+//! * `meta.txt` — `key=value` lines recording the dataset recipe.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! uhscm train   --out DIR [--dataset cifar|nus|flickr] [--bits K]
+//!               [--epochs N] [--seed S] [--train N --query N --database N]
+//! uhscm eval    --bundle DIR          # MAP over the bundle's query split
+//! uhscm query   --bundle DIR --id Q [--top K]
+//! uhscm info    --bundle DIR
+//! ```
+
+use crate::core::pipeline::{Pipeline, SimilaritySource};
+use crate::core::UhscmConfig;
+use crate::data::{Dataset, DatasetConfig, DatasetKind};
+use crate::eval::{mean_average_precision, top_k, BitCodes, HammingRanker};
+use crate::nn::Mlp;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Train(TrainArgs),
+    Eval { bundle: PathBuf },
+    Query { bundle: PathBuf, id: usize, top: usize },
+    Info { bundle: PathBuf },
+    Help,
+}
+
+/// Arguments of `uhscm train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    pub out: PathBuf,
+    pub dataset: DatasetKind,
+    pub bits: usize,
+    pub epochs: usize,
+    pub seed: u64,
+    pub n_train: usize,
+    pub n_query: usize,
+    pub n_database: usize,
+}
+
+impl Default for TrainArgs {
+    fn default() -> Self {
+        Self {
+            out: PathBuf::from("uhscm-bundle"),
+            dataset: DatasetKind::Cifar10Like,
+            bits: 64,
+            epochs: 30,
+            seed: 42,
+            n_train: 800,
+            n_query: 200,
+            n_database: 2_400,
+        }
+    }
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Corrupt(msg) => write!(f, "bundle error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The help text.
+pub const USAGE: &str = "\
+uhscm — unsupervised hashing with semantic concept mining
+
+USAGE:
+  uhscm train --out DIR [--dataset cifar|nus|flickr] [--bits K]
+              [--epochs N] [--seed S] [--train N --query N --database N]
+  uhscm eval  --bundle DIR
+  uhscm query --bundle DIR --id QUERY_INDEX [--top K]
+  uhscm info  --bundle DIR
+";
+
+/// Parse a CLI argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{}'", rest[i])))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.to_string());
+        i += 2;
+    }
+    let bundle = |flags: &BTreeMap<String, String>| -> Result<PathBuf, CliError> {
+        flags
+            .get("bundle")
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage("--bundle DIR is required".into()))
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "train" => {
+            let mut t = TrainArgs::default();
+            for (k, v) in &flags {
+                match k.as_str() {
+                    "out" => t.out = PathBuf::from(v),
+                    "dataset" => t.dataset = parse_dataset(v)?,
+                    "bits" => t.bits = parse_num(k, v)?,
+                    "epochs" => t.epochs = parse_num(k, v)?,
+                    "seed" => t.seed = parse_num(k, v)? as u64,
+                    "train" => t.n_train = parse_num(k, v)?,
+                    "query" => t.n_query = parse_num(k, v)?,
+                    "database" => t.n_database = parse_num(k, v)?,
+                    other => return Err(CliError::Usage(format!("unknown flag --{other}"))),
+                }
+            }
+            Ok(Command::Train(t))
+        }
+        "eval" => Ok(Command::Eval { bundle: bundle(&flags)? }),
+        "query" => {
+            let id = flags
+                .get("id")
+                .ok_or_else(|| CliError::Usage("--id QUERY_INDEX is required".into()))
+                .and_then(|v| parse_num("id", v))?;
+            let top = match flags.get("top") {
+                Some(v) => parse_num("top", v)?,
+                None => 10,
+            };
+            Ok(Command::Query { bundle: bundle(&flags)?, id, top })
+        }
+        "info" => Ok(Command::Info { bundle: bundle(&flags)? }),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn parse_dataset(v: &str) -> Result<DatasetKind, CliError> {
+    match v.to_lowercase().as_str() {
+        "cifar" | "cifar10" => Ok(DatasetKind::Cifar10Like),
+        "nus" | "nuswide" | "nus-wide" => Ok(DatasetKind::NusWideLike),
+        "flickr" | "mirflickr" => Ok(DatasetKind::FlickrLike),
+        other => Err(CliError::Usage(format!(
+            "unknown dataset '{other}' (expected cifar|nus|flickr)"
+        ))),
+    }
+}
+
+fn parse_num(key: &str, v: &str) -> Result<usize, CliError> {
+    v.parse::<usize>()
+        .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'")))
+}
+
+/// Execute a command, writing human-readable output into a string
+/// (separated from `main` so the logic is unit-testable).
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Train(args) => run_train(args),
+        Command::Eval { bundle } => run_eval(bundle),
+        Command::Query { bundle, id, top } => run_query(bundle, *id, *top),
+        Command::Info { bundle } => run_info(bundle),
+    }
+}
+
+fn dataset_from_meta(meta: &BTreeMap<String, String>) -> Result<(Dataset, u64), CliError> {
+    let get = |k: &str| {
+        meta.get(k)
+            .ok_or_else(|| CliError::Corrupt(format!("meta.txt missing '{k}'")))
+    };
+    let kind = parse_dataset(get("dataset")?)?;
+    let parse_field = |k: &str| -> Result<usize, CliError> {
+        get(k)?
+            .parse::<usize>()
+            .map_err(|_| CliError::Corrupt(format!("meta.txt field '{k}' is not a number")))
+    };
+    let seed = parse_field("seed")? as u64;
+    let config = DatasetConfig {
+        n_train: parse_field("n_train")?,
+        n_query: parse_field("n_query")?,
+        n_database: parse_field("n_database")?,
+        ..DatasetConfig::default()
+    };
+    Ok((Dataset::generate(kind, &config, seed), seed))
+}
+
+fn run_train(args: &TrainArgs) -> Result<String, CliError> {
+    let config = DatasetConfig {
+        n_train: args.n_train,
+        n_query: args.n_query,
+        n_database: args.n_database,
+        ..DatasetConfig::default()
+    };
+    let dataset = Dataset::generate(args.dataset, &config, args.seed);
+    let pipeline = Pipeline::new(&dataset, args.seed);
+    let uhscm = UhscmConfig {
+        bits: args.bits,
+        epochs: args.epochs,
+        ..UhscmConfig::for_dataset(args.dataset)
+    };
+    let model = pipeline.train(&SimilaritySource::default(), &uhscm);
+    let db_codes = model.encode(&pipeline.features_of(&dataset.split.database));
+
+    fs::create_dir_all(&args.out)?;
+    let mut net_file = fs::File::create(args.out.join("model.nn"))?;
+    model
+        .network()
+        .save(&mut net_file)
+        .map_err(CliError::Io)?;
+    let mut codes_file = fs::File::create(args.out.join("db.codes"))?;
+    db_codes.save(&mut codes_file)?;
+    let meta = format!(
+        "dataset={}\nbits={}\nepochs={}\nseed={}\nn_train={}\nn_query={}\nn_database={}\n",
+        match args.dataset {
+            DatasetKind::Cifar10Like => "cifar",
+            DatasetKind::NusWideLike => "nus",
+            DatasetKind::FlickrLike => "flickr",
+        },
+        args.bits,
+        args.epochs,
+        args.seed,
+        args.n_train,
+        args.n_query,
+        args.n_database
+    );
+    fs::write(args.out.join("meta.txt"), meta)?;
+    Ok(format!(
+        "trained {}-bit UHSCM on {} ({} train items), bundle written to {}\n",
+        args.bits,
+        args.dataset.name(),
+        args.n_train,
+        args.out.display()
+    ))
+}
+
+fn read_meta(bundle: &Path) -> Result<BTreeMap<String, String>, CliError> {
+    let raw = fs::read_to_string(bundle.join("meta.txt"))?;
+    let mut meta = BTreeMap::new();
+    for line in raw.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| CliError::Corrupt(format!("bad meta line '{line}'")))?;
+        meta.insert(k.to_string(), v.to_string());
+    }
+    Ok(meta)
+}
+
+struct Bundle {
+    dataset: Dataset,
+    network: Mlp,
+    db_codes: BitCodes,
+    seed: u64,
+}
+
+fn load_bundle(bundle: &Path) -> Result<Bundle, CliError> {
+    let meta = read_meta(bundle)?;
+    let (dataset, seed) = dataset_from_meta(&meta)?;
+    let mut net_file = fs::File::open(bundle.join("model.nn"))?;
+    let network = Mlp::load(&mut net_file)
+        .map_err(|e| CliError::Corrupt(format!("model.nn: {e}")))?;
+    let mut codes_file = fs::File::open(bundle.join("db.codes"))?;
+    let db_codes = BitCodes::load(&mut codes_file)?;
+    if db_codes.len() != dataset.split.database.len() {
+        return Err(CliError::Corrupt(format!(
+            "db.codes has {} codes but the dataset recipe yields {} database items",
+            db_codes.len(),
+            dataset.split.database.len()
+        )));
+    }
+    Ok(Bundle { dataset, network, db_codes, seed })
+}
+
+fn query_codes(bundle: &Bundle) -> BitCodes {
+    let pipeline = Pipeline::new(&bundle.dataset, bundle.seed);
+    BitCodes::from_real(
+        &bundle
+            .network
+            .infer(&pipeline.features_of(&bundle.dataset.split.query)),
+    )
+}
+
+fn run_eval(path: &Path) -> Result<String, CliError> {
+    let bundle = load_bundle(path)?;
+    let queries = query_codes(&bundle);
+    let ranker = HammingRanker::new(bundle.db_codes.clone());
+    let ds = &bundle.dataset;
+    let rel = |qi: usize, di: usize| {
+        crate::data::share_label(
+            &ds.labels[ds.split.query[qi]],
+            &ds.labels[ds.split.database[di]],
+        )
+    };
+    let map = mean_average_precision(&ranker, &queries, &rel, ds.split.database.len());
+    Ok(format!(
+        "{} | {} bits | {} queries vs {} database items | MAP {:.4}\n",
+        ds.kind.name(),
+        bundle.db_codes.bits(),
+        queries.len(),
+        bundle.db_codes.len(),
+        map
+    ))
+}
+
+fn run_query(path: &Path, id: usize, top: usize) -> Result<String, CliError> {
+    let bundle = load_bundle(path)?;
+    let queries = query_codes(&bundle);
+    if id >= queries.len() {
+        return Err(CliError::Usage(format!(
+            "query index {id} out of range (bundle has {} queries)",
+            queries.len()
+        )));
+    }
+    let ds = &bundle.dataset;
+    let ranker = HammingRanker::new(bundle.db_codes.clone());
+    let rel = |qi: usize, di: usize| {
+        crate::data::share_label(
+            &ds.labels[ds.split.query[qi]],
+            &ds.labels[ds.split.database[di]],
+        )
+    };
+    let labels_of = |item: usize| -> String {
+        ds.labels[item]
+            .iter()
+            .map(|&c| ds.class_names[c].clone())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+    let mut out = format!(
+        "query {id} labels [{}], top-{top} neighbours:\n",
+        labels_of(ds.split.query[id])
+    );
+    for hit in top_k(&ranker, &queries, id, &rel, top) {
+        writeln!(
+            out,
+            "  d={:>3}  db[{:>6}]  [{}] {}",
+            hit.distance,
+            hit.index,
+            labels_of(ds.split.database[hit.index]),
+            if hit.relevant { "✓" } else { "✗" }
+        )
+        .expect("writing to string cannot fail");
+    }
+    Ok(out)
+}
+
+fn run_info(path: &Path) -> Result<String, CliError> {
+    let bundle = load_bundle(path)?;
+    Ok(format!(
+        "bundle: {}\n  dataset   : {}\n  bits      : {}\n  database  : {} codes\n  queries   : {}\n  network   : {} parameters\n",
+        path.display(),
+        bundle.dataset.kind.name(),
+        bundle.db_codes.bits(),
+        bundle.db_codes.len(),
+        bundle.dataset.split.query.len(),
+        bundle.network.param_count()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_train_with_defaults_and_overrides() {
+        let cmd = parse(&argv(&["train", "--out", "/tmp/x", "--bits", "32", "--dataset", "nus"]))
+            .unwrap();
+        match cmd {
+            Command::Train(t) => {
+                assert_eq!(t.out, PathBuf::from("/tmp/x"));
+                assert_eq!(t.bits, 32);
+                assert_eq!(t.dataset, DatasetKind::NusWideLike);
+                assert_eq!(t.epochs, TrainArgs::default().epochs);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_commands() {
+        assert!(matches!(
+            parse(&argv(&["train", "--nope", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv(&["train", "--bits", "lots"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv(&["query", "--bundle", "x"])), // missing --id
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(&argv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn train_eval_query_info_round_trip() {
+        let dir = std::env::temp_dir().join(format!("uhscm-cli-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let args = TrainArgs {
+            out: dir.clone(),
+            bits: 16,
+            epochs: 3,
+            n_train: 80,
+            n_query: 20,
+            n_database: 200,
+            ..TrainArgs::default()
+        };
+        let msg = run(&Command::Train(args)).unwrap();
+        assert!(msg.contains("bundle written"));
+
+        let info = run(&Command::Info { bundle: dir.clone() }).unwrap();
+        assert!(info.contains("16"), "{info}");
+        assert!(info.contains("200 codes"), "{info}");
+
+        let eval = run(&Command::Eval { bundle: dir.clone() }).unwrap();
+        assert!(eval.contains("MAP"), "{eval}");
+
+        let query = run(&Command::Query { bundle: dir.clone(), id: 0, top: 5 }).unwrap();
+        assert_eq!(query.matches("d=").count(), 5, "{query}");
+
+        // Out-of-range query id is a usage error.
+        assert!(matches!(
+            run(&Command::Query { bundle: dir.clone(), id: 999, top: 5 }),
+            Err(CliError::Usage(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_on_missing_bundle_is_io_error() {
+        let missing = PathBuf::from("/definitely/not/here");
+        assert!(matches!(run(&Command::Eval { bundle: missing }), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_meta_is_detected() {
+        let dir = std::env::temp_dir().join(format!("uhscm-cli-meta-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("meta.txt"), "this is not key value\n").unwrap();
+        assert!(matches!(
+            run(&Command::Info { bundle: dir.clone() }),
+            Err(CliError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

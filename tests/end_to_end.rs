@@ -1,0 +1,99 @@
+//! End-to-end integration tests: dataset → VLP → similarity → training →
+//! retrieval, across crates.
+
+use uhscm::baselines::{BaselineKind, DeepBaselineConfig};
+use uhscm::core::pipeline::{Pipeline, SimilaritySource};
+use uhscm::core::UhscmConfig;
+use uhscm::data::{Dataset, DatasetConfig, DatasetKind};
+use uhscm::eval::{mean_average_precision, HammingRanker};
+
+fn small(kind: DatasetKind) -> Dataset {
+    Dataset::generate(
+        kind,
+        &DatasetConfig { n_train: 300, n_query: 80, n_database: 900, ..DatasetConfig::default() },
+        42,
+    )
+}
+
+fn train_map(kind: DatasetKind, bits: usize) -> f64 {
+    let dataset = small(kind);
+    let pipeline = Pipeline::new(&dataset, 7);
+    let config = UhscmConfig { bits, epochs: 15, ..UhscmConfig::for_dataset(kind) };
+    let model = pipeline.train(&SimilaritySource::default(), &config);
+    pipeline.evaluate_map(&model, dataset.split.database.len())
+}
+
+#[test]
+fn uhscm_learns_useful_codes_on_all_three_datasets() {
+    // Chance MAP is ~0.1 (CIFAR) and ~0.2-0.4 (multi-label base rates).
+    let cifar = train_map(DatasetKind::Cifar10Like, 32);
+    assert!(cifar > 0.6, "CIFAR10 MAP {cifar}");
+    let nus = train_map(DatasetKind::NusWideLike, 32);
+    assert!(nus > 0.5, "NUS-WIDE MAP {nus}");
+    let flickr = train_map(DatasetKind::FlickrLike, 32);
+    assert!(flickr > 0.5, "MIRFlickr MAP {flickr}");
+}
+
+#[test]
+fn uhscm_beats_shallow_baselines() {
+    let dataset = small(DatasetKind::Cifar10Like);
+    let pipeline = Pipeline::new(&dataset, 7);
+    let bits = 32;
+    let config = UhscmConfig { bits, epochs: 15, ..UhscmConfig::for_dataset(dataset.kind) };
+    let model = pipeline.train(&SimilaritySource::default(), &config);
+    let uhscm_map = pipeline.evaluate_map(&model, dataset.split.database.len());
+
+    let query_features = pipeline.features_of(&dataset.split.query);
+    let db_features = pipeline.features_of(&dataset.split.database);
+    let deep_cfg = DeepBaselineConfig { epochs: 15, ..DeepBaselineConfig::default() };
+    for baseline in [BaselineKind::Lsh, BaselineKind::Sh, BaselineKind::Itq] {
+        let hasher = baseline.train(pipeline.train_features(), bits, &deep_cfg, 9);
+        let ranker = HammingRanker::new(hasher.encode(&db_features));
+        let map = mean_average_precision(
+            &ranker,
+            &hasher.encode(&query_features),
+            &pipeline.relevance(),
+            dataset.split.database.len(),
+        );
+        assert!(
+            uhscm_map > map,
+            "{} ({map:.3}) not below UHSCM ({uhscm_map:.3})",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn longer_codes_do_not_collapse() {
+    // The paper's Table 1 rows are roughly non-decreasing in bits for
+    // UHSCM; at minimum, 96 bits must not be far below 32.
+    let m32 = train_map(DatasetKind::Cifar10Like, 32);
+    let m96 = train_map(DatasetKind::Cifar10Like, 96);
+    assert!(m96 > m32 - 0.1, "96-bit MAP {m96} collapsed vs 32-bit {m32}");
+}
+
+#[test]
+fn whole_experiment_is_deterministic() {
+    let a = train_map(DatasetKind::FlickrLike, 16);
+    let b = train_map(DatasetKind::FlickrLike, 16);
+    assert_eq!(a, b, "same seed must reproduce the same MAP bit-for-bit");
+}
+
+#[test]
+fn multilabel_query_relevance_uses_label_intersection() {
+    let dataset = small(DatasetKind::NusWideLike);
+    let pipeline = Pipeline::new(&dataset, 7);
+    let rel = pipeline.relevance();
+    // Find one relevant and one irrelevant pair and verify against labels.
+    let q0 = &dataset.labels[dataset.split.query[0]];
+    let mut saw_relevant = false;
+    let mut saw_irrelevant = false;
+    for di in 0..dataset.split.database.len() {
+        let d = &dataset.labels[dataset.split.database[di]];
+        let expected = q0.iter().any(|c| d.contains(c));
+        assert_eq!(rel(0, di), expected);
+        saw_relevant |= expected;
+        saw_irrelevant |= !expected;
+    }
+    assert!(saw_relevant && saw_irrelevant);
+}
