@@ -28,10 +28,7 @@ impl Agh {
     /// with the code length (`max(2k, 32)`, capped at `n/2`, always > k so
     /// enough non-trivial eigenvectors exist).
     pub fn train(features: &Matrix, bits: usize, seed: u64) -> Self {
-        let a = (2 * bits)
-            .max(32)
-            .min(features.rows() / 2)
-            .max(bits + 1);
+        let a = (2 * bits).max(32).min(features.rows() / 2).max(bits + 1);
         Self::train_with(features, bits, a, 3, seed)
     }
 
@@ -48,10 +45,7 @@ impl Agh {
         seed: u64,
     ) -> Self {
         assert!(s > 0, "s must be positive");
-        assert!(
-            bits < n_anchors,
-            "bits ({bits}) must be below the anchor count ({n_anchors})"
-        );
+        assert!(bits < n_anchors, "bits ({bits}) must be below the anchor count ({n_anchors})");
         let mut r = rng::seeded(seed ^ 0xa6_11);
         let km = kmeans(features, n_anchors, 50, &mut r);
         let anchors = km.centroids;
@@ -59,10 +53,11 @@ impl Agh {
         // Bandwidth: mean squared distance to the s-th nearest anchor.
         let mut bandwidth = 0.0;
         for i in 0..features.rows() {
-            let mut dists: Vec<f64> = (0..n_anchors)
-                .map(|c| vecops::sq_dist(features.row(i), anchors.row(c)))
-                .collect();
-            dists.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            let mut dists: Vec<f64> =
+                (0..n_anchors).map(|c| vecops::sq_dist(features.row(i), anchors.row(c))).collect();
+            dists.sort_by(|x, y| {
+                x.partial_cmp(y).expect("AGH bandwidth: anchor distances must be finite")
+            });
             bandwidth += dists[s - 1];
         }
         bandwidth = (bandwidth / features.rows() as f64).max(1e-9);
@@ -76,8 +71,7 @@ impl Agh {
                 lambda[c] += v;
             }
         }
-        let lam_inv_sqrt: Vec<f64> =
-            lambda.iter().map(|&l| 1.0 / l.max(1e-12).sqrt()).collect();
+        let lam_inv_sqrt: Vec<f64> = lambda.iter().map(|&l| 1.0 / l.max(1e-12).sqrt()).collect();
         let ztz = z.t_matmul(&z);
         let mut m = ztz;
         for i in 0..n_anchors {
@@ -111,7 +105,9 @@ fn truncated_affinity(features: &Matrix, anchors: &Matrix, s: usize, bandwidth: 
         for c in 0..a {
             dists.push((vecops::sq_dist(features.row(i), anchors.row(c)), c));
         }
-        dists.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"));
+        dists.sort_by(|x, y| {
+            x.0.partial_cmp(&y.0).expect("AGH embedding: anchor distances must be finite")
+        });
         let mut sum = 0.0;
         for &(d, c) in dists.iter().take(s) {
             let w = (-d / bandwidth).exp();

@@ -20,12 +20,11 @@ const RECON_WEIGHT: f64 = 0.5;
 
 /// Train the simplified BGAN (encoder + decoder, neighborhood + recon +
 /// quantization losses).
-pub fn train(
-    features: &Matrix,
-    bits: usize,
-    config: &DeepBaselineConfig,
-    seed: u64,
-) -> DeepHasher {
+///
+/// # Panics
+///
+/// Panics if `features` has fewer than two rows.
+pub fn train(features: &Matrix, bits: usize, config: &DeepBaselineConfig, seed: u64) -> DeepHasher {
     let n = features.rows();
     let d = features.cols();
     assert!(n >= 2, "need at least two items");

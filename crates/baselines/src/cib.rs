@@ -22,12 +22,11 @@ const GAMMA: f64 = 0.3;
 const AUG_NOISE: f64 = 0.1;
 
 /// Train CIB.
-pub fn train(
-    features: &Matrix,
-    bits: usize,
-    config: &DeepBaselineConfig,
-    seed: u64,
-) -> DeepHasher {
+///
+/// # Panics
+///
+/// Panics if `features` has fewer than two rows.
+pub fn train(features: &Matrix, bits: usize, config: &DeepBaselineConfig, seed: u64) -> DeepHasher {
     let n = features.rows();
     assert!(n >= 2, "need at least two items");
     let mut r = rng::seeded(seed ^ 0xc1b0);

@@ -102,6 +102,10 @@ impl UnsupervisedHasher for DeepHasher {
 /// Train an MLP head to match a masked pairwise similarity `target`
 /// (entries weighted by `weights`; zero weight = unlabeled pair), plus a
 /// quantization penalty. This is the training loop of SSDH and MLS³RDUH.
+///
+/// # Panics
+///
+/// Panics if `target` or `weights` is not `n × n` for `n` feature rows.
 pub fn train_masked_pairwise(
     features: &Matrix,
     target: &Matrix,

@@ -23,12 +23,11 @@ use uhscm_nn::{Activation, Mlp, Sgd};
 const CORNER_PENALTY: f64 = 0.0001;
 
 /// Train GreedyHash.
-pub fn train(
-    features: &Matrix,
-    bits: usize,
-    config: &DeepBaselineConfig,
-    seed: u64,
-) -> DeepHasher {
+///
+/// # Panics
+///
+/// Panics if `features` has fewer than two rows.
+pub fn train(features: &Matrix, bits: usize, config: &DeepBaselineConfig, seed: u64) -> DeepHasher {
     let n = features.rows();
     let d = features.cols();
     assert!(n >= 2, "need at least two items");

@@ -17,6 +17,10 @@ pub struct Lsh {
 
 impl Lsh {
     /// "Train" = record the data mean and draw random hyperplanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
     pub fn train(features: &Matrix, bits: usize, seed: u64) -> Self {
         assert!(bits > 0, "bits must be positive");
         let mut r = rng::seeded(seed ^ 0x15a8);

@@ -39,7 +39,11 @@ pub fn manifold_structure(features: &Matrix, params: Mls3Params) -> (Matrix, Mat
     let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
     for i in 0..n {
         let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        order.sort_by(|&a, &b| cos[(i, b)].partial_cmp(&cos[(i, a)]).expect("finite"));
+        order.sort_by(|&a, &b| {
+            cos[(i, b)]
+                .partial_cmp(&cos[(i, a)])
+                .expect("MLS3RDUH kNN: cosine similarities must be finite")
+        });
         order.truncate(k);
         neighbors.push(order);
     }
@@ -97,12 +101,7 @@ pub fn manifold_structure(features: &Matrix, params: Mls3Params) -> (Matrix, Mat
 }
 
 /// Train MLS³RDUH.
-pub fn train(
-    features: &Matrix,
-    bits: usize,
-    config: &DeepBaselineConfig,
-    seed: u64,
-) -> DeepHasher {
+pub fn train(features: &Matrix, bits: usize, config: &DeepBaselineConfig, seed: u64) -> DeepHasher {
     let (target, weights) = manifold_structure(features, Mls3Params::default());
     train_masked_pairwise(features, &target, &weights, bits, config, "MLS3RDUH", seed)
 }

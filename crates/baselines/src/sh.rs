@@ -28,6 +28,10 @@ pub struct SpectralHashing {
 
 impl SpectralHashing {
     /// Fit on training features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
     pub fn train(features: &Matrix, bits: usize, _seed: u64) -> Self {
         assert!(bits > 0, "bits must be positive");
         let n_pca = bits.min(features.cols());

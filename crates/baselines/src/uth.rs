@@ -15,12 +15,12 @@ use uhscm_nn::{Mlp, Sgd};
 const MARGIN: f64 = 0.4;
 
 /// Train UTH.
-pub fn train(
-    features: &Matrix,
-    bits: usize,
-    config: &DeepBaselineConfig,
-    seed: u64,
-) -> DeepHasher {
+///
+/// # Panics
+///
+/// Panics if `features` has fewer than three rows (triplet mining needs an
+/// anchor, a positive and a negative).
+pub fn train(features: &Matrix, bits: usize, config: &DeepBaselineConfig, seed: u64) -> DeepHasher {
     let n = features.rows();
     assert!(n >= 3, "triplet mining needs at least three items");
     let mut r = rng::seeded(seed ^ 0x0717);
@@ -33,8 +33,12 @@ pub fn train(
         .map(|i| {
             (0..n)
                 .filter(|&j| j != i)
-                .max_by(|&a, &b| cos[(i, a)].partial_cmp(&cos[(i, b)]).expect("finite"))
-                .expect("n ≥ 3")
+                .max_by(|&a, &b| {
+                    cos[(i, a)]
+                        .partial_cmp(&cos[(i, b)])
+                        .expect("UTH: cosine similarities must be finite")
+                })
+                .expect("UTH: every anchor needs at least one other item (n >= 2)")
         })
         .collect();
 

@@ -1,7 +1,7 @@
 //! Property-based tests across the baseline hashing methods.
 
 use proptest::prelude::*;
-use uhscm_baselines::{BaselineKind, DeepBaselineConfig, UnsupervisedHasher};
+use uhscm_baselines::{BaselineKind, DeepBaselineConfig};
 use uhscm_linalg::{rng, vecops, Matrix};
 
 /// Clustered unit-norm features with at least 2·bits rows (AGH's anchors).

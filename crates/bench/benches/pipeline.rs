@@ -16,14 +16,16 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.measurement_time(Duration::from_secs(2)).sample_size(10);
 
-    let cfg = DatasetConfig { n_train: 400, n_query: 50, n_database: 800, ..DatasetConfig::default() };
+    let cfg =
+        DatasetConfig { n_train: 400, n_query: 50, n_database: 800, ..DatasetConfig::default() };
     let ds = Dataset::generate(DatasetKind::Cifar10Like, &cfg, 42);
     let clip = SimClip::with_defaults(ds.latents.cols(), 7);
     let concepts = vocab::nus_wide_81();
     let latents = ds.latents_of(&ds.split.train);
 
     group.bench_function("clip_score_matrix_400x81", |bench| {
-        bench.iter(|| black_box(clip.score_matrix(&latents, &concepts, PromptTemplate::PhotoOfThe)));
+        bench
+            .iter(|| black_box(clip.score_matrix(&latents, &concepts, PromptTemplate::PhotoOfThe)));
     });
 
     let scores = clip.score_matrix(&latents, &concepts, PromptTemplate::PhotoOfThe);

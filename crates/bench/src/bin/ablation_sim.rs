@@ -9,11 +9,11 @@
 //! reproduced gap is a *mechanism*, not a hand-tuned constant.
 
 use serde::Serialize;
+use uhscm_baselines::itq::Itq;
+use uhscm_baselines::UnsupervisedHasher;
 use uhscm_bench::context::EXPERIMENT_SEED;
 use uhscm_bench::report::f3;
 use uhscm_bench::{markdown_table, write_json, Scale};
-use uhscm_baselines::itq::Itq;
-use uhscm_baselines::UnsupervisedHasher;
 use uhscm_core::pipeline::SimilaritySource;
 use uhscm_data::{Dataset, DatasetKind};
 use uhscm_eval::{mean_average_precision, HammingRanker};
@@ -32,7 +32,8 @@ struct Point {
 fn main() {
     let scale = Scale::from_env_args();
     let bits = 32;
-    let dataset = Dataset::generate(DatasetKind::Cifar10Like, &scale.dataset_config(), EXPERIMENT_SEED);
+    let dataset =
+        Dataset::generate(DatasetKind::Cifar10Like, &scale.dataset_config(), EXPERIMENT_SEED);
     let latent_dim = dataset.latents.cols();
     println!("# Simulation-design ablation (CIFAR10, {bits} bits, scale: {})\n", scale.id());
 
@@ -41,19 +42,23 @@ fn main() {
     // --- Knob 1: style-nuisance norm in the CNN-style features -----------
     let mut rows = Vec::new();
     for &style in &[0.0, 0.5, 1.0, 1.5, 2.0] {
-        let vgg = VggFeatures::with_style(latent_dim, 128, 0.8, 16, style, EXPERIMENT_SEED ^ 0x7667);
+        let vgg =
+            VggFeatures::with_style(latent_dim, 128, 0.8, 16, style, EXPERIMENT_SEED ^ 0x7667);
         let (u, i) = run_pair(&dataset, &vgg, None, bits, scale);
         rows.push(vec![format!("{style}"), f3(u), f3(i), f3(u - i)]);
-        records.push(Point { knob: "style_norm".into(), value: style, uhscm_map: u, itq_map: i, gap: u - i });
+        records.push(Point {
+            knob: "style_norm".into(),
+            value: style,
+            uhscm_map: u,
+            itq_map: i,
+            gap: u - i,
+        });
         eprintln!("[ablation_sim] style={style} → UHSCM {u:.3} ITQ {i:.3}");
     }
     println!("## Style-nuisance norm (features)\n");
     println!(
         "{}",
-        markdown_table(
-            &["style".into(), "UHSCM".into(), "ITQ".into(), "gap".into()],
-            &rows
-        )
+        markdown_table(&["style".into(), "UHSCM".into(), "ITQ".into(), "gap".into()], &rows)
     );
 
     // --- Knob 2: VLP image-tower noise ------------------------------------
@@ -62,16 +67,19 @@ fn main() {
         let clip_cfg = SimClipConfig { image_noise: noise, ..SimClipConfig::default() };
         let (u, i) = run_pair_with_clip(&dataset, clip_cfg, bits, scale);
         rows.push(vec![format!("{noise}"), f3(u), f3(i), f3(u - i)]);
-        records.push(Point { knob: "image_noise".into(), value: noise, uhscm_map: u, itq_map: i, gap: u - i });
+        records.push(Point {
+            knob: "image_noise".into(),
+            value: noise,
+            uhscm_map: u,
+            itq_map: i,
+            gap: u - i,
+        });
         eprintln!("[ablation_sim] image_noise={noise} → UHSCM {u:.3} ITQ {i:.3}");
     }
     println!("## VLP image-tower noise\n");
     println!(
         "{}",
-        markdown_table(
-            &["image_noise".into(), "UHSCM".into(), "ITQ".into(), "gap".into()],
-            &rows
-        )
+        markdown_table(&["image_noise".into(), "UHSCM".into(), "ITQ".into(), "gap".into()], &rows)
     );
 
     if let Some(path) = write_json(&format!("ablation_sim_{}", scale.id()), &records) {
@@ -124,8 +132,7 @@ fn run_pair(
     let rel = relevance(dataset);
     let top_n = dataset.split.database.len();
     let ranker = HammingRanker::new(model.encode(&db_features));
-    let uhscm_map =
-        mean_average_precision(&ranker, &model.encode(&query_features), &rel, top_n);
+    let uhscm_map = mean_average_precision(&ranker, &model.encode(&query_features), &rel, top_n);
 
     // ITQ on the same features.
     let itq = Itq::train(&train_features, bits, EXPERIMENT_SEED ^ 0xba5e);
@@ -135,7 +142,12 @@ fn run_pair(
 }
 
 /// Vary the VLP checkpoint while keeping the default feature extractor.
-fn run_pair_with_clip(dataset: &Dataset, clip_cfg: SimClipConfig, bits: usize, scale: Scale) -> (f64, f64) {
+fn run_pair_with_clip(
+    dataset: &Dataset,
+    clip_cfg: SimClipConfig,
+    bits: usize,
+    scale: Scale,
+) -> (f64, f64) {
     let vgg = VggFeatures::with_defaults(dataset.latents.cols(), EXPERIMENT_SEED ^ 0x7667);
     run_pair(dataset, &vgg, Some(clip_cfg), bits, scale)
 }

@@ -38,14 +38,15 @@ fn main() {
         Method::Baseline(BaselineKind::Mls3rduh),
         Method::Baseline(BaselineKind::Bgan),
     ];
-    println!("# Figure 5 — t-SNE of CIFAR10 database codes @ {bits} bits (scale: {})\n", scale.id());
+    println!(
+        "# Figure 5 — t-SNE of CIFAR10 database codes @ {bits} bits (scale: {})\n",
+        scale.id()
+    );
 
     let data = ExperimentData::build(DatasetKind::Cifar10Like, scale);
     let db = &data.dataset.split.database;
     let take = sample.min(db.len());
-    let labels: Vec<Vec<usize>> = (0..take)
-        .map(|i| data.dataset.labels[db[i]].clone())
-        .collect();
+    let labels: Vec<Vec<usize>> = (0..take).map(|i| data.dataset.labels[db[i]].clone()).collect();
 
     let mut rows = Vec::new();
     let mut records = Vec::new();

@@ -69,9 +69,7 @@ fn main() {
                 .collect();
             println!("query[{qi}] ({q_class}): {}", line.join(" "));
             query_class.push(q_class);
-            retrieved.push(
-                hits.iter().map(|h| class_of(ds.split.database[h.index])).collect(),
-            );
+            retrieved.push(hits.iter().map(|h| class_of(ds.split.database[h.index])).collect());
             relevant.push(hits.iter().map(|h| h.relevant).collect());
         }
         println!();

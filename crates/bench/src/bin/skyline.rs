@@ -76,12 +76,7 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &[
-                "Dataset".into(),
-                "UHSCM (unsup.)".into(),
-                "CSQ (supervised)".into(),
-                "gap".into()
-            ],
+            &["Dataset".into(), "UHSCM (unsup.)".into(), "CSQ (supervised)".into(), "gap".into()],
             &rows
         )
     );

@@ -32,15 +32,9 @@ fn main() {
             for &bits in &bit_widths {
                 let codes = run_method(&data, method, bits, scale);
                 let ranker = HammingRanker::new(codes.db);
-                let map =
-                    mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
+                let map = mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
                 eprintln!("[table1] {} {} {bits}b → MAP {map:.3}", kind.name(), codes.name);
-                records.push(Cell {
-                    dataset: kind.name().into(),
-                    method: codes.name,
-                    bits,
-                    map,
-                });
+                records.push(Cell { dataset: kind.name().into(), method: codes.name, bits, map });
                 row.push(f3(map));
             }
             rows.push(row);

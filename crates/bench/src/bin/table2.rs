@@ -33,8 +33,7 @@ fn main() {
             for &bits in &bit_widths {
                 let codes = run_method(&data, Method::Uhscm(variant), bits, scale);
                 let ranker = HammingRanker::new(codes.db);
-                let map =
-                    mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
+                let map = mean_average_precision(&ranker, &codes.query, &data.relevance(), top_n);
                 eprintln!("[table2] {} {} {bits}b → MAP {map:.3}", kind.name(), variant.name());
                 records.push(Cell {
                     dataset: kind.name().into(),

@@ -23,10 +23,7 @@ impl Scale {
     /// Resolve from CLI args (`--scale X`) or `UHSCM_SCALE`, default Quick.
     pub fn from_env_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
-        let from_cli = args
-            .windows(2)
-            .find(|w| w[0] == "--scale")
-            .map(|w| w[1].clone());
+        let from_cli = args.windows(2).find(|w| w[0] == "--scale").map(|w| w[1].clone());
         let raw = from_cli
             .or_else(|| std::env::var("UHSCM_SCALE").ok())
             .unwrap_or_else(|| "quick".into());

@@ -60,7 +60,8 @@ pub fn run_method(data: &ExperimentData, method: Method, bits: usize, scale: Sca
             let pipeline = data.pipeline();
             let config = scale.uhscm_config(data.dataset.kind, bits);
             let t0 = Instant::now();
-            let outcome = pipeline.build_similarity(&variant.similarity_source(), config.tau_factor);
+            let outcome =
+                pipeline.build_similarity(&variant.similarity_source(), config.tau_factor);
             let preprocess_secs = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
             let model = uhscm_core::trainer::train_hashing_network(
@@ -82,10 +83,8 @@ pub fn run_method(data: &ExperimentData, method: Method, bits: usize, scale: Sca
         Method::Baseline(kind) => {
             let pipeline = data.pipeline();
             let train_features = pipeline.train_features().clone();
-            let deep_cfg = DeepBaselineConfig {
-                epochs: scale.epochs(),
-                ..DeepBaselineConfig::default()
-            };
+            let deep_cfg =
+                DeepBaselineConfig { epochs: scale.epochs(), ..DeepBaselineConfig::default() };
             let t0 = Instant::now();
             let model = kind.train(&train_features, bits, &deep_cfg, data.seed ^ 0xba5e);
             let train_secs = t0.elapsed().as_secs_f64();
@@ -125,9 +124,6 @@ mod tests {
         };
         let uhscm = map_of(Method::Uhscm(Variant::Full));
         let lsh = map_of(Method::Baseline(BaselineKind::Lsh));
-        assert!(
-            uhscm > lsh,
-            "UHSCM ({uhscm:.3}) did not beat LSH ({lsh:.3}) even at smoke scale"
-        );
+        assert!(uhscm > lsh, "UHSCM ({uhscm:.3}) did not beat LSH ({lsh:.3}) even at smoke scale");
     }
 }

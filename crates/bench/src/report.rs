@@ -15,11 +15,8 @@ pub fn markdown_table(headers: &[String], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
         format!("| {} |\n", padded.join(" | "))
     };
     out.push_str(&fmt_row(headers, &widths));
@@ -71,10 +68,7 @@ mod tests {
     fn table_is_aligned() {
         let t = markdown_table(
             &["Method".into(), "MAP".into()],
-            &[
-                vec!["LSH".into(), "0.257".into()],
-                vec!["UHSCM".into(), "0.831".into()],
-            ],
+            &[vec!["LSH".into(), "0.257".into()], vec!["UHSCM".into(), "0.831".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

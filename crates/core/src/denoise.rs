@@ -36,8 +36,7 @@ pub fn denoise_concepts(distributions: &Matrix) -> Vec<usize> {
     let n = distributions.rows();
     let m = distributions.cols();
     let freq = concept_frequencies(distributions);
-    let kept: Vec<usize> =
-        (0..m).filter(|&j| !discard(freq[j], n, m)).collect();
+    let kept: Vec<usize> = (0..m).filter(|&j| !discard(freq[j], n, m)).collect();
     if !kept.is_empty() {
         return kept;
     }
@@ -47,9 +46,9 @@ pub fn denoise_concepts(distributions: &Matrix) -> Vec<usize> {
         .min_by(|&a, &b| {
             let da = (freq[a] as f64 - ideal).abs();
             let db = (freq[b] as f64 - ideal).abs();
-            da.partial_cmp(&db).expect("finite")
+            da.partial_cmp(&db).expect("denoise: concept-frequency gaps are finite by construction")
         })
-        .expect("at least one concept");
+        .expect("denoise fallback: the distribution matrix has at least one concept column");
     vec![best]
 }
 

@@ -113,6 +113,11 @@ pub fn hashing_loss_and_grad(z: &Matrix, q: &Matrix, p: &LossParams) -> (LossBre
         }
     }
 
+    uhscm_linalg::check_scalar_finite!("hashing_loss", "similarity term (Eq. 7)", loss_s);
+    uhscm_linalg::check_scalar_finite!("hashing_loss", "contrastive term (Eq. 8)", loss_c);
+    uhscm_linalg::check_scalar_finite!("hashing_loss", "quantization term", loss_q);
+    uhscm_linalg::check_finite!("hashing_loss", "dL/dZ", &grad);
+
     let breakdown = LossBreakdown {
         total: loss_s + loss_q + loss_c,
         similarity: loss_s,
@@ -138,7 +143,11 @@ pub fn cib_contrastive_loss_and_grad(
     z2: &Matrix,
     gamma: f64,
 ) -> (f64, Matrix, Matrix) {
-    uhscm_nn::pairwise::two_view_contrastive_loss_and_grad(z1, z2, gamma)
+    let (jc, g1, g2) = uhscm_nn::pairwise::two_view_contrastive_loss_and_grad(z1, z2, gamma);
+    uhscm_linalg::check_scalar_finite!("cib_contrastive_loss", "J_c (Eq. 10)", jc);
+    uhscm_linalg::check_finite!("cib_contrastive_loss", "dJ_c/dZ1", &g1);
+    uhscm_linalg::check_finite!("cib_contrastive_loss", "dJ_c/dZ2", &g2);
+    (jc, g1, g2)
 }
 
 /// Loss value only, for gradient checks.

@@ -19,6 +19,11 @@ use uhscm_linalg::{vecops, Matrix};
 /// assert!((d.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
 /// assert!(d[(0, 0)] > 0.5); // image 0 is confidently concept 0
 /// ```
+///
+/// # Panics
+///
+/// Panics if `scores` has no concept columns or `tau_factor` is not
+/// positive.
 pub fn concept_distributions(scores: &Matrix, tau_factor: f64) -> Matrix {
     assert!(scores.cols() > 0, "no concepts to distribute over");
     assert!(tau_factor > 0.0, "temperature factor must be positive");

@@ -6,9 +6,9 @@
 //! construction the ablation study compares.
 
 use crate::similarity::{mean_similarity, similarity_from_distributions, similarity_from_features};
+pub use crate::trainer::Regularizer;
 use crate::trainer::{train_hashing_network, TrainedHasher};
 use crate::{concept_distributions, denoise_concepts, UhscmConfig};
-pub use crate::trainer::Regularizer;
 use uhscm_data::{share_label, vocab, Dataset};
 use uhscm_eval::{mean_average_precision, BitCodes, HammingRanker};
 use uhscm_linalg::{kmeans, rng, vecops, Matrix};
@@ -95,6 +95,12 @@ impl<'a> Pipeline<'a> {
 
     /// Build the semantic similarity matrix per `source` (steps 2-5 of
     /// Algorithm 1 or the relevant ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ablation source is misconfigured: fewer than two
+    /// clusters for `ConceptsClustered`, or an empty template list for
+    /// `PromptAverage`.
     pub fn build_similarity(
         &self,
         source: &SimilaritySource,
@@ -244,8 +250,7 @@ mod tests {
         assert!(kept.len() < 81, "nothing denoised");
         assert!(!kept.is_empty());
         // Concepts matching actual CIFAR classes should survive.
-        let canon: Vec<String> =
-            kept.iter().map(|c| uhscm_data::canonical(c)).collect();
+        let canon: Vec<String> = kept.iter().map(|c| uhscm_data::canonical(c)).collect();
         let survivors = ["cat", "dog", "car", "airplane", "bird", "horse", "boat"]
             .iter()
             .filter(|c| canon.iter().any(|k| k == *c))
@@ -281,12 +286,8 @@ mod tests {
     /// Similarity matrices at a scale where the Eq. 5 thresholds are
     /// non-degenerate (0.5·n/m ≥ 1 needs n ≥ 2m).
     fn mid_scale(kind: DatasetKind) -> Dataset {
-        let cfg = DatasetConfig {
-            n_train: 400,
-            n_query: 50,
-            n_database: 800,
-            ..DatasetConfig::tiny()
-        };
+        let cfg =
+            DatasetConfig { n_train: 400, n_query: 50, n_database: 800, ..DatasetConfig::tiny() };
         Dataset::generate(kind, &cfg, 42)
     }
 
@@ -299,11 +300,12 @@ mod tests {
         let vocab = vocab::nus_wide_81();
         let template = PromptTemplate::PhotoOfThe;
         let q_full = p
-            .build_similarity(&SimilaritySource::ConceptsDenoised { vocab: vocab.clone(), template }, 3.0)
+            .build_similarity(
+                &SimilaritySource::ConceptsDenoised { vocab: vocab.clone(), template },
+                3.0,
+            )
             .q;
-        let q_raw = p
-            .build_similarity(&SimilaritySource::ConceptsRaw { vocab, template }, 3.0)
-            .q;
+        let q_raw = p.build_similarity(&SimilaritySource::ConceptsRaw { vocab, template }, 3.0).q;
         let fidelity = |q: &Matrix| {
             let train = &ds.split.train;
             let mut same = Vec::new();
@@ -341,8 +343,7 @@ mod tests {
             let mut fp = 0usize;
             for a in 0..train.len() {
                 for b in (a + 1)..train.len() {
-                    if q[(a, b)] >= 0.8
-                        && !share_label(&ds.labels[train[a]], &ds.labels[train[b]])
+                    if q[(a, b)] >= 0.8 && !share_label(&ds.labels[train[a]], &ds.labels[train[b]])
                     {
                         fp += 1;
                     }
@@ -386,7 +387,12 @@ mod tests {
     fn end_to_end_training_beats_random_codes() {
         let ds = tiny_dataset();
         let p = tiny_pipeline(&ds);
-        let config = UhscmConfig { bits: 16, epochs: 15, batch_size: 32, ..UhscmConfig::for_dataset(ds.kind) };
+        let config = UhscmConfig {
+            bits: 16,
+            epochs: 15,
+            batch_size: 32,
+            ..UhscmConfig::for_dataset(ds.kind)
+        };
         let model = p.train(&SimilaritySource::default(), &config);
         let map = p.evaluate_map(&model, ds.split.database.len());
         // Random 10-class single-label MAP ≈ 0.1; trained must clear it well.

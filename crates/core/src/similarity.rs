@@ -70,11 +70,7 @@ mod tests {
 
     #[test]
     fn symmetric_with_unit_diagonal() {
-        let d = Matrix::from_rows(&[
-            vec![0.6, 0.3, 0.1],
-            vec![0.2, 0.5, 0.3],
-            vec![0.1, 0.1, 0.8],
-        ]);
+        let d = Matrix::from_rows(&[vec![0.6, 0.3, 0.1], vec![0.2, 0.5, 0.3], vec![0.1, 0.1, 0.8]]);
         let q = similarity_from_distributions(&d);
         for i in 0..3 {
             assert!((q[(i, i)] - 1.0).abs() < 1e-12);
@@ -103,11 +99,8 @@ mod tests {
     #[test]
     fn shared_concept_raises_similarity() {
         // Images {A,B} share concept 0 heavily; C is concentrated elsewhere.
-        let d = Matrix::from_rows(&[
-            vec![0.7, 0.2, 0.1],
-            vec![0.6, 0.1, 0.3],
-            vec![0.05, 0.05, 0.9],
-        ]);
+        let d =
+            Matrix::from_rows(&[vec![0.7, 0.2, 0.1], vec![0.6, 0.1, 0.3], vec![0.05, 0.05, 0.9]]);
         let q = similarity_from_distributions(&d);
         assert!(q[(0, 1)] > q[(0, 2)]);
         assert!(q[(0, 1)] > q[(1, 2)]);

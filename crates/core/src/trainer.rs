@@ -1,6 +1,8 @@
 //! Algorithm 1: learning the hashing network.
 
-use crate::loss::{cib_contrastive_loss_and_grad, hashing_loss_and_grad, LossBreakdown, LossParams};
+use crate::loss::{
+    cib_contrastive_loss_and_grad, hashing_loss_and_grad, LossBreakdown, LossParams,
+};
 use crate::UhscmConfig;
 use rand::Rng;
 use uhscm_eval::BitCodes;
@@ -144,6 +146,22 @@ pub fn train_hashing_network(
             epoch_loss.contrastive *= inv;
         }
         history.push(epoch_loss);
+        // End-of-epoch audit: every parameter must still be finite, so a
+        // divergence is pinned to the epoch where it happened.
+        #[cfg(feature = "checked")]
+        for (i, layer) in mlp.layers().iter().enumerate() {
+            let op = format!("train_hashing_network (epoch {_epoch})");
+            uhscm_linalg::checked::assert_matrix_finite(
+                &op,
+                &format!("layer {i} weight"),
+                &layer.weight,
+            );
+            uhscm_linalg::checked::assert_slice_finite(
+                &op,
+                &format!("layer {i} bias"),
+                &layer.bias,
+            );
+        }
     }
     TrainedHasher { mlp, loss_history: history }
 }

@@ -80,14 +80,12 @@ impl Variant {
             Variant::Full | Variant::WithoutMcl | Variant::OriginalCl => {
                 SimilaritySource::ConceptsDenoised { vocab: default_vocab, template }
             }
-            Variant::Coco => SimilaritySource::ConceptsDenoised {
-                vocab: vocab::coco_80(),
-                template,
-            },
-            Variant::NusAndCoco => SimilaritySource::ConceptsDenoised {
-                vocab: vocab::nus_and_coco(),
-                template,
-            },
+            Variant::Coco => {
+                SimilaritySource::ConceptsDenoised { vocab: vocab::coco_80(), template }
+            }
+            Variant::NusAndCoco => {
+                SimilaritySource::ConceptsDenoised { vocab: vocab::nus_and_coco(), template }
+            }
             Variant::ImageFeatures => SimilaritySource::ClipFeatures,
             Variant::Prompt1 => SimilaritySource::ConceptsDenoised {
                 vocab: default_vocab,
@@ -101,15 +99,12 @@ impl Variant {
                 vocab: default_vocab,
                 templates: PromptTemplate::ALL.to_vec(),
             },
-            Variant::WithoutDenoise => SimilaritySource::ConceptsRaw {
-                vocab: default_vocab,
-                template,
-            },
-            Variant::Clustered(n) => SimilaritySource::ConceptsClustered {
-                vocab: default_vocab,
-                template,
-                clusters: *n,
-            },
+            Variant::WithoutDenoise => {
+                SimilaritySource::ConceptsRaw { vocab: default_vocab, template }
+            }
+            Variant::Clustered(n) => {
+                SimilaritySource::ConceptsClustered { vocab: default_vocab, template, clusters: *n }
+            }
         }
     }
 

@@ -122,9 +122,8 @@ fn invalid_config_is_rejected_before_training() {
     let x = rng::gauss_matrix(&mut r, 6, 4, 1.0);
     let q = Matrix::identity(6);
     let cfg = UhscmConfig { gamma: -1.0, ..UhscmConfig::test_profile() };
-    let result = std::panic::catch_unwind(|| {
-        train_hashing_network(&x, &q, &cfg, Regularizer::Modified, 1)
-    });
+    let result =
+        std::panic::catch_unwind(|| train_hashing_network(&x, &q, &cfg, Regularizer::Modified, 1));
     assert!(result.is_err(), "negative gamma must be rejected");
 }
 

@@ -2,15 +2,14 @@
 
 use proptest::prelude::*;
 use uhscm_core::loss::{hashing_loss_and_grad, LossParams};
-use uhscm_core::{concept_distributions, concept_frequencies, denoise_concepts, discard};
 use uhscm_core::similarity::similarity_from_distributions;
+use uhscm_core::{concept_distributions, concept_frequencies, denoise_concepts, discard};
 use uhscm_linalg::{rng, vecops, Matrix};
 
 /// Random score matrices in the simulated CLIP range.
 fn score_matrix() -> impl Strategy<Value = Matrix> {
     (2usize..30, 2usize..12).prop_flat_map(|(n, m)| {
-        prop::collection::vec(0.0..0.5f64, n * m)
-            .prop_map(move |data| Matrix::from_vec(n, m, data))
+        prop::collection::vec(0.0..0.5f64, n * m).prop_map(move |data| Matrix::from_vec(n, m, data))
     })
 }
 
@@ -49,6 +48,43 @@ proptest! {
                 prop_assert!(!discard(freq[j], d.rows(), d.cols()));
             }
         }
+    }
+
+    /// Eq. 5 keeps exactly the integer band `⌈0.5·n/m⌉ ≤ f ≤ ⌊0.5·n⌋`.
+    #[test]
+    fn discard_keeps_exactly_the_integer_band(n in 1usize..200, m in 1usize..40) {
+        let lower = (n + 2 * m - 1) / (2 * m); // ⌈n / (2m)⌉
+        let upper = n / 2; // ⌊n / 2⌋
+        for f in 0..=n {
+            let kept = !discard(f, n, m);
+            prop_assert_eq!(
+                kept,
+                (lower..=upper).contains(&f),
+                "f={} n={} m={} band=[{}, {}]",
+                f, n, m, lower, upper
+            );
+        }
+    }
+
+    /// When every image claims the same concept, Eq. 5 discards the whole
+    /// vocabulary (f = n > n/2 for the claimed one, f = 0 < n/(2m) for the
+    /// rest) and the fallback must keep exactly one valid concept.
+    #[test]
+    fn denoise_fallback_keeps_exactly_one(n in 1usize..40, m in 2usize..10, j in 0usize..10) {
+        let j = j % m;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let mut row = vec![0.05 / m as f64; m];
+                row[j] = 0.9;
+                row
+            })
+            .collect();
+        let d = Matrix::from_rows(&rows);
+        let freq = concept_frequencies(&d);
+        prop_assert!((0..m).all(|c| discard(freq[c], n, m)));
+        let kept = denoise_concepts(&d);
+        prop_assert_eq!(kept.len(), 1);
+        prop_assert!(kept[0] < m);
     }
 
     #[test]

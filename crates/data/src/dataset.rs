@@ -171,6 +171,12 @@ impl Dataset {
     /// // Multi-label: at least some items carry several labels.
     /// assert!(ds.labels.iter().any(|l| l.len() > 1));
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_train > config.n_database` (the train split is
+    /// drawn from the database partition), or if a co-occurrence group
+    /// names a class the dataset kind does not define.
     pub fn generate(kind: DatasetKind, config: &DatasetConfig, seed: u64) -> Self {
         assert!(config.n_train <= config.n_database, "train set must fit in database");
         let mut r = rng::seeded(seed);
@@ -196,10 +202,8 @@ impl Dataset {
         // Cache class prototypes and the distractor pool (NUS-WIDE 81).
         let class_protos: Vec<Vec<f64>> =
             class_names.iter().map(|c| prototype(c, config.latent_dim)).collect();
-        let distractor_pool: Vec<Vec<f64>> = vocab::NUS_WIDE_81
-            .iter()
-            .map(|c| prototype(c, config.latent_dim))
-            .collect();
+        let distractor_pool: Vec<Vec<f64>> =
+            vocab::NUS_WIDE_81.iter().map(|c| prototype(c, config.latent_dim)).collect();
 
         let mut labels = Vec::with_capacity(n);
         let mut latents = Matrix::zeros(n, config.latent_dim);
@@ -232,10 +236,11 @@ impl Dataset {
         // training indices are a random subset of the database.
         let query: Vec<usize> = (0..config.n_query).collect();
         let database: Vec<usize> = (config.n_query..n).collect();
-        let train: Vec<usize> = rng::sample_without_replacement(&mut r, database.len(), config.n_train)
-            .into_iter()
-            .map(|offset| database[offset])
-            .collect();
+        let train: Vec<usize> =
+            rng::sample_without_replacement(&mut r, database.len(), config.n_train)
+                .into_iter()
+                .map(|offset| database[offset])
+                .collect();
 
         Self { kind, class_names, labels, latents, split: Split { train, query, database } }
     }
@@ -366,7 +371,12 @@ mod tests {
 
     #[test]
     fn all_classes_eventually_sampled() {
-        let cfg = DatasetConfig { n_query: 200, n_database: 2_000, n_train: 100, ..DatasetConfig::tiny() };
+        let cfg = DatasetConfig {
+            n_query: 200,
+            n_database: 2_000,
+            n_train: 100,
+            ..DatasetConfig::tiny()
+        };
         for kind in DatasetKind::ALL {
             let d = Dataset::generate(kind, &cfg, 11);
             let seen: HashSet<usize> = d.labels.iter().flatten().copied().collect();

@@ -11,55 +11,228 @@
 
 /// The 81 NUS-WIDE concept labels.
 pub const NUS_WIDE_81: [&str; 81] = [
-    "airport", "animal", "beach", "bear", "birds", "boats", "book", "bridge",
-    "buildings", "cars", "castle", "cat", "cityscape", "clouds", "computer",
-    "coral", "cow", "dancing", "dog", "earthquake", "elk", "fire", "fish",
-    "flags", "flowers", "food", "fox", "frost", "garden", "glacier", "grass",
-    "harbor", "horses", "house", "lake", "leaf", "map", "military", "moon",
-    "mountain", "nighttime", "ocean", "person", "plane", "plants", "police",
-    "protest", "railroad", "rainbow", "reflection", "road", "rocks",
-    "running", "sand", "sign", "sky", "snow", "soccer", "sports", "statue",
-    "street", "sun", "sunset", "surf", "swimmers", "tattoo", "temple",
-    "tiger", "tower", "town", "toy", "train", "tree", "valley", "vehicle",
-    "water", "waterfall", "wedding", "whales", "window", "zebra",
+    "airport",
+    "animal",
+    "beach",
+    "bear",
+    "birds",
+    "boats",
+    "book",
+    "bridge",
+    "buildings",
+    "cars",
+    "castle",
+    "cat",
+    "cityscape",
+    "clouds",
+    "computer",
+    "coral",
+    "cow",
+    "dancing",
+    "dog",
+    "earthquake",
+    "elk",
+    "fire",
+    "fish",
+    "flags",
+    "flowers",
+    "food",
+    "fox",
+    "frost",
+    "garden",
+    "glacier",
+    "grass",
+    "harbor",
+    "horses",
+    "house",
+    "lake",
+    "leaf",
+    "map",
+    "military",
+    "moon",
+    "mountain",
+    "nighttime",
+    "ocean",
+    "person",
+    "plane",
+    "plants",
+    "police",
+    "protest",
+    "railroad",
+    "rainbow",
+    "reflection",
+    "road",
+    "rocks",
+    "running",
+    "sand",
+    "sign",
+    "sky",
+    "snow",
+    "soccer",
+    "sports",
+    "statue",
+    "street",
+    "sun",
+    "sunset",
+    "surf",
+    "swimmers",
+    "tattoo",
+    "temple",
+    "tiger",
+    "tower",
+    "town",
+    "toy",
+    "train",
+    "tree",
+    "valley",
+    "vehicle",
+    "water",
+    "waterfall",
+    "wedding",
+    "whales",
+    "window",
+    "zebra",
 ];
 
 /// The 80 MS-COCO object categories.
 pub const COCO_80: [&str; 80] = [
-    "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train",
-    "truck", "boat", "traffic light", "fire hydrant", "stop sign",
-    "parking meter", "bench", "bird", "cat", "dog", "horse", "sheep", "cow",
-    "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella",
-    "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard",
-    "sports ball", "kite", "baseball bat", "baseball glove", "skateboard",
-    "surfboard", "tennis racket", "bottle", "wine glass", "cup", "fork",
-    "knife", "spoon", "bowl", "banana", "apple", "sandwich", "orange",
-    "broccoli", "carrot", "hot dog", "pizza", "donut", "cake", "chair",
-    "couch", "potted plant", "bed", "dining table", "toilet", "tv",
-    "laptop", "mouse", "remote", "keyboard", "cell phone", "microwave",
-    "oven", "toaster", "sink", "refrigerator", "book", "clock", "vase",
-    "scissors", "teddy bear", "hair drier", "toothbrush",
+    "person",
+    "bicycle",
+    "car",
+    "motorcycle",
+    "airplane",
+    "bus",
+    "train",
+    "truck",
+    "boat",
+    "traffic light",
+    "fire hydrant",
+    "stop sign",
+    "parking meter",
+    "bench",
+    "bird",
+    "cat",
+    "dog",
+    "horse",
+    "sheep",
+    "cow",
+    "elephant",
+    "bear",
+    "zebra",
+    "giraffe",
+    "backpack",
+    "umbrella",
+    "handbag",
+    "tie",
+    "suitcase",
+    "frisbee",
+    "skis",
+    "snowboard",
+    "sports ball",
+    "kite",
+    "baseball bat",
+    "baseball glove",
+    "skateboard",
+    "surfboard",
+    "tennis racket",
+    "bottle",
+    "wine glass",
+    "cup",
+    "fork",
+    "knife",
+    "spoon",
+    "bowl",
+    "banana",
+    "apple",
+    "sandwich",
+    "orange",
+    "broccoli",
+    "carrot",
+    "hot dog",
+    "pizza",
+    "donut",
+    "cake",
+    "chair",
+    "couch",
+    "potted plant",
+    "bed",
+    "dining table",
+    "toilet",
+    "tv",
+    "laptop",
+    "mouse",
+    "remote",
+    "keyboard",
+    "cell phone",
+    "microwave",
+    "oven",
+    "toaster",
+    "sink",
+    "refrigerator",
+    "book",
+    "clock",
+    "vase",
+    "scissors",
+    "teddy bear",
+    "hair drier",
+    "toothbrush",
 ];
 
 /// The 10 CIFAR-10 classes.
-pub const CIFAR10_CLASSES: [&str; 10] = [
-    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse",
-    "ship", "truck",
-];
+pub const CIFAR10_CLASSES: [&str; 10] =
+    ["airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck"];
 
 /// The 21 most-frequent NUS-WIDE classes used for retrieval evaluation.
 pub const NUS_WIDE_21: [&str; 21] = [
-    "animal", "beach", "buildings", "cars", "clouds", "flowers", "grass",
-    "lake", "mountain", "ocean", "person", "plants", "reflection", "road",
-    "rocks", "sky", "snow", "sunset", "toy", "water", "window",
+    "animal",
+    "beach",
+    "buildings",
+    "cars",
+    "clouds",
+    "flowers",
+    "grass",
+    "lake",
+    "mountain",
+    "ocean",
+    "person",
+    "plants",
+    "reflection",
+    "road",
+    "rocks",
+    "sky",
+    "snow",
+    "sunset",
+    "toy",
+    "water",
+    "window",
 ];
 
 /// The 24 MIRFlickr-25K annotation classes.
 pub const MIRFLICKR_24: [&str; 24] = [
-    "animals", "baby", "bird", "car", "clouds", "dog", "female", "flower",
-    "food", "indoor", "lake", "male", "night", "people", "plant life",
-    "portrait", "river", "sea", "sky", "structures", "sunset", "transport",
-    "tree", "water",
+    "animals",
+    "baby",
+    "bird",
+    "car",
+    "clouds",
+    "dog",
+    "female",
+    "flower",
+    "food",
+    "indoor",
+    "lake",
+    "male",
+    "night",
+    "people",
+    "plant life",
+    "portrait",
+    "river",
+    "sea",
+    "sky",
+    "structures",
+    "sunset",
+    "transport",
+    "tree",
+    "water",
 ];
 
 /// NUS-WIDE 81 as owned strings.

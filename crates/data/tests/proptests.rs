@@ -14,6 +14,9 @@ fn any_kind() -> impl Strategy<Value = DatasetKind> {
 
 fn small_config() -> impl Strategy<Value = DatasetConfig> {
     (20usize..80, 5usize..20, 60usize..150).prop_map(|(n_train, n_query, n_database)| {
+        // `Dataset::generate` requires the train split to fit in the
+        // database partition.
+        let n_train = n_train.min(n_database);
         DatasetConfig { n_train, n_query, n_database, ..DatasetConfig::default() }
     })
 }

@@ -55,6 +55,10 @@ impl BitCodes {
     }
 
     /// Build from explicit ±1 sign rows (`true` ⇔ +1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
     pub fn from_bools(rows: &[Vec<bool>]) -> Self {
         let n = rows.len();
         let bits = rows.first().map_or(0, Vec::len);
@@ -100,11 +104,7 @@ impl BitCodes {
     #[inline]
     pub fn hamming(&self, i: usize, other: &BitCodes, j: usize) -> u32 {
         debug_assert_eq!(self.bits, other.bits, "code length mismatch");
-        self.code(i)
-            .iter()
-            .zip(other.code(j))
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.code(i).iter().zip(other.code(j)).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Unpack code `i` back to ±1 reals.
@@ -206,10 +206,8 @@ mod tests {
     #[test]
     fn hamming_matches_inner_product_identity() {
         // H_d = (k − bᵀb') / 2 for ±1 codes.
-        let m = Matrix::from_rows(&[
-            vec![1.0, -1.0, 1.0, 1.0, -1.0],
-            vec![-1.0, -1.0, 1.0, -1.0, 1.0],
-        ]);
+        let m =
+            Matrix::from_rows(&[vec![1.0, -1.0, 1.0, 1.0, -1.0], vec![-1.0, -1.0, 1.0, -1.0, 1.0]]);
         let codes = BitCodes::from_real(&m);
         let dot: f64 = m.row(0).iter().zip(m.row(1)).map(|(a, b)| a * b).sum();
         let expected = (5.0 - dot) / 2.0;
@@ -223,8 +221,7 @@ mod tests {
         let other: Vec<bool> = (0..130).map(|i| i % 3 == 1).collect();
         let a = BitCodes::from_bools(&[row.clone()]);
         let b = BitCodes::from_bools(&[other.clone()]);
-        let expected =
-            row.iter().zip(&other).filter(|(x, y)| x != y).count() as u32;
+        let expected = row.iter().zip(&other).filter(|(x, y)| x != y).count() as u32;
         assert_eq!(a.hamming(0, &b, 0), expected);
         assert_eq!(a.bits(), 130);
     }
@@ -258,7 +255,8 @@ mod tests {
     #[test]
     fn extend_appends_codes() {
         let mut a = BitCodes::from_real(&Matrix::from_rows(&[vec![1.0, -1.0, 1.0]]));
-        let b = BitCodes::from_real(&Matrix::from_rows(&[vec![-1.0, -1.0, 1.0], vec![1.0, 1.0, 1.0]]));
+        let b =
+            BitCodes::from_real(&Matrix::from_rows(&[vec![-1.0, -1.0, 1.0], vec![1.0, 1.0, 1.0]]));
         a.extend(&b);
         assert_eq!(a.len(), 3);
         assert_eq!(a.unpack(1), vec![-1.0, -1.0, 1.0]);

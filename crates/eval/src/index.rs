@@ -129,6 +129,10 @@ impl HashIndex {
     /// the query's prefix (a necessary condition for a full-code match), then
     /// verifies the full distance. Falls back to a linear scan when the
     /// probe fan-out would exceed the collection size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query code length differs from the indexed codes.
     pub fn lookup(&self, queries: &BitCodes, qi: usize, radius: u32) -> Vec<(u32, u32)> {
         assert_eq!(queries.bits(), self.codes.bits(), "code length mismatch");
         let mut out = Vec::new();
@@ -162,7 +166,15 @@ impl HashIndex {
             // Enumerate prefixes at distance 0..=min(radius, prefix_bits).
             let max_flip = radius.min(self.prefix_bits as u32) as usize;
             let mut flips: Vec<usize> = Vec::with_capacity(max_flip);
-            enumerate_probes(qprefix, self.prefix_bits, max_flip, 0, &mut flips, &mut probe, &mut out);
+            enumerate_probes(
+                qprefix,
+                self.prefix_bits,
+                max_flip,
+                0,
+                &mut flips,
+                &mut probe,
+                &mut out,
+            );
         }
         out.sort_unstable_by_key(|&(j, d)| (d, j));
         out

@@ -20,6 +20,10 @@ pub struct PrPoint {
 /// For each query: `AP = Σ_i I(i)/N · Σ_{j≤i} I(j)/i` over the top `n`
 /// returns, where `N` is the number of relevant results in the top `n`.
 /// Queries with no relevant result in the top `n` contribute `AP = 0`.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty.
 pub fn mean_average_precision(
     ranker: &HammingRanker,
     queries: &BitCodes,
@@ -49,6 +53,10 @@ pub fn mean_average_precision(
 
 /// Precision among the top `n` results for each `n` in `ns`, averaged over
 /// queries (the P@N curves of Figure 2).
+///
+/// # Panics
+///
+/// Panics if `queries` is empty.
 pub fn precision_at_n(
     ranker: &HammingRanker,
     queries: &BitCodes,
@@ -86,6 +94,10 @@ pub fn precision_at_n(
 /// Precision-recall curve of the hash-lookup protocol (Figure 3): for each
 /// Hamming radius `r ∈ 0..=k`, micro-averaged precision and recall of the
 /// set of database points within distance `r` of the query.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty.
 pub fn pr_curve(
     ranker: &HammingRanker,
     queries: &BitCodes,
@@ -182,7 +194,7 @@ mod tests {
         let rel = |_q: usize, d: usize| d <= 1;
         let pr = pr_curve(&ranker, &q, &rel);
         assert_eq!(pr.len(), 4); // radii 0..=3
-        // Radius 0: retrieves exactly the relevant d=0 point.
+                                 // Radius 0: retrieves exactly the relevant d=0 point.
         assert_eq!(pr[0].precision, 1.0);
         assert!((pr[0].recall - 0.5).abs() < 1e-12);
         // Radius 3: everything retrieved.

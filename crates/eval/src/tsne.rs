@@ -23,7 +23,13 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 30.0, iterations: 400, learning_rate: 120.0, exaggeration: 12.0, seed: 0 }
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 120.0,
+            exaggeration: 12.0,
+            seed: 0,
+        }
     }
 }
 
@@ -64,9 +70,8 @@ pub fn tsne_2d(data: &Matrix, config: &TsneConfig) -> Matrix {
 
     // Gradient descent on the 2-D embedding.
     let mut r = rng::seeded(config.seed ^ 0x7e5e_a1b2);
-    let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [1e-2 * rng::gauss(&mut r), 1e-2 * rng::gauss(&mut r)])
-        .collect();
+    let mut y: Vec<[f64; 2]> =
+        (0..n).map(|_| [1e-2 * rng::gauss(&mut r), 1e-2 * rng::gauss(&mut r)]).collect();
     let mut vel = vec![[0.0f64; 2]; n];
     let exaggeration_end = config.iterations / 4;
     let mut q = vec![0.0; n * n];

@@ -16,11 +16,7 @@ fn code_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
 }
 
 fn sign_matrix(rows: usize, cols: usize, bools: &[bool]) -> Matrix {
-    Matrix::from_vec(
-        rows,
-        cols,
-        bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect(),
-    )
+    Matrix::from_vec(rows, cols, bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect())
 }
 
 proptest! {

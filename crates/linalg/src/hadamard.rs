@@ -35,11 +35,7 @@ pub fn hadamard(n: usize) -> Matrix {
 /// # Panics
 /// Panics if the construction cannot supply `count` centers.
 pub fn hadamard_centers(count: usize, bits: usize) -> Matrix {
-    assert!(
-        count <= 2 * bits,
-        "cannot place {count} centers in {bits} bits (max {})",
-        2 * bits
-    );
+    assert!(count <= 2 * bits, "cannot place {count} centers in {bits} bits (max {})", 2 * bits);
     let h = hadamard(bits);
     let mut centers = Matrix::zeros(count, bits);
     for c in 0..count {
@@ -83,16 +79,8 @@ mod tests {
         let centers = hadamard_centers(10, 16);
         for i in 0..10 {
             for j in (i + 1)..10 {
-                let hd = centers
-                    .row(i)
-                    .iter()
-                    .zip(centers.row(j))
-                    .filter(|(a, b)| a != b)
-                    .count();
-                assert!(
-                    hd == 8 || hd == 16,
-                    "centers {i},{j} at distance {hd} (expected 8 or 16)"
-                );
+                let hd = centers.row(i).iter().zip(centers.row(j)).filter(|(a, b)| a != b).count();
+                assert!(hd == 8 || hd == 16, "centers {i},{j} at distance {hd} (expected 8 or 16)");
             }
         }
     }

@@ -91,9 +91,7 @@ pub fn kmeans(data: &Matrix, k: usize, max_iter: usize, rng: &mut impl Rng) -> K
         }
     }
 
-    let inertia = (0..n)
-        .map(|i| sq_dist(data.row(i), centroids.row(assignments[i])))
-        .sum();
+    let inertia = (0..n).map(|i| sq_dist(data.row(i), centroids.row(assignments[i]))).sum();
     KMeansResult { centroids, assignments, inertia, iterations }
 }
 
@@ -145,10 +143,7 @@ mod tests {
         let mut rows = Vec::new();
         for c in &centers {
             for _ in 0..per_blob {
-                rows.push(vec![
-                    c[0] + 0.3 * rng::gauss(rng),
-                    c[1] + 0.3 * rng::gauss(rng),
-                ]);
+                rows.push(vec![c[0] + 0.3 * rng::gauss(rng), c[1] + 0.3 * rng::gauss(rng)]);
             }
         }
         Matrix::from_rows(&rows)

@@ -13,6 +13,7 @@
 //! * [`rng`] — seeded Gaussian/uniform sampling helpers,
 //! * [`vecops`] — vector kernels (dot, cosine, softmax, …).
 
+pub mod checked;
 pub mod eigen;
 pub mod hadamard;
 pub mod kmeans;

@@ -57,8 +57,13 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(r * c);
-        for row in rows {
-            assert_eq!(row.len(), c, "ragged rows");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                c,
+                "from_rows: ragged rows — row {i} has {} elements, row 0 has {c}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
         Self { rows: r, cols: c, data }
@@ -176,8 +181,15 @@ impl Matrix {
     }
 
     /// `self^T * other` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul dim mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul dim mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -196,8 +208,15 @@ impl Matrix {
     }
 
     /// `self * other^T` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t dim mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t dim mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -228,7 +247,15 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy shape mismatch: {}x{} += alpha * {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -242,15 +269,37 @@ impl Matrix {
     }
 
     /// `self - other` as a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub shape mismatch: {}x{} - {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// `self + other` as a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add shape mismatch: {}x{} + {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
@@ -276,8 +325,18 @@ impl Matrix {
     }
 
     /// Subtract `center` from every row, in place.
+    ///
+    /// # Panics
+    /// Panics if `center.len() != cols`.
     pub fn center_rows(&mut self, center: &[f64]) {
-        assert_eq!(center.len(), self.cols, "center length mismatch");
+        assert_eq!(
+            center.len(),
+            self.cols,
+            "center_rows length mismatch: center has {} elements for a {}x{} matrix",
+            center.len(),
+            self.rows,
+            self.cols
+        );
         for i in 0..self.rows {
             for (v, &c) in self.row_mut(i).iter_mut().zip(center) {
                 *v -= c;

@@ -90,6 +90,11 @@ pub fn random_orthogonal(n: usize, rng: &mut impl Rng) -> Matrix {
 
 /// Orthonormalize the columns of `a` (modified Gram–Schmidt). Columns that
 /// collapse numerically are replaced with random directions and re-run.
+///
+/// # Panics
+///
+/// Panics if a column remains numerically rank-deficient after
+/// orthogonalization (norm below `1e-10`).
 pub fn gram_schmidt(a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     let mut q = a.clone();

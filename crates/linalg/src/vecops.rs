@@ -54,9 +54,7 @@ pub fn normalize(a: &mut [f64]) {
 /// Numerically stable softmax of `logits` scaled by `temperature`
 /// (computes `softmax(temperature * logits)`, Eq. 2 of the paper).
 pub fn softmax_scaled(logits: &[f64], temperature: f64) -> Vec<f64> {
-    let max = logits
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &v| m.max(temperature * v));
+    let max = logits.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(temperature * v));
     let mut out: Vec<f64> = logits.iter().map(|&v| (temperature * v - max).exp()).collect();
     let sum: f64 = out.iter().sum();
     if sum > 0.0 {

@@ -9,10 +9,7 @@ fn small_vec() -> impl Strategy<Value = Vec<f64>> {
 
 fn paired_vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     (1usize..16).prop_flat_map(|n| {
-        (
-            prop::collection::vec(-100.0..100.0f64, n),
-            prop::collection::vec(-100.0..100.0f64, n),
-        )
+        (prop::collection::vec(-100.0..100.0f64, n), prop::collection::vec(-100.0..100.0f64, n))
     })
 }
 

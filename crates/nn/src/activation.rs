@@ -50,12 +50,8 @@ impl Activation {
 mod tests {
     use super::*;
 
-    const ACTS: [Activation; 4] = [
-        Activation::Identity,
-        Activation::Tanh,
-        Activation::Relu,
-        Activation::Sigmoid,
-    ];
+    const ACTS: [Activation; 4] =
+        [Activation::Identity, Activation::Tanh, Activation::Relu, Activation::Sigmoid];
 
     #[test]
     fn apply_matches_reference() {

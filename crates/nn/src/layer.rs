@@ -67,11 +67,16 @@ impl Linear {
     /// Forward pass without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let mut y = x.matmul(&self.weight);
+        // Checked before the activation: relu/clamp-style activations can
+        // silently scrub a NaN (f64::max ignores it), hiding the layer
+        // that actually produced the corruption.
+        uhscm_linalg::check_finite!("Linear::forward", "pre-activation", &y);
         for i in 0..y.rows() {
             for (v, &b) in y.row_mut(i).iter_mut().zip(&self.bias) {
                 *v = self.activation.apply(*v + b);
             }
         }
+        uhscm_linalg::check_finite!("Linear::forward", "output", &y);
         y
     }
 
@@ -109,7 +114,11 @@ impl Linear {
                 *g += d;
             }
         }
-        delta.matmul_t(&self.weight)
+        let grad_input = delta.matmul_t(&self.weight);
+        uhscm_linalg::check_finite!("Linear::backward", "grad_weight", &self.grad_weight);
+        uhscm_linalg::check_slice_finite!("Linear::backward", "grad_bias", &self.grad_bias);
+        uhscm_linalg::check_finite!("Linear::backward", "grad_input", &grad_input);
+        grad_input
     }
 
     /// Reset accumulated gradients to zero.

@@ -38,11 +38,7 @@ impl Mlp {
     /// not match.
     pub fn new(sizes: &[usize], activations: &[Activation], rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
-        assert_eq!(
-            activations.len(),
-            sizes.len() - 1,
-            "need one activation per layer"
-        );
+        assert_eq!(activations.len(), sizes.len() - 1, "need one activation per layer");
         let layers = sizes
             .windows(2)
             .zip(activations)
@@ -53,7 +49,12 @@ impl Mlp {
 
     /// Convenience constructor for the paper's hashing head: hidden ReLU
     /// layers and a final `tanh` to produce relaxed codes in `[-1, 1]^k`.
-    pub fn hashing_network(input_dim: usize, hidden: &[usize], bits: usize, rng: &mut impl Rng) -> Self {
+    pub fn hashing_network(
+        input_dim: usize,
+        hidden: &[usize],
+        bits: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let mut sizes = Vec::with_capacity(hidden.len() + 2);
         sizes.push(input_dim);
         sizes.extend_from_slice(hidden);
@@ -77,12 +78,12 @@ impl Mlp {
 
     /// Input dimensionality.
     pub fn input_dim(&self) -> usize {
-        self.layers.first().expect("nonempty").fan_in()
+        self.layers.first().expect("Mlp::input_dim: network has no layers").fan_in()
     }
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
-        self.layers.last().expect("nonempty").fan_out()
+        self.layers.last().expect("Mlp::output_dim: network has no layers").fan_out()
     }
 
     /// Training forward pass (caches activations for [`Self::backward`]).
@@ -154,10 +155,7 @@ impl Mlp {
         let mut offset = 0;
         for layer in &mut self.layers {
             let wlen = layer.weight.rows() * layer.weight.cols();
-            layer
-                .weight
-                .as_mut_slice()
-                .copy_from_slice(&flat[offset..offset + wlen]);
+            layer.weight.as_mut_slice().copy_from_slice(&flat[offset..offset + wlen]);
             offset += wlen;
             let blen = layer.bias.len();
             layer.bias.copy_from_slice(&flat[offset..offset + blen]);
@@ -221,11 +219,7 @@ mod tests {
     #[test]
     fn param_count_formula() {
         let mut rng = seeded(4);
-        let mlp = Mlp::new(
-            &[10, 7, 3],
-            &[Activation::Relu, Activation::Tanh],
-            &mut rng,
-        );
+        let mlp = Mlp::new(&[10, 7, 3], &[Activation::Relu, Activation::Tanh], &mut rng);
         assert_eq!(mlp.param_count(), 10 * 7 + 7 + 7 * 3 + 3);
     }
 

@@ -21,6 +21,11 @@ pub struct Sgd {
 
 impl Sgd {
     /// Create an optimizer; velocities are allocated on the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`, `momentum` is outside `[0, 1)`, or
+    /// `weight_decay < 0`.
     pub fn new(learning_rate: f64, momentum: f64, weight_decay: f64) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
@@ -40,12 +45,7 @@ impl Sgd {
         if self.velocities.len() != layers.len() {
             self.velocities = layers
                 .iter()
-                .map(|l| {
-                    (
-                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
-                        vec![0.0; l.bias.len()],
-                    )
-                })
+                .map(|l| (Matrix::zeros(l.weight.rows(), l.weight.cols()), vec![0.0; l.bias.len()]))
                 .collect();
         }
         for (layer, (vw, vb)) in layers.iter_mut().zip(&mut self.velocities) {
@@ -62,6 +62,12 @@ impl Sgd {
                 *v = self.momentum * *v + g; // no decay on biases, per common practice
                 *p -= self.learning_rate * *v;
             }
+        }
+        #[cfg(feature = "checked")]
+        for (i, layer) in mlp.layers().iter().enumerate() {
+            let op = format!("Sgd::step (layer {i})");
+            uhscm_linalg::checked::assert_matrix_finite(&op, "weight", &layer.weight);
+            uhscm_linalg::checked::assert_slice_finite(&op, "bias", &layer.bias);
         }
         mlp.zero_grad();
     }

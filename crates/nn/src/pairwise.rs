@@ -33,6 +33,10 @@ pub fn cosine_matrix(z: &Matrix) -> (Matrix, Vec<f64>) {
 ///
 /// For `ĥ_ij = z_iᵀz_j / (‖z_i‖‖z_j‖)`:
 /// `dL/dz_i = Σ_{j≠i} (g_ij + g_ji) · (z_j/(‖z_i‖‖z_j‖) − ĥ_ij z_i/‖z_i‖²)`.
+///
+/// # Panics
+///
+/// Panics if `h` or `g` is not `t × t` for a `t × k` batch `z`.
 pub fn cosine_grad(z: &Matrix, h: &Matrix, norms: &[f64], g: &Matrix) -> Matrix {
     let t = z.rows();
     let k = z.cols();
@@ -84,6 +88,10 @@ pub fn cosine_grad(z: &Matrix, h: &Matrix, norms: &[f64], g: &Matrix) -> Matrix 
 ///
 /// This is the workhorse of SSDH and MLS³RDUH, whose pseudo-label matrices
 /// leave many pairs unlabeled.
+///
+/// # Panics
+///
+/// Panics if `target` or `weights` is not `t × t` for a `t × k` batch `z`.
 pub fn masked_l2_loss_and_grad(z: &Matrix, target: &Matrix, weights: &Matrix) -> (f64, Matrix) {
     let t = z.rows();
     assert_eq!(target.shape(), (t, t), "target must be t × t");
@@ -137,7 +145,6 @@ pub fn add_quantization_loss(z: &Matrix, beta: f64, grad: &mut Matrix) -> f64 {
     loss
 }
 
-
 /// Two-view contrastive loss (NT-Xent-style, anchored on view 1) — CIB's
 /// `J_c` (Qiu et al., IJCAI '21, Eq. 10 of the UHSCM paper) in the
 /// conventional −log form. Returns the loss and the gradients with respect
@@ -145,6 +152,10 @@ pub fn add_quantization_loss(z: &Matrix, beta: f64, grad: &mut Matrix) -> f64 {
 ///
 /// For each item `i`, the anchor is view-1 row `i`, the positive is view-2
 /// row `i`, and the negatives are both views of every other item.
+///
+/// # Panics
+///
+/// Panics if the two views do not share the same `t × k` shape.
 pub fn two_view_contrastive_loss_and_grad(
     z1: &Matrix,
     z2: &Matrix,
@@ -201,8 +212,7 @@ mod tests {
         let (h, _) = cosine_matrix(&z);
         for i in 0..5 {
             for j in 0..5 {
-                let expected =
-                    if i == j { 1.0 } else { vecops::cosine(z.row(i), z.row(j)) };
+                let expected = if i == j { 1.0 } else { vecops::cosine(z.row(i), z.row(j)) };
                 assert!((h[(i, j)] - expected).abs() < 1e-12);
             }
         }

@@ -88,6 +88,10 @@ impl SimClip {
     /// Image tower: embed each row of `latents` into the joint space
     /// (unit-norm rows). This is also what the `UHSCM_IF` ablation consumes
     /// as "image features extracted by the CLIP model".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latents` does not have `latent_dim` columns.
     pub fn embed_images(&self, latents: &Matrix) -> Matrix {
         assert_eq!(latents.cols(), self.latent_dim, "latent dim mismatch");
         let mut emb = latents.matmul(&self.projection);
@@ -139,8 +143,7 @@ impl SimClip {
         template: PromptTemplate,
     ) -> Matrix {
         let img = self.embed_images(latents);
-        let txt: Vec<Vec<f64>> =
-            concepts.iter().map(|c| self.embed_text(c, template)).collect();
+        let txt: Vec<Vec<f64>> = concepts.iter().map(|c| self.embed_text(c, template)).collect();
         let mut scores = Matrix::zeros(img.rows(), concepts.len());
         for i in 0..img.rows() {
             let ir = img.row(i);
@@ -156,6 +159,11 @@ impl SimClip {
     /// `text_embeddings`, unit-norm, in this model's joint space). Used by
     /// the clustering-based denoising ablations, whose "concepts" are
     /// k-means centroids of prompt embeddings rather than single prompts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text_embeddings` columns differ from the joint embedding
+    /// dimensionality.
     pub fn score_images_against(&self, latents: &Matrix, text_embeddings: &Matrix) -> Matrix {
         assert_eq!(text_embeddings.cols(), self.cfg.embed_dim, "embedding dim mismatch");
         let img = self.embed_images(latents);

@@ -93,6 +93,10 @@ impl VggFeatures {
     /// Extract features for each row of `latents` (unit-norm rows).
     ///
     /// Deterministic: the same latent always maps to the same feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latents` does not have `latent_dim` columns.
     pub fn extract(&self, latents: &Matrix) -> Matrix {
         assert_eq!(latents.cols(), self.latent_dim, "latent dim mismatch");
         let linear = latents.matmul(&self.projection);

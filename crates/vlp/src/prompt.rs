@@ -67,6 +67,8 @@ mod tests {
     fn default_template_has_least_noise() {
         let base = PromptTemplate::PhotoOfThe.text_noise_sigma();
         assert!(base < PromptTemplate::The.text_noise_sigma());
-        assert!(PromptTemplate::The.text_noise_sigma() < PromptTemplate::ItContains.text_noise_sigma());
+        assert!(
+            PromptTemplate::The.text_noise_sigma() < PromptTemplate::ItContains.text_noise_sigma()
+        );
     }
 }

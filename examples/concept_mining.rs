@@ -57,27 +57,17 @@ fn main() {
         let dist = distributions.row(row);
         let mut order: Vec<usize> = (0..concepts.len()).collect();
         order.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).expect("finite"));
-        let mined: Vec<String> = order
-            .iter()
-            .take(3)
-            .map(|&j| format!("{} ({:.2})", concepts[j], dist[j]))
-            .collect();
-        let truth: Vec<&str> = dataset.labels[item]
-            .iter()
-            .map(|&c| dataset.class_names[c].as_str())
-            .collect();
+        let mined: Vec<String> =
+            order.iter().take(3).map(|&j| format!("{} ({:.2})", concepts[j], dist[j])).collect();
+        let truth: Vec<&str> =
+            dataset.labels[item].iter().map(|&c| dataset.class_names[c].as_str()).collect();
         println!("  image {item}: mined [{}]  truth [{}]", mined.join(", "), truth.join(", "));
     }
 
     // How sharp are the distributions? (entropy diagnostic)
     let mean_entropy: f64 = (0..distributions.rows())
         .map(|i| {
-            distributions
-                .row(i)
-                .iter()
-                .filter(|&&p| p > 1e-12)
-                .map(|&p| -p * p.ln())
-                .sum::<f64>()
+            distributions.row(i).iter().filter(|&&p| p > 1e-12).map(|&p| -p * p.ln()).sum::<f64>()
         })
         .sum::<f64>()
         / distributions.rows() as f64;

@@ -64,10 +64,8 @@ fn main() {
         for (di, &d) in dists.iter().enumerate() {
             if d <= radius {
                 total_candidates += 1;
-                if share_label(
-                    &dataset.labels[q_item],
-                    &dataset.labels[dataset.split.database[di]],
-                ) {
+                if share_label(&dataset.labels[q_item], &dataset.labels[dataset.split.database[di]])
+                {
                     total_relevant += 1;
                 }
             }

@@ -22,7 +22,12 @@ fn main() {
     let bits = 32;
     let dataset = Dataset::generate(
         kind,
-        &DatasetConfig { n_train: 600, n_query: 150, n_database: 1_800, ..DatasetConfig::default() },
+        &DatasetConfig {
+            n_train: 600,
+            n_query: 150,
+            n_database: 1_800,
+            ..DatasetConfig::default()
+        },
         42,
     );
     let pipeline = Pipeline::new(&dataset, 7);

@@ -49,7 +49,8 @@ fn main() {
     );
 
     // Encode incoming queries with the reloaded network and probe.
-    let query_codes = BitCodes::from_real(&served_net.infer(&pipeline.features_of(&dataset.split.query)));
+    let query_codes =
+        BitCodes::from_real(&served_net.infer(&pipeline.features_of(&dataset.split.query)));
     let class_of = |item: usize| dataset.class_names[dataset.labels[item][0]].as_str();
     for qi in 0..3 {
         let q_item = dataset.split.query[qi];
@@ -57,10 +58,8 @@ fn main() {
         let within = index.lookup(&query_codes, qi, 10);
         // … and k-NN via expanding rings.
         let knn = index.knn(&query_codes, qi, 5);
-        let knn_classes: Vec<&str> = knn
-            .iter()
-            .map(|&(j, _)| class_of(dataset.split.database[j as usize]))
-            .collect();
+        let knn_classes: Vec<&str> =
+            knn.iter().map(|&(j, _)| class_of(dataset.split.database[j as usize])).collect();
         println!(
             "query[{qi}] ('{}'): {} candidates within radius 10; 5-NN classes {:?}",
             class_of(q_item),

@@ -12,12 +12,8 @@ use uhscm::eval::{mean_average_precision, HammingRanker};
 
 fn main() {
     // 1. A small single-label dataset (synthetic stand-in for CIFAR10).
-    let config = DatasetConfig {
-        n_train: 500,
-        n_query: 100,
-        n_database: 1_500,
-        ..DatasetConfig::default()
-    };
+    let config =
+        DatasetConfig { n_train: 500, n_query: 100, n_database: 1_500, ..DatasetConfig::default() };
     let dataset = Dataset::generate(DatasetKind::Cifar10Like, &config, 42);
     println!(
         "dataset: {} ({} train / {} query / {} database items, {} classes)",
@@ -34,7 +30,8 @@ fn main() {
     // 3. Train the full UHSCM model: concept mining over the NUS-WIDE-81
     //    vocabulary with "a photo of the {c}", denoising, similarity matrix,
     //    and the Eq. 11 hashing loss.
-    let uhscm_config = UhscmConfig { bits: 64, epochs: 25, ..UhscmConfig::for_dataset(dataset.kind) };
+    let uhscm_config =
+        UhscmConfig { bits: 64, epochs: 25, ..UhscmConfig::for_dataset(dataset.kind) };
     let model = pipeline.train(&SimilaritySource::default(), &uhscm_config);
     println!("trained a {}-bit hashing network", model.bits());
 
@@ -51,12 +48,8 @@ fn main() {
 
     // 5. Inspect one query's nearest neighbours.
     let hits = uhscm::eval::top_k(&ranker, &query_codes, 0, &pipeline.relevance(), 5);
-    let class_of =
-        |item: usize| dataset.class_names[dataset.labels[item][0]].as_str();
-    println!(
-        "query 0 is a '{}'; top-5 neighbours:",
-        class_of(dataset.split.query[0])
-    );
+    let class_of = |item: usize| dataset.class_names[dataset.labels[item][0]].as_str();
+    println!("query 0 is a '{}'; top-5 neighbours:", class_of(dataset.split.query[0]));
     for hit in hits {
         println!(
             "  db[{}] class '{}' at Hamming distance {} ({})",

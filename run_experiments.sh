@@ -1,6 +1,21 @@
 #!/bin/bash
 set -u
 cd /root/repo
+
+# Preflight: refuse to burn hours of experiment time on a workspace that
+# fails static analysis or whose training loop trips the numerics sanitizer.
+echo "=== PREFLIGHT lint $(date +%T) ===" >> results/experiments.log
+if ! cargo run -p uhscm-xtask --quiet -- lint >> results/experiments.log 2>&1; then
+  echo "PREFLIGHT_FAILED lint" >> results/experiments.log
+  exit 1
+fi
+echo "=== PREFLIGHT checked quickstart $(date +%T) ===" >> results/experiments.log
+if ! cargo run --release --features checked --example quickstart \
+    >> results/experiments.log 2>&1; then
+  echo "PREFLIGHT_FAILED checked-quickstart" >> results/experiments.log
+  exit 1
+fi
+
 for b in table1 table2 figure2 figure3 figure4 table3 figure5 figure6; do
   echo "=== START $b $(date +%T) ===" >> results/experiments.log
   ./target/release/$b --scale full > results/$b.out 2> results/$b.err

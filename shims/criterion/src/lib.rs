@@ -1,0 +1,240 @@
+//! Std-only stand-in for `criterion`, vendored because the build sandbox
+//! has no crates.io access.
+//!
+//! Keeps the workspace's `benches/` sources compiling and producing useful
+//! wall-clock numbers: per benchmark it warms up briefly, sizes the
+//! iteration count to the configured measurement time, then reports
+//! min / median / mean over the configured sample count. There is no
+//! outlier analysis, no plotting, and no saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup data is amortized in [`Bencher::iter_batched`].
+/// The shim runs one setup per measured iteration regardless of variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_measurement_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_measurement_time: Duration::from_secs(2), default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            measurement_time: self.default_measurement_time,
+            sample_size: self.default_sample_size,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// End the group (upstream writes reports here; the shim prints live).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the closure under measurement.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Mean per-iteration time of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` with no per-iteration setup.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a single-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample =
+            ((budget / self.sample_size as f64 / est).floor() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    /// Benchmark `routine` with fresh setup output per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up to estimate routine cost (setup excluded from timing).
+        let mut elapsed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while elapsed < Duration::from_millis(50) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+            warm_iters += 1;
+        }
+        let est = elapsed.as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample =
+            ((budget / self.sample_size as f64 / est).floor() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                sample += t0.elapsed();
+            }
+            self.samples.push(sample.as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        assert!(!self.samples.is_empty(), "bench_function body never called iter()");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<40} min {} | median {} | mean {}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s ")
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_plausible_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.measurement_time(Duration::from_millis(120)).sample_size(3);
+        group.bench_function("sum_1k", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest-batched");
+        group.measurement_time(Duration::from_millis(120)).sample_size(3);
+        group.bench_function("reverse_vec", |b| {
+            b.iter_batched(
+                || (0..512u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains("s "));
+    }
+}

@@ -1,0 +1,247 @@
+//! Std-only stand-in for `proptest`, vendored because the build sandbox has
+//! no crates.io access.
+//!
+//! Implements exactly the surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range, tuple, and mapped strategies ([`Strategy::prop_map`],
+//!   [`Strategy::prop_flat_map`]),
+//! * [`collection::vec`] / [`collection::btree_set`] / [`sample::select`],
+//! * [`any`] for primitive types.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **Deterministic.** Case seeds derive from an FNV-1a hash of the test
+//!   name, so a failure reproduces with plain `cargo test` — no persisted
+//!   regression files. `UHSCM_PROPTEST_CASES` scales the case count.
+//! * **No shrinking.** Failures report the case index and seed instead of a
+//!   minimized input; strategies here are small enough to debug directly.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy generating `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen()
+        }
+    }
+
+    /// The uniform boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Module-style access used by call sites as `prop::collection::vec(..)`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// One-glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} ({}:{})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Each `pat in strategy` argument is drawn fresh
+/// per case; the body runs once per case and fails via `prop_assert!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$attr])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(msg) = outcome {
+                    panic!(
+                        "property `{}` failed at case {case}/{cases}: {msg}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -1.0..1.0f64) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in prop::collection::vec(0.0..10.0f64, 1..8), s in any::<u64>()) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| (0.0..10.0).contains(&x)));
+            let _ = s;
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..6).prop_flat_map(|n| {
+            (prop::collection::vec(0.0..1.0f64, n..n + 1), (n..n + 1))
+        })) {
+            let (v, n) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_cases_accepted(x in 0usize..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn select_draws_from_list() {
+        let s = sample::select(vec!["a", "b", "c"]);
+        let mut rng = crate::test_runner::case_rng("select", 0);
+        for _ in 0..20 {
+            let v = s.generate(&mut rng);
+            assert!(["a", "b", "c"].contains(&v));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_size_and_range() {
+        let s = collection::btree_set(0usize..20, 0..6);
+        let mut rng = crate::test_runner::case_rng("btree", 1);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 6);
+            assert!(set.iter().all(|&v| v < 20));
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failing_property_reports_case(x in 0usize..4) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    use crate::{collection, sample};
+}

@@ -1,0 +1,26 @@
+//! Sampling from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy that picks uniformly from a non-empty list of values.
+///
+/// # Panics
+/// Panics (at generation time) if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    Select { values }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.values.is_empty(), "select requires a non-empty list");
+        self.values[rng.gen_range(0..self.values.len())].clone()
+    }
+}

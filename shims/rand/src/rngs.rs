@@ -1,0 +1,72 @@
+//! Concrete generators.
+
+use crate::{Rng, SeedableRng};
+
+/// xoshiro256++ generator, seeded via SplitMix64.
+///
+/// Same name as upstream `rand`'s default so call sites compile unchanged,
+/// but the stream differs (upstream uses ChaCha12). All workspace
+/// experiments treat the stream as an implementation detail behind a seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the xoshiro256++ reference implementation with
+    /// state {1, 2, 3, 4}.
+    #[test]
+    fn matches_reference_stream() {
+        let mut r = StdRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] =
+            [41943041, 58720359, 3588806011781223, 3591011842654386, 9228616714210784205];
+        for e in expected {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_avoids_all_zero_state() {
+        let r = StdRng::seed_from_u64(0);
+        assert_ne!(r.s, [0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Std-only stand-in for `serde`, vendored because the build sandbox has no
+//! crates.io access.
+//!
+//! Upstream serde's visitor architecture is far more than the workspace
+//! needs: the experiment binaries only ever `#[derive(Serialize)]` on flat
+//! record structs and hand them to `serde_json::to_string_pretty`. This
+//! shim therefore models serialization as a conversion to a small
+//! [`Value`] tree, which `serde_json` then renders.
+
+// Lets the derive's generated `::serde::` paths resolve even inside this
+// crate's own tests (the same trick upstream serde uses).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A self-describing data tree — the output of [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (field order of the deriving struct).
+    Map(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.as_ref().to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_of_struct_like_maps() {
+        let v = vec![1u64, 2, 3].to_value();
+        assert_eq!(v, Value::Seq(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)]));
+    }
+
+    #[derive(Serialize)]
+    struct Record {
+        name: String,
+        bits: usize,
+        map: f64,
+    }
+
+    #[test]
+    fn derive_preserves_field_order() {
+        let r = Record { name: "uhscm".into(), bits: 64, map: 0.812 };
+        match r.to_value() {
+            Value::Map(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["name", "bits", "map"]);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Supports exactly the shape the workspace uses: non-generic structs with
+//! named fields. Anything else gets a clear `compile_error!` instead of a
+//! confusing downstream type error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("static error template parses")
+}
+
+/// Derive `serde::Serialize` (the shim's value-tree flavour) for a
+/// named-field struct, preserving field order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility before the `struct` keyword.
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return compile_error("derive(Serialize): expected struct name"),
+                }
+                break;
+            }
+            if s == "enum" || s == "union" {
+                return compile_error(
+                    "derive(Serialize) shim supports only structs with named fields",
+                );
+            }
+        }
+    }
+    let Some(name) = name else {
+        return compile_error("derive(Serialize): no struct found in input");
+    };
+
+    // Find the brace-delimited field group; reject generics along the way.
+    let mut fields_group = None;
+    for tt in tokens.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return compile_error("derive(Serialize) shim does not support generic structs");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields_group = Some(g);
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return compile_error("derive(Serialize) shim does not support tuple structs");
+            }
+            _ => {}
+        }
+    }
+    let Some(group) = fields_group else {
+        return compile_error("derive(Serialize) shim requires named fields");
+    };
+
+    // Field names: within each top-level comma chunk, the ident directly
+    // before the first `:`. Attributes and visibility come earlier in the
+    // chunk and are skipped by tracking the latest ident seen.
+    let mut field_names = Vec::new();
+    let mut latest_ident: Option<String> = None;
+    let mut consumed_colon = false;
+    for tt in group.stream() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                latest_ident = None;
+                consumed_colon = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !consumed_colon => {
+                if let Some(f) = latest_ident.take() {
+                    field_names.push(f);
+                }
+                consumed_colon = true;
+            }
+            TokenTree::Ident(id) if !consumed_colon => {
+                let s = id.to_string();
+                if s != "pub" {
+                    latest_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    if field_names.is_empty() {
+        return compile_error("derive(Serialize) shim requires at least one named field");
+    }
+
+    let entries: String = field_names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated impl parses")
+}

@@ -119,9 +119,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{}'", rest[i])))?;
-        let value = rest
-            .get(i + 1)
-            .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+        let value =
+            rest.get(i + 1).ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
         flags.insert(key.to_string(), value.to_string());
         i += 2;
     }
@@ -172,15 +171,14 @@ fn parse_dataset(v: &str) -> Result<DatasetKind, CliError> {
         "cifar" | "cifar10" => Ok(DatasetKind::Cifar10Like),
         "nus" | "nuswide" | "nus-wide" => Ok(DatasetKind::NusWideLike),
         "flickr" | "mirflickr" => Ok(DatasetKind::FlickrLike),
-        other => Err(CliError::Usage(format!(
-            "unknown dataset '{other}' (expected cifar|nus|flickr)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown dataset '{other}' (expected cifar|nus|flickr)")))
+        }
     }
 }
 
 fn parse_num(key: &str, v: &str) -> Result<usize, CliError> {
-    v.parse::<usize>()
-        .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'")))
+    v.parse::<usize>().map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'")))
 }
 
 /// Execute a command, writing human-readable output into a string
@@ -196,10 +194,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn dataset_from_meta(meta: &BTreeMap<String, String>) -> Result<(Dataset, u64), CliError> {
-    let get = |k: &str| {
-        meta.get(k)
-            .ok_or_else(|| CliError::Corrupt(format!("meta.txt missing '{k}'")))
-    };
+    let get =
+        |k: &str| meta.get(k).ok_or_else(|| CliError::Corrupt(format!("meta.txt missing '{k}'")));
     let kind = parse_dataset(get("dataset")?)?;
     let parse_field = |k: &str| -> Result<usize, CliError> {
         get(k)?
@@ -235,10 +231,7 @@ fn run_train(args: &TrainArgs) -> Result<String, CliError> {
 
     fs::create_dir_all(&args.out)?;
     let mut net_file = fs::File::create(args.out.join("model.nn"))?;
-    model
-        .network()
-        .save(&mut net_file)
-        .map_err(CliError::Io)?;
+    model.network().save(&mut net_file).map_err(CliError::Io)?;
     let mut codes_file = fs::File::create(args.out.join("db.codes"))?;
     db_codes.save(&mut codes_file)?;
     let meta = format!(
@@ -292,8 +285,8 @@ fn load_bundle(bundle: &Path) -> Result<Bundle, CliError> {
     let meta = read_meta(bundle)?;
     let (dataset, seed) = dataset_from_meta(&meta)?;
     let mut net_file = fs::File::open(bundle.join("model.nn"))?;
-    let network = Mlp::load(&mut net_file)
-        .map_err(|e| CliError::Corrupt(format!("model.nn: {e}")))?;
+    let network =
+        Mlp::load(&mut net_file).map_err(|e| CliError::Corrupt(format!("model.nn: {e}")))?;
     let mut codes_file = fs::File::open(bundle.join("db.codes"))?;
     let db_codes = BitCodes::load(&mut codes_file)?;
     if db_codes.len() != dataset.split.database.len() {
@@ -308,11 +301,7 @@ fn load_bundle(bundle: &Path) -> Result<Bundle, CliError> {
 
 fn query_codes(bundle: &Bundle) -> BitCodes {
     let pipeline = Pipeline::new(&bundle.dataset, bundle.seed);
-    BitCodes::from_real(
-        &bundle
-            .network
-            .infer(&pipeline.features_of(&bundle.dataset.split.query)),
-    )
+    BitCodes::from_real(&bundle.network.infer(&pipeline.features_of(&bundle.dataset.split.query)))
 }
 
 fn run_eval(path: &Path) -> Result<String, CliError> {
@@ -321,10 +310,7 @@ fn run_eval(path: &Path) -> Result<String, CliError> {
     let ranker = HammingRanker::new(bundle.db_codes.clone());
     let ds = &bundle.dataset;
     let rel = |qi: usize, di: usize| {
-        crate::data::share_label(
-            &ds.labels[ds.split.query[qi]],
-            &ds.labels[ds.split.database[di]],
-        )
+        crate::data::share_label(&ds.labels[ds.split.query[qi]], &ds.labels[ds.split.database[di]])
     };
     let map = mean_average_precision(&ranker, &queries, &rel, ds.split.database.len());
     Ok(format!(
@@ -349,22 +335,13 @@ fn run_query(path: &Path, id: usize, top: usize) -> Result<String, CliError> {
     let ds = &bundle.dataset;
     let ranker = HammingRanker::new(bundle.db_codes.clone());
     let rel = |qi: usize, di: usize| {
-        crate::data::share_label(
-            &ds.labels[ds.split.query[qi]],
-            &ds.labels[ds.split.database[di]],
-        )
+        crate::data::share_label(&ds.labels[ds.split.query[qi]], &ds.labels[ds.split.database[di]])
     };
     let labels_of = |item: usize| -> String {
-        ds.labels[item]
-            .iter()
-            .map(|&c| ds.class_names[c].clone())
-            .collect::<Vec<_>>()
-            .join("+")
+        ds.labels[item].iter().map(|&c| ds.class_names[c].clone()).collect::<Vec<_>>().join("+")
     };
-    let mut out = format!(
-        "query {id} labels [{}], top-{top} neighbours:\n",
-        labels_of(ds.split.query[id])
-    );
+    let mut out =
+        format!("query {id} labels [{}], top-{top} neighbours:\n", labels_of(ds.split.query[id]));
     for hit in top_k(&ranker, &queries, id, &rel, top) {
         writeln!(
             out,
@@ -417,15 +394,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_flags_and_commands() {
-        assert!(matches!(
-            parse(&argv(&["train", "--nope", "1"])),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse(&argv(&["train", "--nope", "1"])), Err(CliError::Usage(_))));
         assert!(matches!(parse(&argv(&["frobnicate"])), Err(CliError::Usage(_))));
-        assert!(matches!(
-            parse(&argv(&["train", "--bits", "lots"])),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse(&argv(&["train", "--bits", "lots"])), Err(CliError::Usage(_))));
         assert!(matches!(
             parse(&argv(&["query", "--bundle", "x"])), // missing --id
             Err(CliError::Usage(_))
@@ -485,10 +456,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("meta.txt"), "this is not key value\n").unwrap();
-        assert!(matches!(
-            run(&Command::Info { bundle: dir.clone() }),
-            Err(CliError::Corrupt(_))
-        ));
+        assert!(matches!(run(&Command::Info { bundle: dir.clone() }), Err(CliError::Corrupt(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 }

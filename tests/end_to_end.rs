@@ -55,11 +55,7 @@ fn uhscm_beats_shallow_baselines() {
             &pipeline.relevance(),
             dataset.split.database.len(),
         );
-        assert!(
-            uhscm_map > map,
-            "{} ({map:.3}) not below UHSCM ({uhscm_map:.3})",
-            baseline.name()
-        );
+        assert!(uhscm_map > map, "{} ({map:.3}) not below UHSCM ({uhscm_map:.3})", baseline.name());
     }
 }
 

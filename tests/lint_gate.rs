@@ -1,0 +1,25 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! Shells out to the `uhscm-xtask` lint driver so `cargo test` fails
+//! whenever a rule is violated without an allowlisted justification, or
+//! an allowlist entry goes stale. See `xtask/src/main.rs` for the rules.
+
+use std::process::Command;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["run", "-p", "uhscm-xtask", "--quiet", "--", "lint"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn `cargo run -p uhscm-xtask`");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "lint findings (fix them or add a justified entry to xtask/lint.allow):\n\
+         {stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("0 errors"), "unexpected lint output:\n{stdout}");
+}

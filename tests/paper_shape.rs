@@ -28,10 +28,7 @@ fn variant_map(kind: DatasetKind, variant: Variant, bits: usize) -> f64 {
 fn concept_mining_beats_image_features_on_cifar() {
     let full = variant_map(DatasetKind::Cifar10Like, Variant::Full, 32);
     let image_features = variant_map(DatasetKind::Cifar10Like, Variant::ImageFeatures, 32);
-    assert!(
-        full > image_features,
-        "UHSCM ({full:.3}) must beat UHSCM_IF ({image_features:.3})"
-    );
+    assert!(full > image_features, "UHSCM ({full:.3}) must beat UHSCM_IF ({image_features:.3})");
 }
 
 /// §4.4.4: frequency denoising beats k-means clustering of the concepts,
@@ -48,10 +45,7 @@ fn denoising_beats_coarse_clustering() {
 fn modified_contrastive_loss_helps() {
     let full = variant_map(DatasetKind::NusWideLike, Variant::Full, 32);
     let without = variant_map(DatasetKind::NusWideLike, Variant::WithoutMcl, 32);
-    assert!(
-        full > without,
-        "UHSCM ({full:.3}) must beat UHSCM_w/o MCL ({without:.3})"
-    );
+    assert!(full > without, "UHSCM ({full:.3}) must beat UHSCM_w/o MCL ({without:.3})");
 }
 
 /// §4.4.1: on NUS-WIDE the NUS-81 vocabulary beats the MS-COCO vocabulary
@@ -90,10 +84,7 @@ fn denoising_retains_in_domain_concepts() {
 fn default_prompt_not_worse_than_p2() {
     let default = variant_map(DatasetKind::FlickrLike, Variant::Full, 32);
     let p2 = variant_map(DatasetKind::FlickrLike, Variant::Prompt2, 32);
-    assert!(
-        default >= p2 - 0.02,
-        "default template ({default:.3}) fell behind P2 ({p2:.3})"
-    );
+    assert!(default >= p2 - 0.02, "default template ({default:.3}) fell behind P2 ({p2:.3})");
 }
 
 /// The paper uses the same concept vocabulary for all datasets; the

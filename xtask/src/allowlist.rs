@@ -1,0 +1,174 @@
+//! The lint baseline.
+//!
+//! `xtask/lint.allow` is a checked-in list of findings that are accepted,
+//! each with a mandatory one-line justification. An entry matches on
+//! (rule, path, trimmed source line) rather than a line number, so it
+//! survives unrelated edits; if the offending line changes or disappears
+//! the entry goes stale and the linter fails until it is removed.
+//!
+//! File format — tab-separated, one entry per line, `#` comments:
+//!
+//! ```text
+//! rule<TAB>path<TAB>trimmed source line<TAB>justification
+//! ```
+
+use crate::rules::Finding;
+use std::cell::Cell;
+
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub key: String,
+    pub justification: String,
+    /// Line in lint.allow, for stale-entry diagnostics.
+    pub allow_line: usize,
+    used: Cell<bool>,
+}
+
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist. Returns `Err` with per-line messages for
+    /// malformed entries (wrong field count, empty justification).
+    pub fn parse(src: &str) -> Result<Allowlist, Vec<String>> {
+        let mut entries = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, line) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 4 {
+                errors.push(format!(
+                    "lint.allow:{lineno}: expected 4 tab-separated fields \
+                     (rule, path, source line, justification), got {}",
+                    fields.len()
+                ));
+                continue;
+            }
+            let justification = fields[3].trim();
+            if justification.is_empty() {
+                errors.push(format!(
+                    "lint.allow:{lineno}: empty justification — every accepted finding \
+                     must say why it is sound"
+                ));
+                continue;
+            }
+            entries.push(Entry {
+                rule: fields[0].trim().to_string(),
+                path: fields[1].trim().to_string(),
+                key: fields[2].trim().to_string(),
+                justification: justification.to_string(),
+                allow_line: lineno,
+                used: Cell::new(false),
+            });
+        }
+        if errors.is_empty() {
+            Ok(Allowlist { entries })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Whether a finding is covered by the baseline. Marks the matching
+    /// entry used for later stale detection.
+    pub fn covers(&self, f: &Finding) -> bool {
+        for e in &self.entries {
+            if e.rule == f.rule && e.path == f.path && e.key == f.key {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding: the code they excused has
+    /// changed or been removed, so they must be dropped from the file.
+    pub fn stale(&self) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| !e.used.get()).collect()
+    }
+
+    /// Look up an existing justification for (rule, path, key) — used by
+    /// `--write-baseline` to preserve hand-written rationales.
+    pub fn justification_for(&self, rule: &str, path: &str, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.rule == rule && e.path == path && e.key == key)
+            .map(|e| e.justification.as_str())
+    }
+}
+
+/// Render a baseline file covering `findings`, preserving justifications
+/// from `previous` where available.
+pub fn render(findings: &[Finding], previous: &Allowlist) -> String {
+    let mut out = String::from(
+        "# uhscm lint baseline — accepted findings, one per line.\n\
+         # Format: rule<TAB>path<TAB>trimmed source line<TAB>justification\n\
+         # Regenerate with `cargo run -p uhscm-xtask -- lint --write-baseline`,\n\
+         # then replace any `PENDING:` placeholder with a real justification.\n",
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    let mut rows: Vec<&Finding> = findings.iter().collect();
+    rows.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    for f in rows {
+        if !seen.insert((f.rule, f.path.clone(), f.key.clone())) {
+            continue; // identical line flagged twice — one entry covers both
+        }
+        let just = previous
+            .justification_for(f.rule, &f.path, &f.key)
+            .unwrap_or("PENDING: justify or fix");
+        out.push_str(&format!("{}\t{}\t{}\t{}\n", f.rule, f.path, f.key, just));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, key: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(
+            "# comment\nno-unwrap\tcrates/core/src/a.rs\tx.unwrap();\tinvariant: x set above\n",
+        )
+        .unwrap();
+        assert!(a.covers(&finding("no-unwrap", "crates/core/src/a.rs", "x.unwrap();")));
+        assert!(!a.covers(&finding("no-unwrap", "crates/core/src/a.rs", "y.unwrap();")));
+        assert!(a.stale().is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_stale() {
+        let a = Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\twhy\n").unwrap();
+        assert_eq!(a.stale().len(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\t \n").is_err());
+        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\n").is_err());
+    }
+
+    #[test]
+    fn render_preserves_existing_justifications() {
+        let prev = Allowlist::parse("float-cmp\tp.rs\ta == 0.0\texact sparsity check\n").unwrap();
+        let out = render(&[finding("float-cmp", "p.rs", "a == 0.0")], &prev);
+        assert!(out.contains("exact sparsity check"));
+        let fresh = render(&[finding("no-unwrap", "p.rs", "x.unwrap();")], &prev);
+        assert!(fresh.contains("PENDING"));
+    }
+}

@@ -1,0 +1,286 @@
+//! A masking lexer for Rust source.
+//!
+//! The lint rules are textual, so before matching we blank out everything
+//! that is not code: string/char literals, line comments, block comments
+//! (nested), and raw strings. The masked text keeps the exact line/column
+//! structure of the original so findings report real locations.
+//!
+//! On top of masking, the lexer tracks two structural facts the rules need:
+//!
+//! * **test regions** — line spans covered by `#[cfg(test)]` or `#[test]`
+//!   items, so library-only rules can skip them;
+//! * **brace depth** at each line start, used by the `# Panics` doc rule to
+//!   find function body extents.
+
+/// Result of scanning one source file.
+pub struct MaskedFile {
+    /// Original source split into lines (no trailing newline).
+    pub raw_lines: Vec<String>,
+    /// Source with comments and literals blanked to spaces, same line
+    /// structure as `raw_lines`.
+    pub masked_lines: Vec<String>,
+    /// Inclusive 0-based line spans that belong to `#[cfg(test)]` /
+    /// `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl MaskedFile {
+    /// Whether a 0-based line index falls inside test-only code.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Mask a source file and record test regions.
+pub fn scan(src: &str) -> MaskedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut masked = String::with_capacity(src.len());
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    masked.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    masked.push(' ');
+                }
+                '"' => {
+                    // Keep the delimiter so `"..."` masks to `"   "`; rules
+                    // never match quotes, and columns stay aligned.
+                    state = State::Str;
+                    masked.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"..." or r#"..."# (any # count).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            masked.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    masked.push(c);
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: 'a followed
+                    // by anything but a closing quote is a lifetime.
+                    if next == Some('\\') || chars.get(i + 2) == Some(&'\'') {
+                        state = State::CharLit;
+                        masked.push('\'');
+                    } else {
+                        masked.push('\'');
+                    }
+                }
+                _ => masked.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    masked.push('\n');
+                } else {
+                    masked.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '\n' {
+                    masked.push('\n');
+                } else {
+                    masked.push(' ');
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Normal;
+                    masked.push('"');
+                }
+                '\n' => masked.push('\n'),
+                _ => masked.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Normal;
+                        for _ in 0..=hashes as usize {
+                            masked.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    state = State::Normal;
+                    masked.push('\'');
+                }
+                _ => masked.push(' '),
+            },
+        }
+        i += 1;
+    }
+
+    let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+    let test_regions = find_test_regions(&masked_lines);
+    MaskedFile { raw_lines, masked_lines, test_regions }
+}
+
+/// Locate `#[cfg(test)]` / `#[test]` item spans by brace matching on the
+/// masked text. An attribute arms the detector; the next `{` opens the
+/// region, and the matching `}` closes it. A `;` before any `{` disarms
+/// (attribute on a braceless item such as `#[cfg(test)] use ...;`).
+fn find_test_regions(masked_lines: &[String]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut depth: i64 = 0;
+    let mut armed: Option<usize> = None; // line the attribute appeared on
+    let mut open: Option<(usize, i64)> = None; // (start line, depth at open)
+
+    for (lineno, line) in masked_lines.iter().enumerate() {
+        if armed.is_none() && open.is_none() {
+            let t = line.trim_start();
+            if t.starts_with("#[cfg(test)]") || t.starts_with("#[test]") {
+                armed = Some(lineno);
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if let Some(start) = armed.take() {
+                        open = Some((start, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((start, open_depth)) = open {
+                        if depth == open_depth {
+                            regions.push((start, lineno));
+                            open = None;
+                        }
+                    }
+                }
+                ';' => {
+                    // Braceless item: the attribute did not introduce a body.
+                    if armed.is_some() && open.is_none() {
+                        armed = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed region (malformed source): extend to end of file.
+    if let Some((start, _)) = open {
+        regions.push((start, masked_lines.len().saturating_sub(1)));
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let f = scan("let x = \"unwrap()\"; // .unwrap()\nlet y = 1;");
+        assert!(!f.masked_lines[0].contains("unwrap"));
+        assert_eq!(f.masked_lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let f = scan("a /* x /* y */ z */ b");
+        assert!(!f.masked_lines[0].contains('x'));
+        assert!(!f.masked_lines[0].contains('z'));
+        assert!(f.masked_lines[0].starts_with('a'));
+        assert!(f.masked_lines[0].ends_with('b'));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let f = scan("let p = r#\"panic!(\"x\")\"#;");
+        assert!(!f.masked_lines[0].contains("panic"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.masked_lines[0].contains("str"));
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let f = scan("let c = 'x'; let esc = '\\n'; let q = a == b;");
+        assert!(f.masked_lines[0].contains("=="));
+        assert!(!f.masked_lines[0].contains('x'));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert!(!f.in_test_region(0));
+        assert!(f.in_test_region(1));
+        assert!(f.in_test_region(3));
+        assert!(!f.in_test_region(5));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_disarms() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }\n";
+        let f = scan(src);
+        assert!(!f.in_test_region(2));
+    }
+}

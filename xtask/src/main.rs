@@ -1,0 +1,167 @@
+//! `uhscm-xtask` — workspace automation, std-only.
+//!
+//! ```text
+//! cargo run -p uhscm-xtask -- lint                    # check, exit 1 on findings
+//! cargo run -p uhscm-xtask -- lint --write-baseline   # regenerate xtask/lint.allow
+//! ```
+//!
+//! The `lint` command scans every `.rs` file in the workspace (skipping
+//! `target/`) with textual rules tuned to this repo's invariants:
+//!
+//! * `no-unwrap`      — no `.unwrap()` / `.expect()` in non-test library code
+//! * `unseeded-rng`   — no `thread_rng` / `from_entropy` / `rand::random` anywhere
+//! * `float-cmp`      — no exact `==` / `!=` on floats in numeric code
+//! * `no-panic-macro` — no `panic!`/`todo!`/`unimplemented!`/`dbg!`/`println!`
+//!   in library crates
+//! * `panics-doc`     — `pub fn`s that assert must document `# Panics`
+//!
+//! Accepted findings live in `xtask/lint.allow` with mandatory one-line
+//! justifications; stale entries fail the run. Diagnostics are
+//! rustc-style `file:line` so editors can jump to them.
+
+mod allowlist;
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let write_baseline = args.iter().any(|a| a == "--write-baseline");
+            if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--write-baseline") {
+                eprintln!("uhscm-xtask: unknown lint flag `{bad}`");
+                return usage();
+            }
+            lint(write_baseline)
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p uhscm-xtask -- lint [--write-baseline]\n\
+         \n\
+         commands:\n\
+         \x20 lint                  scan workspace sources; exit 1 on findings\n\
+         \x20 lint --write-baseline rewrite xtask/lint.allow from current findings,\n\
+         \x20                       keeping existing justifications"
+    );
+    ExitCode::from(2)
+}
+
+/// Workspace root = parent of the xtask crate (CARGO_MANIFEST_DIR).
+fn workspace_root() -> PathBuf {
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").expect("CARGO_MANIFEST_DIR is always set under cargo");
+    Path::new(&manifest)
+        .parent()
+        .expect("xtask sits one level below the workspace root")
+        .to_path_buf()
+}
+
+fn lint(write_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root, &root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("uhscm-xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(rules::check_file(rel, &lexer::scan(&src)));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let allow_path = root.join("xtask/lint.allow");
+    let allow_src = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let allow = match allowlist::Allowlist::parse(&allow_src) {
+        Ok(a) => a,
+        Err(errors) => {
+            for e in errors {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(1);
+        }
+    };
+
+    if write_baseline {
+        let rendered = allowlist::render(&findings, &allow);
+        if let Err(e) = std::fs::write(&allow_path, rendered) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} findings baselined over {} files)",
+            allow_path.display(),
+            findings.len(),
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = 0usize;
+    let mut allowed = 0usize;
+    for f in &findings {
+        if allow.covers(f) {
+            allowed += 1;
+        } else {
+            failures += 1;
+            println!("{}:{}: error[{}]: {}", f.path, f.line, f.rule, f.message);
+        }
+    }
+    for e in allow.stale() {
+        failures += 1;
+        println!(
+            "xtask/lint.allow:{}: error[stale-allow]: entry for `{}` in {} no longer \
+             matches any finding — remove it (was: {})",
+            e.allow_line, e.rule, e.path, e.key
+        );
+    }
+
+    println!(
+        "uhscm-xtask lint: {} files scanned, {} findings ({} allowlisted, {} errors)",
+        files.len(),
+        findings.len(),
+        allowed,
+        failures
+    );
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collect workspace-relative paths of `.rs` files, skipping
+/// build output and VCS metadata.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
