@@ -1,10 +1,22 @@
-//! Micro-benchmarks for the linear-algebra kernels underneath everything.
+//! Micro-benchmarks for the linear-algebra kernels underneath everything,
+//! plus a serial-vs-parallel comparison of every kernel the deterministic
+//! runtime (`uhscm_linalg::par`) fans out.
+//!
+//! The comparison re-runs each workload pinned to one thread and at the
+//! effective thread count (`UHSCM_THREADS` or the machine's core count),
+//! checks the outputs are bitwise identical, and records the timings to
+//! `BENCH_kernels.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
-use std::time::Duration;
-use uhscm_linalg::{jacobi_eigen, rng, vecops, Pca};
+use std::time::{Duration, Instant};
+use uhscm_core::similarity::cosine_gram;
+use uhscm_eval::{mean_average_precision, BitCodes, HammingRanker};
+use uhscm_linalg::{jacobi_eigen, par, rng, vecops, Pca};
 use uhscm_nn::pairwise::cosine_matrix;
+use uhscm_nn::Mlp;
+use uhscm_vlp::SimClip;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
@@ -41,4 +53,128 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+
+/// One serial-vs-parallel measurement of a fanned-out kernel.
+#[derive(Serialize)]
+struct KernelRecord {
+    name: String,
+    size: String,
+    threads: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+    speedup: f64,
+    bitwise_identical: bool,
+}
+
+/// Best-of-N wall time of `run` pinned to `threads` threads, in ns.
+fn best_ns(threads: usize, samples: usize, run: &dyn Fn() -> Vec<u64>) -> u64 {
+    par::with_threads(threads, || {
+        black_box(run()); // warm-up
+        let mut best = u64::MAX;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            black_box(run());
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    })
+}
+
+/// Time `run` serially and at `threads` threads; `run` returns the output
+/// as bit patterns so the determinism contract is checked alongside speed.
+fn compare(name: &str, size: &str, threads: usize, run: &dyn Fn() -> Vec<u64>) -> KernelRecord {
+    let bitwise_identical = par::with_threads(1, run) == par::with_threads(threads, run);
+    let serial_ns = best_ns(1, 3, run);
+    let parallel_ns = best_ns(threads, 3, run);
+    let record = KernelRecord {
+        name: name.to_string(),
+        size: size.to_string(),
+        threads,
+        serial_ns,
+        parallel_ns,
+        speedup: serial_ns as f64 / parallel_ns as f64,
+        bitwise_identical,
+    };
+    println!(
+        "{name:<28} {size:<24} serial {:>12} ns | x{threads} {:>12} ns | {:.2}x | bitwise {}",
+        record.serial_ns, record.parallel_ns, record.speedup, record.bitwise_identical
+    );
+    record
+}
+
+fn f64_bits(vals: &[f64]) -> Vec<u64> {
+    vals.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Serial-vs-parallel sweep over the four fanned-out layers; writes
+/// `BENCH_kernels.json` at the workspace root.
+fn parallel_comparison() {
+    let threads = par::Parallelism::effective().threads();
+    println!("\nparallel kernels at {threads} thread(s) (override with UHSCM_THREADS):");
+
+    let mut r = rng::seeded(7);
+    let mut records = Vec::new();
+
+    // Layer 1: dense matmul at the paper's feature scale (256 images of
+    // 4096-d CLIP features projected to 64 bits).
+    let a = rng::gauss_matrix(&mut r, 256, 4096, 1.0);
+    let b = rng::gauss_matrix(&mut r, 4096, 64, 1.0);
+    records.push(compare("matmul", "256x4096 * 4096x64", threads, &|| {
+        f64_bits(a.matmul(&b).as_slice())
+    }));
+
+    // Layer 1b: the cosine Gram matrix behind the semantic similarity graph.
+    let feats = rng::gauss_matrix(&mut r, 512, 256, 1.0);
+    records.push(compare("cosine_gram", "512x256", threads, &|| {
+        f64_bits(cosine_gram(&feats).as_slice())
+    }));
+
+    // Layer 2: simulated CLIP image-tower embedding.
+    let latents = rng::gauss_matrix(&mut r, 512, 128, 1.0);
+    let clip = SimClip::with_defaults(128, 7);
+    records.push(compare("clip_embed_images", "512x128", threads, &|| {
+        f64_bits(clip.embed_images(&latents).as_slice())
+    }));
+
+    // Layer 3: mini-batch MLP forward + backward (gradients checked).
+    let mlp = Mlp::hashing_network(512, &[256], 64, &mut r);
+    let x = rng::gauss_matrix(&mut r, 256, 512, 1.0);
+    records.push(compare("mlp_forward_backward", "batch 256, 512-256-64", threads, &|| {
+        let mut net = mlp.clone();
+        let y = net.forward(&x);
+        let gx = net.backward(&y);
+        let mut bits = f64_bits(gx.as_slice());
+        bits.extend(f64_bits(&net.flat_grads()));
+        bits
+    }));
+
+    // Layer 4: per-query Hamming retrieval (MAP@100 over an 8192-code db).
+    let db = BitCodes::from_real(&rng::gauss_matrix(&mut r, 8192, 64, 1.0));
+    let queries = BitCodes::from_real(&rng::gauss_matrix(&mut r, 128, 64, 1.0));
+    let ranker = HammingRanker::new(db);
+    let relevant = |qi: usize, dj: usize| (qi * 31 + dj) % 7 == 0;
+    records.push(compare("retrieval_map", "128q x 8192db @100", threads, &|| {
+        vec![mean_average_precision(&ranker, &queries, &relevant, 100).to_bits()]
+    }));
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|root| root.join("BENCH_kernels.json"));
+    let Some(path) = path else {
+        eprintln!("warning: cannot locate the workspace root; skipping BENCH_kernels.json");
+        return;
+    };
+    match serde_json::to_string_pretty(&records) {
+        Ok(json) => match std::fs::write(&path, json + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    parallel_comparison();
+}

@@ -1,6 +1,6 @@
 //! The semantic similarity matrix `Q` (§3.3, Eq. 3 and Eq. 6).
 
-use uhscm_linalg::{vecops, Matrix};
+use uhscm_linalg::{par, vecops, Matrix};
 
 /// Eq. 3 / Eq. 6: `q_ij = cos(d_i, d_j)` over per-image concept
 /// distributions. Returns a symmetric `n × n` matrix with unit diagonal.
@@ -15,21 +15,49 @@ pub fn similarity_from_features(features: &Matrix) -> Matrix {
 }
 
 /// Cosine Gram matrix of the rows of `x`.
-fn cosine_gram(x: &Matrix) -> Matrix {
+///
+/// Output rows fan out over the `uhscm-linalg::par` runtime. The banded
+/// path computes each row `i` in full (`dot(r_i, r_j)` for all `j`), which
+/// is bitwise identical to the serial symmetric pass: IEEE-754
+/// multiplication commutes, and both paths sum over the feature index in
+/// ascending order.
+pub fn cosine_gram(x: &Matrix) -> Matrix {
     let n = x.rows();
-    // Normalize rows once, then a single symmetric pass of dot products.
+    let d = x.cols();
+    // Normalize rows once (each row is independent), …
     let mut unit = x.clone();
-    for i in 0..n {
-        vecops::normalize(unit.row_mut(i));
+    let fanned =
+        par::try_par_row_bands_mut(unit.as_mut_slice(), d, n.saturating_mul(d), |_, band| {
+            for row in band.chunks_mut(d) {
+                vecops::normalize(row);
+            }
+        });
+    if !fanned {
+        for i in 0..n {
+            vecops::normalize(unit.row_mut(i));
+        }
     }
+    // … then one pass of dot products.
     let mut q = Matrix::zeros(n, n);
-    for i in 0..n {
-        q[(i, i)] = 1.0;
-        let ri = unit.row(i).to_vec();
-        for j in (i + 1)..n {
-            let v = vecops::dot(&ri, unit.row(j));
-            q[(i, j)] = v;
-            q[(j, i)] = v;
+    let work = n.saturating_mul(n).saturating_mul(d);
+    let fanned = par::try_par_row_bands_mut(q.as_mut_slice(), n, work, |row0, band| {
+        for (bi, q_row) in band.chunks_mut(n).enumerate() {
+            let i = row0 + bi;
+            let ri = unit.row(i);
+            for (j, slot) in q_row.iter_mut().enumerate() {
+                *slot = if j == i { 1.0 } else { vecops::dot(ri, unit.row(j)) };
+            }
+        }
+    });
+    if !fanned {
+        for i in 0..n {
+            q[(i, i)] = 1.0;
+            let ri = unit.row(i).to_vec();
+            for j in (i + 1)..n {
+                let v = vecops::dot(&ri, unit.row(j));
+                q[(i, j)] = v;
+                q[(j, i)] = v;
+            }
         }
     }
     q

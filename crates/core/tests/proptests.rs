@@ -151,3 +151,27 @@ proptest! {
         prop_assert!((b.total - b.similarity - b.quantization - b.contrastive).abs() < 1e-9);
     }
 }
+
+proptest! {
+    #[test]
+    fn cosine_gram_parallel_matches_serial_bitwise(scores in score_matrix()) {
+        use uhscm_core::similarity::cosine_gram;
+        use uhscm_linalg::par;
+        let serial = par::with_threads(1, || cosine_gram(&scores));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || cosine_gram(&scores));
+            prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+        }
+    }
+
+    #[test]
+    fn similarity_parallel_matches_serial_bitwise(scores in score_matrix(), tau in 0.5..5.0f64) {
+        use uhscm_linalg::par;
+        let d = concept_distributions(&scores, tau);
+        let serial = par::with_threads(1, || similarity_from_distributions(&d));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || similarity_from_distributions(&d));
+            prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+        }
+    }
+}

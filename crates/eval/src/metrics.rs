@@ -5,6 +5,7 @@
 //! label". Rankings come from [`crate::HammingRanker`].
 
 use crate::{BitCodes, HammingRanker};
+use uhscm_linalg::par;
 
 /// One point of a precision-recall curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,28 +28,48 @@ pub struct PrPoint {
 pub fn mean_average_precision(
     ranker: &HammingRanker,
     queries: &BitCodes,
-    relevant: &dyn Fn(usize, usize) -> bool,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
     top_n: usize,
 ) -> f64 {
     let nq = queries.len();
     assert!(nq > 0, "MAP over zero queries");
+    // Queries are independent: fan out per-query APs, then fold them on
+    // this thread in ascending query order — the serial addition sequence,
+    // so the mean is bitwise identical for any thread count.
+    let work = nq.saturating_mul(ranker.database().len().max(1));
+    let per_query = par::par_map_chunks(nq, work, |range| {
+        range.map(|qi| average_precision(ranker, queries, qi, relevant, top_n)).collect::<Vec<_>>()
+    });
     let mut total = 0.0;
-    for qi in 0..nq {
-        let ranked = ranker.rank(queries, qi);
-        let n = top_n.min(ranked.len());
-        let mut hits = 0u32;
-        let mut precision_sum = 0.0;
-        for (pos, &db_idx) in ranked[..n].iter().enumerate() {
-            if relevant(qi, db_idx as usize) {
-                hits += 1;
-                precision_sum += f64::from(hits) / (pos + 1) as f64;
-            }
-        }
-        if hits > 0 {
-            total += precision_sum / f64::from(hits);
-        }
+    for ap in per_query.into_iter().flatten() {
+        total += ap;
     }
     total / nq as f64
+}
+
+/// AP of one query over the top `n` returns (zero when nothing relevant is
+/// retrieved) — the per-query body of [`mean_average_precision`].
+fn average_precision(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    qi: usize,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
+    top_n: usize,
+) -> f64 {
+    let ranked = ranker.rank_top_n(queries, qi, top_n);
+    let mut hits = 0u32;
+    let mut precision_sum = 0.0;
+    for (pos, &db_idx) in ranked.iter().enumerate() {
+        if relevant(qi, db_idx as usize) {
+            hits += 1;
+            precision_sum += f64::from(hits) / (pos + 1) as f64;
+        }
+    }
+    if hits > 0 {
+        precision_sum / f64::from(hits)
+    } else {
+        0.0
+    }
 }
 
 /// Precision among the top `n` results for each `n` in `ns`, averaged over
@@ -60,29 +81,43 @@ pub fn mean_average_precision(
 pub fn precision_at_n(
     ranker: &HammingRanker,
     queries: &BitCodes,
-    relevant: &dyn Fn(usize, usize) -> bool,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
     ns: &[usize],
 ) -> Vec<f64> {
     let nq = queries.len();
     assert!(nq > 0, "P@N over zero queries");
     let max_n = ns.iter().copied().max().unwrap_or(0).min(ranker.database().len());
+    // Per-query precision vectors fan out; the fold below walks them in
+    // ascending query order (the serial addition sequence per slot).
+    let work = nq.saturating_mul(ranker.database().len().max(1));
+    let per_query = par::par_map_chunks(nq, work, |range| {
+        range
+            .map(|qi| {
+                let ranked = ranker.rank_top_n(queries, qi, max_n);
+                // Prefix relevant counts up to max_n.
+                let mut cum = Vec::with_capacity(max_n);
+                let mut hits = 0usize;
+                for &db_idx in &ranked {
+                    if relevant(qi, db_idx as usize) {
+                        hits += 1;
+                    }
+                    cum.push(hits);
+                }
+                let mut prec = vec![0.0; ns.len()];
+                for (slot, &n) in prec.iter_mut().zip(ns) {
+                    let n = n.min(max_n);
+                    if n > 0 {
+                        *slot = cum[n - 1] as f64 / n as f64;
+                    }
+                }
+                prec
+            })
+            .collect::<Vec<_>>()
+    });
     let mut out = vec![0.0; ns.len()];
-    for qi in 0..nq {
-        let ranked = ranker.rank(queries, qi);
-        // Prefix relevant counts up to max_n.
-        let mut cum = Vec::with_capacity(max_n);
-        let mut hits = 0usize;
-        for &db_idx in &ranked[..max_n] {
-            if relevant(qi, db_idx as usize) {
-                hits += 1;
-            }
-            cum.push(hits);
-        }
-        for (slot, &n) in out.iter_mut().zip(ns) {
-            let n = n.min(max_n);
-            if n > 0 {
-                *slot += cum[n - 1] as f64 / n as f64;
-            }
+    for prec in per_query.into_iter().flatten() {
+        for (slot, p) in out.iter_mut().zip(prec) {
+            *slot += p;
         }
     }
     for v in &mut out {
@@ -101,24 +136,41 @@ pub fn precision_at_n(
 pub fn pr_curve(
     ranker: &HammingRanker,
     queries: &BitCodes,
-    relevant: &dyn Fn(usize, usize) -> bool,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> Vec<PrPoint> {
     let nq = queries.len();
     assert!(nq > 0, "PR curve over zero queries");
     let bits = ranker.database().bits();
-    // Per-radius totals across all queries.
+    // Per-radius totals across all queries. Chunk partials are integer
+    // counts, so merging them is exact regardless of the thread count.
+    let work = nq.saturating_mul(ranker.database().len().max(1));
+    let partials = par::par_map_chunks(nq, work, |range| {
+        let mut retrieved = vec![0u64; bits + 1];
+        let mut retrieved_relevant = vec![0u64; bits + 1];
+        let mut total_relevant = 0u64;
+        for qi in range {
+            let dists = ranker.distances(queries, qi);
+            for (db_idx, &d) in dists.iter().enumerate() {
+                retrieved[d as usize] += 1;
+                if relevant(qi, db_idx) {
+                    retrieved_relevant[d as usize] += 1;
+                    total_relevant += 1;
+                }
+            }
+        }
+        (retrieved, retrieved_relevant, total_relevant)
+    });
     let mut retrieved = vec![0u64; bits + 1];
     let mut retrieved_relevant = vec![0u64; bits + 1];
     let mut total_relevant = 0u64;
-    for qi in 0..nq {
-        let dists = ranker.distances(queries, qi);
-        for (db_idx, &d) in dists.iter().enumerate() {
-            retrieved[d as usize] += 1;
-            if relevant(qi, db_idx) {
-                retrieved_relevant[d as usize] += 1;
-                total_relevant += 1;
-            }
+    for (ret, rel, tot) in partials {
+        for (acc, v) in retrieved.iter_mut().zip(ret) {
+            *acc += v;
         }
+        for (acc, v) in retrieved_relevant.iter_mut().zip(rel) {
+            *acc += v;
+        }
+        total_relevant += tot;
     }
     // Prefix sums turn per-distance counts into within-radius counts.
     let mut points = Vec::with_capacity(bits + 1);

@@ -1,6 +1,7 @@
 //! Hamming ranking over a code database.
 
 use crate::BitCodes;
+use std::collections::BinaryHeap;
 
 /// Ranks database codes by Hamming distance from query codes.
 ///
@@ -33,6 +34,40 @@ impl HammingRanker {
     pub fn rank(&self, queries: &BitCodes, qi: usize) -> Vec<u32> {
         let dists = self.distances(queries, qi);
         counting_rank(&dists, self.db.bits())
+    }
+
+    /// The first `n` entries of [`Self::rank`] without materializing the
+    /// full ranking: a bounded max-heap over `(distance, index)` keeps the
+    /// `n` best candidates in `O(db · log n)` and no `O(db)` output
+    /// allocation. Tie-breaking is identical to the counting sort —
+    /// ascending distance, then ascending database index — because the heap
+    /// orders candidates by exactly that lexicographic key.
+    pub fn rank_top_n(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<u32> {
+        let total = self.db.len();
+        let n = n.min(total);
+        if n == 0 {
+            return Vec::new();
+        }
+        // When most of the database is requested, heap maintenance costs
+        // more than the O(db + bits) counting sort; the prefix is the same.
+        if n * 4 >= total {
+            let mut full = self.rank(queries, qi);
+            full.truncate(n);
+            return full;
+        }
+        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
+        for j in 0..total {
+            let cand = (queries.hamming(qi, &self.db, j), j as u32);
+            if heap.len() < n {
+                heap.push(cand);
+            } else if let Some(&worst) = heap.peek() {
+                if cand < worst {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+        heap.into_sorted_vec().into_iter().map(|(_, j)| j).collect()
     }
 
     /// Per-distance histogram of database points: `hist[d]` = how many
@@ -77,7 +112,7 @@ mod tests {
     #[test]
     fn rank_orders_by_distance() {
         let db = codes(&[
-            vec![1.0, 1.0, 1.0, 1.0],    // d=4 from query
+            vec![1.0, 1.0, 1.0, 1.0],     // d=4 from query
             vec![-1.0, -1.0, -1.0, -1.0], // d=0
             vec![1.0, -1.0, -1.0, -1.0],  // d=1
         ]);
@@ -89,8 +124,8 @@ mod tests {
     #[test]
     fn ties_break_by_index() {
         let db = codes(&[
-            vec![1.0, -1.0], // d=1
-            vec![-1.0, 1.0], // d=1
+            vec![1.0, -1.0],  // d=1
+            vec![-1.0, 1.0],  // d=1
             vec![-1.0, -1.0], // d=0
         ]);
         let q = codes(&[vec![-1.0, -1.0]]);
@@ -99,13 +134,46 @@ mod tests {
     }
 
     #[test]
-    fn histogram_counts_all_points() {
+    fn top_n_breaks_ties_like_full_rank() {
+        // Six codes, all tied at distance 1 except one exact match — the
+        // heap path (n*4 < total) must order ties by ascending index just
+        // like the counting sort.
         let db = codes(&[
-            vec![1.0, 1.0],
-            vec![1.0, -1.0],
-            vec![-1.0, -1.0],
-            vec![-1.0, 1.0],
+            vec![1.0, -1.0, -1.0],  // d=1
+            vec![-1.0, 1.0, -1.0],  // d=1
+            vec![-1.0, -1.0, -1.0], // d=0
+            vec![-1.0, -1.0, 1.0],  // d=1
+            vec![1.0, -1.0, -1.0],  // d=1 (duplicate of 0)
+            vec![-1.0, 1.0, -1.0],  // d=1 (duplicate of 1)
         ]);
+        let q = codes(&[vec![-1.0, -1.0, -1.0]]);
+        let ranker = HammingRanker::new(db);
+        let full = ranker.rank(&q, 0);
+        assert_eq!(full, vec![2, 0, 1, 3, 4, 5]);
+        for n in 0..=6 {
+            assert_eq!(ranker.rank_top_n(&q, 0, n), full[..n].to_vec(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn top_n_heap_path_matches_counting_sort() {
+        // 16 codes with many duplicate distances; n=2 forces the bounded
+        // heap (2*4 < 16) and must reproduce the stable prefix.
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| (0..4).map(|b| if (i >> b) & 1 == 1 { 1.0 } else { -1.0 }).collect())
+            .collect();
+        let db = codes(&rows);
+        let q = codes(&[vec![-1.0, -1.0, -1.0, -1.0]]);
+        let ranker = HammingRanker::new(db);
+        let full = ranker.rank(&q, 0);
+        for n in [1usize, 2, 3] {
+            assert_eq!(ranker.rank_top_n(&q, 0, n), full[..n].to_vec(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_all_points() {
+        let db = codes(&[vec![1.0, 1.0], vec![1.0, -1.0], vec![-1.0, -1.0], vec![-1.0, 1.0]]);
         let q = codes(&[vec![1.0, 1.0]]);
         let ranker = HammingRanker::new(db);
         let hist = ranker.distance_histogram(&q, 0);

@@ -19,6 +19,10 @@ pub struct RetrievalHit {
 }
 
 /// Top-`k` neighbours of query `qi`, with relevance flags.
+///
+/// Uses the bounded-heap selection of [`HammingRanker::rank_top_n`], so a
+/// small `k` over a large database never sorts (or even allocates) the full
+/// ranking; tie-breaking matches the full sort exactly.
 pub fn top_k(
     ranker: &HammingRanker,
     queries: &BitCodes,
@@ -26,10 +30,9 @@ pub fn top_k(
     relevant: &dyn Fn(usize, usize) -> bool,
     k: usize,
 ) -> Vec<RetrievalHit> {
-    let ranked = ranker.rank(queries, qi);
+    let ranked = ranker.rank_top_n(queries, qi, k);
     ranked
         .iter()
-        .take(k)
         .map(|&db_idx| RetrievalHit {
             index: db_idx as usize,
             distance: queries.hamming(qi, ranker.database(), db_idx as usize),

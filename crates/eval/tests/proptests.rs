@@ -167,3 +167,65 @@ mod index_props {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn map_parallel_matches_serial_bitwise((db, q) in code_pair(), top_n in 1usize..12) {
+        use uhscm_linalg::par;
+        let ranker = HammingRanker::new(BitCodes::from_real(&db));
+        let qc = BitCodes::from_real(&q);
+        let rel = |qi: usize, dj: usize| (qi + dj) % 3 == 0;
+        let serial = par::with_threads(1, || mean_average_precision(&ranker, &qc, &rel, top_n));
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                par::with_threads(threads, || mean_average_precision(&ranker, &qc, &rel, top_n));
+            prop_assert_eq!(serial.to_bits(), parallel.to_bits());
+        }
+    }
+
+    #[test]
+    fn precision_at_n_parallel_matches_serial_bitwise((db, q) in code_pair()) {
+        use uhscm_linalg::par;
+        let ranker = HammingRanker::new(BitCodes::from_real(&db));
+        let qc = BitCodes::from_real(&q);
+        let rel = |qi: usize, dj: usize| (qi * 7 + dj) % 2 == 0;
+        let ns = [1usize, 3, 10];
+        let serial = par::with_threads(1, || precision_at_n(&ranker, &qc, &rel, &ns));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || precision_at_n(&ranker, &qc, &rel, &ns));
+            prop_assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn pr_curve_parallel_matches_serial_bitwise((db, q) in code_pair()) {
+        use uhscm_linalg::par;
+        let ranker = HammingRanker::new(BitCodes::from_real(&db));
+        let qc = BitCodes::from_real(&q);
+        let rel = |qi: usize, dj: usize| (qi + dj) % 2 == 1;
+        let serial = par::with_threads(1, || pr_curve(&ranker, &qc, &rel));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || pr_curve(&ranker, &qc, &rel));
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                prop_assert_eq!(s.radius, p.radius);
+                prop_assert_eq!(s.precision.to_bits(), p.precision.to_bits());
+                prop_assert_eq!(s.recall.to_bits(), p.recall.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn top_n_is_prefix_of_full_rank((db, q) in code_pair(), n in 0usize..50) {
+        let ranker = HammingRanker::new(BitCodes::from_real(&db));
+        let qc = BitCodes::from_real(&q);
+        for qi in 0..qc.len() {
+            let full = ranker.rank(&qc, qi);
+            let top = ranker.rank_top_n(&qc, qi, n);
+            prop_assert_eq!(&full[..n.min(full.len())], top.as_slice());
+        }
+    }
+}

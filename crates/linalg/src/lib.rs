@@ -7,6 +7,8 @@
 //!
 //! * [`Matrix`] — row-major dense matrix with the handful of BLAS-like
 //!   operations the paper's algorithms need,
+//! * [`par`] — the deterministic data-parallel runtime every multi-threaded
+//!   kernel in the workspace routes through (`UHSCM_THREADS`),
 //! * [`eigen`] — a Jacobi eigensolver for symmetric matrices,
 //! * [`pca`] — principal component analysis on top of the eigensolver,
 //! * [`kmeans`] — k-means++ clustering (used by the `UHSCM_cn` ablations),
@@ -18,6 +20,7 @@ pub mod eigen;
 pub mod hadamard;
 pub mod kmeans;
 pub mod matrix;
+pub mod par;
 pub mod pca;
 pub mod rng;
 pub mod svd;
@@ -26,5 +29,6 @@ pub mod vecops;
 pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use kmeans::{kmeans, KMeansResult};
 pub use matrix::Matrix;
+pub use par::Parallelism;
 pub use pca::Pca;
 pub use svd::{gram_schmidt, random_orthogonal, svd, Svd};

@@ -112,8 +112,29 @@ impl Matrix {
     }
 
     /// Copy column `j` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        let mut out = Vec::with_capacity(self.rows);
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Copy column `j` into `out` (cleared first), letting callers reuse one
+    /// buffer across a loop instead of allocating per column. Reads the
+    /// strided buffer directly rather than going through per-element
+    /// indexing.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
+        assert!(j < self.cols, "column {j} out of bounds for a {}x{} matrix", self.rows, self.cols);
+        out.clear();
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(self.data[i * self.cols + j]);
+        }
     }
 
     /// Flat row-major view of the underlying buffer.
@@ -153,7 +174,9 @@ impl Matrix {
     /// Matrix product `self * other`.
     ///
     /// Uses the classic i-k-j loop order so the innermost loop streams over
-    /// contiguous rows of both operands.
+    /// contiguous rows of both operands. Output rows fan out over the
+    /// [`crate::par`] runtime; each row runs the identical serial kernel, so
+    /// the result is bitwise independent of the thread count.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -164,23 +187,27 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        let cols = other.cols;
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
+        let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
+            for (k, out_row) in band.chunks_mut(cols).enumerate() {
+                matmul_row(self.row(row0 + k), other, out_row);
+            }
+        });
+        if !fanned {
+            for i in 0..self.rows {
+                matmul_row(self.row(i), other, &mut out.data[i * cols..(i + 1) * cols]);
             }
         }
         out
     }
 
     /// `self^T * other` without materializing the transpose.
+    ///
+    /// The parallel path walks output rows `k` (columns of `self`), each
+    /// accumulating over `i` in the same ascending order as the serial
+    /// i-outer loop — bitwise identical per element, only the interleaving
+    /// across elements differs.
     ///
     /// # Panics
     /// Panics on row-count mismatch.
@@ -191,16 +218,35 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let cols = other.cols;
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
+        let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
+            for (bk, out_row) in band.chunks_mut(cols).enumerate() {
+                let k = row0 + bk;
+                for i in 0..self.rows {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(other.row(i)) {
+                        *o += a * b;
+                    }
                 }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            }
+        });
+        if !fanned {
+            // Serial order streams rows of both operands (cache-friendly).
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[k * cols..(k + 1) * cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -218,11 +264,16 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                out[(i, j)] = crate::vecops::dot(a_row, b_row);
+        let cols = other.rows;
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
+        let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
+            for (bi, out_row) in band.chunks_mut(cols).enumerate() {
+                matmul_t_row(self.row(row0 + bi), other, out_row);
+            }
+        });
+        if !fanned {
+            for i in 0..self.rows {
+                matmul_t_row(self.row(i), other, &mut out.data[i * cols..(i + 1) * cols]);
             }
         }
         out
@@ -366,6 +417,28 @@ impl Matrix {
     /// Maximum absolute element.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// One output row of `a · b`: `out_row += a_row[k] · b.row(k)`, skipping
+/// exact zeros. Shared by the serial and banded paths of [`Matrix::matmul`].
+#[inline]
+fn matmul_row(a_row: &[f64], b: &Matrix, out_row: &mut [f64]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        for (o, &bv) in out_row.iter_mut().zip(b.row(k)) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// One output row of `a · bᵀ`: dot products against every row of `b`.
+#[inline]
+fn matmul_t_row(a_row: &[f64], b: &Matrix, out_row: &mut [f64]) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        *o = crate::vecops::dot(a_row, b.row(j));
     }
 }
 

@@ -1,0 +1,313 @@
+//! Deterministic data-parallel runtime — the workspace's only thread layer.
+//!
+//! Every parallel kernel in the repository fans out through this module
+//! (enforced by the `raw-thread` lint rule in `uhscm-xtask`). The design
+//! goal is *bitwise determinism*: a kernel run with any thread count
+//! produces exactly the same `f64` bit patterns as the serial path, so
+//! seeds, goldens and the `checked` sanitizer stay valid regardless of the
+//! machine the workspace lands on.
+//!
+//! # Determinism contract
+//!
+//! * Work is split into **contiguous output bands** by [`partition`]: band
+//!   boundaries depend only on the unit count and the thread count, never
+//!   on timing.
+//! * Each output element is written by exactly one thread, and every
+//!   floating-point reduction that feeds an element (e.g. the `k` loop of a
+//!   matmul row) runs in the same order as the serial loop. Threads change
+//!   only the interleaving *across* elements, which IEEE-754 cannot observe.
+//! * Cross-element reductions (gradient buffers, per-query metric sums) are
+//!   collected per unit and folded on the calling thread in ascending unit
+//!   order — the exact serial order.
+//!
+//! # Thread-count resolution
+//!
+//! 1. innermost [`with_threads`] override on the current thread (used by
+//!    tests and benches; forces fan-out even below the work threshold),
+//! 2. the `UHSCM_THREADS` environment variable (a positive integer; `1`
+//!    forces the exact serial path, unparseable values fall back to 3.),
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Without an explicit override, kernels whose estimated work is below
+//! [`MIN_PAR_WORK`] element-ops stay serial — spawn cost would dominate.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Below this many estimated element-ops a kernel stays serial unless a
+/// [`with_threads`] override forces fan-out.
+pub const MIN_PAR_WORK: usize = 1 << 15;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `UHSCM_THREADS`, else available cores; cached for the process lifetime.
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("UHSCM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    })
+}
+
+/// Thread-count configuration for every parallel kernel in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// The effective configuration: innermost [`with_threads`] override on
+    /// this thread, else `UHSCM_THREADS`, else available cores.
+    pub fn effective() -> Self {
+        Self { threads: OVERRIDE.with(Cell::get).unwrap_or_else(configured_threads) }
+    }
+
+    /// Exactly the serial path.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A fixed thread count (clamped to at least 1).
+    pub fn fixed(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// Number of worker threads kernels may use.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+}
+
+/// Run `f` with the effective thread count forced to `threads` on the
+/// current thread (restored afterwards, even on panic). An override also
+/// bypasses the [`MIN_PAR_WORK`] threshold, so small inputs genuinely fan
+/// out — this is how the parallel-equals-serial property tests exercise
+/// real thread boundaries.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Deterministic contiguous partition of `0..n` into at most `parts`
+/// non-empty ranges whose lengths differ by at most one. Depends only on
+/// `(n, parts)` — never on timing — so band boundaries are reproducible.
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    (0..parts)
+        .map(|p| {
+            let start = p * base + p.min(extra);
+            start..start + base + usize::from(p < extra)
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// How many bands to fan `units` work items out over; `1` means "run the
+/// caller's serial path".
+fn plan(units: usize, work: usize) -> usize {
+    let forced = OVERRIDE.with(Cell::get);
+    let threads = forced.unwrap_or_else(configured_threads);
+    if threads <= 1 || units < 2 {
+        return 1;
+    }
+    if forced.is_none() && work < MIN_PAR_WORK {
+        return 1;
+    }
+    threads.min(units)
+}
+
+/// Fan a mutable row-major buffer (`cols` elements per row) out over
+/// contiguous row bands, calling `f(first_row, band)` on each band from a
+/// scoped worker thread. Workers run with their own override pinned to `1`,
+/// so kernels called from inside a band never nest another fan-out.
+///
+/// Returns `false` — without calling `f` — when the plan is serial (one
+/// band, zero `cols`, or sub-threshold work): the caller then runs its own
+/// serial loop, which may use a different (cache-friendlier) traversal
+/// order as long as every output element sees the same operation order.
+pub fn try_par_row_bands_mut<T, F>(buf: &mut [T], cols: usize, work: usize, f: F) -> bool
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if cols == 0 {
+        return false;
+    }
+    let rows = buf.len() / cols;
+    let parts = plan(rows, work);
+    if parts <= 1 {
+        return false;
+    }
+    let ranges = partition(rows, parts);
+    std::thread::scope(|s| {
+        let mut rest: &mut [T] = buf;
+        for r in ranges {
+            let (band, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * cols);
+            rest = tail;
+            let f = &f;
+            s.spawn(move || with_threads(1, || f(r.start, band)));
+        }
+    });
+    true
+}
+
+/// Map `0..n` through `f` by contiguous chunks, collecting the per-chunk
+/// results in ascending chunk order. A serial plan runs `f(0..n)` inline on
+/// the calling thread (the exact serial path); `n == 0` yields no chunks.
+///
+/// Callers that reduce floating-point values across units must emit one
+/// value *per unit* (not per chunk) and fold them in unit order — chunk
+/// partial sums would make the result depend on the thread count.
+pub fn par_map_chunks<R, F>(n: usize, work: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let parts = plan(n, work);
+    if parts <= 1 {
+        return if n == 0 { Vec::new() } else { vec![f(0..n)] };
+    }
+    let ranges = partition(n, parts);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || with_threads(1, || f(r)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for n in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = partition(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at n={n} parts={parts}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n, "partition must cover 0..{n}");
+                assert!(ranges.len() <= parts);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_band_sizes_balanced() {
+        let ranges = partition(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = Parallelism::effective().threads();
+        let inner = with_threads(5, || Parallelism::effective().threads());
+        assert_eq!(inner, 5);
+        assert_eq!(Parallelism::effective().threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_nests() {
+        with_threads(4, || {
+            assert_eq!(Parallelism::effective().threads(), 4);
+            with_threads(2, || assert_eq!(Parallelism::effective().threads(), 2));
+            assert_eq!(Parallelism::effective().threads(), 4);
+        });
+    }
+
+    #[test]
+    fn override_restored_after_worker_panic() {
+        with_threads(3, || {
+            let caught = std::panic::catch_unwind(|| {
+                par_map_chunks(4, 0, |r| {
+                    assert!(r.start < 100, "unreachable");
+                    if r.start >= 2 {
+                        std::panic::panic_any("boom")
+                    }
+                    r.len()
+                })
+            });
+            assert!(caught.is_err(), "worker panic must propagate");
+            assert_eq!(Parallelism::effective().threads(), 3);
+        });
+    }
+
+    #[test]
+    fn serial_plan_returns_false() {
+        let mut buf = vec![0.0f64; 8];
+        // No override, tiny work: must refuse to fan out.
+        let fanned = try_par_row_bands_mut(&mut buf, 2, 8, |_, _| {});
+        assert!(!fanned);
+        // cols == 0 is always serial.
+        assert!(!try_par_row_bands_mut(&mut buf, 0, usize::MAX, |_, _| {}));
+    }
+
+    #[test]
+    fn forced_fanout_writes_disjoint_bands() {
+        let mut buf = vec![0.0f64; 10 * 3];
+        let fanned = with_threads(4, || {
+            try_par_row_bands_mut(&mut buf, 3, 0, |first_row, band| {
+                for (k, row) in band.chunks_exact_mut(3).enumerate() {
+                    for v in row {
+                        *v = (first_row + k) as f64;
+                    }
+                }
+            })
+        });
+        assert!(fanned);
+        for (i, row) in buf.chunks_exact(3).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f64), "row {i} corrupted: {row:?}");
+        }
+    }
+
+    #[test]
+    fn workers_do_not_nest_fanout() {
+        with_threads(4, || {
+            let depth: Vec<usize> = par_map_chunks(4, 0, |_| Parallelism::effective().threads());
+            assert!(depth.iter().all(|&t| t == 1), "workers must be pinned serial");
+        });
+    }
+
+    #[test]
+    fn par_map_chunks_orders_results() {
+        let chunks = with_threads(3, || par_map_chunks(10, 0, |r| r.collect::<Vec<_>>()));
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_chunks_empty_input() {
+        let chunks: Vec<Vec<usize>> = par_map_chunks(0, 0, |r| r.collect());
+        assert!(chunks.is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use uhscm_linalg::{jacobi_eigen, vecops, Matrix};
+use uhscm_linalg::{jacobi_eigen, par, vecops, Matrix};
 
 fn small_vec() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-100.0..100.0f64, 1..16)
@@ -102,6 +102,51 @@ proptest! {
         vecops::normalize(&mut b);
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}
+
+/// Ragged matmul operand pair: `a: n×k`, `b: k×m` with sizes chosen so row
+/// bands rarely divide evenly across 2/3/8 threads.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..11, 1usize..11, 1usize..11).prop_flat_map(|(n, k, m)| {
+        let a = prop::collection::vec(-10.0..10.0f64, n * k)
+            .prop_map(move |data| Matrix::from_vec(n, k, data));
+        let b = prop::collection::vec(-10.0..10.0f64, k * m)
+            .prop_map(move |data| Matrix::from_vec(k, m, data));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_parallel_matches_serial_bitwise((a, b) in matmul_pair()) {
+        let serial = par::with_threads(1, || a.matmul(&b));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || a.matmul(&b));
+            prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+        }
+    }
+
+    #[test]
+    fn matmul_t_parallel_matches_serial_bitwise((a, b) in matmul_pair()) {
+        // a: n×k, b: k×m ⇒ a.matmul_t needs an operand with k columns.
+        let bt = b.transpose(); // m×k
+        let serial = par::with_threads(1, || a.matmul_t(&bt));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || a.matmul_t(&bt));
+            prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+        }
+    }
+
+    #[test]
+    fn t_matmul_parallel_matches_serial_bitwise((a, b) in matmul_pair()) {
+        // a: n×k, b: k×m ⇒ aᵀ·c needs c with n rows.
+        let c = a.matmul(&b); // n×m
+        let serial = par::with_threads(1, || a.t_matmul(&c));
+        for threads in [2usize, 3, 8] {
+            let parallel = par::with_threads(threads, || a.t_matmul(&c));
+            prop_assert_eq!(serial.as_slice(), parallel.as_slice());
         }
     }
 }

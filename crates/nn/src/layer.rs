@@ -2,7 +2,7 @@
 
 use crate::Activation;
 use rand::Rng;
-use uhscm_linalg::Matrix;
+use uhscm_linalg::{par, Matrix};
 
 /// `y = act(x W + b)` with cached forward state for back-propagation.
 ///
@@ -71,9 +71,16 @@ impl Linear {
         // silently scrub a NaN (f64::max ignores it), hiding the layer
         // that actually produced the corruption.
         uhscm_linalg::check_finite!("Linear::forward", "pre-activation", &y);
-        for i in 0..y.rows() {
-            for (v, &b) in y.row_mut(i).iter_mut().zip(&self.bias) {
-                *v = self.activation.apply(*v + b);
+        let cols = self.fan_out();
+        let work = y.rows().saturating_mul(cols).saturating_mul(4);
+        let fanned = par::try_par_row_bands_mut(y.as_mut_slice(), cols, work, |_, band| {
+            for row in band.chunks_mut(cols) {
+                bias_activate(row, &self.bias, self.activation);
+            }
+        });
+        if !fanned {
+            for i in 0..y.rows() {
+                bias_activate(y.row_mut(i), &self.bias, self.activation);
             }
         }
         uhscm_linalg::check_finite!("Linear::forward", "output", &y);
@@ -100,18 +107,45 @@ impl Linear {
 
         // δ = dL/dy ⊙ act'(y)   (n × out)
         let mut delta = grad_output.clone();
-        for i in 0..delta.rows() {
-            let yr = y.row(i);
-            for (d, &yv) in delta.row_mut(i).iter_mut().zip(yr) {
-                *d *= self.activation.derivative_from_output(yv);
+        let cols = delta.cols();
+        let act = self.activation;
+        let work = delta.rows().saturating_mul(cols).saturating_mul(2);
+        let fanned = par::try_par_row_bands_mut(delta.as_mut_slice(), cols, work, |row0, band| {
+            for (bi, drow) in band.chunks_mut(cols).enumerate() {
+                scale_by_derivative(drow, y.row(row0 + bi), act);
+            }
+        });
+        if !fanned {
+            for i in 0..delta.rows() {
+                scale_by_derivative(delta.row_mut(i), y.row(i), act);
             }
         }
 
         // dL/dW += xᵀ δ ;  dL/db += Σ_rows δ ;  dL/dx = δ Wᵀ.
+        // The t_matmul and matmul_t kernels fan out over output rows; the
+        // bias gradient fans out over *columns*, so every slot keeps the
+        // serial ascending-row accumulation order (bitwise identical for
+        // any thread count).
         self.grad_weight.axpy(1.0, &x.t_matmul(&delta));
-        for i in 0..delta.rows() {
-            for (g, &d) in self.grad_bias.iter_mut().zip(delta.row(i)) {
-                *g += d;
+        let n = delta.rows();
+        let fanned = par::try_par_row_bands_mut(
+            &mut self.grad_bias,
+            1,
+            n.saturating_mul(cols),
+            |col0, band| {
+                for i in 0..n {
+                    let drow = delta.row(i);
+                    for (t, g) in band.iter_mut().enumerate() {
+                        *g += drow[col0 + t];
+                    }
+                }
+            },
+        );
+        if !fanned {
+            for i in 0..n {
+                for (g, &d) in self.grad_bias.iter_mut().zip(delta.row(i)) {
+                    *g += d;
+                }
             }
         }
         let grad_input = delta.matmul_t(&self.weight);
@@ -132,6 +166,24 @@ impl Linear {
     /// Number of trainable parameters.
     pub fn param_count(&self) -> usize {
         self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+}
+
+/// Fused bias-add + activation over one output row — the per-row body
+/// shared by the serial and banded paths of [`Linear::infer`].
+#[inline]
+fn bias_activate(row: &mut [f64], bias: &[f64], act: Activation) {
+    for (v, &b) in row.iter_mut().zip(bias) {
+        *v = act.apply(*v + b);
+    }
+}
+
+/// `δ_row ⊙= act'(y_row)` — the per-row body shared by the serial and
+/// banded paths of [`Linear::backward`].
+#[inline]
+fn scale_by_derivative(drow: &mut [f64], y_row: &[f64], act: Activation) {
+    for (d, &yv) in drow.iter_mut().zip(y_row) {
+        *d *= act.derivative_from_output(yv);
     }
 }
 

@@ -92,3 +92,32 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn batched_backward_parallel_matches_serial_bitwise(
+        (input, hidden, out) in arch(),
+        n in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        use uhscm_linalg::par;
+        let mut r = rng::seeded(seed);
+        let mlp = Mlp::hashing_network(input, &hidden, out, &mut r);
+        let x = rng::gauss_matrix(&mut r, n, input, 1.0);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut net = mlp.clone();
+                let y = net.forward(&x);
+                let gx = net.backward(&y);
+                (y, gx, net.flat_grads())
+            })
+        };
+        let (y1, gx1, g1) = run(1);
+        for threads in [2usize, 3, 8] {
+            let (yt, gxt, gt) = run(threads);
+            prop_assert_eq!(y1.as_slice(), yt.as_slice());
+            prop_assert_eq!(gx1.as_slice(), gxt.as_slice());
+            prop_assert_eq!(&g1, &gt);
+        }
+    }
+}

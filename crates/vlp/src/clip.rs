@@ -2,7 +2,7 @@
 
 use crate::PromptTemplate;
 use uhscm_data::concepts::{canonical, prototype, stable_hash};
-use uhscm_linalg::{rng, vecops, Matrix};
+use uhscm_linalg::{par, rng, vecops, Matrix};
 
 /// Tunable knobs of the simulated VLP model.
 #[derive(Debug, Clone)]
@@ -96,16 +96,32 @@ impl SimClip {
         assert_eq!(latents.cols(), self.latent_dim, "latent dim mismatch");
         let mut emb = latents.matmul(&self.projection);
         let sigma = self.cfg.image_noise / (self.cfg.embed_dim as f64).sqrt();
-        for i in 0..emb.rows() {
-            // Deterministic per-image noise keyed on the latent bytes.
-            let mut r = rng::seeded(self.seed ^ hash_floats(latents.row(i)));
-            let row = emb.row_mut(i);
-            for v in row.iter_mut() {
-                *v += sigma * rng::gauss(&mut r);
+        let d = self.cfg.embed_dim;
+        // Noise streams are keyed per image, so rows are independent and
+        // band order cannot change the draws. Gaussian draws dominate the
+        // per-element cost, hence the inflated work estimate.
+        let work = emb.rows().saturating_mul(d).saturating_mul(16);
+        let fanned = par::try_par_row_bands_mut(emb.as_mut_slice(), d, work, |row0, band| {
+            for (bi, row) in band.chunks_mut(d).enumerate() {
+                self.perturb_image_row(latents.row(row0 + bi), sigma, row);
             }
-            vecops::normalize(row);
+        });
+        if !fanned {
+            for i in 0..emb.rows() {
+                self.perturb_image_row(latents.row(i), sigma, emb.row_mut(i));
+            }
         }
         emb
+    }
+
+    /// Add the deterministic per-image encoder noise (keyed on the latent
+    /// bytes) and normalize — the per-row body of [`Self::embed_images`].
+    fn perturb_image_row(&self, latent: &[f64], sigma: f64, row: &mut [f64]) {
+        let mut r = rng::seeded(self.seed ^ hash_floats(latent));
+        for v in row.iter_mut() {
+            *v += sigma * rng::gauss(&mut r);
+        }
+        vecops::normalize(row);
     }
 
     /// Text tower: embed a concept rendered through `template`
@@ -144,12 +160,24 @@ impl SimClip {
     ) -> Matrix {
         let img = self.embed_images(latents);
         let txt: Vec<Vec<f64>> = concepts.iter().map(|c| self.embed_text(c, template)).collect();
-        let mut scores = Matrix::zeros(img.rows(), concepts.len());
-        for i in 0..img.rows() {
-            let ir = img.row(i);
-            for (j, t) in txt.iter().enumerate() {
-                // Rows are unit-norm, so the dot product is the cosine.
-                scores[(i, j)] = self.cfg.score_base + self.cfg.score_gain * vecops::dot(ir, t);
+        let m = concepts.len();
+        let mut scores = Matrix::zeros(img.rows(), m);
+        let work = img.rows().saturating_mul(m).saturating_mul(self.cfg.embed_dim);
+        let fanned = par::try_par_row_bands_mut(scores.as_mut_slice(), m, work, |row0, band| {
+            for (bi, srow) in band.chunks_mut(m).enumerate() {
+                let ir = img.row(row0 + bi);
+                for (s, t) in srow.iter_mut().zip(&txt) {
+                    // Rows are unit-norm, so the dot product is the cosine.
+                    *s = self.cfg.score_base + self.cfg.score_gain * vecops::dot(ir, t);
+                }
+            }
+        });
+        if !fanned {
+            for i in 0..img.rows() {
+                let ir = img.row(i);
+                for (j, t) in txt.iter().enumerate() {
+                    scores[(i, j)] = self.cfg.score_base + self.cfg.score_gain * vecops::dot(ir, t);
+                }
             }
         }
         scores
@@ -167,12 +195,25 @@ impl SimClip {
     pub fn score_images_against(&self, latents: &Matrix, text_embeddings: &Matrix) -> Matrix {
         assert_eq!(text_embeddings.cols(), self.cfg.embed_dim, "embedding dim mismatch");
         let img = self.embed_images(latents);
-        let mut scores = Matrix::zeros(img.rows(), text_embeddings.rows());
-        for i in 0..img.rows() {
-            let ir = img.row(i);
-            for j in 0..text_embeddings.rows() {
-                scores[(i, j)] = self.cfg.score_base
-                    + self.cfg.score_gain * vecops::dot(ir, text_embeddings.row(j));
+        let m = text_embeddings.rows();
+        let mut scores = Matrix::zeros(img.rows(), m);
+        let work = img.rows().saturating_mul(m).saturating_mul(self.cfg.embed_dim);
+        let fanned = par::try_par_row_bands_mut(scores.as_mut_slice(), m, work, |row0, band| {
+            for (bi, srow) in band.chunks_mut(m).enumerate() {
+                let ir = img.row(row0 + bi);
+                for (j, s) in srow.iter_mut().enumerate() {
+                    *s = self.cfg.score_base
+                        + self.cfg.score_gain * vecops::dot(ir, text_embeddings.row(j));
+                }
+            }
+        });
+        if !fanned {
+            for i in 0..img.rows() {
+                let ir = img.row(i);
+                for j in 0..m {
+                    scores[(i, j)] = self.cfg.score_base
+                        + self.cfg.score_gain * vecops::dot(ir, text_embeddings.row(j));
+                }
             }
         }
         scores

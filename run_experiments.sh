@@ -4,6 +4,11 @@ cd /root/repo
 
 # Preflight: refuse to burn hours of experiment time on a workspace that
 # fails static analysis or whose training loop trips the numerics sanitizer.
+# Record the thread count the parallel runtime will resolve to, so logs of
+# long runs are attributable to a machine configuration.
+threads="${UHSCM_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+echo "=== PREFLIGHT threads=$threads (UHSCM_THREADS=${UHSCM_THREADS:-unset}) ===" >> results/experiments.log
+echo "uhscm: parallel kernels will use $threads thread(s)"
 echo "=== PREFLIGHT lint $(date +%T) ===" >> results/experiments.log
 if ! cargo run -p uhscm-xtask --quiet -- lint >> results/experiments.log 2>&1; then
   echo "PREFLIGHT_FAILED lint" >> results/experiments.log

@@ -10,6 +10,7 @@
 //!
 //! * `no-unwrap`      — no `.unwrap()` / `.expect()` in non-test library code
 //! * `unseeded-rng`   — no `thread_rng` / `from_entropy` / `rand::random` anywhere
+//! * `raw-thread`     — no `thread::spawn`/`scope`/`Builder` outside `linalg::par`
 //! * `float-cmp`      — no exact `==` / `!=` on floats in numeric code
 //! * `no-panic-macro` — no `panic!`/`todo!`/`unimplemented!`/`dbg!`/`println!`
 //!   in library crates

@@ -69,6 +69,11 @@ pub fn check_file(rel_path: &str, file: &MaskedFile) -> Vec<Finding> {
     // including tests, benches, and the shims themselves.
     unseeded_rng(rel_path, file, &mut findings);
 
+    // All fan-out goes through the deterministic runtime in linalg::par;
+    // ad-hoc threads bypass its partitioning contract and thread-count
+    // config, so they are banned everywhere else (tests included).
+    raw_thread(rel_path, file, &mut findings);
+
     if cat == Category::Library {
         no_unwrap_expect(rel_path, file, &mut findings);
         float_eq(rel_path, file, &mut findings);
@@ -184,6 +189,38 @@ fn unseeded_rng(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
                     file,
                     lineno,
                     format!("`{tok}` draws from OS entropy; derive an explicit u64 seed instead"),
+                );
+            }
+        }
+    }
+}
+
+/// `raw-thread`: direct `thread::spawn` / `thread::scope` /
+/// `thread::Builder` anywhere outside `crates/linalg/src/par.rs`. The par
+/// module is the single place allowed to touch std threads: everything
+/// else must go through its deterministic banded fan-out so that thread
+/// count, work thresholds and bitwise-reproducibility guarantees hold.
+fn raw_thread(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
+    if path == "crates/linalg/src/par.rs" {
+        return;
+    }
+    for (lineno, line) in file.masked_lines.iter().enumerate() {
+        for tok in ["spawn", "scope", "Builder"] {
+            for pos in token_positions(line, tok) {
+                if !line[..pos].ends_with("thread::") {
+                    continue;
+                }
+                push(
+                    findings,
+                    "raw-thread",
+                    path,
+                    file,
+                    lineno,
+                    format!(
+                        "`thread::{tok}` outside linalg::par: use \
+                         uhscm_linalg::par (try_par_row_bands_mut / par_map_chunks) \
+                         so partitioning and thread count stay deterministic"
+                    ),
                 );
             }
         }
@@ -503,6 +540,26 @@ mod tests {
             lint("crates/core/src/a.rs", "pub fn f(n: usize) { debug_assert!(n > 0); }").len(),
             0
         );
+    }
+
+    #[test]
+    fn raw_thread_flagged_everywhere_but_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        for p in ["crates/core/src/a.rs", "tests/a.rs", "shims/x/src/lib.rs", "src/cli.rs"] {
+            let f = lint(p, src);
+            assert_eq!(f.len(), 1, "{p}");
+            assert_eq!(f[0].rule, "raw-thread");
+        }
+        assert_eq!(lint("crates/linalg/src/par.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn raw_thread_catches_scope_and_builder() {
+        assert_eq!(lint("crates/core/src/a.rs", "fn f() { thread::scope(|s| {}); }").len(), 1);
+        assert_eq!(lint("crates/core/src/a.rs", "fn f() { thread::Builder::new(); }").len(), 1);
+        // Unqualified or unrelated identifiers are not thread primitives.
+        assert_eq!(lint("crates/core/src/a.rs", "fn f() { spawn(); scope(); }").len(), 0);
+        assert_eq!(lint("crates/core/src/a.rs", "fn f() { x.scope_id(); }").len(), 0);
     }
 
     #[test]
