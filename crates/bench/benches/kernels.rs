@@ -54,6 +54,25 @@ fn bench_kernels(c: &mut Criterion) {
 
 criterion_group!(benches, bench_kernels);
 
+/// Machine configuration the sweep ran under — without this, timings in a
+/// committed `BENCH_kernels.json` are not attributable to anything.
+#[derive(Serialize)]
+struct HardwareMeta {
+    /// Cores the OS reports via `std::thread::available_parallelism`.
+    available_cores: usize,
+    /// Threads the deterministic runtime resolved to (after `UHSCM_THREADS`).
+    effective_threads: usize,
+    /// Raw `UHSCM_THREADS` value, or `"unset"`.
+    uhscm_threads_env: String,
+}
+
+/// The full report written to `BENCH_kernels.json`.
+#[derive(Serialize)]
+struct BenchReport {
+    hardware: HardwareMeta,
+    kernels: Vec<KernelRecord>,
+}
+
 /// One serial-vs-parallel measurement of a fanned-out kernel.
 #[derive(Serialize)]
 struct KernelRecord {
@@ -110,7 +129,18 @@ fn f64_bits(vals: &[f64]) -> Vec<u64> {
 /// `BENCH_kernels.json` at the workspace root.
 fn parallel_comparison() {
     let threads = par::Parallelism::effective().threads();
-    println!("\nparallel kernels at {threads} thread(s) (override with UHSCM_THREADS):");
+    let hardware = HardwareMeta {
+        available_cores: std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1),
+        effective_threads: threads,
+        uhscm_threads_env: std::env::var("UHSCM_THREADS").unwrap_or_else(|_| "unset".to_string()),
+    };
+    println!(
+        "\nparallel kernels at {threads} thread(s) on {} core(s) \
+         (override with UHSCM_THREADS, currently {}):",
+        hardware.available_cores, hardware.uhscm_threads_env
+    );
 
     let mut r = rng::seeded(7);
     let mut records = Vec::new();
@@ -165,7 +195,8 @@ fn parallel_comparison() {
         eprintln!("warning: cannot locate the workspace root; skipping BENCH_kernels.json");
         return;
     };
-    match serde_json::to_string_pretty(&records) {
+    let report = BenchReport { hardware, kernels: records };
+    match serde_json::to_string_pretty(&report) {
         Ok(json) => match std::fs::write(&path, json + "\n") {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

@@ -106,15 +106,32 @@ impl<'a> Pipeline<'a> {
         source: &SimilaritySource,
         tau_factor: f64,
     ) -> SimilarityOutcome {
+        let _span = uhscm_obs::span("build_similarity");
         match source {
             SimilaritySource::ConceptsDenoised { vocab, template } => {
-                let scores = self.clip.score_matrix(&self.train_latents, vocab, *template);
-                let d = concept_distributions(&scores, tau_factor);
-                let kept = denoise_concepts(&d);
-                let kept_scores = select_columns(&scores, &kept);
-                let d2 = concept_distributions(&kept_scores, tau_factor);
+                let (scores, d) = {
+                    let _s = uhscm_obs::span("score_concepts");
+                    let scores = self.clip.score_matrix(&self.train_latents, vocab, *template);
+                    let d = concept_distributions(&scores, tau_factor);
+                    (scores, d)
+                };
+                let (kept, d2) = {
+                    let _s = uhscm_obs::span("denoise");
+                    let kept = denoise_concepts(&d);
+                    let kept_scores = select_columns(&scores, &kept);
+                    let d2 = concept_distributions(&kept_scores, tau_factor);
+                    (kept, d2)
+                };
+                if uhscm_obs::enabled() {
+                    uhscm_obs::registry::gauge_set("pipeline.concepts.total", vocab.len() as f64);
+                    uhscm_obs::registry::gauge_set("pipeline.concepts.kept", kept.len() as f64);
+                }
+                let q = {
+                    let _s = uhscm_obs::span("build_q");
+                    similarity_from_distributions(&d2)
+                };
                 SimilarityOutcome {
-                    q: similarity_from_distributions(&d2),
+                    q,
                     kept_concepts: Some(kept.iter().map(|&j| vocab[j].clone()).collect()),
                 }
             }
@@ -176,7 +193,9 @@ impl<'a> Pipeline<'a> {
         config: &UhscmConfig,
         regularizer: Regularizer,
     ) -> TrainedHasher {
+        let _span = uhscm_obs::span("train");
         let outcome = self.build_similarity(source, config.tau_factor);
+        let _fit = uhscm_obs::span("fit");
         train_hashing_network(
             &self.train_features,
             &outcome.q,
@@ -188,6 +207,7 @@ impl<'a> Pipeline<'a> {
 
     /// Encode the query and database splits with a trained model.
     pub fn encode_splits(&self, model: &TrainedHasher) -> (BitCodes, BitCodes) {
+        let _span = uhscm_obs::span("encode");
         let q = model.encode(&self.features_of(&self.dataset.split.query));
         let db = model.encode(&self.features_of(&self.dataset.split.database));
         (q, db)
@@ -196,6 +216,7 @@ impl<'a> Pipeline<'a> {
     /// MAP of a trained model over the dataset's query/database splits,
     /// using the paper's share-a-label relevance (top `top_n` results).
     pub fn evaluate_map(&self, model: &TrainedHasher, top_n: usize) -> f64 {
+        let _span = uhscm_obs::span("evaluate_map");
         let (query_codes, db_codes) = self.encode_splits(model);
         let ranker = HammingRanker::new(db_codes);
         let rel = self.relevance();

@@ -88,10 +88,14 @@ pub fn train_hashing_network(
     };
 
     let mut history = Vec::with_capacity(config.epochs);
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         let order = rng::permutation(&mut r, n);
         let mut epoch_loss = LossBreakdown::default();
         let mut batches = 0usize;
+        // Epoch telemetry accumulators; only filled when tracing is on.
+        let mut grad_norm_sum = 0.0;
+        let mut saturation_sum = 0.0;
+        let mut balance_sum = 0.0;
         for chunk in order.chunks(config.batch_size) {
             if chunk.len() < 2 {
                 continue; // pairwise losses need at least two items
@@ -100,6 +104,10 @@ pub fn train_hashing_network(
             let qb = sub_similarity(q, chunk);
 
             let z = mlp.infer(&x);
+            if uhscm_obs::enabled() {
+                saturation_sum += tanh_saturation(&z);
+                balance_sum += bit_balance(&z);
+            }
             let (mut breakdown, mut grad) = hashing_loss_and_grad(&z, &qb, &base_params);
 
             match regularizer {
@@ -131,6 +139,9 @@ pub fn train_hashing_network(
                     mlp.backward(&grad);
                 }
             }
+            if uhscm_obs::enabled() {
+                grad_norm_sum += frobenius(&mlp.flat_grads());
+            }
             sgd.step(&mut mlp);
             epoch_loss.total += breakdown.total;
             epoch_loss.similarity += breakdown.similarity;
@@ -145,12 +156,31 @@ pub fn train_hashing_network(
             epoch_loss.quantization *= inv;
             epoch_loss.contrastive *= inv;
         }
+        if uhscm_obs::enabled() && batches > 0 {
+            use uhscm_obs::sink::Field;
+            let inv = 1.0 / batches as f64;
+            uhscm_obs::sink::emit(
+                "epoch",
+                &[
+                    ("epoch", Field::U64(epoch as u64)),
+                    ("loss_total", Field::F64(epoch_loss.total)),
+                    ("loss_similarity", Field::F64(epoch_loss.similarity)),
+                    ("loss_quantization", Field::F64(epoch_loss.quantization)),
+                    ("loss_contrastive", Field::F64(epoch_loss.contrastive)),
+                    ("grad_norm", Field::F64(grad_norm_sum * inv)),
+                    ("tanh_saturation", Field::F64(saturation_sum * inv)),
+                    ("bit_balance", Field::F64(balance_sum * inv)),
+                ],
+            );
+            uhscm_obs::registry::counter_add("train.epochs", 1);
+            uhscm_obs::registry::histogram_record("train.epoch.loss_total", epoch_loss.total);
+        }
         history.push(epoch_loss);
         // End-of-epoch audit: every parameter must still be finite, so a
         // divergence is pinned to the epoch where it happened.
         #[cfg(feature = "checked")]
         for (i, layer) in mlp.layers().iter().enumerate() {
-            let op = format!("train_hashing_network (epoch {_epoch})");
+            let op = format!("train_hashing_network (epoch {epoch})");
             uhscm_linalg::checked::assert_matrix_finite(
                 &op,
                 &format!("layer {i} weight"),
@@ -176,6 +206,41 @@ fn sub_similarity(q: &Matrix, idx: &[usize]) -> Matrix {
         }
     }
     out
+}
+
+/// Frobenius norm of a flat parameter-gradient vector (telemetry only).
+fn frobenius(v: &[f64]) -> f64 {
+    v.iter().map(|g| g * g).sum::<f64>().sqrt()
+}
+
+/// Fraction of relaxed code entries saturated past |z| > 0.9 — high values
+/// mean the tanh head has committed to its corners (telemetry only).
+fn tanh_saturation(z: &Matrix) -> f64 {
+    let total = z.as_slice().len();
+    if total == 0 {
+        return 0.0;
+    }
+    let sat = z.as_slice().iter().filter(|v| v.abs() > 0.9).count();
+    sat as f64 / total as f64
+}
+
+/// Mean over bits of |Σ_i sgn(z_ik)| / n — 0 means every bit splits the
+/// batch evenly (the balanced-bit ideal), 1 means a constant bit
+/// (telemetry only).
+fn bit_balance(z: &Matrix) -> f64 {
+    let (rows, cols) = z.shape();
+    if rows == 0 || cols == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for k in 0..cols {
+        let mut signed = 0i64;
+        for i in 0..rows {
+            signed += if z[(i, k)] > 0.0 { 1 } else { -1 };
+        }
+        acc += signed.unsigned_abs() as f64 / rows as f64;
+    }
+    acc / cols as f64
 }
 
 /// Gaussian input-noise augmentation (norm ≈ 0.1 of a unit feature).

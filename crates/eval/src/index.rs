@@ -56,7 +56,21 @@ impl HashIndex {
             let key = prefix_of(&codes, i, prefix_bits);
             buckets.entry(key).or_default().push(i as u32);
         }
-        Self { codes, prefix_bits, buckets, tombstones: std::collections::HashSet::new() }
+        let index =
+            Self { codes, prefix_bits, buckets, tombstones: std::collections::HashSet::new() };
+        index.record_bucket_stats();
+        index
+    }
+
+    /// Publish bucket-occupancy telemetry (no-op when tracing is off).
+    fn record_bucket_stats(&self) {
+        if uhscm_obs::enabled() {
+            uhscm_obs::registry::gauge_set("index.buckets", self.buckets.len() as f64);
+            uhscm_obs::registry::gauge_set("index.prefix_bits", self.prefix_bits as f64);
+            for items in self.buckets.values() {
+                uhscm_obs::registry::histogram_record("index.bucket_occupancy", items.len() as f64);
+            }
+        }
     }
 
     /// Append new codes to the index, returning the index of the first
@@ -136,9 +150,16 @@ impl HashIndex {
     pub fn lookup(&self, queries: &BitCodes, qi: usize, radius: u32) -> Vec<(u32, u32)> {
         assert_eq!(queries.bits(), self.codes.bits(), "code length mismatch");
         let mut out = Vec::new();
+        // Probe statistics; folded into the registry once per call, so the
+        // hot loops only bump locals.
+        let mut probed_buckets = 0u64;
+        let mut scanned_codes = 0u64;
+        let mut linear = false;
         let fanout = probe_fanout(self.prefix_bits, radius.min(self.prefix_bits as u32));
         if fanout >= self.codes.len() as u128 {
             // Probing would touch more buckets than there are points.
+            linear = true;
+            scanned_codes = self.codes.len() as u64;
             for j in 0..self.codes.len() {
                 if self.tombstones.contains(&(j as u32)) {
                     continue;
@@ -151,7 +172,9 @@ impl HashIndex {
         } else {
             let qprefix = prefix_of(queries, qi, self.prefix_bits);
             let mut probe = |key: u64, out: &mut Vec<(u32, u32)>| {
+                probed_buckets += 1;
                 if let Some(items) = self.buckets.get(&key) {
+                    scanned_codes += items.len() as u64;
                     for &j in items {
                         if self.tombstones.contains(&j) {
                             continue;
@@ -175,6 +198,14 @@ impl HashIndex {
                 &mut probe,
                 &mut out,
             );
+        }
+        if uhscm_obs::enabled() {
+            uhscm_obs::registry::counter_add("index.lookup.calls", 1);
+            uhscm_obs::registry::counter_add("index.lookup.probed_buckets", probed_buckets);
+            uhscm_obs::registry::counter_add("index.lookup.scanned_codes", scanned_codes);
+            if linear {
+                uhscm_obs::registry::counter_add("index.lookup.linear_fallbacks", 1);
+            }
         }
         out.sort_unstable_by_key(|&(j, d)| (d, j));
         out

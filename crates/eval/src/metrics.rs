@@ -31,8 +31,10 @@ pub fn mean_average_precision(
     relevant: &(dyn Fn(usize, usize) -> bool + Sync),
     top_n: usize,
 ) -> f64 {
+    let _span = uhscm_obs::span("map");
     let nq = queries.len();
     assert!(nq > 0, "MAP over zero queries");
+    uhscm_obs::registry::counter_add("eval.map.queries", nq as u64);
     // Queries are independent: fan out per-query APs, then fold them on
     // this thread in ascending query order — the serial addition sequence,
     // so the mean is bitwise identical for any thread count.
@@ -84,8 +86,10 @@ pub fn precision_at_n(
     relevant: &(dyn Fn(usize, usize) -> bool + Sync),
     ns: &[usize],
 ) -> Vec<f64> {
+    let _span = uhscm_obs::span("precision_at_n");
     let nq = queries.len();
     assert!(nq > 0, "P@N over zero queries");
+    uhscm_obs::registry::counter_add("eval.pn.queries", nq as u64);
     let max_n = ns.iter().copied().max().unwrap_or(0).min(ranker.database().len());
     // Per-query precision vectors fan out; the fold below walks them in
     // ascending query order (the serial addition sequence per slot).
@@ -138,8 +142,10 @@ pub fn pr_curve(
     queries: &BitCodes,
     relevant: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> Vec<PrPoint> {
+    let _span = uhscm_obs::span("pr_curve");
     let nq = queries.len();
     assert!(nq > 0, "PR curve over zero queries");
+    uhscm_obs::registry::counter_add("eval.pr.queries", nq as u64);
     let bits = ranker.database().bits();
     // Per-radius totals across all queries. Chunk partials are integer
     // counts, so merging them is exact regardless of the thread count.

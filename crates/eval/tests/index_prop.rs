@@ -1,0 +1,85 @@
+//! Property test for [`HashIndex`] under arbitrary insert/remove
+//! interleavings.
+//!
+//! The oracle is a mirror of the index's logical contents — every code ever
+//! inserted plus a liveness flag. After each operation and at the end,
+//! `lookup` at *every* radius must return exactly what a linear scan over
+//! the live mirror returns: tombstoned items never resurface (not even
+//! after later inserts reuse their bucket), double-removes report absence,
+//! and `live_len` tracks the flags.
+
+use proptest::prelude::*;
+use uhscm_eval::{BitCodes, HashIndex};
+use uhscm_linalg::rng;
+
+/// One step of an interleaving: `true` inserts `1 + (param % 3)` fresh
+/// codes, `false` removes item `param % len` (possibly already removed).
+fn ops() -> impl Strategy<Value = Vec<(bool, u64)>> {
+    prop::collection::vec((any::<bool>(), any::<u64>()), 1..32)
+}
+
+/// Ground truth: brute-force scan over the live items, sorted the way
+/// `lookup` sorts (distance, then index).
+fn linear_scan(all: &BitCodes, alive: &[bool], q: &BitCodes, radius: u32) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = (0..all.len())
+        .filter(|&j| alive[j])
+        .filter_map(|j| {
+            let d = q.hamming(0, all, j);
+            (d <= radius).then_some((j as u32, d))
+        })
+        .collect();
+    v.sort_unstable_by_key(|&(j, d)| (d, j));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lookup_matches_linear_scan_after_interleaved_inserts_and_removes(
+        seed in any::<u64>(),
+        n0 in 1usize..24,
+        bits in 4usize..24,
+        prefix in 1usize..12,
+        ops in ops(),
+    ) {
+        let mut r = rng::seeded(seed);
+        let initial = BitCodes::from_real(&rng::gauss_matrix(&mut r, n0, bits, 1.0));
+        let q = BitCodes::from_real(&rng::gauss_matrix(&mut r, 1, bits, 1.0));
+
+        let mut index = HashIndex::build(initial.clone(), prefix);
+        let mut all = initial; // mirror of everything ever inserted
+        let mut alive = vec![true; all.len()];
+
+        for (step, &(is_insert, param)) in ops.iter().enumerate() {
+            if is_insert {
+                let count = 1 + (param % 3) as usize;
+                let fresh = BitCodes::from_real(&rng::gauss_matrix(&mut r, count, bits, 1.0));
+                let first = index.insert(&fresh);
+                prop_assert_eq!(first, all.len(), "step {}: insert offset", step);
+                all.extend(&fresh);
+                alive.resize(all.len(), true);
+            } else {
+                let target = (param % all.len() as u64) as usize;
+                let was_alive = alive[target];
+                prop_assert_eq!(index.remove(target), was_alive,
+                    "step {}: remove({}) presence", step, target);
+                // A second remove of the same item must report absence.
+                prop_assert!(!index.remove(target), "step {}: double remove", step);
+                alive[target] = false;
+            }
+            prop_assert_eq!(index.live_len(), alive.iter().filter(|&&a| a).count());
+        }
+
+        // Tombstones must stay dead at every radius, from the empty ring to
+        // the whole space (which exercises both the multi-probe walk and
+        // the linear fallback).
+        for radius in 0..=bits as u32 {
+            prop_assert_eq!(
+                index.lookup(&q, 0, radius),
+                linear_scan(&all, &alive, &q, radius),
+                "radius {}", radius
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Metamorphic tests for the retrieval metrics (MAP@n, P@N, PR curves).
+//!
+//! Each test applies a transformation to the inputs that provably must not
+//! change the metric, and demands *bitwise* equality of the outputs:
+//!
+//! * **Global bit-flip** — complementing every bit of all queries and all
+//!   database codes preserves every pairwise Hamming distance (and the
+//!   within-distance tie order), so all three metrics are exactly invariant
+//!   for arbitrary relevance.
+//! * **Database permutation** — shuffling the database while relabelling
+//!   the ground truth through the same permutation. Hamming ranking breaks
+//!   distance ties by database index, so ranked metrics are only invariant
+//!   when ties cannot straddle the relevant/irrelevant boundary; the tests
+//!   force that either with all-distinct distances or with distance-defined
+//!   relevance (every item in a tie band shares one flag). The PR curve is
+//!   set-based (no ranking), so it is permutation-invariant unconditionally.
+
+use uhscm_eval::{mean_average_precision, pr_curve, precision_at_n, BitCodes, HammingRanker};
+use uhscm_linalg::{rng, Matrix};
+
+/// Complement of a ±1 code matrix.
+fn negated(m: &Matrix) -> Matrix {
+    Matrix::from_vec(m.rows(), m.cols(), m.as_slice().iter().map(|v| -v).collect())
+}
+
+/// Database rows reordered so that new row `i` is old row `perm[i]`.
+fn permuted(codes: &BitCodes, perm: &[usize]) -> BitCodes {
+    BitCodes::from_real(&codes.unpack_all().select_rows(perm))
+}
+
+fn pr_bits(points: &[uhscm_eval::PrPoint]) -> Vec<(u32, u64, u64)> {
+    points.iter().map(|p| (p.radius, p.precision.to_bits(), p.recall.to_bits())).collect()
+}
+
+#[test]
+fn global_bit_flip_preserves_all_metrics() {
+    for seed in 0..8u64 {
+        let mut r = rng::seeded(seed);
+        let db = rng::gauss_matrix(&mut r, 50, 24, 1.0);
+        let q = rng::gauss_matrix(&mut r, 6, 24, 1.0);
+        let rel = move |qi: usize, dj: usize| (qi * 13 + dj * 7 + seed as usize) % 3 == 0;
+        let top_n = 50;
+
+        let ranker = HammingRanker::new(BitCodes::from_real(&db));
+        let qc = BitCodes::from_real(&q);
+        let flipped_ranker = HammingRanker::new(BitCodes::from_real(&negated(&db)));
+        let flipped_qc = BitCodes::from_real(&negated(&q));
+
+        let map = mean_average_precision(&ranker, &qc, &rel, top_n);
+        let map_flipped = mean_average_precision(&flipped_ranker, &flipped_qc, &rel, top_n);
+        assert_eq!(map.to_bits(), map_flipped.to_bits(), "seed {seed}: MAP under bit-flip");
+
+        let ns = [1usize, 5, 20, 50];
+        let pn = precision_at_n(&ranker, &qc, &rel, &ns);
+        let pn_flipped = precision_at_n(&flipped_ranker, &flipped_qc, &rel, &ns);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&pn), bits(&pn_flipped), "seed {seed}: P@N under bit-flip");
+
+        let pr = pr_curve(&ranker, &qc, &rel);
+        let pr_flipped = pr_curve(&flipped_ranker, &flipped_qc, &rel);
+        assert_eq!(pr_bits(&pr), pr_bits(&pr_flipped), "seed {seed}: PR under bit-flip");
+    }
+}
+
+#[test]
+fn database_permutation_preserves_metrics_when_distances_are_distinct() {
+    // Database item j (j = 0..=16) = the 16-bit code with the first j bits
+    // set. Both the all-zeros and the all-ones query then see
+    // pairwise-distinct distances (j and 16-j respectively), so the Hamming
+    // ranking is unique and the tie-break order cannot leak into any metric.
+    let bits = 16;
+    let db_rows: Vec<Vec<bool>> = (0..=bits).map(|j| (0..bits).map(|b| b < j).collect()).collect();
+    let queries = BitCodes::from_bools(&[vec![false; bits], vec![true; bits]]);
+    let rel = |qi: usize, dj: usize| (qi * 5 + dj * 3) % 4 == 0;
+
+    for seed in 0..8u64 {
+        let mut r = rng::seeded(0xbeef ^ seed);
+        let perm = rng::permutation(&mut r, db_rows.len());
+        let perm_rows: Vec<Vec<bool>> = perm.iter().map(|&j| db_rows[j].clone()).collect();
+        let rel_perm = |qi: usize, dj: usize| rel(qi, perm[dj]);
+
+        let ranker = HammingRanker::new(BitCodes::from_bools(&db_rows));
+        let ranker_perm = HammingRanker::new(BitCodes::from_bools(&perm_rows));
+        let n = db_rows.len();
+
+        let map = mean_average_precision(&ranker, &queries, &rel, n);
+        let map_perm = mean_average_precision(&ranker_perm, &queries, &rel_perm, n);
+        assert_eq!(map.to_bits(), map_perm.to_bits(), "seed {seed}: MAP under permutation");
+
+        let ns = [1usize, 3, 9, n];
+        let pn = precision_at_n(&ranker, &queries, &rel, &ns);
+        let pn_perm = precision_at_n(&ranker_perm, &queries, &rel_perm, &ns);
+        let as_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(as_bits(&pn), as_bits(&pn_perm), "seed {seed}: P@N under permutation");
+    }
+}
+
+#[test]
+fn database_permutation_preserves_metrics_for_distance_defined_relevance() {
+    // With relevance defined as "within Hamming radius 8", every item in a
+    // distance-tie band carries the same flag, so the per-rank relevance
+    // sequence — all MAP/P@N ever look at — is permutation-invariant even
+    // though the ranking itself is not.
+    for seed in 0..8u64 {
+        let mut r = rng::seeded(0xd15c0 ^ seed);
+        let db = BitCodes::from_real(&rng::gauss_matrix(&mut r, 60, 24, 1.0));
+        let qc = BitCodes::from_real(&rng::gauss_matrix(&mut r, 5, 24, 1.0));
+        let perm = rng::permutation(&mut r, db.len());
+        let db_perm = permuted(&db, &perm);
+
+        let ranker = HammingRanker::new(db);
+        let rel = |qi: usize, dj: usize| qc.hamming(qi, ranker.database(), dj) <= 8;
+        let ranker_perm = HammingRanker::new(db_perm);
+        let rel_perm = |qi: usize, dj: usize| qc.hamming(qi, ranker_perm.database(), dj) <= 8;
+        // The relabelled ground truth is the same set of items: item dj of
+        // the permuted database is item perm[dj] of the original.
+        for qi in 0..qc.len() {
+            for dj in 0..ranker_perm.database().len() {
+                assert_eq!(rel_perm(qi, dj), rel(qi, perm[dj]));
+            }
+        }
+
+        let n = ranker.database().len();
+        let map = mean_average_precision(&ranker, &qc, &rel, n);
+        let map_perm = mean_average_precision(&ranker_perm, &qc, &rel_perm, n);
+        assert_eq!(map.to_bits(), map_perm.to_bits(), "seed {seed}: MAP under permutation");
+
+        let ns = [1usize, 4, 16, n];
+        let pn = precision_at_n(&ranker, &qc, &rel, &ns);
+        let pn_perm = precision_at_n(&ranker_perm, &qc, &rel_perm, &ns);
+        let as_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(as_bits(&pn), as_bits(&pn_perm), "seed {seed}: P@N under permutation");
+    }
+}
+
+#[test]
+fn pr_curve_is_permutation_invariant_for_arbitrary_relevance() {
+    // The PR curve counts the *set* of items within each radius — no
+    // ranking, no tie-breaking — so it must survive a database shuffle for
+    // any relevance labelling whatsoever.
+    for seed in 0..8u64 {
+        let mut r = rng::seeded(0xfeed ^ seed);
+        let db = BitCodes::from_real(&rng::gauss_matrix(&mut r, 40, 20, 1.0));
+        let qc = BitCodes::from_real(&rng::gauss_matrix(&mut r, 4, 20, 1.0));
+        let perm = rng::permutation(&mut r, db.len());
+        let db_perm = permuted(&db, &perm);
+        let rel = move |qi: usize, dj: usize| (qi * 17 + dj * 11 + seed as usize) % 3 == 1;
+        let rel_perm = move |qi: usize, dj: usize| rel(qi, perm[dj]);
+
+        let pr = pr_curve(&HammingRanker::new(db), &qc, &rel);
+        let pr_perm = pr_curve(&HammingRanker::new(db_perm), &qc, &rel_perm);
+        assert_eq!(pr_bits(&pr), pr_bits(&pr_perm), "seed {seed}: PR under permutation");
+    }
+}

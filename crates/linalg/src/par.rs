@@ -121,13 +121,26 @@ pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
 fn plan(units: usize, work: usize) -> usize {
     let forced = OVERRIDE.with(Cell::get);
     let threads = forced.unwrap_or_else(configured_threads);
-    if threads <= 1 || units < 2 {
-        return 1;
+    let serial = threads <= 1 || units < 2 || (forced.is_none() && work < MIN_PAR_WORK);
+    let parts = if serial { 1 } else { threads.min(units) };
+    if uhscm_obs::enabled() {
+        if parts <= 1 {
+            uhscm_obs::registry::counter_add("par.plan.serial", 1);
+        } else {
+            uhscm_obs::registry::counter_add("par.plan.fanout", 1);
+            uhscm_obs::registry::gauge_set("par.threads.effective", threads as f64);
+        }
     }
-    if forced.is_none() && work < MIN_PAR_WORK {
-        return 1;
+    parts
+}
+
+/// Record the band sizes of one fan-out (no-op when tracing is off).
+fn record_bands(ranges: &[Range<usize>]) {
+    if uhscm_obs::enabled() {
+        for r in ranges {
+            uhscm_obs::registry::histogram_record("par.band_size", r.len() as f64);
+        }
     }
-    threads.min(units)
 }
 
 /// Fan a mutable row-major buffer (`cols` elements per row) out over
@@ -153,6 +166,7 @@ where
         return false;
     }
     let ranges = partition(rows, parts);
+    record_bands(&ranges);
     std::thread::scope(|s| {
         let mut rest: &mut [T] = buf;
         for r in ranges {
@@ -182,6 +196,7 @@ where
         return if n == 0 { Vec::new() } else { vec![f(0..n)] };
     }
     let ranges = partition(n, parts);
+    record_bands(&ranges);
     std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .into_iter()

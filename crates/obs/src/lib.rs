@@ -1,0 +1,217 @@
+//! # uhscm-obs — observability for the UHSCM stack
+//!
+//! Hierarchical timed spans, a thread-safe metric registry
+//! (counters/gauges/histograms) and a JSON-lines event sink, with one hard
+//! contract: **when tracing is disabled, every instrumentation point costs a
+//! single relaxed atomic load and a branch.** No clock reads, no locks, no
+//! allocation. Hot loops may therefore stay instrumented permanently.
+//!
+//! ## Enabling
+//!
+//! * `UHSCM_OBS=1` (or `true`/`on`) — trace to `trace.jsonl` in the working
+//!   directory,
+//! * `UHSCM_OBS=path/to/file.jsonl` — trace to that file,
+//! * `UHSCM_OBS=0` / unset — disabled (the cheap path),
+//! * programmatically: [`enable_to_file`] / [`disable`] (used by the CLI's
+//!   `--trace-out` flag and the test suite).
+//!
+//! ## Event stream
+//!
+//! One JSON object per line. Every event carries `seq` (monotone, process
+//! global), `t_us` (microseconds since tracing started) and `type`:
+//!
+//! * `"span"` — emitted when a [`span`] guard drops: `name`, `path` (slash
+//!   joined ancestry, e.g. `"train/build_similarity/denoise"`), `dur_ns`.
+//! * `"epoch"`, `"lookup"`, … — free-form events from [`sink::emit`]; the
+//!   trainer uses `"epoch"` for per-epoch loss/gradient/saturation records.
+//! * `"summary"` — registry contents, written once by [`finish`].
+//!
+//! [`trace`] parses the stream back (the golden-trace tests and any offline
+//! tooling consume it).
+//!
+//! ## Gated vs unguarded entry points
+//!
+//! The public surface ([`span`], [`registry::counter_add`], [`sink::emit`],
+//! …) is *gated*: it checks [`enabled`] first and is safe to call anywhere,
+//! including hot loops. The `*_unguarded` variants skip that check; they
+//! exist for the crate's own internals (which have already tested the gate)
+//! and are banned outside `crates/obs` by the `obs-gated` lint rule.
+
+pub mod registry;
+pub mod sink;
+pub mod span;
+pub mod trace;
+
+pub use span::{span, Span};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Tri-state gate: 0 = not yet resolved from the environment, 1 = off,
+/// 2 = on. Read with a relaxed load on every instrumentation call.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Whether telemetry is being collected. This is the branch every gated
+/// entry point takes; when the answer is `false` the caller does no further
+/// work. The first call resolves the `UHSCM_OBS` environment variable;
+/// subsequent calls are a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Resolve `UHSCM_OBS` once and cache the verdict (cold path of
+/// [`enabled`]).
+#[cold]
+fn init_from_env() -> bool {
+    let var = std::env::var("UHSCM_OBS").unwrap_or_default();
+    let trimmed = var.trim();
+    let on = match trimmed {
+        "" | "0" | "false" | "off" => false,
+        _ => true,
+    };
+    if on {
+        let path = match trimmed {
+            "1" | "true" | "on" => "trace.jsonl",
+            other => other,
+        };
+        match std::fs::File::create(path) {
+            Ok(f) => sink::install(Box::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                // Telemetry must never take the process down: collect into
+                // the registry only and say why the file sink is missing.
+                eprintln!("uhscm-obs: cannot open trace file {path}: {e}");
+            }
+        }
+    }
+    // A concurrent initializer may have raced us; either writes the same
+    // env-derived verdict, so a plain store is fine.
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically enable tracing to a JSON-lines file (the CLI's
+/// `--trace-out`). Replaces any previously installed sink.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created; tracing is left
+/// disabled in that case.
+pub fn enable_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    sink::install(Box::new(std::io::BufWriter::new(f)));
+    STATE.store(STATE_ON, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Programmatically enable tracing into an arbitrary writer (tests, custom
+/// sinks). Replaces any previously installed sink.
+pub fn enable_with_writer(w: Box<dyn std::io::Write + Send>) {
+    sink::install(w);
+    STATE.store(STATE_ON, Ordering::Relaxed);
+}
+
+/// Disable tracing: flushes and drops the sink. The registry keeps its
+/// contents (so a summary can still be rendered afterwards).
+pub fn disable() {
+    sink::uninstall();
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// End-of-process hook: when tracing is enabled, writes a `"summary"` event
+/// with the registry contents, flushes the sink, and returns a
+/// human-readable summary of every counter, gauge and histogram. Returns
+/// `None` when tracing is disabled (callers can ignore it unconditionally).
+pub fn finish() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    sink::emit_summary_unguarded();
+    sink::flush();
+    Some(registry::summary_string())
+}
+
+/// Reset the registry and span bookkeeping (sequence numbers keep rising).
+/// For tests and long-lived tools that trace several runs in one process.
+pub fn reset() {
+    registry::reset();
+}
+
+/// Open a gated timed span (macro form of [`span`]); binds the guard to a
+/// hidden local so the span closes at the end of the enclosing block.
+#[macro_export]
+macro_rules! obs_span {
+    ($name:literal) => {
+        let _obs_span_guard = $crate::span($name);
+    };
+}
+
+/// Gated counter increment (macro form of [`registry::counter_add`]).
+#[macro_export]
+macro_rules! obs_count {
+    ($name:expr, $delta:expr) => {
+        $crate::registry::counter_add($name, $delta)
+    };
+}
+
+/// Gated gauge update (macro form of [`registry::gauge_set`]).
+#[macro_export]
+macro_rules! obs_gauge {
+    ($name:expr, $value:expr) => {
+        $crate::registry::gauge_set($name, $value)
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that touch the global gate/registry/sink.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_in_tests() {
+        let _guard = test_lock::hold();
+        // The test environment does not set UHSCM_OBS; the gate must
+        // resolve to off and the gated calls must be no-ops.
+        disable();
+        assert!(!enabled());
+        registry::counter_add("never", 1);
+        let snap = registry::snapshot();
+        assert!(!snap.counters.contains_key("never"));
+    }
+
+    #[test]
+    fn enable_disable_round_trip() {
+        let _guard = test_lock::hold();
+        reset();
+        enable_with_writer(Box::new(std::io::sink()));
+        assert!(enabled());
+        registry::counter_add("seen", 2);
+        assert_eq!(registry::snapshot().counters.get("seen"), Some(&2));
+        let summary = finish().expect("tracing is on");
+        assert!(summary.contains("seen"), "{summary}");
+        disable();
+        assert!(!enabled());
+        reset();
+    }
+}

@@ -1,0 +1,223 @@
+//! The global metric registry: counters, gauges and histograms.
+//!
+//! All writers funnel through one mutex-guarded map set; that is deliberate.
+//! Metrics are only recorded when tracing is enabled, so the lock is never
+//! touched on the production fast path, and a single registry keeps the
+//! end-of-process summary trivially consistent.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Aggregate view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry, keys sorted.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Lock the registry, recovering from a poisoned lock: telemetry must keep
+/// working even if some other thread panicked mid-update.
+fn lock() -> MutexGuard<'static, Option<Registry>> {
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Add `delta` to a monotone counter (gated: no-op when tracing is off).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::enabled() {
+        counter_add_unguarded(name, delta);
+    }
+}
+
+/// Set a gauge to its latest value (gated: no-op when tracing is off).
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if crate::enabled() {
+        gauge_set_unguarded(name, value);
+    }
+}
+
+/// Record one observation into a histogram (gated: no-op when tracing is
+/// off).
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if crate::enabled() {
+        histogram_record_unguarded(name, value);
+    }
+}
+
+/// Ungated [`counter_add`]; only for code that already holds the gate
+/// verdict (enforced outside `crates/obs` by the `obs-gated` lint rule).
+pub fn counter_add_unguarded(name: &str, delta: u64) {
+    let mut reg = lock();
+    let reg = reg.get_or_insert_with(Registry::default);
+    match reg.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            reg.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Ungated [`gauge_set`] (see [`counter_add_unguarded`]).
+pub fn gauge_set_unguarded(name: &str, value: f64) {
+    let mut reg = lock();
+    let reg = reg.get_or_insert_with(Registry::default);
+    match reg.gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            reg.gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+/// Ungated [`histogram_record`] (see [`counter_add_unguarded`]).
+pub fn histogram_record_unguarded(name: &str, value: f64) {
+    let mut reg = lock();
+    let reg = reg.get_or_insert_with(Registry::default);
+    match reg.histograms.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h =
+                Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+            h.record(value);
+            reg.histograms.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// Copy out the current registry contents.
+pub fn snapshot() -> RegistrySnapshot {
+    let reg = lock();
+    let Some(reg) = reg.as_ref() else {
+        return RegistrySnapshot::default();
+    };
+    RegistrySnapshot {
+        counters: reg.counters.clone(),
+        gauges: reg.gauges.clone(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot { count: h.count, sum: h.sum, min: h.min, max: h.max },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Drop every recorded metric (tests; multi-run tools).
+pub fn reset() {
+    *lock() = None;
+}
+
+/// Human-readable dump of the registry, one metric per line — what the CLI
+/// and examples print at process end.
+pub fn summary_string() -> String {
+    use std::fmt::Write as _;
+    let snap = snapshot();
+    let mut out = format!(
+        "obs summary: {} counters, {} gauges, {} histograms\n",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+    for (k, v) in &snap.counters {
+        let _ = writeln!(out, "  counter   {k} = {v}");
+    }
+    for (k, v) in &snap.gauges {
+        let _ = writeln!(out, "  gauge     {k} = {v}");
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "  histogram {k}: n={} mean={:.3} min={:.3} max={:.3}",
+            h.count,
+            h.mean(),
+            h.min,
+            h.max
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_writers_accumulate() {
+        let _guard = crate::test_lock::hold();
+        reset();
+        counter_add_unguarded("c", 1);
+        counter_add_unguarded("c", 2);
+        gauge_set_unguarded("g", 1.5);
+        gauge_set_unguarded("g", 2.5);
+        histogram_record_unguarded("h", 1.0);
+        histogram_record_unguarded("h", 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&3));
+        assert_eq!(snap.gauges.get("g"), Some(&2.5));
+        let h = snap.histograms.get("h").expect("histogram recorded");
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!((h.min - 1.0).abs() < 1e-12);
+        assert!((h.max - 3.0).abs() < 1e-12);
+        let text = summary_string();
+        assert!(text.contains("counter   c = 3"), "{text}");
+        reset();
+        assert!(snapshot().counters.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The JSON-lines event sink.
+//!
+//! One JSON object per line, written to whatever writer is installed
+//! (a `BufWriter<File>` in production, an in-memory buffer in tests).
+//! Every event carries three envelope fields added here:
+//!
+//! * `seq`  — process-global monotone sequence number,
+//! * `t_us` — microseconds since the first event was emitted,
+//! * `type` — the event type string.
+//!
+//! Events are flushed line-by-line so a trace is readable even if the
+//! process dies without calling [`crate::finish`]. The sink is only touched
+//! when tracing is enabled, so this costs nothing on the production path.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::registry;
+
+/// A typed field value; rendered as a JSON scalar.
+#[derive(Debug, Clone)]
+pub enum Field {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static START: OnceLock<Instant> = OnceLock::new();
+
+fn lock() -> MutexGuard<'static, Option<Box<dyn Write + Send>>> {
+    match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Install a writer as the event sink, replacing (and flushing) any
+/// previous one. Called by [`crate::enable_to_file`] and friends.
+pub fn install(w: Box<dyn Write + Send>) {
+    let mut sink = lock();
+    if let Some(old) = sink.as_mut() {
+        let _ = old.flush();
+    }
+    *sink = Some(w);
+}
+
+/// Flush and drop the current sink, if any.
+pub fn uninstall() {
+    let mut sink = lock();
+    if let Some(old) = sink.as_mut() {
+        let _ = old.flush();
+    }
+    *sink = None;
+}
+
+/// Flush the current sink without dropping it.
+pub fn flush() {
+    if let Some(w) = lock().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Emit one event (gated: no-op when tracing is off).
+#[inline]
+pub fn emit(event_type: &str, fields: &[(&str, Field)]) {
+    if crate::enabled() {
+        emit_unguarded(event_type, fields);
+    }
+}
+
+/// Ungated [`emit`]; for obs-internal callers that already tested the gate
+/// (banned outside `crates/obs` by the `obs-gated` lint rule). Silently does
+/// nothing when no sink is installed — the registry may still be active.
+pub fn emit_unguarded(event_type: &str, fields: &[(&str, Field)]) {
+    let mut line = envelope(event_type);
+    for (key, value) in fields {
+        line.push(',');
+        push_json_str(&mut line, key);
+        line.push(':');
+        push_field(&mut line, value);
+    }
+    line.push('}');
+    line.push('\n');
+    write_line(&line);
+}
+
+/// Write the `"summary"` event: the full registry contents as nested JSON
+/// objects. Called once by [`crate::finish`].
+pub fn emit_summary_unguarded() {
+    let snap = registry::snapshot();
+    let mut line = envelope("summary");
+    line.push_str(",\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_json_str(&mut line, k);
+        line.push(':');
+        line.push_str(&v.to_string());
+    }
+    line.push_str("},\"gauges\":{");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_json_str(&mut line, k);
+        line.push(':');
+        push_f64(&mut line, *v);
+    }
+    line.push_str("},\"histograms\":{");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_json_str(&mut line, k);
+        line.push_str(":{\"count\":");
+        line.push_str(&h.count.to_string());
+        line.push_str(",\"sum\":");
+        push_f64(&mut line, h.sum);
+        line.push_str(",\"min\":");
+        push_f64(&mut line, h.min);
+        line.push_str(",\"max\":");
+        push_f64(&mut line, h.max);
+        line.push('}');
+    }
+    line.push_str("}}\n");
+    write_line(&line);
+}
+
+/// Open a JSON object with the `seq`/`t_us`/`type` envelope fields (no
+/// closing brace).
+fn envelope(event_type: &str) -> String {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let t_us = START.get_or_init(Instant::now).elapsed().as_micros() as u64;
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"seq\":");
+    line.push_str(&seq.to_string());
+    line.push_str(",\"t_us\":");
+    line.push_str(&t_us.to_string());
+    line.push_str(",\"type\":");
+    push_json_str(&mut line, event_type);
+    line
+}
+
+fn write_line(line: &str) {
+    if let Some(w) = lock().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        // Line-buffered on purpose: a crashed run still leaves a usable
+        // trace, and the sink is off the production path entirely.
+        let _ = w.flush();
+    }
+}
+
+fn push_field(out: &mut String, field: &Field) {
+    match field {
+        Field::U64(v) => out.push_str(&v.to_string()),
+        Field::I64(v) => out.push_str(&v.to_string()),
+        Field::F64(v) => push_f64(out, *v),
+        Field::Str(v) => push_json_str(out, v),
+        Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+/// JSON has no NaN/Infinity literals; encode non-finite values as `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes and escapes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, f64::INFINITY);
+        out.push(' ');
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "null null 1.5");
+    }
+
+    #[test]
+    fn events_carry_monotone_seq_and_fields() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        crate::enable_with_writer(Box::new(super::tests::SharedBuf(buf.clone())));
+        emit("alpha", &[("x", Field::U64(7)), ("s", Field::Str("hi".into()))]);
+        emit("beta", &[("y", Field::F64(0.5))]);
+        crate::disable();
+        let text = String::from_utf8(match buf.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        })
+        .expect("utf8 trace");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"type\":\"alpha\""), "{text}");
+        assert!(lines[0].contains("\"x\":7"), "{text}");
+        assert!(lines[0].contains("\"s\":\"hi\""), "{text}");
+        assert!(lines[1].contains("\"type\":\"beta\""), "{text}");
+        let seq_of = |line: &str| {
+            let rest = line.strip_prefix("{\"seq\":").expect("envelope starts with seq");
+            rest.split(',').next().and_then(|v| v.parse::<u64>().ok()).expect("seq number")
+        };
+        assert!(seq_of(lines[0]) < seq_of(lines[1]), "seq must be monotone: {text}");
+        crate::reset();
+    }
+
+    pub(crate) struct SharedBuf(pub std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            match self.0.lock() {
+                Ok(mut g) => g.extend_from_slice(data),
+                Err(mut p) => p.get_mut().extend_from_slice(data),
+            }
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

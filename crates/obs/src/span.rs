@@ -1,0 +1,128 @@
+//! Hierarchical timed spans.
+//!
+//! A span is an RAII guard: [`span`] pushes the name onto a thread-local
+//! stack and takes a clock reading; dropping the guard pops the stack and
+//! emits one `"span"` event carrying the name, the slash-joined ancestry
+//! path and the duration. Because children drop before their parents, the
+//! `path` field alone reconstructs the span tree offline — no span ids and
+//! no open/close event pairing needed.
+//!
+//! When tracing is disabled the guard is inert: no clock read, no stack
+//! push, no allocation.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::{registry, sink};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span`]. Emits the span event when dropped.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    name: &'static str,
+    /// `None` means tracing was disabled at creation: drop does nothing.
+    start: Option<Instant>,
+}
+
+/// Open a gated timed span. When tracing is disabled this returns an inert
+/// guard and costs one relaxed atomic load.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { name, start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span { name, start: Some(Instant::now()) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let joined = stack.join("/");
+            stack.pop();
+            joined
+        });
+        // The guard was created with tracing on, so keep the record coherent
+        // even if tracing was toggled while the span was open.
+        sink::emit_unguarded(
+            "span",
+            &[
+                ("name", sink::Field::Str(self.name.to_string())),
+                ("path", sink::Field::Str(path)),
+                ("dur_ns", sink::Field::U64(dur_ns)),
+            ],
+        );
+        registry::counter_add_unguarded(&format!("span.{}.count", self.name), 1);
+        registry::counter_add_unguarded(&format!("span.{}.total_ns", self.name), dur_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = crate::test_lock::hold();
+        crate::disable();
+        crate::reset();
+        {
+            let _s = span("never");
+            STACK.with(|s| assert!(s.borrow().is_empty(), "inert span must not touch the stack"));
+        }
+        assert!(registry::snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_paths_and_counts() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        crate::enable_with_writer(Box::new(SharedBuf(buf.clone())));
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+        }
+        crate::disable();
+        let text = String::from_utf8(match buf.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        })
+        .expect("utf8 trace");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"path\":\"outer/inner\""), "{text}");
+        assert!(lines[1].contains("\"path\":\"outer\""), "{text}");
+        let snap = registry::snapshot();
+        assert_eq!(snap.counters.get("span.outer.count"), Some(&1));
+        assert_eq!(snap.counters.get("span.inner.count"), Some(&1));
+        crate::reset();
+    }
+
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            match self.0.lock() {
+                Ok(mut g) => g.extend_from_slice(data),
+                Err(mut p) => p.get_mut().extend_from_slice(data),
+            }
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

@@ -93,6 +93,7 @@ impl SimClip {
     ///
     /// Panics if `latents` does not have `latent_dim` columns.
     pub fn embed_images(&self, latents: &Matrix) -> Matrix {
+        let _span = uhscm_obs::span("vlp_embed_images");
         assert_eq!(latents.cols(), self.latent_dim, "latent dim mismatch");
         let mut emb = latents.matmul(&self.projection);
         let sigma = self.cfg.image_noise / (self.cfg.embed_dim as f64).sqrt();
@@ -158,6 +159,8 @@ impl SimClip {
         concepts: &[String],
         template: PromptTemplate,
     ) -> Matrix {
+        let _span = uhscm_obs::span("vlp_score_matrix");
+        uhscm_obs::registry::counter_add("vlp.score_matrix.calls", 1);
         let img = self.embed_images(latents);
         let txt: Vec<Vec<f64>> = concepts.iter().map(|c| self.embed_text(c, template)).collect();
         let m = concepts.len();

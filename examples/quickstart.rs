@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with telemetry (writes trace.jsonl and prints a metric summary):
+//! UHSCM_OBS=1 cargo run --release --example quickstart
 //! ```
 
 use uhscm::core::pipeline::{Pipeline, SimilaritySource};
@@ -58,5 +60,11 @@ fn main() {
             hit.distance,
             if hit.relevant { "relevant" } else { "irrelevant" }
         );
+    }
+
+    // 6. If UHSCM_OBS enabled tracing, flush the trace and show what the
+    //    observability layer collected.
+    if let Some(summary) = uhscm::obs::finish() {
+        print!("{summary}");
     }
 }

@@ -9,13 +9,17 @@ cd /root/repo
 threads="${UHSCM_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 echo "=== PREFLIGHT threads=$threads (UHSCM_THREADS=${UHSCM_THREADS:-unset}) ===" >> results/experiments.log
 echo "uhscm: parallel kernels will use $threads thread(s)"
-echo "=== PREFLIGHT lint $(date +%T) ===" >> results/experiments.log
-if ! cargo run -p uhscm-xtask --quiet -- lint >> results/experiments.log 2>&1; then
-  echo "PREFLIGHT_FAILED lint" >> results/experiments.log
+echo "=== PREFLIGHT ci $(date +%T) ===" >> results/experiments.log
+if ! cargo run -p uhscm-xtask --quiet -- ci >> results/experiments.log 2>&1; then
+  echo "PREFLIGHT_FAILED ci" >> results/experiments.log
   exit 1
 fi
+# The checked quickstart doubles as the telemetry run: UHSCM_OBS routes the
+# observability layer's JSON-lines trace to results/trace.jsonl so every
+# experiment batch leaves behind a machine-readable record of the pipeline
+# stages, per-epoch losses, and retrieval probe statistics.
 echo "=== PREFLIGHT checked quickstart $(date +%T) ===" >> results/experiments.log
-if ! cargo run --release --features checked --example quickstart \
+if ! UHSCM_OBS=results/trace.jsonl cargo run --release --features checked --example quickstart \
     >> results/experiments.log 2>&1; then
   echo "PREFLIGHT_FAILED checked-quickstart" >> results/experiments.log
   exit 1

@@ -5,14 +5,14 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match uhscm::cli::parse(&args) {
-        Ok(cmd) => cmd,
+    let inv = match uhscm::cli::parse_invocation(&args) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("{e}\n\n{}", uhscm::cli::USAGE);
             return ExitCode::from(2);
         }
     };
-    match uhscm::cli::run(&cmd) {
+    match uhscm::cli::run_invocation(&inv) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

@@ -103,7 +103,54 @@ USAGE:
   uhscm eval  --bundle DIR
   uhscm query --bundle DIR --id QUERY_INDEX [--top K]
   uhscm info  --bundle DIR
+
+GLOBAL FLAGS:
+  --trace-out FILE   write a JSON-lines telemetry trace to FILE and print a
+                     metric summary (equivalent to UHSCM_OBS=FILE)
 ";
+
+/// A full CLI invocation: the subcommand plus global flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    pub command: Command,
+    /// `--trace-out FILE`: enable `uhscm-obs` tracing to `FILE`.
+    pub trace_out: Option<PathBuf>,
+}
+
+/// Parse argv, extracting the global `--trace-out FILE` flag (accepted
+/// anywhere on the command line) and parsing the rest as a [`Command`].
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, CliError> {
+    let mut trace_out = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace-out" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage("--trace-out needs a file path".into()))?;
+            trace_out = Some(PathBuf::from(v));
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok(Invocation { command: parse(&rest)?, trace_out })
+}
+
+/// Execute a full invocation: enable tracing if requested, run the command,
+/// and append the telemetry summary when tracing was active (whether via
+/// `--trace-out` or the `UHSCM_OBS` environment variable).
+pub fn run_invocation(inv: &Invocation) -> Result<String, CliError> {
+    if let Some(path) = &inv.trace_out {
+        uhscm_obs::enable_to_file(path)?;
+    }
+    let mut out = run(&inv.command)?;
+    if let Some(summary) = uhscm_obs::finish() {
+        out.push_str(&summary);
+    }
+    Ok(out)
+}
 
 /// Parse a CLI argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {

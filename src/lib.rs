@@ -38,4 +38,5 @@ pub use uhscm_data as data;
 pub use uhscm_eval as eval;
 pub use uhscm_linalg as linalg;
 pub use uhscm_nn as nn;
+pub use uhscm_obs as obs;
 pub use uhscm_vlp as vlp;

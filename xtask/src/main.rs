@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p uhscm-xtask -- lint                    # check, exit 1 on findings
 //! cargo run -p uhscm-xtask -- lint --write-baseline   # regenerate xtask/lint.allow
+//! cargo run -p uhscm-xtask -- ci                      # fmt-check + lint + tier-1 tests
 //! ```
 //!
 //! The `lint` command scans every `.rs` file in the workspace (skipping
@@ -11,6 +12,7 @@
 //! * `no-unwrap`      — no `.unwrap()` / `.expect()` in non-test library code
 //! * `unseeded-rng`   — no `thread_rng` / `from_entropy` / `rand::random` anywhere
 //! * `raw-thread`     — no `thread::spawn`/`scope`/`Builder` outside `linalg::par`
+//! * `obs-gated`      — no `*_unguarded` observability calls outside `crates/obs`
 //! * `float-cmp`      — no exact `==` / `!=` on floats in numeric code
 //! * `no-panic-macro` — no `panic!`/`todo!`/`unimplemented!`/`dbg!`/`println!`
 //!   in library crates
@@ -19,6 +21,9 @@
 //! Accepted findings live in `xtask/lint.allow` with mandatory one-line
 //! justifications; stale entries fail the run. Diagnostics are
 //! rustc-style `file:line` so editors can jump to them.
+//!
+//! The `ci` command chains the full tier-1 gate: `cargo fmt --check`, the
+//! lint above (in-process), `cargo build --release` and `cargo test`.
 
 mod allowlist;
 mod lexer;
@@ -36,7 +41,14 @@ fn main() -> ExitCode {
                 eprintln!("uhscm-xtask: unknown lint flag `{bad}`");
                 return usage();
             }
-            lint(write_baseline)
+            ExitCode::from(lint(write_baseline))
+        }
+        Some("ci") => {
+            if let Some(bad) = args.get(1) {
+                eprintln!("uhscm-xtask: unknown ci flag `{bad}`");
+                return usage();
+            }
+            ci()
         }
         _ => usage(),
     }
@@ -44,14 +56,68 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p uhscm-xtask -- lint [--write-baseline]\n\
+        "usage: cargo run -p uhscm-xtask -- <lint [--write-baseline] | ci>\n\
          \n\
          commands:\n\
          \x20 lint                  scan workspace sources; exit 1 on findings\n\
          \x20 lint --write-baseline rewrite xtask/lint.allow from current findings,\n\
-         \x20                       keeping existing justifications"
+         \x20                       keeping existing justifications\n\
+         \x20 ci                    fmt-check + lint + release build + tests\n\
+         \x20                       (the full tier-1 gate, for scripts and CI)"
     );
     ExitCode::from(2)
+}
+
+/// The chained tier-1 gate: rustfmt check, the in-process linter, then the
+/// ROADMAP's verify commands (`cargo build --release && cargo test`).
+/// Stops at the first failing step.
+fn ci() -> ExitCode {
+    let root = workspace_root();
+    println!("ci [1/4]: cargo fmt --all -- --check");
+    if !run_step(
+        "cargo fmt",
+        std::process::Command::new("cargo")
+            .args(["fmt", "--all", "--", "--check"])
+            .current_dir(&root),
+    ) {
+        return ExitCode::from(1);
+    }
+    println!("ci [2/4]: lint");
+    let lint_code = lint(false);
+    if lint_code != 0 {
+        return ExitCode::from(lint_code);
+    }
+    println!("ci [3/4]: cargo build --release");
+    if !run_step(
+        "cargo build",
+        std::process::Command::new("cargo").args(["build", "--release"]).current_dir(&root),
+    ) {
+        return ExitCode::from(1);
+    }
+    println!("ci [4/4]: cargo test -q");
+    if !run_step(
+        "cargo test",
+        std::process::Command::new("cargo").args(["test", "-q"]).current_dir(&root),
+    ) {
+        return ExitCode::from(1);
+    }
+    println!("ci: all steps passed");
+    ExitCode::SUCCESS
+}
+
+/// Run one external ci step, reporting how it failed (if it did).
+fn run_step(name: &str, cmd: &mut std::process::Command) -> bool {
+    match cmd.status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("uhscm-xtask ci: step `{name}` failed ({status})");
+            false
+        }
+        Err(e) => {
+            eprintln!("uhscm-xtask ci: cannot run `{name}`: {e}");
+            false
+        }
+    }
 }
 
 /// Workspace root = parent of the xtask crate (CARGO_MANIFEST_DIR).
@@ -64,7 +130,8 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint(write_baseline: bool) -> ExitCode {
+/// Run the linter; returns the process exit code (0 = clean).
+fn lint(write_baseline: bool) -> u8 {
     let root = workspace_root();
     let mut files = Vec::new();
     collect_rs(&root, &root, &mut files);
@@ -76,7 +143,7 @@ fn lint(write_baseline: bool) -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("uhscm-xtask: cannot read {rel}: {e}");
-                return ExitCode::from(2);
+                return 2;
             }
         };
         findings.extend(rules::check_file(rel, &lexer::scan(&src)));
@@ -91,7 +158,7 @@ fn lint(write_baseline: bool) -> ExitCode {
             for e in errors {
                 eprintln!("error: {e}");
             }
-            return ExitCode::from(1);
+            return 1;
         }
     };
 
@@ -99,7 +166,7 @@ fn lint(write_baseline: bool) -> ExitCode {
         let rendered = allowlist::render(&findings, &allow);
         if let Err(e) = std::fs::write(&allow_path, rendered) {
             eprintln!("uhscm-xtask: cannot write {}: {e}", allow_path.display());
-            return ExitCode::from(2);
+            return 2;
         }
         println!(
             "wrote {} ({} findings baselined over {} files)",
@@ -107,7 +174,7 @@ fn lint(write_baseline: bool) -> ExitCode {
             findings.len(),
             files.len()
         );
-        return ExitCode::SUCCESS;
+        return 0;
     }
 
     let mut failures = 0usize;
@@ -137,9 +204,9 @@ fn lint(write_baseline: bool) -> ExitCode {
         failures
     );
     if failures > 0 {
-        ExitCode::from(1)
+        1
     } else {
-        ExitCode::SUCCESS
+        0
     }
 }
 

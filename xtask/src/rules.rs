@@ -74,6 +74,10 @@ pub fn check_file(rel_path: &str, file: &MaskedFile) -> Vec<Finding> {
     // config, so they are banned everywhere else (tests included).
     raw_thread(rel_path, file, &mut findings);
 
+    // Telemetry outside the obs crate must use the gated entry points so
+    // instrumented hot loops stay one relaxed atomic load when disabled.
+    obs_gated(rel_path, file, &mut findings);
+
     if cat == Category::Library {
         no_unwrap_expect(rel_path, file, &mut findings);
         float_eq(rel_path, file, &mut findings);
@@ -223,6 +227,38 @@ fn raw_thread(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
                     ),
                 );
             }
+        }
+    }
+}
+
+/// `obs-gated`: `*_unguarded` observability entry points anywhere outside
+/// `crates/obs/`. The unguarded variants skip the enabled-check; calling
+/// them from instrumented code would pay lock/clock costs even with tracing
+/// off, breaking the obs overhead contract (one relaxed atomic load).
+fn obs_gated(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
+    if path.starts_with("crates/obs/") {
+        return;
+    }
+    const SUFFIX: &str = "_unguarded";
+    for (lineno, line) in file.masked_lines.iter().enumerate() {
+        let mut start = 0;
+        while let Some(off) = line[start..].find(SUFFIX) {
+            let pos = start + off;
+            let after = line[pos + SUFFIX.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                push(
+                    findings,
+                    "obs-gated",
+                    path,
+                    file,
+                    lineno,
+                    "`*_unguarded` observability call outside crates/obs: use the gated \
+                     entry points (uhscm_obs::span / registry::counter_add / sink::emit) \
+                     so the disabled path stays a single relaxed atomic load"
+                        .to_string(),
+                );
+            }
+            start = pos + SUFFIX.len();
         }
     }
 }
@@ -560,6 +596,28 @@ mod tests {
         // Unqualified or unrelated identifiers are not thread primitives.
         assert_eq!(lint("crates/core/src/a.rs", "fn f() { spawn(); scope(); }").len(), 0);
         assert_eq!(lint("crates/core/src/a.rs", "fn f() { x.scope_id(); }").len(), 0);
+    }
+
+    #[test]
+    fn obs_gated_flagged_everywhere_but_obs_crate() {
+        let src = "fn f() { uhscm_obs::registry::counter_add_unguarded(\"c\", 1); }";
+        for p in ["crates/core/src/a.rs", "tests/a.rs", "src/cli.rs", "crates/eval/tests/t.rs"] {
+            let f = lint(p, src);
+            assert_eq!(f.len(), 1, "{p}");
+            assert_eq!(f[0].rule, "obs-gated");
+        }
+        assert_eq!(lint("crates/obs/src/span.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn obs_gated_ignores_gated_calls_and_longer_idents() {
+        assert_eq!(
+            lint("crates/core/src/a.rs", "fn f() { uhscm_obs::registry::counter_add(\"c\", 1); }")
+                .len(),
+            0
+        );
+        // `_unguardedly` is a different identifier, not the suffix.
+        assert_eq!(lint("crates/core/src/a.rs", "fn f() { run_unguardedly(); }").len(), 0);
     }
 
     #[test]
