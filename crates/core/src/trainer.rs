@@ -201,8 +201,11 @@ fn sub_similarity(q: &Matrix, idx: &[usize]) -> Matrix {
     let t = idx.len();
     let mut out = Matrix::zeros(t, t);
     for (a, &i) in idx.iter().enumerate() {
-        for (b, &j) in idx.iter().enumerate() {
-            out[(a, b)] = q[(i, j)];
+        // Batch indices come from the sampler, which draws from 0..n, so
+        // every `j` is in range; the `get` keeps this total regardless.
+        let src = q.row(i);
+        for (slot, &j) in out.row_mut(a).iter_mut().zip(idx) {
+            *slot = src.get(j).copied().unwrap_or_default();
         }
     }
     out
@@ -232,14 +235,13 @@ fn bit_balance(z: &Matrix) -> f64 {
     if rows == 0 || cols == 0 {
         return 0.0;
     }
-    let mut acc = 0.0;
-    for k in 0..cols {
-        let mut signed = 0i64;
-        for i in 0..rows {
-            signed += if z[(i, k)] > 0.0 { 1 } else { -1 };
+    let mut signed = vec![0i64; cols];
+    for i in 0..rows {
+        for (acc, &v) in signed.iter_mut().zip(z.row(i)) {
+            *acc += if v > 0.0 { 1 } else { -1 };
         }
-        acc += signed.unsigned_abs() as f64 / rows as f64;
     }
+    let acc: f64 = signed.iter().map(|s| s.unsigned_abs() as f64 / rows as f64).sum();
     acc / cols as f64
 }
 

@@ -9,7 +9,7 @@
 //! buckets instead of all `n` codes.
 
 use crate::BitCodes;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A multi-probe Hamming index over a set of binary codes.
 ///
@@ -35,10 +35,11 @@ use std::collections::HashMap;
 pub struct HashIndex {
     codes: BitCodes,
     prefix_bits: usize,
-    /// Bucket id (code prefix) → item indices.
-    buckets: HashMap<u64, Vec<u32>>,
+    /// Bucket id (code prefix) → item indices. Ordered so bucket-stats
+    /// telemetry and any future whole-index walk iterate deterministically.
+    buckets: BTreeMap<u64, Vec<u32>>,
     /// Logically deleted items (skipped by lookups).
-    tombstones: std::collections::HashSet<u32>,
+    tombstones: BTreeSet<u32>,
 }
 
 impl HashIndex {
@@ -51,13 +52,12 @@ impl HashIndex {
         assert!(!codes.is_empty(), "cannot index zero codes");
         assert!(codes.bits() > 0, "cannot index zero-width codes");
         let prefix_bits = prefix_bits.clamp(1, codes.bits().min(24));
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
         for i in 0..codes.len() {
             let key = prefix_of(&codes, i, prefix_bits);
             buckets.entry(key).or_default().push(i as u32);
         }
-        let index =
-            Self { codes, prefix_bits, buckets, tombstones: std::collections::HashSet::new() };
+        let index = Self { codes, prefix_bits, buckets, tombstones: BTreeSet::new() };
         index.record_bucket_stats();
         index
     }
@@ -231,9 +231,11 @@ impl HashIndex {
     }
 }
 
-/// First `prefix_bits` bits of code `i` as a bucket key.
+/// First `prefix_bits` bits of code `i` as a bucket key. Zero-width codes
+/// cannot be constructed (`build` asserts), so the missing-word arm is
+/// unreachable in practice; mapping it to key 0 keeps this total.
 fn prefix_of(codes: &BitCodes, i: usize, prefix_bits: usize) -> u64 {
-    let word = codes.code(i)[0];
+    let word = codes.code(i).first().copied().unwrap_or(0);
     if prefix_bits >= 64 {
         word
     } else {

@@ -111,7 +111,9 @@ pub fn precision_at_n(
                 for (slot, &n) in prec.iter_mut().zip(ns) {
                     let n = n.min(max_n);
                     if n > 0 {
-                        *slot = cum[n - 1] as f64 / n as f64;
+                        // A truncated ranking (fewer than n returns) keeps
+                        // the final hit count; the divisor stays n.
+                        *slot = cum.get(n - 1).copied().unwrap_or(hits) as f64 / n as f64;
                     }
                 }
                 prec
@@ -151,30 +153,31 @@ pub fn pr_curve(
     // counts, so merging them is exact regardless of the thread count.
     let work = nq.saturating_mul(ranker.database().len().max(1));
     let partials = par::par_map_chunks(nq, work, |range| {
-        let mut retrieved = vec![0u64; bits + 1];
-        let mut retrieved_relevant = vec![0u64; bits + 1];
+        // (retrieved, retrieved_relevant) per Hamming distance; distances
+        // are ≤ bits by construction, the `get_mut` guard keeps the
+        // accumulation total even if a ranker ever violated that.
+        let mut by_dist = vec![(0u64, 0u64); bits + 1];
         let mut total_relevant = 0u64;
         for qi in range {
             let dists = ranker.distances(queries, qi);
             for (db_idx, &d) in dists.iter().enumerate() {
-                retrieved[d as usize] += 1;
-                if relevant(qi, db_idx) {
-                    retrieved_relevant[d as usize] += 1;
-                    total_relevant += 1;
+                if let Some((ret, rel)) = by_dist.get_mut(d as usize) {
+                    *ret += 1;
+                    if relevant(qi, db_idx) {
+                        *rel += 1;
+                        total_relevant += 1;
+                    }
                 }
             }
         }
-        (retrieved, retrieved_relevant, total_relevant)
+        (by_dist, total_relevant)
     });
-    let mut retrieved = vec![0u64; bits + 1];
-    let mut retrieved_relevant = vec![0u64; bits + 1];
+    let mut by_dist = vec![(0u64, 0u64); bits + 1];
     let mut total_relevant = 0u64;
-    for (ret, rel, tot) in partials {
-        for (acc, v) in retrieved.iter_mut().zip(ret) {
-            *acc += v;
-        }
-        for (acc, v) in retrieved_relevant.iter_mut().zip(rel) {
-            *acc += v;
+    for (partial, tot) in partials {
+        for ((ret_acc, rel_acc), (ret, rel)) in by_dist.iter_mut().zip(partial) {
+            *ret_acc += ret;
+            *rel_acc += rel;
         }
         total_relevant += tot;
     }
@@ -182,9 +185,9 @@ pub fn pr_curve(
     let mut points = Vec::with_capacity(bits + 1);
     let mut ret_cum = 0u64;
     let mut rel_cum = 0u64;
-    for r in 0..=bits {
-        ret_cum += retrieved[r];
-        rel_cum += retrieved_relevant[r];
+    for (r, &(ret, rel)) in by_dist.iter().enumerate() {
+        ret_cum += ret;
+        rel_cum += rel;
         let precision = if ret_cum == 0 { 1.0 } else { rel_cum as f64 / ret_cum as f64 };
         let recall = if total_relevant == 0 { 0.0 } else { rel_cum as f64 / total_relevant as f64 };
         points.push(PrPoint { radius: r as u32, precision, recall });

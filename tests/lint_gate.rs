@@ -2,24 +2,118 @@
 //!
 //! Shells out to the `uhscm-xtask` lint driver so `cargo test` fails
 //! whenever a rule is violated without an allowlisted justification, or
-//! an allowlist entry goes stale. See `xtask/src/main.rs` for the rules.
+//! an allowlist entry goes stale. The `--json` run additionally pins the
+//! machine-readable report: it must parse (via the workspace's own JSON
+//! reader in `uhscm::obs::trace`), carry all three semantic analyses,
+//! hold the checked-in panic budget, and be determinism-clean. See
+//! `xtask/src/main.rs` for the rules and `xtask/src/analysis/` for the
+//! call-graph passes.
 
 use std::process::Command;
+use uhscm::obs::trace::{parse, Json};
 
-#[test]
-fn workspace_is_lint_clean() {
+fn run_lint(extra: &[&str]) -> (std::process::Output, String, String) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut args = vec!["run", "-p", "uhscm-xtask", "--quiet", "--", "lint"];
+    args.extend_from_slice(extra);
     let out = Command::new(cargo)
-        .args(["run", "-p", "uhscm-xtask", "--quiet", "--", "lint"])
+        .args(&args)
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("failed to spawn `cargo run -p uhscm-xtask`");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out, stdout, stderr)
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let (out, stdout, stderr) = run_lint(&[]);
     assert!(
         out.status.success(),
         "lint findings (fix them or add a justified entry to xtask/lint.allow):\n\
          {stdout}\n{stderr}"
     );
     assert!(stdout.contains("0 errors"), "unexpected lint output:\n{stdout}");
+}
+
+#[test]
+fn lint_json_report_is_well_formed_and_budget_holds() {
+    let (out, stdout, stderr) = run_lint(&["--json"]);
+    assert!(out.status.success(), "lint --json failed:\n{stdout}\n{stderr}");
+
+    let report = parse(&stdout)
+        .unwrap_or_else(|e| panic!("lint --json did not emit parseable JSON ({e:?}):\n{stdout}"));
+    let str_of = |j: &Json, key: &str| -> String {
+        j.get(key)
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("report missing string `{key}`"))
+            .to_string()
+    };
+    assert_eq!(str_of(&report, "schema"), "uhscm-lint/1");
+
+    // All three semantic analyses must have run.
+    let analyses: Vec<String> = report
+        .get("analyses")
+        .and_then(Json::as_arr)
+        .expect("report missing `analyses` array")
+        .iter()
+        .filter_map(|a| a.as_str().map(str::to_string))
+        .collect();
+    for want in ["panic-reachability", "determinism", "dead-export"] {
+        assert!(analyses.iter().any(|a| a == want), "analysis `{want}` missing: {analyses:?}");
+    }
+
+    // The panic budget holds for every root, and every reachable site
+    // carries a call-chain witness back to its root.
+    let roots = report
+        .get("panic_budget")
+        .and_then(|b| b.get("roots"))
+        .and_then(Json::as_arr)
+        .expect("report missing `panic_budget.roots`");
+    assert!(roots.len() >= 5, "expected the five hot-path roots, got {}", roots.len());
+    for root in roots {
+        let name = str_of(root, "root");
+        assert_eq!(str_of(root, "status"), "ok", "panic budget violated for root `{name}`");
+        let sites = root.get("sites").and_then(Json::as_arr).expect("root missing `sites`");
+        let declared = root
+            .get("reachable_sites")
+            .and_then(Json::as_u64)
+            .expect("root missing `reachable_sites`");
+        assert_eq!(sites.len() as u64, declared, "site list disagrees with count for `{name}`");
+        for site in sites {
+            let witness = site.get("witness").and_then(Json::as_arr).unwrap_or(&[]);
+            assert!(
+                !witness.is_empty(),
+                "site {}:{} under root `{name}` has no call-chain witness",
+                str_of(site, "path"),
+                site.get("line").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
+
+    // Determinism audit must be clean: unordered-map iteration on a hot
+    // path is a reproducibility bug, never an allowlistable style issue.
+    let findings = report.get("findings").and_then(Json::as_arr).expect("missing `findings`");
+    for f in findings {
+        assert_ne!(
+            str_of(f, "rule"),
+            "hash-iter",
+            "hot path iterates an unordered map: {}:{}",
+            str_of(f, "path"),
+            f.get("line").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+
+    // Summary totals: no errors, and the counts are internally consistent.
+    let summary = report.get("summary").expect("missing `summary`");
+    let count = |key: &str| -> u64 {
+        summary.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("summary missing {key}"))
+    };
+    assert_eq!(count("errors"), 0, "lint errors in JSON report");
+    assert_eq!(
+        count("findings"),
+        findings.len() as u64,
+        "summary.findings disagrees with the findings array"
+    );
 }

@@ -15,6 +15,7 @@
 use crate::rules::Finding;
 use std::cell::Cell;
 
+#[derive(Debug)]
 pub struct Entry {
     pub rule: String,
     pub path: String,
@@ -25,15 +26,19 @@ pub struct Entry {
     used: Cell<bool>,
 }
 
+#[derive(Debug)]
 pub struct Allowlist {
     entries: Vec<Entry>,
 }
 
 impl Allowlist {
     /// Parse the allowlist. Returns `Err` with per-line messages for
-    /// malformed entries (wrong field count, empty justification).
-    pub fn parse(src: &str) -> Result<Allowlist, Vec<String>> {
-        let mut entries = Vec::new();
+    /// malformed entries: wrong field count, empty justification, a rule
+    /// name the linter does not know (a typo'd entry can never match and
+    /// would otherwise sit silently), or a duplicate (rule, path, line)
+    /// triple.
+    pub fn parse(src: &str, known_rules: &[&str]) -> Result<Allowlist, Vec<String>> {
+        let mut entries: Vec<Entry> = Vec::new();
         let mut errors = Vec::new();
         for (idx, line) in src.lines().enumerate() {
             let lineno = idx + 1;
@@ -50,11 +55,30 @@ impl Allowlist {
                 ));
                 continue;
             }
+            let rule = fields[0].trim();
+            if !known_rules.contains(&rule) {
+                errors.push(format!(
+                    "lint.allow:{lineno}: unknown rule `{rule}` — known rules: {}",
+                    known_rules.join(", ")
+                ));
+                continue;
+            }
             let justification = fields[3].trim();
             if justification.is_empty() {
                 errors.push(format!(
                     "lint.allow:{lineno}: empty justification — every accepted finding \
                      must say why it is sound"
+                ));
+                continue;
+            }
+            if let Some(dup) = entries
+                .iter()
+                .find(|e| e.rule == rule && e.path == fields[1].trim() && e.key == fields[2].trim())
+            {
+                errors.push(format!(
+                    "lint.allow:{lineno}: duplicate of line {} (`{rule}` in {}) — remove one",
+                    dup.allow_line,
+                    fields[1].trim()
                 ));
                 continue;
             }
@@ -129,6 +153,7 @@ pub fn render(findings: &[Finding], previous: &Allowlist) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::{Severity, ALL_RULES};
 
     fn finding(rule: &'static str, path: &str, key: &str) -> Finding {
         Finding {
@@ -137,6 +162,8 @@ mod tests {
             line: 1,
             message: String::new(),
             key: key.to_string(),
+            severity: Severity::Error,
+            witness: Vec::new(),
         }
     }
 
@@ -144,6 +171,7 @@ mod tests {
     fn parses_and_matches() {
         let a = Allowlist::parse(
             "# comment\nno-unwrap\tcrates/core/src/a.rs\tx.unwrap();\tinvariant: x set above\n",
+            ALL_RULES,
         )
         .unwrap();
         assert!(a.covers(&finding("no-unwrap", "crates/core/src/a.rs", "x.unwrap();")));
@@ -153,19 +181,35 @@ mod tests {
 
     #[test]
     fn unused_entries_are_stale() {
-        let a = Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\twhy\n").unwrap();
+        let a = Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\twhy\n", ALL_RULES).unwrap();
         assert_eq!(a.stale().len(), 1);
     }
 
     #[test]
     fn rejects_missing_justification() {
-        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\t \n").is_err());
-        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\n").is_err());
+        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\t \n", ALL_RULES).is_err());
+        assert!(Allowlist::parse("no-unwrap\tp.rs\tx.unwrap();\n", ALL_RULES).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule_names() {
+        let err = Allowlist::parse("no-unwrp\tp.rs\tx.unwrap();\twhy\n", ALL_RULES).unwrap_err();
+        assert!(err[0].contains("unknown rule"), "{err:?}");
+        // `panic-budget` is deliberately not allowlistable.
+        assert!(Allowlist::parse("panic-budget\txtask/panic.budget\tk\twhy\n", ALL_RULES).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_entries() {
+        let src = "no-unwrap\tp.rs\tx.unwrap();\twhy\nno-unwrap\tp.rs\tx.unwrap();\twhy again\n";
+        let err = Allowlist::parse(src, ALL_RULES).unwrap_err();
+        assert!(err[0].contains("duplicate"), "{err:?}");
     }
 
     #[test]
     fn render_preserves_existing_justifications() {
-        let prev = Allowlist::parse("float-cmp\tp.rs\ta == 0.0\texact sparsity check\n").unwrap();
+        let prev = Allowlist::parse("float-cmp\tp.rs\ta == 0.0\texact sparsity check\n", ALL_RULES)
+            .unwrap();
         let out = render(&[finding("float-cmp", "p.rs", "a == 0.0")], &prev);
         assert!(out.contains("exact sparsity check"));
         let fresh = render(&[finding("no-unwrap", "p.rs", "x.unwrap();")], &prev);

@@ -1,0 +1,119 @@
+//! Dead-export detection: `pub` functions nobody outside the crate uses.
+//!
+//! A `pub fn` in a library crate with zero in-edges from outside its own
+//! crate is surface area with no consumer: it should be demoted to
+//! `pub(crate)`, removed, or allowlisted with a reason (e.g. "public API
+//! of the reproduction, exercised via the CLI examples"). Tests, benches
+//! and examples count as callers — a function only a test calls is still
+//! alive. Findings are warnings: they never fail the lint, but they are
+//! reported and counted.
+//!
+//! Trait-impl methods are exempt (they are reached through dispatch the
+//! name-based graph cannot see), as are `main` and `#[cfg(test)]` items.
+
+use crate::callgraph::{Graph, Workspace};
+use crate::rules::{Category, Finding, Severity};
+use std::collections::BTreeSet;
+
+pub fn run(ws: &Workspace, g: &Graph) -> Vec<Finding> {
+    // Nodes with at least one out-of-crate caller (tests count).
+    let mut alive: BTreeSet<usize> = BTreeSet::new();
+    for (caller, edges) in g.edges.iter().enumerate() {
+        let caller_node = &g.nodes[caller];
+        let caller_in_test = g.item(ws, caller).in_test;
+        for e in edges {
+            let callee_node = &g.nodes[e.callee];
+            if caller_node.crate_name != callee_node.crate_name || caller_in_test {
+                alive.insert(e.callee);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (ni, node) in g.nodes.iter().enumerate() {
+        if node.category != Category::Library {
+            continue;
+        }
+        let item = g.item(ws, ni);
+        if !item.is_pub || item.in_test || item.trait_impl || item.name == "main" {
+            continue;
+        }
+        if alive.contains(&ni) {
+            continue;
+        }
+        let file = &ws.files[node.file];
+        findings.push(Finding {
+            rule: "dead-export",
+            path: file.path.clone(),
+            line: item.line + 1,
+            message: format!(
+                "`{}` is pub but has no caller outside its crate (tests/benches \
+                 included): demote to pub(crate), remove, or allowlist with the \
+                 consumer it exists for",
+                node.qualified
+            ),
+            key: file
+                .masked
+                .raw_lines
+                .get(item.line)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+            severity: Severity::Warning,
+            witness: Vec::new(),
+        });
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Graph, Workspace};
+
+    fn dead(sources: &[(&str, &str)]) -> Vec<String> {
+        let ws = Workspace::from_sources(sources);
+        let g = Graph::build(&ws);
+        run(&ws, &g).into_iter().map(|f| f.message).collect()
+    }
+
+    #[test]
+    fn uncalled_pub_fn_is_dead() {
+        let msgs = dead(&[("crates/a/src/lib.rs", "pub fn orphan() {}\n")]);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("uhscm_a::orphan"));
+    }
+
+    #[test]
+    fn cross_crate_and_test_callers_keep_exports_alive() {
+        let msgs = dead(&[
+            ("crates/a/src/lib.rs", "pub fn used_by_b() {}\npub fn used_by_test() {}\n"),
+            ("crates/b/src/lib.rs", "pub fn caller() { uhscm_a::used_by_b(); }\n"),
+            ("tests/e2e.rs", "#[test]\nfn t() { uhscm_a::used_by_test(); uhscm_b::caller(); }\n"),
+        ]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn same_crate_caller_does_not_keep_export_alive() {
+        let msgs = dead(&[(
+            "crates/a/src/lib.rs",
+            "pub fn outer() { inner_api(); }\npub fn inner_api() {}\n",
+        )]);
+        // Both are dead: `outer` has no caller at all, `inner_api` only an
+        // intra-crate one.
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+    }
+
+    #[test]
+    fn trait_impls_private_fns_and_main_are_exempt() {
+        let msgs = dead(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\n\
+             impl Default for S { fn default() -> S { S } }\n\
+             fn private() {}\n\
+             pub fn main() {}\n",
+        )]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+}

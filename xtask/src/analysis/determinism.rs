@@ -1,0 +1,125 @@
+//! Determinism audit: hash-order iteration on reachable numeric paths.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified and can differ
+//! between runs (and between std versions), so any float accumulation —
+//! or even bucket-stats reporting — driven by it breaks the bitwise
+//! reproducibility contract of the parallel runtime (DESIGN.md §9). A
+//! library function reachable from a hot-path root that iterates a hash
+//! collection is therefore an error: use `BTreeMap`/`BTreeSet` or sort
+//! the keys first.
+
+use crate::callgraph::{Graph, Workspace};
+use crate::rules::{Category, Finding, Severity, WitnessStep};
+use std::collections::BTreeMap;
+
+/// `reach_witness` maps every node reachable from some root to one
+/// (shortest-found) witness chain, as computed by the panic pass.
+pub fn run(
+    ws: &Workspace,
+    g: &Graph,
+    reach_witness: &BTreeMap<usize, Vec<WitnessStep>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (&n, chain) in reach_witness {
+        let node = &g.nodes[n];
+        if node.category != Category::Library {
+            continue;
+        }
+        let item = g.item(ws, n);
+        if item.in_test {
+            continue;
+        }
+        let file = &ws.files[node.file];
+        for site in &item.hash_iters {
+            findings.push(Finding {
+                rule: "hash-iter",
+                path: file.path.clone(),
+                line: site.line + 1,
+                message: format!(
+                    "hash-order iteration over `{}` (via `{}`) in `{}`, reachable from \
+                     hot-path root `{}`: iteration order is nondeterministic — use \
+                     BTreeMap/BTreeSet or sort keys before iterating",
+                    site.binding,
+                    site.method,
+                    node.qualified,
+                    chain.first().map(|w| w.qualified.as_str()).unwrap_or("?"),
+                ),
+                key: file
+                    .masked
+                    .raw_lines
+                    .get(site.line)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                severity: Severity::Error,
+                witness: chain.clone(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run as analyse;
+    use crate::callgraph::{Graph, Workspace};
+
+    #[test]
+    fn reachable_hash_iteration_is_flagged_with_witness() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/pipeline.rs", "pub fn run() -> u64 { crate::trainer::epoch() }\n"),
+            (
+                "crates/core/src/trainer.rs",
+                "pub fn epoch() -> u64 { stats() }\n\
+                 fn stats() -> u64 {\n\
+                 \x20   let mut m: HashMap<u64, u64> = HashMap::new();\n\
+                 \x20   let mut acc = 0;\n\
+                 \x20   for v in m.values() { acc += v; }\n\
+                 \x20   acc\n\
+                 }\n",
+            ),
+        ]);
+        let g = Graph::build(&ws);
+        let a = analyse(&ws, &g, Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"));
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.rule == "hash-iter")
+            .expect("hash iteration must be flagged");
+        assert_eq!(f.path, "crates/core/src/trainer.rs");
+        assert!(f.message.contains("`m`"));
+        let chain: Vec<&str> = f.witness.iter().map(|w| w.qualified.as_str()).collect();
+        assert!(chain.ends_with(&["uhscm_core::trainer::stats"]), "{chain:?}");
+        assert!(!f.witness.is_empty());
+    }
+
+    #[test]
+    fn unreachable_or_btree_iteration_is_clean() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/pipeline.rs",
+                "pub fn run() -> u64 { 0 }\n\
+                 fn orphan() -> u64 {\n\
+                 \x20   let m: HashMap<u64, u64> = HashMap::new();\n\
+                 \x20   let mut acc = 0;\n\
+                 \x20   for v in m.values() { acc += v; }\n\
+                 \x20   acc\n\
+                 }\n",
+            ),
+            (
+                "crates/core/src/trainer.rs",
+                "pub fn epoch() -> u64 {\n\
+                 \x20   let m: BTreeMap<u64, u64> = BTreeMap::new();\n\
+                 \x20   m.values().sum()\n\
+                 }\n",
+            ),
+        ]);
+        let g = Graph::build(&ws);
+        let a = analyse(&ws, &g, Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"));
+        assert!(
+            a.findings.iter().all(|f| f.rule != "hash-iter"),
+            "{:?}",
+            a.findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,455 @@
+//! Semantic passes over the workspace call graph.
+//!
+//! Three analyses run on every lint (DESIGN.md §11):
+//!
+//! * **panic-reachability** ([`panic_reach`]) — BFS from the declared
+//!   hot-path roots below; every intrinsic panic site in a reachable
+//!   function counts against that root's budget in `xtask/panic.budget`.
+//!   Growth over the checked-in budget is an error (never allowlistable);
+//!   slack is a warning nudging a `--write-budget` re-baseline.
+//! * **determinism** ([`determinism`]) — `HashMap`/`HashSet` iteration in
+//!   any library function reachable from a root is an error: iteration
+//!   order can reorder float accumulation across runs.
+//! * **dead-export** ([`dead_export`]) — `pub` library functions with no
+//!   caller outside their crate (tests count) are warnings.
+
+pub mod dead_export;
+pub mod determinism;
+pub mod panic_reach;
+
+use crate::callgraph::{Graph, Workspace};
+use crate::parser::PanicKind;
+use crate::rules::{Finding, Severity, WitnessStep};
+use std::collections::BTreeMap;
+
+/// Which functions of a root file seed the reachability walk.
+pub enum RootFns {
+    /// Every non-test `pub fn` in the file.
+    PubFns,
+    /// Only the named functions (e.g. the probe path of an index).
+    Named(&'static [&'static str]),
+}
+
+/// A hot-path root: a file whose entry points must stay panic-tight.
+pub struct RootSpec {
+    pub name: &'static str,
+    pub path: &'static str,
+    pub fns: RootFns,
+}
+
+/// The declared hot paths of the reproduction: training pipeline, trainer
+/// internals, retrieval metrics, the index probe path, and the parallel
+/// fan-out runtime.
+pub const ROOTS: &[RootSpec] = &[
+    RootSpec {
+        name: "uhscm_core::pipeline",
+        path: "crates/core/src/pipeline.rs",
+        fns: RootFns::PubFns,
+    },
+    RootSpec {
+        name: "uhscm_core::trainer",
+        path: "crates/core/src/trainer.rs",
+        fns: RootFns::PubFns,
+    },
+    RootSpec {
+        name: "uhscm_eval::metrics",
+        path: "crates/eval/src/metrics.rs",
+        fns: RootFns::PubFns,
+    },
+    RootSpec {
+        name: "uhscm_eval::index",
+        path: "crates/eval/src/index.rs",
+        fns: RootFns::Named(&["build", "insert", "remove", "lookup", "knn"]),
+    },
+    RootSpec { name: "uhscm_linalg::par", path: "crates/linalg/src/par.rs", fns: RootFns::PubFns },
+];
+
+/// One panic site reachable from a root, with its call-chain witness
+/// (root fn first, function containing the site last).
+pub struct SiteReport {
+    pub kind: PanicKind,
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+    pub fn_qualified: String,
+    pub witness: Vec<WitnessStep>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetStatus {
+    Ok,
+    /// More reachable sites than budgeted — lint fails.
+    Over,
+    /// Fewer sites than budgeted — warning to tighten the baseline.
+    Under,
+    /// Root absent from the budget file — lint fails.
+    Unlisted,
+}
+
+impl BudgetStatus {
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetStatus::Ok => "ok",
+            BudgetStatus::Over => "over",
+            BudgetStatus::Under => "under",
+            BudgetStatus::Unlisted => "unlisted",
+        }
+    }
+}
+
+/// Per-root reachability summary for the report.
+pub struct RootReport {
+    pub root: &'static str,
+    pub budget: Option<u64>,
+    pub reachable_fns: usize,
+    pub sites: Vec<SiteReport>,
+    pub status: BudgetStatus,
+}
+
+/// Everything the semantic passes produce.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub roots: Vec<RootReport>,
+}
+
+/// Run all three passes. `budget_src` is the content of
+/// `xtask/panic.budget` (`None` = file missing, an error when any root
+/// matches). Roots whose file has no matching functions in `ws` are
+/// skipped, so fixture workspaces exercise only the roots they define.
+pub fn run(ws: &Workspace, g: &Graph, budget_src: Option<&str>) -> Analysis {
+    let mut findings = Vec::new();
+    let mut roots_out = Vec::new();
+    let (budget, budget_errors) = parse_budget(budget_src);
+    for e in budget_errors {
+        findings.push(budget_finding(e, Severity::Error, Vec::new()));
+    }
+
+    // Reachability per root; remembered for the determinism pass so its
+    // findings can reuse the cheapest witness chain.
+    let mut reach_witness: BTreeMap<usize, Vec<WitnessStep>> = BTreeMap::new();
+    let mut budgeted_roots: Vec<&str> = Vec::new();
+
+    for spec in ROOTS {
+        let seeds = seeds_for(ws, g, spec);
+        if seeds.is_empty() {
+            continue;
+        }
+        budgeted_roots.push(spec.name);
+        let parent = panic_reach::reach(ws, g, &seeds);
+        let mut sites = Vec::new();
+        for &n in parent.keys() {
+            let chain = panic_reach::witness(ws, g, &parent, n);
+            reach_witness.entry(n).or_insert_with(|| chain.clone());
+            let item = g.item(ws, n);
+            for site in &item.panic_sites {
+                sites.push(SiteReport {
+                    kind: site.kind,
+                    path: g.path(ws, n).to_string(),
+                    line: site.line + 1,
+                    fn_qualified: g.nodes[n].qualified.clone(),
+                    witness: chain.clone(),
+                });
+            }
+        }
+        sites.sort_by(|a, b| {
+            (&a.path, a.line, a.kind, &a.fn_qualified).cmp(&(
+                &b.path,
+                b.line,
+                b.kind,
+                &b.fn_qualified,
+            ))
+        });
+
+        let allotted = budget.as_ref().and_then(|b| b.get(spec.name).copied());
+        let count = sites.len() as u64;
+        let status = match allotted {
+            None if budget.is_some() => BudgetStatus::Unlisted,
+            None => BudgetStatus::Unlisted,
+            Some(b) if count > b => BudgetStatus::Over,
+            Some(b) if count < b => BudgetStatus::Under,
+            Some(_) => BudgetStatus::Ok,
+        };
+        match status {
+            BudgetStatus::Over => {
+                let b = allotted.expect("Over implies a budget entry");
+                let witness = sites.first().map(|s| s.witness.clone()).unwrap_or_default();
+                findings.push(budget_finding(
+                    format!(
+                        "panic budget exceeded for root `{}`: {count} reachable panic \
+                         sites, budget {b} — remove the new site or re-baseline with \
+                         `--write-budget` and justify in the PR",
+                        spec.name
+                    ),
+                    Severity::Error,
+                    witness,
+                ));
+            }
+            BudgetStatus::Under => {
+                let b = allotted.expect("Under implies a budget entry");
+                findings.push(budget_finding(
+                    format!(
+                        "panic budget slack for root `{}`: {count} reachable panic sites, \
+                         budget {b} — tighten with `--write-budget`",
+                        spec.name
+                    ),
+                    Severity::Warning,
+                    Vec::new(),
+                ));
+            }
+            BudgetStatus::Unlisted => {
+                findings.push(budget_finding(
+                    format!(
+                        "root `{}` has no entry in xtask/panic.budget — run \
+                         `cargo run -p uhscm-xtask -- lint --write-budget`",
+                        spec.name
+                    ),
+                    Severity::Error,
+                    Vec::new(),
+                ));
+            }
+            BudgetStatus::Ok => {}
+        }
+        roots_out.push(RootReport {
+            root: spec.name,
+            budget: allotted,
+            reachable_fns: parent.len(),
+            sites,
+            status,
+        });
+    }
+
+    // Budget entries for roots that matched nothing are stale.
+    if let Some(b) = &budget {
+        for root in b.keys() {
+            if !budgeted_roots.contains(&root.as_str()) {
+                findings.push(budget_finding(
+                    format!(
+                        "stale entry `{root}` in xtask/panic.budget matches no root \
+                         with functions — remove it or run `--write-budget`"
+                    ),
+                    Severity::Error,
+                    Vec::new(),
+                ));
+            }
+        }
+    }
+
+    findings.extend(determinism::run(ws, g, &reach_witness));
+    findings.extend(dead_export::run(ws, g));
+    Analysis { findings, roots: roots_out }
+}
+
+fn budget_finding(message: String, severity: Severity, witness: Vec<WitnessStep>) -> Finding {
+    Finding {
+        rule: "panic-budget",
+        path: "xtask/panic.budget".to_string(),
+        line: 1,
+        key: String::new(),
+        message,
+        severity,
+        witness,
+    }
+}
+
+/// Seed nodes for one root: non-test functions of the root file matching
+/// its `RootFns` selector.
+fn seeds_for(ws: &Workspace, g: &Graph, spec: &RootSpec) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (ni, node) in g.nodes.iter().enumerate() {
+        if ws.files[node.file].path != spec.path {
+            continue;
+        }
+        let item = g.item(ws, ni);
+        if item.in_test {
+            continue;
+        }
+        let selected = match spec.fns {
+            RootFns::PubFns => item.is_pub,
+            RootFns::Named(names) => names.contains(&item.name.as_str()),
+        };
+        if selected {
+            out.push(ni);
+        }
+    }
+    out
+}
+
+/// Parse `xtask/panic.budget`: `#` comments and `root<TAB>count` lines.
+fn parse_budget(src: Option<&str>) -> (Option<BTreeMap<String, u64>>, Vec<String>) {
+    let Some(src) = src else {
+        return (
+            None,
+            vec!["xtask/panic.budget missing — generate it with \
+                 `cargo run -p uhscm-xtask -- lint --write-budget`"
+                .to_string()],
+        );
+    };
+    let mut map = BTreeMap::new();
+    let mut errors = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (root, count) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if parts.next().is_some() || root.trim().is_empty() {
+            errors.push(format!("xtask/panic.budget:{}: expected `root<TAB>count`", idx + 1));
+            continue;
+        }
+        match count.trim().parse::<u64>() {
+            Ok(n) => {
+                if map.insert(root.trim().to_string(), n).is_some() {
+                    errors.push(format!(
+                        "xtask/panic.budget:{}: duplicate root `{}`",
+                        idx + 1,
+                        root.trim()
+                    ));
+                }
+            }
+            Err(_) => errors.push(format!(
+                "xtask/panic.budget:{}: count `{}` is not a non-negative integer",
+                idx + 1,
+                count.trim()
+            )),
+        }
+    }
+    (Some(map), errors)
+}
+
+/// Render the budget file from a fresh analysis (for `--write-budget`).
+pub fn render_budget(roots: &[RootReport]) -> String {
+    let mut out = String::from(
+        "# uhscm panic budget — reachable panic sites per hot-path root.\n\
+         # Format: root<TAB>count. Checked against every `xtask lint` run;\n\
+         # growth fails the lint (fix the site or regenerate with\n\
+         # `cargo run -p uhscm-xtask -- lint --write-budget` and justify in the PR).\n",
+    );
+    for r in roots {
+        out.push_str(&format!("{}\t{}\n", r.root, r.sites.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Graph, Workspace};
+
+    /// A miniature hot path mirroring the real layout: `pipeline::run →
+    /// trainer::epoch → loss`, with one intrinsic panic site in `loss`.
+    fn fixture(extra_panic: bool) -> Vec<(String, String)> {
+        let trainer = format!(
+            "pub fn epoch(x: &[f64]) -> f64 {{ loss(x) }}\n\
+             fn loss(x: &[f64]) -> f64 {{ x[0] }}\n{}",
+            if extra_panic {
+                "pub fn diag(x: &[f64]) -> f64 { x.first().copied().unwrap() }\n"
+            } else {
+                ""
+            }
+        );
+        vec![
+            (
+                "crates/core/src/pipeline.rs".to_string(),
+                "pub fn run(x: &[f64]) -> f64 { crate::trainer::epoch(x) }\n".to_string(),
+            ),
+            ("crates/core/src/trainer.rs".to_string(), trainer),
+        ]
+    }
+
+    fn analyse(extra_panic: bool, budget: &str) -> Analysis {
+        let ws = Workspace::from_sources(&fixture(extra_panic));
+        let g = Graph::build(&ws);
+        run(&ws, &g, Some(budget))
+    }
+
+    #[test]
+    fn known_chain_has_correct_witness() {
+        // pipeline budget: the x[0] in loss is reachable via epoch.
+        let a = analyse(false, "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n");
+        assert!(
+            a.findings.iter().all(|f| f.severity != crate::rules::Severity::Error),
+            "{:?}",
+            a.findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+        let pipeline = a.roots.iter().find(|r| r.root == "uhscm_core::pipeline").unwrap();
+        assert_eq!(pipeline.status, BudgetStatus::Ok);
+        assert_eq!(pipeline.sites.len(), 1);
+        let site = &pipeline.sites[0];
+        assert_eq!(site.path, "crates/core/src/trainer.rs");
+        assert_eq!(site.fn_qualified, "uhscm_core::trainer::loss");
+        let chain: Vec<&str> = site.witness.iter().map(|w| w.qualified.as_str()).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "uhscm_core::pipeline::run",
+                "uhscm_core::trainer::epoch",
+                "uhscm_core::trainer::loss"
+            ]
+        );
+    }
+
+    #[test]
+    fn new_hot_path_panic_site_fails_the_budget() {
+        // Negative test: inject a fresh unwrap into the trainer fixture and
+        // keep the old budget — the trainer root must go over.
+        let a = analyse(true, "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n");
+        let over = a
+            .findings
+            .iter()
+            .find(|f| f.rule == "panic-budget" && f.message.contains("uhscm_core::trainer"))
+            .expect("expected an over-budget error for the trainer root");
+        assert_eq!(over.severity, crate::rules::Severity::Error);
+        assert!(!over.witness.is_empty(), "over-budget finding carries a witness chain");
+        let trainer = a.roots.iter().find(|r| r.root == "uhscm_core::trainer").unwrap();
+        assert_eq!(trainer.status, BudgetStatus::Over);
+        assert_eq!(trainer.sites.len(), 2);
+    }
+
+    #[test]
+    fn slack_budget_warns_missing_root_errors() {
+        let slack = analyse(false, "uhscm_core::pipeline\t5\nuhscm_core::trainer\t1\n");
+        assert!(slack.findings.iter().any(|f| f.rule == "panic-budget"
+            && f.severity == crate::rules::Severity::Warning
+            && f.message.contains("slack")));
+
+        let missing = analyse(false, "uhscm_core::trainer\t1\n");
+        assert!(missing.findings.iter().any(|f| f.rule == "panic-budget"
+            && f.severity == crate::rules::Severity::Error
+            && f.message.contains("no entry")));
+    }
+
+    #[test]
+    fn stale_budget_roots_error() {
+        let a = analyse(
+            false,
+            "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\nuhscm_eval::metrics\t0\n",
+        );
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| f.rule == "panic-budget" && f.message.contains("stale entry")));
+    }
+
+    #[test]
+    fn missing_budget_file_is_an_error() {
+        let ws = Workspace::from_sources(&fixture(false));
+        let g = Graph::build(&ws);
+        let a = run(&ws, &g, None);
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| f.rule == "panic-budget" && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn budget_roundtrips_through_render() {
+        let a = analyse(false, "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n");
+        let rendered = render_budget(&a.roots);
+        assert!(rendered.contains("uhscm_core::pipeline\t1"));
+        assert!(rendered.contains("uhscm_core::trainer\t1"));
+        let (parsed, errs) = parse_budget(Some(&rendered));
+        assert!(errs.is_empty());
+        assert_eq!(parsed.unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Panic-reachability: BFS over the call graph from hot-path roots.
+//!
+//! The walk is breadth-first over sorted adjacency lists, so the parent
+//! tree — and therefore every witness chain — is deterministic: each
+//! reachable function's witness is a shortest chain from a seed, with
+//! ties broken by node order (file path, then declaration order).
+
+use crate::callgraph::{Graph, Workspace};
+use crate::rules::WitnessStep;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Reachable set as `node → parent` (`None` for seeds). `#[cfg(test)]`
+/// functions are never entered: edges into test code exist in the graph
+/// (for dead-export liveness) but cannot carry hot-path reachability.
+pub fn reach(ws: &Workspace, g: &Graph, seeds: &[usize]) -> BTreeMap<usize, Option<usize>> {
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in seeds {
+        if parent.insert(s, None).is_none() {
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for e in &g.edges[n] {
+            if parent.contains_key(&e.callee) || g.item(ws, e.callee).in_test {
+                continue;
+            }
+            parent.insert(e.callee, Some(n));
+            queue.push_back(e.callee);
+        }
+    }
+    parent
+}
+
+/// Witness chain for `node`: seed first, `node` last. Lines are 1-based
+/// declaration lines of each function on the chain.
+pub fn witness(
+    ws: &Workspace,
+    g: &Graph,
+    parent: &BTreeMap<usize, Option<usize>>,
+    node: usize,
+) -> Vec<WitnessStep> {
+    let mut chain = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        let item = g.item(ws, n);
+        chain.push(WitnessStep {
+            qualified: g.nodes[n].qualified.clone(),
+            path: g.path(ws, n).to_string(),
+            line: item.line + 1,
+        });
+        cur = parent.get(&n).copied().flatten();
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Graph, Workspace};
+
+    #[test]
+    fn bfs_finds_shortest_witness() {
+        // Two paths to `sink`: direct (run → sink) and long (run → mid →
+        // sink). BFS must report the 2-hop witness.
+        let ws = Workspace::from_sources(&[(
+            "crates/a/src/lib.rs",
+            "pub fn run() { mid(); sink(); }\nfn mid() { sink(); }\nfn sink() {}\n",
+        )]);
+        let g = Graph::build(&ws);
+        let seed = g.nodes.iter().position(|n| n.qualified == "uhscm_a::run").unwrap();
+        let sink = g.nodes.iter().position(|n| n.qualified == "uhscm_a::sink").unwrap();
+        let parent = reach(&ws, &g, &[seed]);
+        let chain: Vec<String> =
+            witness(&ws, &g, &parent, sink).into_iter().map(|w| w.qualified).collect();
+        assert_eq!(chain, vec!["uhscm_a::run", "uhscm_a::sink"]);
+    }
+
+    #[test]
+    fn test_functions_are_not_entered() {
+        let ws = Workspace::from_sources(&[(
+            "crates/a/src/lib.rs",
+            "pub fn run() { helper(); }\nfn helper() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n",
+        )]);
+        let g = Graph::build(&ws);
+        let seed = g.nodes.iter().position(|n| n.qualified == "uhscm_a::run").unwrap();
+        let parent = reach(&ws, &g, &[seed]);
+        for &n in parent.keys() {
+            assert!(!g.item(&ws, n).in_test, "reached test fn {}", g.nodes[n].qualified);
+        }
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let ws = Workspace::from_sources(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\nfn b() { a(); }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let seed = g.nodes.iter().position(|n| n.qualified == "uhscm_a::a").unwrap();
+        let parent = reach(&ws, &g, &[seed]);
+        assert_eq!(parent.len(), 2);
+    }
+}

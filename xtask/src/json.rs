@@ -1,0 +1,207 @@
+//! Hand-rolled JSON rendering for `lint --json` (std-only, no serde).
+//!
+//! Schema `uhscm-lint/1`:
+//!
+//! ```text
+//! {
+//!   "schema": "uhscm-lint/1",
+//!   "files_scanned": N,
+//!   "analyses": ["panic-reachability", "determinism", "dead-export"],
+//!   "findings": [{rule, severity, path, line, message, allowed,
+//!                 witness: [{fn, path, line}]}],
+//!   "panic_budget": {
+//!     "budget_path": "xtask/panic.budget",
+//!     "roots": [{root, budget, reachable_fns, reachable_sites, status,
+//!                sites: [{kind, path, line, fn, witness: [...]}]}]
+//!   },
+//!   "summary": {findings, errors, warnings, allowlisted}
+//! }
+//! ```
+//!
+//! `findings[*].allowed` entries are baselined in `xtask/lint.allow`;
+//! `summary.errors` counts only non-allowed errors (the exit-code signal).
+
+use crate::analysis::RootReport;
+use crate::rules::{Finding, WitnessStep};
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn witness_json(witness: &[WitnessStep]) -> String {
+    let steps: Vec<String> = witness
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"fn\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                esc(&w.qualified),
+                esc(&w.path),
+                w.line
+            )
+        })
+        .collect();
+    format!("[{}]", steps.join(","))
+}
+
+/// Everything the report needs; `findings` carries an `allowed` flag per
+/// finding (true = covered by `xtask/lint.allow`).
+pub struct Report<'a> {
+    pub files_scanned: usize,
+    pub findings: &'a [(&'a Finding, bool)],
+    pub roots: &'a [RootReport],
+    pub errors: usize,
+    pub warnings: usize,
+    pub allowlisted: usize,
+}
+
+pub fn render(r: &Report) -> String {
+    let mut out = String::from("{\n  \"schema\": \"uhscm-lint/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str("  \"analyses\": [\"panic-reachability\", \"determinism\", \"dead-export\"],\n");
+
+    let findings: Vec<String> = r
+        .findings
+        .iter()
+        .map(|(f, allowed)| {
+            format!(
+                "    {{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\
+                 \"message\":\"{}\",\"allowed\":{},\"witness\":{}}}",
+                esc(f.rule),
+                f.severity.label(),
+                esc(&f.path),
+                f.line,
+                esc(&f.message),
+                allowed,
+                witness_json(&f.witness)
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"findings\": [\n{}\n  ],\n", findings.join(",\n")));
+
+    let roots: Vec<String> = r
+        .roots
+        .iter()
+        .map(|root| {
+            let sites: Vec<String> = root
+                .sites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "      {{\"kind\":\"{}\",\"path\":\"{}\",\"line\":{},\"fn\":\"{}\",\
+                         \"witness\":{}}}",
+                        s.kind.label(),
+                        esc(&s.path),
+                        s.line,
+                        esc(&s.fn_qualified),
+                        witness_json(&s.witness)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"root\":\"{}\",\"budget\":{},\"reachable_fns\":{},\
+                 \"reachable_sites\":{},\"status\":\"{}\",\"sites\":[\n{}\n    ]}}",
+                esc(root.root),
+                root.budget.map(|b| b.to_string()).unwrap_or_else(|| "null".to_string()),
+                root.reachable_fns,
+                root.sites.len(),
+                root.status.label(),
+                sites.join(",\n")
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"panic_budget\": {{\"budget_path\": \"xtask/panic.budget\", \"roots\": [\n{}\n  ]}},\n",
+        roots.join(",\n")
+    ));
+
+    out.push_str(&format!(
+        "  \"summary\": {{\"findings\": {}, \"errors\": {}, \"warnings\": {}, \"allowlisted\": {}}}\n}}\n",
+        r.findings.len(),
+        r.errors,
+        r.warnings,
+        r.allowlisted
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{BudgetStatus, RootReport, SiteReport};
+    use crate::parser::PanicKind;
+    use crate::rules::{Finding, Severity, WitnessStep};
+
+    #[test]
+    fn renders_escaped_valid_json() {
+        let finding = Finding {
+            rule: "no-unwrap",
+            path: "crates/a/src/lib.rs".to_string(),
+            line: 3,
+            message: "say \"no\"\tto unwrap\\panic".to_string(),
+            key: String::new(),
+            severity: Severity::Error,
+            witness: vec![WitnessStep {
+                qualified: "uhscm_a::f".to_string(),
+                path: "crates/a/src/lib.rs".to_string(),
+                line: 1,
+            }],
+        };
+        let roots = [RootReport {
+            root: "uhscm_core::pipeline",
+            budget: Some(2),
+            reachable_fns: 5,
+            sites: vec![SiteReport {
+                kind: PanicKind::Index,
+                path: "crates/a/src/lib.rs".to_string(),
+                line: 3,
+                fn_qualified: "uhscm_a::f".to_string(),
+                witness: Vec::new(),
+            }],
+            status: BudgetStatus::Ok,
+        }];
+        let out = render(&Report {
+            files_scanned: 7,
+            findings: &[(&finding, true)],
+            roots: &roots,
+            errors: 0,
+            warnings: 0,
+            allowlisted: 1,
+        });
+        assert!(out.contains("\"schema\": \"uhscm-lint/1\""));
+        assert!(out.contains("say \\\"no\\\"\\tto unwrap\\\\panic"));
+        assert!(out.contains("\"allowed\":true"));
+        assert!(out.contains("\"status\":\"ok\""));
+        assert!(out.contains("\"kind\":\"index\""));
+        // The obs trace parser is the reference JSON reader in this
+        // workspace; structural validity is asserted end-to-end in
+        // tests/lint_gate.rs. Here: balanced braces as a smoke check.
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn empty_findings_render_as_empty_array() {
+        let out = render(&Report {
+            files_scanned: 0,
+            findings: &[],
+            roots: &[],
+            errors: 0,
+            warnings: 0,
+            allowlisted: 0,
+        });
+        assert!(out.contains("\"findings\": [\n\n  ]"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+}

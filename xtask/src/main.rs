@@ -1,13 +1,17 @@
 //! `uhscm-xtask` — workspace automation, std-only.
 //!
 //! ```text
-//! cargo run -p uhscm-xtask -- lint                    # check, exit 1 on findings
+//! cargo run -p uhscm-xtask -- lint                    # check, exit 1 on errors
+//! cargo run -p uhscm-xtask -- lint --json             # machine-readable report
 //! cargo run -p uhscm-xtask -- lint --write-baseline   # regenerate xtask/lint.allow
+//! cargo run -p uhscm-xtask -- lint --write-budget     # regenerate xtask/panic.budget
 //! cargo run -p uhscm-xtask -- ci                      # fmt-check + lint + tier-1 tests
 //! ```
 //!
 //! The `lint` command scans every `.rs` file in the workspace (skipping
-//! `target/`) with textual rules tuned to this repo's invariants:
+//! `target/`) with two layers of checks:
+//!
+//! **Textual rules** on the masked source (see [`rules`]):
 //!
 //! * `no-unwrap`      — no `.unwrap()` / `.expect()` in non-test library code
 //! * `unseeded-rng`   — no `thread_rng` / `from_entropy` / `rand::random` anywhere
@@ -18,15 +22,30 @@
 //!   in library crates
 //! * `panics-doc`     — `pub fn`s that assert must document `# Panics`
 //!
+//! **Semantic passes** on the workspace call graph (see [`parser`],
+//! [`callgraph`], [`analysis`]):
+//!
+//! * `panic-budget`   — panic sites reachable from hot-path roots, checked
+//!   against `xtask/panic.budget`; growth fails, never allowlistable
+//! * `hash-iter`      — `HashMap`/`HashSet` iteration reachable from a root
+//! * `dead-export`    — `pub fn`s with no out-of-crate caller (warning)
+//!
 //! Accepted findings live in `xtask/lint.allow` with mandatory one-line
-//! justifications; stale entries fail the run. Diagnostics are
-//! rustc-style `file:line` so editors can jump to them.
+//! justifications; stale, duplicate or unknown-rule entries fail the run.
+//! Diagnostics are rustc-style `file:line` so editors can jump to them;
+//! `--json` emits the `uhscm-lint/1` report (schema in [`json`]) on stdout
+//! with diagnostics moved to stderr.
 //!
 //! The `ci` command chains the full tier-1 gate: `cargo fmt --check`, the
-//! lint above (in-process), `cargo build --release` and `cargo test`.
+//! lint above (in-process, writing `results/lint.json`), `cargo build
+//! --release` and `cargo test`.
 
 mod allowlist;
+mod analysis;
+mod callgraph;
+mod json;
 mod lexer;
+mod parser;
 mod rules;
 
 use std::path::{Path, PathBuf};
@@ -36,12 +55,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let write_baseline = args.iter().any(|a| a == "--write-baseline");
-            if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--write-baseline") {
+            let opts = LintOpts {
+                write_baseline: args.iter().any(|a| a == "--write-baseline"),
+                write_budget: args.iter().any(|a| a == "--write-budget"),
+                json_stdout: args.iter().any(|a| a == "--json"),
+                json_file: None,
+            };
+            let known = ["--write-baseline", "--write-budget", "--json"];
+            if let Some(bad) = args[1..].iter().find(|a| !known.contains(&a.as_str())) {
                 eprintln!("uhscm-xtask: unknown lint flag `{bad}`");
                 return usage();
             }
-            ExitCode::from(lint(write_baseline))
+            ExitCode::from(lint(&opts))
         }
         Some("ci") => {
             if let Some(bad) = args.get(1) {
@@ -56,21 +81,26 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p uhscm-xtask -- <lint [--write-baseline] | ci>\n\
+        "usage: cargo run -p uhscm-xtask -- <lint [flags] | ci>\n\
          \n\
          commands:\n\
-         \x20 lint                  scan workspace sources; exit 1 on findings\n\
+         \x20 lint                  scan workspace sources; exit 1 on errors\n\
+         \x20 lint --json           print the uhscm-lint/1 JSON report on stdout\n\
+         \x20                       (diagnostics go to stderr)\n\
          \x20 lint --write-baseline rewrite xtask/lint.allow from current findings,\n\
          \x20                       keeping existing justifications\n\
-         \x20 ci                    fmt-check + lint + release build + tests\n\
-         \x20                       (the full tier-1 gate, for scripts and CI)"
+         \x20 lint --write-budget   rewrite xtask/panic.budget from the current\n\
+         \x20                       panic-reachability counts\n\
+         \x20 ci                    fmt-check + lint (writes results/lint.json) +\n\
+         \x20                       release build + tests (the full tier-1 gate)"
     );
     ExitCode::from(2)
 }
 
-/// The chained tier-1 gate: rustfmt check, the in-process linter, then the
-/// ROADMAP's verify commands (`cargo build --release && cargo test`).
-/// Stops at the first failing step.
+/// The chained tier-1 gate: rustfmt check, the in-process linter (which
+/// also writes `results/lint.json`), then the ROADMAP's verify commands
+/// (`cargo build --release && cargo test`). Stops at the first failing
+/// step.
 fn ci() -> ExitCode {
     let root = workspace_root();
     println!("ci [1/4]: cargo fmt --all -- --check");
@@ -82,8 +112,14 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [2/4]: lint");
-    let lint_code = lint(false);
+    println!("ci [2/4]: lint (report: results/lint.json)");
+    let opts = LintOpts {
+        write_baseline: false,
+        write_budget: false,
+        json_stdout: false,
+        json_file: Some(root.join("results/lint.json")),
+    };
+    let lint_code = lint(&opts);
     if lint_code != 0 {
         return ExitCode::from(lint_code);
     }
@@ -130,29 +166,74 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+struct LintOpts {
+    write_baseline: bool,
+    write_budget: bool,
+    /// Print the JSON report on stdout; diagnostics move to stderr.
+    json_stdout: bool,
+    /// Also write the JSON report here (used by `ci`).
+    json_file: Option<PathBuf>,
+}
+
 /// Run the linter; returns the process exit code (0 = clean).
-fn lint(write_baseline: bool) -> u8 {
+fn lint(opts: &LintOpts) -> u8 {
     let root = workspace_root();
     let mut files = Vec::new();
     collect_rs(&root, &root, &mut files);
     files.sort();
 
-    let mut findings = Vec::new();
+    // Diagnostics go to stderr when stdout carries the JSON report.
+    macro_rules! diag {
+        ($($arg:tt)*) => {
+            if opts.json_stdout { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
+
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in &files {
-        let src = match std::fs::read_to_string(root.join(rel)) {
-            Ok(s) => s,
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => sources.push((rel.clone(), s)),
             Err(e) => {
                 eprintln!("uhscm-xtask: cannot read {rel}: {e}");
                 return 2;
             }
-        };
-        findings.extend(rules::check_file(rel, &lexer::scan(&src)));
+        }
     }
+
+    // Layer 1: textual rules.
+    let mut findings = Vec::new();
+    let ws = callgraph::Workspace::from_sources(&sources);
+    for file in &ws.files {
+        findings.extend(rules::check_file(&file.path, &file.masked));
+    }
+
+    // Layer 2: semantic passes over the call graph.
+    let graph = callgraph::Graph::build(&ws);
+    let budget_path = root.join("xtask/panic.budget");
+    let budget_src = std::fs::read_to_string(&budget_path).ok();
+    let analysis = analysis::run(&ws, &graph, budget_src.as_deref());
+
+    if opts.write_budget {
+        let rendered = analysis::render_budget(&analysis.roots);
+        if let Err(e) = std::fs::write(&budget_path, rendered) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", budget_path.display());
+            return 2;
+        }
+        diag!(
+            "wrote {} ({} roots, {} reachable panic sites)",
+            budget_path.display(),
+            analysis.roots.len(),
+            analysis.roots.iter().map(|r| r.sites.len()).sum::<usize>()
+        );
+        return 0;
+    }
+
+    findings.extend(analysis.findings);
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
     let allow_path = root.join("xtask/lint.allow");
     let allow_src = std::fs::read_to_string(&allow_path).unwrap_or_default();
-    let allow = match allowlist::Allowlist::parse(&allow_src) {
+    let allow = match allowlist::Allowlist::parse(&allow_src, rules::ALL_RULES) {
         Ok(a) => a,
         Err(errors) => {
             for e in errors {
@@ -162,8 +243,12 @@ fn lint(write_baseline: bool) -> u8 {
         }
     };
 
-    if write_baseline {
-        let rendered = allowlist::render(&findings, &allow);
+    if opts.write_baseline {
+        // Budget findings are never allowlistable — keep them out of the
+        // baseline (they are fixed or re-baselined via --write-budget).
+        let baselinable: Vec<rules::Finding> =
+            findings.into_iter().filter(|f| f.rule != "panic-budget").collect();
+        let rendered = allowlist::render(&baselinable, &allow);
         if let Err(e) = std::fs::write(&allow_path, rendered) {
             eprintln!("uhscm-xtask: cannot write {}: {e}", allow_path.display());
             return 2;
@@ -171,36 +256,71 @@ fn lint(write_baseline: bool) -> u8 {
         println!(
             "wrote {} ({} findings baselined over {} files)",
             allow_path.display(),
-            findings.len(),
+            baselinable.len(),
             files.len()
         );
         return 0;
     }
 
     let mut failures = 0usize;
+    let mut warnings = 0usize;
     let mut allowed = 0usize;
+    let mut classified: Vec<(&rules::Finding, bool)> = Vec::new();
     for f in &findings {
-        if allow.covers(f) {
+        let is_allowed = f.rule != "panic-budget" && allow.covers(f);
+        classified.push((f, is_allowed));
+        if is_allowed {
             allowed += 1;
-        } else {
-            failures += 1;
-            println!("{}:{}: error[{}]: {}", f.path, f.line, f.rule, f.message);
+            continue;
+        }
+        diag!("{}:{}: {}[{}]: {}", f.path, f.line, f.severity.label(), f.rule, f.message);
+        for (i, step) in f.witness.iter().enumerate() {
+            diag!("    {}{} ({}:{})", "  ".repeat(i), step.qualified, step.path, step.line);
+        }
+        match f.severity {
+            rules::Severity::Error => failures += 1,
+            rules::Severity::Warning => warnings += 1,
         }
     }
     for e in allow.stale() {
         failures += 1;
-        println!(
+        diag!(
             "xtask/lint.allow:{}: error[stale-allow]: entry for `{}` in {} no longer \
              matches any finding — remove it (was: {})",
-            e.allow_line, e.rule, e.path, e.key
+            e.allow_line,
+            e.rule,
+            e.path,
+            e.key
         );
     }
 
-    println!(
-        "uhscm-xtask lint: {} files scanned, {} findings ({} allowlisted, {} errors)",
+    let report = json::render(&json::Report {
+        files_scanned: files.len(),
+        findings: &classified,
+        roots: &analysis.roots,
+        errors: failures,
+        warnings,
+        allowlisted: allowed,
+    });
+    if opts.json_stdout {
+        print!("{report}");
+    }
+    if let Some(path) = &opts.json_file {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+
+    diag!(
+        "uhscm-xtask lint: {} files scanned, {} findings ({} allowlisted, {} warnings, {} errors)",
         files.len(),
         findings.len(),
         allowed,
+        warnings,
         failures
     );
     if failures > 0 {

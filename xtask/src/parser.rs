@@ -1,0 +1,1046 @@
+//! A lightweight Rust item parser on top of the masking lexer.
+//!
+//! The semantic passes (see [`crate::analysis`]) need more than masked
+//! lines: they need to know which functions exist, what each one calls,
+//! and where its intrinsic panic sites are. This module extracts exactly
+//! that — no types, no full grammar — from the token stream of a masked
+//! file:
+//!
+//! * `fn` items with their inline-module path, enclosing `impl` type,
+//!   visibility and `#[cfg(test)]` status;
+//! * call expressions (`foo(`, `a::b::foo(`, `Self::foo(`), method calls
+//!   (`.foo(`, turbofish included) and macro invocations (`foo!(`);
+//! * `use` imports, flattened to `(bound name, full path)` pairs;
+//! * intrinsic **panic sites**: `.unwrap()` / `.expect(`, panicking
+//!   macros, slice/collection indexing `x[..]`, and integer `/` / `%`
+//!   with a non-literal divisor;
+//! * `HashMap`/`HashSet` bindings (fields and `let`s) plus iteration
+//!   calls over them, for the determinism audit.
+//!
+//! Known over-approximations are deliberate (DESIGN.md §11): a closure's
+//! body is attributed to its enclosing function, any `[` after a value
+//! token counts as indexing, and call resolution is left entirely to
+//! [`crate::callgraph`].
+
+use crate::lexer::MaskedFile;
+use crate::rules;
+use std::collections::BTreeSet;
+
+/// One lexical token of the masked source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Numeric literal (integer or float, suffix included).
+    Num(String),
+    /// The path separator `::`.
+    ColonColon,
+    Punct(char),
+}
+
+/// A token plus its position (0-based line, byte column in the line).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Why a line can panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanicKind {
+    /// `.unwrap()` on Option/Result.
+    Unwrap,
+    /// `.expect(..)` on Option/Result.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `assert!` / `assert_eq!` / `assert_ne!`.
+    Assert,
+    /// Indexing `x[..]` (slice, Vec, Matrix, map — all can panic).
+    Index,
+    /// Integer `/` or `%` with a divisor not proven non-zero.
+    IntDiv,
+}
+
+impl PanicKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::PanicMacro => "panic-macro",
+            PanicKind::Assert => "assert",
+            PanicKind::Index => "index",
+            PanicKind::IntDiv => "int-div",
+        }
+    }
+}
+
+/// An intrinsic panic site inside one function body (0-based line).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub kind: PanicKind,
+    pub line: usize,
+}
+
+/// A call expression: path segments (`["a", "b", "f"]` for `a::b::f(..)`,
+/// one segment for `f(..)` or `.f(..)`) and the 0-based line.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub segments: Vec<String>,
+    pub line: usize,
+}
+
+/// Iteration over a `HashMap`/`HashSet` binding (determinism audit input).
+#[derive(Debug, Clone)]
+pub struct HashIter {
+    pub binding: String,
+    /// `iter` / `keys` / `values` / `into_iter` / `drain` / `for-in`.
+    pub method: String,
+    pub line: usize,
+}
+
+/// One `fn` item and everything extracted from its body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Inline `mod` path within the file (file-level modules are derived
+    /// from the path by the call graph).
+    pub module: Vec<String>,
+    /// `Some(type)` when declared inside `impl Type` / `impl Trait for Type`.
+    pub impl_type: Option<String>,
+    /// Whether the enclosing impl is a trait impl (`impl T for U`).
+    pub trait_impl: bool,
+    pub is_pub: bool,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    pub in_test: bool,
+    /// Free/path calls (`f(`, `a::f(`).
+    pub calls: Vec<Call>,
+    /// Method calls (`.f(`), single-segment.
+    pub method_calls: Vec<Call>,
+    /// Macro invocations (`f!(..)`), single-segment.
+    pub macros: Vec<Call>,
+    pub panic_sites: Vec<PanicSite>,
+    pub hash_iters: Vec<HashIter>,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// `use` imports as `(bound name, full segment path)`.
+    pub uses: Vec<(String, Vec<String>)>,
+    pub fns: Vec<FnItem>,
+    /// Names bound to a `HashMap`/`HashSet` (struct fields and lets).
+    pub hash_bindings: BTreeSet<String>,
+}
+
+/// Tokenize masked lines. Strings/comments are already blanked, so only
+/// code tokens survive; lifetimes and masked literals are skipped.
+pub fn tokenize(masked_lines: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in masked_lines.iter().enumerate() {
+        let bytes = line.as_bytes();
+        let chars: Vec<char> = line.chars().collect();
+        // The masked text is ASCII wherever it matters (non-ASCII source
+        // chars are either masked or identifiers we can treat bytewise);
+        // iterate chars but track byte columns for operand extraction.
+        let mut byte_of = Vec::with_capacity(chars.len() + 1);
+        {
+            let mut b = 0;
+            for c in &chars {
+                byte_of.push(b);
+                b += c.len_utf8();
+            }
+            byte_of.push(bytes.len());
+        }
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let col = byte_of[i];
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                out.push(Token { tok: Tok::Ident(ident), line: lineno, col });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: `.` followed by a digit (not `..` or a
+                // method call on a literal).
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                let num: String = chars[start..i].iter().collect();
+                out.push(Token { tok: Tok::Num(num), line: lineno, col });
+            } else if c == '\'' {
+                // Lifetime (`'a`) or a masked char literal (`' '`): skip.
+                if i + 1 < chars.len() && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    // Masked char literal: skip to the closing quote.
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(chars.len());
+                }
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                out.push(Token { tok: Tok::ColonColon, line: lineno, col });
+                i += 2;
+            } else {
+                out.push(Token { tok: Tok::Punct(c), line: lineno, col });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "as", "move",
+    "ref", "mut", "let", "else", "fn", "impl", "struct", "enum", "trait", "type", "use", "mod",
+    "pub", "where", "unsafe", "async", "await", "dyn", "const", "static", "true", "false", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+const ITER_METHODS: &[&str] = &["iter", "keys", "values", "into_iter", "drain", "iter_mut"];
+
+enum ScopeKind {
+    Mod,
+    Impl,
+    Fn,
+    Other,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *before* the opening `{`; the scope pops when depth
+    /// returns to this value.
+    open_depth: i64,
+}
+
+enum Pending {
+    Mod(String),
+    Impl { type_name: String, trait_impl: bool },
+    Fn { name: String, is_pub: bool, line: usize },
+}
+
+/// Parse one masked file into items, calls and panic sites.
+pub fn parse(file: &MaskedFile) -> ParsedFile {
+    let toks = tokenize(&file.masked_lines);
+    let mut out = ParsedFile::default();
+    // Raw hash-iteration candidates; filtered against `hash_bindings`
+    // once the whole file has been scanned (fields may be declared after
+    // the methods that iterate them).
+    let mut raw_iters: Vec<(usize, HashIter)> = Vec::new(); // (fn index, site)
+
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut mod_path: Vec<String> = Vec::new();
+    let mut impl_ctx: Vec<(String, bool)> = Vec::new();
+    let mut fn_stack: Vec<usize> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut depth = 0i64;
+    let mut paren_depth = 0i64;
+
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Punct('(') => paren_depth += 1,
+            Tok::Punct(')') => paren_depth -= 1,
+            Tok::Punct('{') => {
+                let kind = match pending.take() {
+                    Some(Pending::Mod(name)) => {
+                        mod_path.push(name);
+                        ScopeKind::Mod
+                    }
+                    Some(Pending::Impl { type_name, trait_impl }) => {
+                        impl_ctx.push((type_name, trait_impl));
+                        ScopeKind::Impl
+                    }
+                    Some(Pending::Fn { name, is_pub, line }) => {
+                        let (impl_type, trait_impl) = match impl_ctx.last() {
+                            Some((ty, tr)) => (Some(ty.clone()), *tr),
+                            None => (None, false),
+                        };
+                        out.fns.push(FnItem {
+                            name,
+                            module: mod_path.clone(),
+                            impl_type,
+                            trait_impl,
+                            is_pub,
+                            line,
+                            in_test: file.in_test_region(line),
+                            calls: Vec::new(),
+                            method_calls: Vec::new(),
+                            macros: Vec::new(),
+                            panic_sites: Vec::new(),
+                            hash_iters: Vec::new(),
+                        });
+                        fn_stack.push(out.fns.len() - 1);
+                        ScopeKind::Fn
+                    }
+                    None => ScopeKind::Other,
+                };
+                scopes.push(Scope { kind, open_depth: depth });
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                while scopes.last().is_some_and(|s| s.open_depth == depth) {
+                    match scopes.pop().map(|s| s.kind) {
+                        Some(ScopeKind::Mod) => {
+                            mod_path.pop();
+                        }
+                        Some(ScopeKind::Impl) => {
+                            impl_ctx.pop();
+                        }
+                        Some(ScopeKind::Fn) => {
+                            fn_stack.pop();
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Tok::Punct(';') => {
+                // A `;` before any body means the pending item was
+                // braceless (trait method decl, `mod x;`).
+                pending = None;
+            }
+            Tok::Ident(name) => {
+                let in_sig = pending.is_some();
+                match name.as_str() {
+                    "use" if pending.is_none() => {
+                        i = parse_use(&toks, i + 1, &mut out.uses);
+                        continue;
+                    }
+                    "mod" if pending.is_none() && paren_depth == 0 => {
+                        if let Some(m) = ident(i + 1) {
+                            if punct(i + 2, '{') {
+                                pending = Some(Pending::Mod(m.to_string()));
+                            }
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    "impl" if pending.is_none() && paren_depth == 0 => {
+                        if let Some((p, next)) = parse_impl_header(&toks, i + 1) {
+                            pending = Some(p);
+                            i = next;
+                            continue;
+                        }
+                    }
+                    "fn" if pending.is_none() => {
+                        if let Some(fname) = ident(i + 1) {
+                            let is_pub = pub_before(&toks, i);
+                            pending =
+                                Some(Pending::Fn { name: fname.to_string(), is_pub, line: t.line });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    // Bindings are collected even in signatures (`set:
+                    // HashSet<u32>` parameters) and struct bodies.
+                    "HashMap" | "HashSet" => {
+                        if let Some(binding) = binding_before(&toks, i) {
+                            out.hash_bindings.insert(binding);
+                        }
+                    }
+                    _ => {}
+                }
+                // Body-level extraction: calls, macros, iteration sites.
+                if !in_sig && !fn_stack.is_empty() && !KEYWORDS.contains(&name.as_str()) {
+                    let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                    let after = skip_turbofish(&toks, i + 1);
+                    let is_method = i > 0 && matches!(toks[i - 1].tok, Tok::Punct('.'));
+                    if punct(after, '(') {
+                        if is_method {
+                            record_method_call(
+                                &toks,
+                                i,
+                                name,
+                                t.line,
+                                &mut out.fns[fi],
+                                fi,
+                                &mut raw_iters,
+                            );
+                        } else {
+                            let segments = path_back(&toks, i);
+                            out.fns[fi].calls.push(Call { segments, line: t.line });
+                        }
+                    } else if punct(i + 1, '!')
+                        && (punct(i + 2, '(') || punct(i + 2, '[') || punct(i + 2, '{'))
+                    {
+                        out.fns[fi]
+                            .macros
+                            .push(Call { segments: vec![name.clone()], line: t.line });
+                        if PANIC_MACROS.contains(&name.as_str()) {
+                            out.fns[fi]
+                                .panic_sites
+                                .push(PanicSite { kind: PanicKind::PanicMacro, line: t.line });
+                        } else if ASSERT_MACROS.contains(&name.as_str()) {
+                            out.fns[fi]
+                                .panic_sites
+                                .push(PanicSite { kind: PanicKind::Assert, line: t.line });
+                        }
+                    }
+                }
+                // `for pat in <binding> {` iteration (hash determinism).
+                if !in_sig && !fn_stack.is_empty() && name == "in" {
+                    if let Some((binding, line)) = for_in_target(&toks, i) {
+                        let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                        raw_iters
+                            .push((fi, HashIter { binding, method: "for-in".to_string(), line }));
+                    }
+                }
+            }
+            Tok::Punct('[') if pending.is_none() && !fn_stack.is_empty() => {
+                // Indexing: `[` directly after a value token. Attributes
+                // (`#[..]`) and literals (`= [..]`, `&[..]`, `vec![..]`)
+                // have a non-value token before and are skipped.
+                if i > 0
+                    && matches!(
+                        toks[i - 1].tok,
+                        Tok::Ident(_) | Tok::Num(_) | Tok::Punct(')') | Tok::Punct(']')
+                    )
+                {
+                    // Exclude `ident[` where ident is a keyword-ish token
+                    // (e.g. `return [..]`).
+                    let prev_kw =
+                        matches!(&toks[i - 1].tok, Tok::Ident(s) if KEYWORDS.contains(&s.as_str()));
+                    if !prev_kw {
+                        let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                        out.fns[fi]
+                            .panic_sites
+                            .push(PanicSite { kind: PanicKind::Index, line: t.line });
+                    }
+                }
+            }
+            Tok::Punct(op @ ('/' | '%')) if pending.is_none() && !fn_stack.is_empty() => {
+                let _ = op;
+                if let Some(site) = int_div_site(&toks, i, file) {
+                    let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                    out.fns[fi].panic_sites.push(site);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Keep only iteration sites whose receiver is a known hash binding.
+    for (fi, site) in raw_iters {
+        if out.hash_bindings.contains(&site.binding) {
+            out.fns[fi].hash_iters.push(site);
+        }
+    }
+    out
+}
+
+/// Record a `.name(` method call plus, when applicable, its panic or
+/// hash-iteration consequences.
+fn record_method_call(
+    toks: &[Token],
+    i: usize,
+    name: &str,
+    line: usize,
+    item: &mut FnItem,
+    fi: usize,
+    raw_iters: &mut Vec<(usize, HashIter)>,
+) {
+    item.method_calls.push(Call { segments: vec![name.to_string()], line });
+    match name {
+        "unwrap" => item.panic_sites.push(PanicSite { kind: PanicKind::Unwrap, line }),
+        "expect" => item.panic_sites.push(PanicSite { kind: PanicKind::Expect, line }),
+        _ => {}
+    }
+    if ITER_METHODS.contains(&name) {
+        // Receiver: `recv.iter(` — the identifier before the dot.
+        if i >= 2 {
+            if let Tok::Ident(recv) = &toks[i - 2].tok {
+                raw_iters
+                    .push((fi, HashIter { binding: recv.clone(), method: name.to_string(), line }));
+            }
+        }
+    }
+}
+
+/// `for pat in [&][mut] binding {` — returns the binding iterated over
+/// when the loop consumes a bare identifier (the hash-iteration case).
+fn for_in_target(toks: &[Token], in_idx: usize) -> Option<(String, usize)> {
+    // Confirm this `in` belongs to a `for` loop: scan back a few tokens
+    // for the `for` keyword (patterns are short).
+    let lo = in_idx.saturating_sub(8);
+    let is_for = toks[lo..in_idx].iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "for"));
+    if !is_for {
+        return None;
+    }
+    let mut j = in_idx + 1;
+    while matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('&')))
+        || matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "mut")
+    {
+        j += 1;
+    }
+    match (toks.get(j).map(|t| &t.tok), toks.get(j + 1).map(|t| &t.tok)) {
+        (Some(Tok::Ident(name)), Some(Tok::Punct('{'))) => Some((name.clone(), toks[j].line)),
+        _ => None,
+    }
+}
+
+/// Integer-division panic site at token `i` (a `/` or `%`), or `None`
+/// when the expression is float arithmetic or a non-zero literal divisor.
+fn int_div_site(toks: &[Token], i: usize, file: &MaskedFile) -> Option<PanicSite> {
+    // The operator must follow a value token (rules out `&/`-style noise,
+    // paths, and the lexer never leaves comment slashes in masked text).
+    if i == 0
+        || !matches!(
+            toks[i - 1].tok,
+            Tok::Ident(_) | Tok::Num(_) | Tok::Punct(')') | Tok::Punct(']')
+        )
+    {
+        return None;
+    }
+    if let Tok::Num(n) = &toks[i - 1].tok {
+        if is_float_literal(n) {
+            return None;
+        }
+    }
+    // Skip the `=` of a compound `/=` / `%=`.
+    let mut j = i + 1;
+    if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('='))) {
+        j += 1;
+    }
+    match toks.get(j).map(|t| &t.tok) {
+        Some(Tok::Num(n)) => {
+            if is_float_literal(n) || literal_value_nonzero(n) {
+                return None;
+            }
+            Some(PanicSite { kind: PanicKind::IntDiv, line: toks[i].line })
+        }
+        Some(_) => {
+            // Non-literal divisor: float division never panics, so look
+            // for float evidence (`f64`/`f32` idents, float literals) in a
+            // bounded token window around the operator — this sees through
+            // parentheses (`f64::from(h) / (p + 1) as f64`) that the
+            // line-level operand check below cannot cross.
+            if float_in_window(toks, i) {
+                return None;
+            }
+            let line_text = file.masked_lines.get(toks[i].line).map(String::as_str).unwrap_or("");
+            let col = toks[i].col.min(line_text.len());
+            let before = rules::operand_before(line_text, col);
+            let after = rules::operand_after(line_text, (col + 1).min(line_text.len()));
+            if rules::looks_float(&before) || rules::looks_float(&after) {
+                None
+            } else {
+                Some(PanicSite { kind: PanicKind::IntDiv, line: toks[i].line })
+            }
+        }
+        None => None,
+    }
+}
+
+/// Float evidence (an `f64`/`f32` ident or a float literal) within a few
+/// tokens on either side of the operator at `i`, bounded by statement
+/// punctuation.
+fn float_in_window(toks: &[Token], i: usize) -> bool {
+    let is_float_tok = |t: &Tok| match t {
+        Tok::Ident(s) => s == "f64" || s == "f32",
+        Tok::Num(n) => is_float_literal(n),
+        _ => false,
+    };
+    let stop = |t: &Tok| {
+        matches!(t, Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(','))
+    };
+    for j in (i.saturating_sub(8)..i).rev() {
+        if stop(&toks[j].tok) {
+            break;
+        }
+        if is_float_tok(&toks[j].tok) {
+            return true;
+        }
+    }
+    for t in toks.iter().skip(i + 1).take(8) {
+        if stop(&t.tok) {
+            break;
+        }
+        if is_float_tok(&t.tok) {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_float_literal(n: &str) -> bool {
+    n.contains('.') || n.ends_with("f32") || n.ends_with("f64")
+}
+
+/// Whether an integer literal is provably non-zero (`0`, `0x0`, `0_0`
+/// style zeros return false).
+fn literal_value_nonzero(n: &str) -> bool {
+    let digits: String = n.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    let body = digits
+        .trim_start_matches("0x")
+        .trim_start_matches("0o")
+        .trim_start_matches("0b")
+        .replace('_', "");
+    body.chars().take_while(|c| c.is_ascii_hexdigit()).any(|c| c != '0')
+}
+
+/// Skip a turbofish (`::<..>`) after a call/method name; returns the index
+/// of the token expected to be `(`.
+fn skip_turbofish(toks: &[Token], mut i: usize) -> usize {
+    if !matches!(toks.get(i).map(|t| &t.tok), Some(Tok::ColonColon)) {
+        return i;
+    }
+    if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        return i;
+    }
+    i += 1; // at '<'
+    let mut angle = 0i64;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                // `->` inside a fn-type parameter: the '-' precedes.
+                let arrow = i > 0 && matches!(toks[i - 1].tok, Tok::Punct('-'));
+                if !arrow {
+                    angle -= 1;
+                    if angle == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Walk a `::`-separated path backwards from the final segment at `i`.
+fn path_back(toks: &[Token], i: usize) -> Vec<String> {
+    let mut segs = vec![match &toks[i].tok {
+        Tok::Ident(s) => s.clone(),
+        _ => String::new(),
+    }];
+    let mut j = i;
+    while j >= 2
+        && matches!(toks[j - 1].tok, Tok::ColonColon)
+        && matches!(toks[j - 2].tok, Tok::Ident(_))
+    {
+        if let Tok::Ident(s) = &toks[j - 2].tok {
+            segs.insert(0, s.clone());
+        }
+        j -= 2;
+    }
+    segs
+}
+
+/// Whether the tokens just before a `fn` keyword include an unrestricted
+/// `pub`. The scan stops at statement/item boundaries.
+fn pub_before(toks: &[Token], fn_idx: usize) -> bool {
+    let lo = fn_idx.saturating_sub(6);
+    for j in (lo..fn_idx).rev() {
+        match &toks[j].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(',') => return false,
+            Tok::Ident(s) if s == "pub" => {
+                // `pub(crate)` / `pub(super)` are not public API.
+                return !matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Parse an `impl` header from just after the keyword; returns the pending
+/// scope and the index of the opening `{` (where the caller resumes).
+fn parse_impl_header(toks: &[Token], mut i: usize) -> Option<(Pending, usize)> {
+    // Skip `impl<..>` generics.
+    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        let mut angle = 0i64;
+        while i < toks.len() {
+            match toks[i].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => {
+                    let arrow = i > 0 && matches!(toks[i - 1].tok, Tok::Punct('-'));
+                    if !arrow {
+                        angle -= 1;
+                        if angle == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Collect identifiers up to the body `{`; `for` splits trait vs type.
+    let mut idents: Vec<&str> = Vec::new();
+    let mut for_at: Option<usize> = None;
+    let mut angle = 0i64;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') if angle == 0 => {
+                let (type_name, trait_impl) = match for_at {
+                    Some(f) => (idents.get(f + 1).copied(), true),
+                    None => (idents.first().copied(), false),
+                };
+                return type_name
+                    .map(|ty| (Pending::Impl { type_name: ty.to_string(), trait_impl }, i));
+            }
+            Tok::Punct(';') => return None, // `impl Trait for Type;`-style oddity
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                let arrow = i > 0 && matches!(toks[i - 1].tok, Tok::Punct('-'));
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            Tok::Ident(s) if s == "for" && angle == 0 => {
+                idents.push("for");
+                for_at = Some(idents.len() - 1);
+            }
+            Tok::Ident(s) if angle == 0 => idents.push(s),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse a `use` tree starting after the `use` keyword; appends flattened
+/// `(bound name, path)` leaves and returns the index just past the `;`.
+fn parse_use(toks: &[Token], start: usize, out: &mut Vec<(String, Vec<String>)>) -> usize {
+    fn tree(
+        toks: &[Token],
+        mut i: usize,
+        prefix: &[String],
+        out: &mut Vec<(String, Vec<String>)>,
+    ) -> usize {
+        let mut path = prefix.to_vec();
+        loop {
+            match toks.get(i).map(|t| &t.tok) {
+                Some(Tok::Ident(s)) if s == "as" => {
+                    // Alias: bind under the new name.
+                    if let Some(Tok::Ident(alias)) = toks.get(i + 1).map(|t| &t.tok) {
+                        out.push((alias.clone(), path.clone()));
+                        return i + 2;
+                    }
+                    return i + 1;
+                }
+                Some(Tok::Ident(s)) => {
+                    if s == "self" {
+                        if let Some(last) = path.last().cloned() {
+                            out.push((last, path.clone()));
+                        }
+                    } else {
+                        path.push(s.clone());
+                    }
+                    i += 1;
+                }
+                Some(Tok::ColonColon) => {
+                    i += 1;
+                    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('{'))) {
+                        // Group: recurse per comma-separated subtree.
+                        i += 1;
+                        loop {
+                            i = tree(toks, i, &path, out);
+                            match toks.get(i).map(|t| &t.tok) {
+                                Some(Tok::Punct(',')) => i += 1,
+                                Some(Tok::Punct('}')) => return i + 1,
+                                _ => return i,
+                            }
+                        }
+                    }
+                }
+                Some(Tok::Punct('*')) => return i + 1, // glob: nothing bound
+                _ => {
+                    // Leaf ends (`,`, `}`, `;`): bind the final segment.
+                    if path.len() > prefix.len() {
+                        if let Some(last) = path.last().cloned() {
+                            out.push((last, path.clone()));
+                        }
+                    }
+                    return i;
+                }
+            }
+        }
+    }
+    let mut i = tree(toks, start, &[], out);
+    while i < toks.len() && !matches!(toks[i].tok, Tok::Punct(';')) {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Find the name a `HashMap`/`HashSet` type annotates: walks back over the
+/// path prefix (`std::collections::`) to a `name:` field/let annotation,
+/// or back from `= HashMap::new()` to a `let name =` binding.
+fn binding_before(toks: &[Token], mut i: usize) -> Option<String> {
+    // Hop over `std::collections::` style prefixes.
+    while i >= 2
+        && matches!(toks[i - 1].tok, Tok::ColonColon)
+        && matches!(toks[i - 2].tok, Tok::Ident(_))
+    {
+        i -= 2;
+    }
+    match toks.get(i.checked_sub(1)?).map(|t| &t.tok) {
+        Some(Tok::Punct(':')) => match toks.get(i.checked_sub(2)?).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => Some(name.clone()),
+            _ => None,
+        },
+        _ => {
+            // `let [mut] name = HashMap::new()` / `... = HashSet::new()`.
+            let lo = i.saturating_sub(8);
+            for j in (lo..i).rev() {
+                match &toks[j].tok {
+                    Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return None,
+                    Tok::Ident(s) if s == "let" => {
+                        let mut k = j + 1;
+                        if matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "mut")
+                        {
+                            k += 1;
+                        }
+                        return match toks.get(k).map(|t| &t.tok) {
+                            Some(Tok::Ident(name)) => Some(name.clone()),
+                            _ => None,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&scan(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fn `{name}`"))
+    }
+
+    #[test]
+    fn extracts_free_and_nested_fns() {
+        let p = parse_src("fn outer() { fn inner() { helper(); } inner(); }\nfn helper() {}\n");
+        assert_eq!(p.fns.len(), 3);
+        let outer = fn_named(&p, "outer");
+        // `inner()` call is attributed to outer; `helper()` to inner.
+        assert!(outer.calls.iter().any(|c| c.segments == ["inner"]));
+        assert!(fn_named(&p, "inner").calls.iter().any(|c| c.segments == ["helper"]));
+    }
+
+    #[test]
+    fn methods_carry_impl_type_and_trait_flag() {
+        let src = "struct S;\nimpl S { pub fn m(&self) {} }\nimpl Clone for S { fn clone(&self) -> S { S } }\n";
+        let p = parse_src(src);
+        let m = fn_named(&p, "m");
+        assert_eq!(m.impl_type.as_deref(), Some("S"));
+        assert!(!m.trait_impl);
+        assert!(m.is_pub);
+        let c = fn_named(&p, "clone");
+        assert_eq!(c.impl_type.as_deref(), Some("S"));
+        assert!(c.trait_impl);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_type() {
+        let p = parse_src("impl<'a, T: Send> Foo<'a, T> { fn g(&self) {} }\n");
+        assert_eq!(fn_named(&p, "g").impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn inline_modules_stack() {
+        let p = parse_src("mod a { mod b { fn deep() {} } fn mid() {} }\nfn top() {}\n");
+        assert_eq!(fn_named(&p, "deep").module, vec!["a", "b"]);
+        assert_eq!(fn_named(&p, "mid").module, vec!["a"]);
+        assert!(fn_named(&p, "top").module.is_empty());
+    }
+
+    #[test]
+    fn pub_restricted_is_not_pub() {
+        let p = parse_src("pub fn a() {}\npub(crate) fn b() {}\nfn c() {}\n");
+        assert!(fn_named(&p, "a").is_pub);
+        assert!(!fn_named(&p, "b").is_pub);
+        assert!(!fn_named(&p, "c").is_pub);
+    }
+
+    #[test]
+    fn calls_methods_and_macros_separate() {
+        let src = "fn f() { free(); a::b::qual(); x.method(); mac!(inner()); }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        assert!(f.calls.iter().any(|c| c.segments == ["free"]));
+        assert!(f.calls.iter().any(|c| c.segments == ["a", "b", "qual"]));
+        assert!(f.method_calls.iter().any(|c| c.segments == ["method"]));
+        assert!(f.macros.iter().any(|c| c.segments == ["mac"]));
+        // Calls inside macro arguments still register (over-approximation).
+        assert!(f.calls.iter().any(|c| c.segments == ["inner"]));
+    }
+
+    #[test]
+    fn turbofish_calls_detected() {
+        let p = parse_src("fn f() { s.parse::<usize>(); collect::<Vec<_>>(); }\n");
+        let f = fn_named(&p, "f");
+        assert!(f.method_calls.iter().any(|c| c.segments == ["parse"]));
+        assert!(f.calls.iter().any(|c| c.segments == ["collect"]));
+    }
+
+    #[test]
+    fn ne_operator_is_not_a_macro() {
+        let p = parse_src("fn f(a: usize, b: usize) -> bool { a != b }\n");
+        assert!(fn_named(&p, "f").macros.is_empty());
+    }
+
+    #[test]
+    fn panic_sites_unwrap_expect_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); assert!(c); }\n";
+        let kinds: Vec<PanicKind> =
+            fn_named(&parse_src(src), "f").panic_sites.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&PanicKind::Unwrap));
+        assert!(kinds.contains(&PanicKind::Expect));
+        assert!(kinds.contains(&PanicKind::PanicMacro));
+        assert!(kinds.contains(&PanicKind::Assert));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let p = parse_src("fn f() { x.unwrap_or(0); y.expect_err(\"no\"); }\n");
+        assert!(fn_named(&p, "f").panic_sites.is_empty());
+    }
+
+    #[test]
+    fn indexing_detected_but_not_attrs_or_literals() {
+        let src = "fn f(v: &[f64]) -> f64 {\n    #[cfg(target_os = \"linux\")]\n    let a = [1, 2];\n    let b = &v[..2];\n    v[0] + a[1]\n}\n";
+        let p = parse_src(src);
+        let sites: Vec<&PanicSite> =
+            fn_named(&p, "f").panic_sites.iter().filter(|s| s.kind == PanicKind::Index).collect();
+        // `v[..2]`, `v[0]`, `a[1]` — but not `#[cfg..]` or `[1, 2]`.
+        assert_eq!(sites.len(), 3, "{:?}", fn_named(&p, "f").panic_sites);
+    }
+
+    #[test]
+    fn integer_division_flagged_float_and_literal_not() {
+        let src = "fn f(n: usize, d: usize, x: f64) -> usize {\n    let a = n / d;\n    let b = n % d;\n    let c = n / 2;\n    let e = x / 3.0;\n    let g = x / n as f64;\n    a + b + c + e as usize + g as usize\n}\n";
+        let sites: Vec<usize> = fn_named(&parse_src(src), "f")
+            .panic_sites
+            .iter()
+            .filter(|s| s.kind == PanicKind::IntDiv)
+            .map(|s| s.line)
+            .collect();
+        assert_eq!(sites, vec![1, 2], "only the non-literal integer divisions");
+    }
+
+    #[test]
+    fn float_division_through_parens_not_flagged() {
+        // The divisor is parenthesized but cast to f64: float division,
+        // no panic site.
+        let src = "fn f(hits: u32, pos: usize) -> f64 { f64::from(hits) / (pos + 1) as f64 }\n";
+        let p = parse_src(src);
+        assert!(fn_named(&p, "f").panic_sites.is_empty(), "{:?}", fn_named(&p, "f").panic_sites);
+    }
+
+    #[test]
+    fn division_by_zero_literal_flagged() {
+        let p = parse_src("fn f(n: usize) -> usize { n / 0 }\n");
+        assert_eq!(fn_named(&p, "f").panic_sites.len(), 1);
+    }
+
+    #[test]
+    fn test_region_fns_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { lib(); }\n}\n";
+        let p = parse_src(src);
+        assert!(!fn_named(&p, "lib").in_test);
+        assert!(fn_named(&p, "t").in_test);
+    }
+
+    #[test]
+    fn use_imports_flattened() {
+        let src = "use a::b::C;\nuse x::{y, z as w, q::self};\nuse glob::*;\n";
+        let p = parse_src(src);
+        let find = |n: &str| p.uses.iter().find(|(b, _)| b == n).map(|(_, p)| p.clone());
+        assert_eq!(find("C"), Some(vec!["a".into(), "b".into(), "C".into()]));
+        assert_eq!(find("y"), Some(vec!["x".into(), "y".into()]));
+        assert_eq!(find("w"), Some(vec!["x".into(), "z".into()]));
+        assert_eq!(find("q"), Some(vec!["x".into(), "q".into()]));
+    }
+
+    #[test]
+    fn hash_bindings_fields_and_lets() {
+        let src = "struct S { buckets: HashMap<u64, Vec<u32>>, tomb: std::collections::HashSet<u32> }\nfn f() { let mut seen = HashSet::new(); let m: HashMap<u8, u8> = HashMap::new(); seen.insert(1); }\n";
+        let p = parse_src(src);
+        for b in ["buckets", "tomb", "seen", "m"] {
+            assert!(p.hash_bindings.contains(b), "missing binding {b}: {:?}", p.hash_bindings);
+        }
+    }
+
+    #[test]
+    fn hash_iteration_sites_detected() {
+        let src = "struct S { buckets: HashMap<u64, u8> }\nimpl S {\n    fn stats(&self) { for items in self.buckets.values() { use_it(items); } }\n    fn direct(&self, set: HashSet<u32>) { for v in set { use_it(v); } }\n    fn fine(&self, v: Vec<u8>) { for x in v { use_it(x); } v.iter(); }\n}\n";
+        let p = parse_src(src);
+        assert!(fn_named(&p, "stats").hash_iters.iter().any(|h| h.binding == "buckets"));
+        assert!(fn_named(&p, "direct").hash_iters.iter().any(|h| h.binding == "set"));
+        assert!(fn_named(&p, "fine").hash_iters.is_empty());
+    }
+
+    #[test]
+    fn impl_fn_in_signature_does_not_open_impl_scope() {
+        let src = "pub fn rel() -> impl Fn(usize) -> bool { move |q| q > 0 }\nfn after() {}\n";
+        let p = parse_src(src);
+        assert_eq!(fn_named(&p, "after").impl_type, None);
+        assert!(fn_named(&p, "rel").is_pub);
+    }
+
+    #[test]
+    fn self_calls_keep_segment() {
+        let p = parse_src("impl S { fn a(&self) { Self::b(); } fn b() {} }\n");
+        assert!(fn_named(&p, "a").calls.iter().any(|c| c.segments == ["Self", "b"]));
+    }
+
+    #[test]
+    fn shadowed_name_both_extracted() {
+        // Two fns with the same name in different modules: both exist and
+        // keep distinct module paths (resolution happens in callgraph).
+        let src = "mod a { pub fn f() {} pub fn call() { f(); } }\nmod b { pub fn f() {} }\n";
+        let p = parse_src(src);
+        let fs: Vec<&FnItem> = p.fns.iter().filter(|f| f.name == "f").collect();
+        assert_eq!(fs.len(), 2);
+        assert_ne!(fs[0].module, fs[1].module);
+    }
+}

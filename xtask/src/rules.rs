@@ -8,14 +8,17 @@
 use crate::lexer::MaskedFile;
 
 /// Which part of the workspace a file belongs to; decides rule scope.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Category {
     /// `crates/*/src` for the algorithmic crates — full rule set.
     Library,
-    /// `crates/bench` — harness/reporting crate, allowed to print.
+    /// `crates/bench` library code — harness/reporting, allowed to print.
     Bench,
     /// Root `src/` CLI facade — allowed to print and exit.
     RootFacade,
+    /// `src/bin/*` and `crates/*/src/bin/*` — standalone binaries; same
+    /// scope as the CLI facade (may print/exit, no library rules).
+    Bin,
     /// `shims/*` — vendored stand-ins for crates.io packages.
     Shim,
     /// The lint driver itself.
@@ -27,30 +30,72 @@ pub enum Category {
 impl Category {
     /// Classify a workspace-relative path (forward slashes).
     pub fn of(rel_path: &str) -> Category {
+        let in_test_dir =
+            ["/tests/", "/benches/", "/examples/"].iter().any(|d| rel_path.contains(d))
+                || rel_path.starts_with("tests/")
+                || rel_path.starts_with("benches/")
+                || rel_path.starts_with("examples/");
         if rel_path.starts_with("xtask/") {
             Category::Xtask
         } else if rel_path.starts_with("shims/") {
             Category::Shim
+        } else if in_test_dir && !rel_path.contains("/src/") {
+            // Integration tests/benches/examples of any crate, including
+            // nested ones like `crates/bench/benches/*` (previously
+            // misfiled under Bench).
+            Category::TestLike
+        } else if rel_path.starts_with("src/bin/") || rel_path.contains("/src/bin/") {
+            // Standalone binaries, including `crates/*/src/bin/*.rs`
+            // (previously swallowed by the crate-level match).
+            Category::Bin
         } else if rel_path.starts_with("crates/bench/") {
             Category::Bench
         } else if rel_path.starts_with("crates/") {
             if rel_path.contains("/src/") {
                 Category::Library
             } else {
-                // crates/*/tests, crates/*/benches, crates/*/examples
                 Category::TestLike
             }
         } else if rel_path.starts_with("src/") {
             Category::RootFacade
         } else {
-            // tests/, examples/ at the workspace root
+            // stray .rs at the workspace root
             Category::TestLike
         }
     }
 }
 
+/// How bad a finding is: `Error` fails the lint run (unless allowlisted),
+/// `Warning` is reported and counted but does not affect the exit code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One hop of a call-chain witness attached to a reachability finding:
+/// the qualified function name plus where it is defined.
+#[derive(Clone, Debug)]
+pub struct WitnessStep {
+    pub qualified: String,
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+}
+
 /// One diagnostic. `key` is the trimmed source line, used for allowlist
-/// matching so entries survive line-number drift.
+/// matching so entries survive line-number drift. `witness`, when
+/// non-empty, is the call chain root → … → finding site that makes a
+/// semantic finding reachable.
 pub struct Finding {
     pub rule: &'static str,
     pub path: String,
@@ -58,7 +103,24 @@ pub struct Finding {
     pub line: usize,
     pub message: String,
     pub key: String,
+    pub severity: Severity,
+    pub witness: Vec<WitnessStep>,
 }
+
+/// Every rule name a finding (and therefore an allowlist entry) can carry.
+/// `panic-budget` is deliberately absent: budget regressions must be fixed
+/// or re-baselined via `--write-budget`, never allowlisted.
+pub const ALL_RULES: &[&str] = &[
+    "no-unwrap",
+    "unseeded-rng",
+    "raw-thread",
+    "obs-gated",
+    "float-cmp",
+    "no-panic-macro",
+    "panics-doc",
+    "hash-iter",
+    "dead-export",
+];
 
 /// Run every applicable rule on one file.
 pub fn check_file(rel_path: &str, file: &MaskedFile) -> Vec<Finding> {
@@ -128,6 +190,8 @@ fn push(
         line: lineno + 1,
         message,
         key: file.raw_lines.get(lineno).map(|l| l.trim().to_string()).unwrap_or_default(),
+        severity: Severity::Error,
+        witness: Vec::new(),
     });
 }
 
@@ -264,8 +328,9 @@ fn obs_gated(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
 }
 
 /// True if `operand` textually looks like a float expression: contains a
-/// float literal (`1.0`, `0.5e-3`) or an `f64`/`f32` token.
-fn looks_float(operand: &str) -> bool {
+/// float literal (`1.0`, `0.5e-3`) or an `f64`/`f32` token. Shared with
+/// the parser's integer-division classifier.
+pub(crate) fn looks_float(operand: &str) -> bool {
     if token_positions(operand, "f64")
         .into_iter()
         .chain(token_positions(operand, "f32"))
@@ -338,12 +403,12 @@ fn float_eq(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
 
 const OPERAND_DELIMS: &[char] = &['(', ')', '{', '}', ',', ';', '&', '|', '[', ']'];
 
-fn operand_before(line: &str, end: usize) -> String {
+pub(crate) fn operand_before(line: &str, end: usize) -> String {
     let start = line[..end].rfind(OPERAND_DELIMS).map(|p| p + 1).unwrap_or(0);
     line[start..end].to_string()
 }
 
-fn operand_after(line: &str, start: usize) -> String {
+pub(crate) fn operand_after(line: &str, start: usize) -> String {
     let end = line[start..].find(OPERAND_DELIMS).map(|p| start + p).unwrap_or(line.len());
     line[start..end].to_string()
 }
@@ -475,13 +540,43 @@ mod tests {
 
     #[test]
     fn categories_resolve() {
-        assert_eq!(Category::of("crates/core/src/lib.rs"), Category::Library);
-        assert_eq!(Category::of("crates/core/tests/t.rs"), Category::TestLike);
-        assert_eq!(Category::of("crates/bench/src/lib.rs"), Category::Bench);
-        assert_eq!(Category::of("src/cli.rs"), Category::RootFacade);
-        assert_eq!(Category::of("shims/rand/src/lib.rs"), Category::Shim);
-        assert_eq!(Category::of("xtask/src/main.rs"), Category::Xtask);
-        assert_eq!(Category::of("tests/e2e.rs"), Category::TestLike);
+        // (path, expected) — one row per classification rule, including
+        // the former misclassifications: `crates/*/src/bin/*.rs` used to
+        // land in Library/Bench and `crates/bench/benches/*` in Bench.
+        let table: &[(&str, Category)] = &[
+            ("crates/core/src/lib.rs", Category::Library),
+            ("crates/core/src/trainer.rs", Category::Library),
+            ("crates/core/tests/t.rs", Category::TestLike),
+            ("crates/core/benches/b.rs", Category::TestLike),
+            ("crates/core/examples/e.rs", Category::TestLike),
+            ("crates/bench/src/lib.rs", Category::Bench),
+            ("crates/bench/benches/kernels.rs", Category::TestLike),
+            ("crates/bench/src/bin/table1.rs", Category::Bin),
+            ("crates/eval/src/bin/tool.rs", Category::Bin),
+            ("src/bin/uhscm.rs", Category::Bin),
+            ("src/cli.rs", Category::RootFacade),
+            ("src/lib.rs", Category::RootFacade),
+            ("shims/rand/src/lib.rs", Category::Shim),
+            ("xtask/src/main.rs", Category::Xtask),
+            ("tests/e2e.rs", Category::TestLike),
+            ("examples/demo.rs", Category::TestLike),
+            ("benches/macro.rs", Category::TestLike),
+        ];
+        for (path, expected) in table {
+            assert_eq!(Category::of(path), *expected, "{path}");
+        }
+    }
+
+    #[test]
+    fn bin_category_exempt_from_library_rules() {
+        // Binaries may print and unwrap (CLI-style error handling) but are
+        // still subject to the global reproducibility rules.
+        assert_eq!(lint("crates/bench/src/bin/table1.rs", "fn main() { x.unwrap(); }").len(), 0);
+        assert_eq!(lint("src/bin/uhscm.rs", "fn main() { println!(\"x\"); }").len(), 0);
+        assert_eq!(
+            lint("crates/bench/src/bin/table1.rs", "fn main() { let r = thread_rng(); }").len(),
+            1
+        );
     }
 
     #[test]
