@@ -173,6 +173,23 @@ impl BitCodes {
         self.n += other.n;
     }
 
+    /// Copy of the codes in `range` as their own set (same bit width).
+    /// Shard builders cut a database into contiguous slices with this; the
+    /// slice's local index `i` corresponds to global index `range.start + i`.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds or decreasing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitCodes {
+        assert!(range.start <= range.end && range.end <= self.n, "slice out of bounds");
+        BitCodes {
+            n: range.len(),
+            bits: self.bits,
+            words_per_code: self.words_per_code,
+            data: self.data[range.start * self.words_per_code..range.end * self.words_per_code]
+                .to_vec(),
+        }
+    }
+
     /// Unpack every code into an `n × bits` ±1 matrix.
     pub fn unpack_all(&self) -> Matrix {
         let mut m = Matrix::zeros(self.n, self.bits);

@@ -21,6 +21,6 @@ pub mod tsne;
 pub use bitcode::BitCodes;
 pub use index::HashIndex;
 pub use metrics::{mean_average_precision, pr_curve, precision_at_n, PrPoint};
-pub use ranking::HammingRanker;
+pub use ranking::{merge_top_n, HammingRanker};
 pub use retrieval::{top_k, RetrievalHit};
 pub use tsne::{cluster_separation, tsne_2d, TsneConfig};

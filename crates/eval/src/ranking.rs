@@ -43,6 +43,15 @@ impl HammingRanker {
     /// ascending distance, then ascending database index — because the heap
     /// orders candidates by exactly that lexicographic key.
     pub fn rank_top_n(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<u32> {
+        self.rank_top_n_with_dist(queries, qi, n).into_iter().map(|(_, j)| j).collect()
+    }
+
+    /// [`Self::rank_top_n`] with the Hamming distance attached: the first
+    /// `n` `(distance, index)` pairs in ascending `(distance, index)` order.
+    /// This is the candidate format the online shard-merge
+    /// ([`merge_top_n`]) consumes, so sharded serving can reproduce the
+    /// offline ranking bit-for-bit.
+    pub fn rank_top_n_with_dist(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
         let total = self.db.len();
         let n = n.min(total);
         if n == 0 {
@@ -53,7 +62,10 @@ impl HammingRanker {
         if n * 4 >= total {
             let mut full = self.rank(queries, qi);
             full.truncate(n);
-            return full;
+            return full
+                .into_iter()
+                .map(|j| (queries.hamming(qi, &self.db, j as usize), j))
+                .collect();
         }
         let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
         for j in 0..total {
@@ -67,7 +79,7 @@ impl HammingRanker {
                 }
             }
         }
-        heap.into_sorted_vec().into_iter().map(|(_, j)| j).collect()
+        heap.into_sorted_vec()
     }
 
     /// Per-distance histogram of database points: `hist[d]` = how many
@@ -80,6 +92,26 @@ impl HammingRanker {
         }
         hist
     }
+}
+
+/// Merge per-shard top-`n` candidate lists into the global top-`n`.
+///
+/// Each shard list holds `(distance, global_index)` pairs — that shard's
+/// best `min(n, shard_len)` candidates, e.g. from
+/// [`HammingRanker::rank_top_n_with_dist`] over a contiguous slice of the
+/// database with the slice offset added to every index. The merged result
+/// is ordered by ascending `(distance, index)` — exactly the counting-sort
+/// tie-breaking contract of [`HammingRanker::rank`] — so a sharded deployment
+/// returns bitwise-identical rankings to a single-shard one, for any shard
+/// count, as long as the shards partition the database into contiguous
+/// index ranges.
+pub fn merge_top_n(shards: &[Vec<(u32, u32)>], n: usize) -> Vec<(u32, u32)> {
+    let mut all: Vec<(u32, u32)> = shards.concat();
+    // Indices are unique across shards, so the lexicographic key is unique
+    // and an unstable sort is deterministic.
+    all.sort_unstable();
+    all.truncate(n);
+    all
 }
 
 /// Counting sort of indices by distance value.
@@ -169,6 +201,77 @@ mod tests {
         for n in [1usize, 2, 3] {
             assert_eq!(ranker.rank_top_n(&q, 0, n), full[..n].to_vec(), "n={n}");
         }
+    }
+
+    /// Global top-n via `shards` contiguous slices + [`merge_top_n`].
+    fn sharded_top_n(db: &BitCodes, q: &BitCodes, shards: usize, n: usize) -> Vec<(u32, u32)> {
+        let bands = uhscm_linalg::par::partition(db.len(), shards);
+        let per_shard: Vec<Vec<(u32, u32)>> = bands
+            .into_iter()
+            .map(|r| {
+                let offset = r.start as u32;
+                let local = HammingRanker::new(db.slice(r));
+                local
+                    .rank_top_n_with_dist(q, 0, n)
+                    .into_iter()
+                    .map(|(d, j)| (d, j + offset))
+                    .collect()
+            })
+            .collect();
+        merge_top_n(&per_shard, n)
+    }
+
+    #[test]
+    fn sharded_merge_matches_single_shard_on_crafted_ties() {
+        // 24 codes built so nearly everything ties: only 3 bits => distances
+        // in 0..=3, eight codes per distance bucket on average. Tie-breaking
+        // by ascending global index is the whole test.
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| (0..3).map(|b| if (i >> b) & 1 == 1 { 1.0 } else { -1.0 }).collect())
+            .collect();
+        let db = codes(&rows);
+        let q = codes(&[vec![-1.0, 1.0, -1.0]]);
+        let ranker = HammingRanker::new(db.clone());
+        for n in [0usize, 1, 3, 5, 8, 24, 30] {
+            let oracle = ranker.rank_top_n_with_dist(&q, 0, n);
+            assert_eq!(
+                oracle.iter().map(|&(_, j)| j).collect::<Vec<_>>(),
+                ranker.rank_top_n(&q, 0, n),
+                "with_dist must agree with rank_top_n at n={n}"
+            );
+            for shards in [1usize, 2, 4] {
+                assert_eq!(
+                    sharded_top_n(&db, &q, shards, n),
+                    oracle,
+                    "shards={shards} n={n} must be bit-for-bit identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_handles_duplicate_codes_across_shard_boundaries() {
+        // Every code identical: all distances tie, so the merged ranking
+        // must be exactly 0..n in index order for any shard count.
+        let db = codes(&vec![vec![1.0, -1.0, 1.0, 1.0]; 10]);
+        let q = codes(&[vec![-1.0, -1.0, 1.0, 1.0]]);
+        let ranker = HammingRanker::new(db.clone());
+        for shards in [1usize, 2, 4] {
+            let merged = sharded_top_n(&db, &q, shards, 7);
+            assert_eq!(merged, ranker.rank_top_n_with_dist(&q, 0, 7), "shards={shards}");
+            assert_eq!(
+                merged.iter().map(|&(_, j)| j).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4, 5, 6]
+            );
+        }
+    }
+
+    #[test]
+    fn merge_top_n_orders_by_distance_then_index() {
+        let a = vec![(0u32, 4u32), (2, 5)];
+        let b = vec![(0u32, 1u32), (2, 2)];
+        assert_eq!(merge_top_n(&[a, b], 3), vec![(0, 1), (0, 4), (2, 2)]);
+        assert_eq!(merge_top_n(&[], 3), Vec::<(u32, u32)>::new());
     }
 
     #[test]

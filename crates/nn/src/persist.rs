@@ -9,13 +9,27 @@
 //! magic "UHNN" | u32 version | u32 n_layers |
 //!   per layer: u32 fan_in | u32 fan_out | u8 activation |
 //!              fan_in·fan_out f64 weights | fan_out f64 biases
+//! | u64 FNV-1a checksum of every preceding byte
 //! ```
+//!
+//! The online service (`uhscm-serve`) loads model files from
+//! operator-supplied paths at startup, so [`Mlp::load`] treats its input as
+//! hostile: dimensions are capped before anything is allocated, weights are
+//! read incrementally (a truncated file fails at EOF without a
+//! header-sized allocation), and the trailing checksum rejects any
+//! bit-level corruption of the payload — every failure mode is a
+//! [`PersistError`], never a panic or an attacker-chosen allocation.
 
 use crate::{Activation, Linear, Mlp};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"UHNN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Largest cumulative weight count a persisted model may declare (4M
+/// parameters = 32 MiB of `f64`, an order of magnitude above any network
+/// this workspace trains); guards allocations against hostile headers.
+const MAX_TOTAL_PARAMS: usize = 1 << 22;
 
 /// Errors from loading a persisted model.
 #[derive(Debug)]
@@ -25,7 +39,8 @@ pub enum PersistError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
-    /// Corrupt structure (impossible sizes, unknown activation).
+    /// Corrupt structure (impossible sizes, unknown activation, bad
+    /// checksum).
     Corrupt(&'static str),
 }
 
@@ -74,65 +89,139 @@ fn activation_from_tag(tag: u8) -> Option<Activation> {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+/// Writer adapter that folds every byte into an FNV-1a state. Every step
+/// of FNV-1a is a bijection of the state for a fixed input byte, so two
+/// streams that differ in any single byte can never converge to the same
+/// checksum — single-byte corruption is always detected.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: u64,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash = fnv1a_step(self.hash, b);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter mirroring [`HashingWriter`].
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    hash: u64,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash = fnv1a_step(self.hash, b);
+        }
+        Ok(n)
+    }
+}
+
 impl Mlp {
     /// Serialize the network to a writer.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.layers().len() as u32).to_le_bytes())?;
+        let mut hw = HashingWriter { inner: w, hash: FNV_OFFSET };
+        hw.write_all(MAGIC)?;
+        hw.write_all(&VERSION.to_le_bytes())?;
+        hw.write_all(&(self.layers().len() as u32).to_le_bytes())?;
         for layer in self.layers() {
-            w.write_all(&(layer.fan_in() as u32).to_le_bytes())?;
-            w.write_all(&(layer.fan_out() as u32).to_le_bytes())?;
-            w.write_all(&[activation_tag(layer.activation)])?;
+            hw.write_all(&(layer.fan_in() as u32).to_le_bytes())?;
+            hw.write_all(&(layer.fan_out() as u32).to_le_bytes())?;
+            hw.write_all(&[activation_tag(layer.activation)])?;
             for &v in layer.weight.as_slice() {
-                w.write_all(&v.to_le_bytes())?;
+                hw.write_all(&v.to_le_bytes())?;
             }
             for &v in &layer.bias {
-                w.write_all(&v.to_le_bytes())?;
+                hw.write_all(&v.to_le_bytes())?;
             }
         }
+        let checksum = hw.hash;
+        w.write_all(&checksum.to_le_bytes())?;
         Ok(())
     }
 
     /// Deserialize a network previously written by [`Self::save`].
+    ///
+    /// Treats the input as untrusted: declared dimensions are capped before
+    /// any allocation (a hostile header cannot force an OOM-sized buffer),
+    /// weights are read incrementally so truncation fails at EOF, and the
+    /// trailing FNV-1a checksum rejects byte-level corruption anywhere in
+    /// the stream.
     pub fn load(r: &mut impl Read) -> Result<Mlp, PersistError> {
+        let mut hr = HashingReader { inner: r, hash: FNV_OFFSET };
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        hr.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(PersistError::BadMagic);
         }
-        let version = read_u32(r)?;
+        let version = read_u32(&mut hr)?;
         if version != VERSION {
             return Err(PersistError::BadVersion(version));
         }
-        let n_layers = read_u32(r)? as usize;
+        let n_layers = read_u32(&mut hr)? as usize;
         if n_layers == 0 || n_layers > 64 {
             return Err(PersistError::Corrupt("layer count out of range"));
         }
         let mut layers = Vec::with_capacity(n_layers);
+        let mut total_params = 0usize;
         for _ in 0..n_layers {
-            let fan_in = read_u32(r)? as usize;
-            let fan_out = read_u32(r)? as usize;
+            let fan_in = read_u32(&mut hr)? as usize;
+            let fan_out = read_u32(&mut hr)? as usize;
             if fan_in == 0 || fan_out == 0 || fan_in > 1 << 20 || fan_out > 1 << 20 {
                 return Err(PersistError::Corrupt("layer dimensions out of range"));
             }
+            let params =
+                fan_in.checked_mul(fan_out).ok_or(PersistError::Corrupt("model too large"))?;
+            total_params = total_params
+                .checked_add(params)
+                .filter(|&t| t <= MAX_TOTAL_PARAMS)
+                .ok_or(PersistError::Corrupt("model too large"))?;
             let mut tag = [0u8; 1];
-            r.read_exact(&mut tag)?;
+            hr.read_exact(&mut tag)?;
             let activation =
                 activation_from_tag(tag[0]).ok_or(PersistError::Corrupt("unknown activation"))?;
-            let mut weights = vec![0.0f64; fan_in * fan_out];
-            for v in &mut weights {
-                *v = read_f64(r)?;
+            // Grow while reading instead of trusting the header with one
+            // up-front allocation: a truncated stream errors out having
+            // allocated no more than the bytes actually present.
+            let mut weights = Vec::new();
+            for _ in 0..params {
+                weights.push(read_f64(&mut hr)?);
             }
-            let mut bias = vec![0.0f64; fan_out];
-            for v in &mut bias {
-                *v = read_f64(r)?;
+            let mut bias = Vec::new();
+            for _ in 0..fan_out {
+                bias.push(read_f64(&mut hr)?);
             }
             layers.push(Linear::from_parts(
                 uhscm_linalg::Matrix::from_vec(fan_in, fan_out, weights),
                 bias,
                 activation,
             ));
+        }
+        let computed = hr.hash;
+        // The stored checksum is read from the raw reader — it covers every
+        // byte before it, not itself.
+        let mut buf = [0u8; 8];
+        hr.inner.read_exact(&mut buf)?;
+        if u64::from_le_bytes(buf) != computed {
+            return Err(PersistError::Corrupt("checksum mismatch"));
         }
         // Validate the chain.
         for pair in layers.windows(2) {
@@ -213,6 +302,56 @@ mod tests {
         assert!(matches!(
             Mlp::load(&mut buf.as_slice()),
             Err(PersistError::Corrupt("unknown activation"))
+        ));
+    }
+
+    #[test]
+    fn weight_corruption_fails_checksum() {
+        let mut rng = seeded(5);
+        let mlp = Mlp::hashing_network(4, &[3], 2, &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        // Flip a low-order mantissa bit of the first weight: the payload
+        // still parses as a structurally valid model, so only the checksum
+        // can catch it.
+        buf[21] ^= 1;
+        assert!(matches!(
+            Mlp::load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn hostile_header_cannot_force_huge_allocation() {
+        // A header declaring a 2^20 × 2^20 layer (8 TiB of weights) must be
+        // rejected by the parameter cap before any weight is read.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"UHNN");
+        buf.extend_from_slice(&2u32.to_le_bytes()); // version
+        buf.extend_from_slice(&1u32.to_le_bytes()); // n_layers
+        buf.extend_from_slice(&(1u32 << 20).to_le_bytes()); // fan_in
+        buf.extend_from_slice(&(1u32 << 20).to_le_bytes()); // fan_out
+        buf.push(1); // tanh
+        assert!(matches!(
+            Mlp::load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt("model too large"))
+        ));
+    }
+
+    #[test]
+    fn param_budget_enforced_just_past_the_cap() {
+        // 2048×2049 = 4,196,352 parameters: each dimension is legal on its
+        // own but the product exceeds the 2^22 budget by one row.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"UHNN");
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2048u32.to_le_bytes());
+        buf.extend_from_slice(&2049u32.to_le_bytes());
+        buf.push(1);
+        assert!(matches!(
+            Mlp::load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt("model too large"))
         ));
     }
 }

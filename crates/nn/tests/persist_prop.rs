@@ -1,0 +1,80 @@
+//! Adversarial persistence properties: `Mlp::load` must survive arbitrary
+//! corruption of a saved model. The online service (`uhscm-serve`) loads
+//! model files from operator-supplied paths at startup, so *every* byte-level
+//! mutation — bit flips anywhere in the stream, truncation at any offset —
+//! has to surface as a `PersistError`, never a panic, a wrong-but-accepted
+//! model, or an attacker-sized allocation.
+
+use proptest::prelude::*;
+use uhscm_linalg::rng::seeded;
+use uhscm_nn::Mlp;
+
+/// A small saved model with a couple of layers; varying the seed varies
+/// every weight byte, so corruption offsets land on genuinely different
+/// content across cases.
+fn saved_model(seed: u64) -> Vec<u8> {
+    let mut rng = seeded(seed);
+    let mlp = Mlp::hashing_network(5, &[4], 3, &mut rng);
+    let mut buf = Vec::new();
+    mlp.save(&mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+proptest! {
+    /// Flipping any bits of any single byte is always detected: the header
+    /// fields are validated and the FNV-1a trailer covers the payload (each
+    /// hash step is a state bijection, so a single-byte difference can
+    /// never collide).
+    #[test]
+    fn single_byte_corruption_always_rejected(
+        seed in any::<u64>(),
+        offset in 0usize..100_000,
+        flip in 1u8..=255,
+    ) {
+        let mut buf = saved_model(seed);
+        let offset = offset % buf.len();
+        buf[offset] ^= flip;
+        match Mlp::load(&mut buf.as_slice()) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "corruption at byte {offset} was silently accepted"),
+        }
+    }
+
+    /// Truncation at any point — including mid-header, mid-weight and
+    /// inside the checksum trailer — is an error, never a panic and never
+    /// an allocation beyond the bytes actually present.
+    #[test]
+    fn truncation_always_rejected(seed in any::<u64>(), cut in 0usize..100_000) {
+        let buf = saved_model(seed);
+        let cut = cut % buf.len(); // strictly shorter than the full file
+        let truncated = &buf[..cut];
+        prop_assert!(Mlp::load(&mut &truncated[..]).is_err(), "truncation at {cut} accepted");
+    }
+
+    /// Corrupting a whole aligned 8-byte word (e.g. one weight) is detected
+    /// even when the result is a perfectly plausible float payload.
+    #[test]
+    fn word_corruption_always_rejected(
+        seed in any::<u64>(),
+        word in 0usize..10_000,
+        xor in 1u64..u64::MAX,
+    ) {
+        let mut buf = saved_model(seed);
+        let words = buf.len() / 8;
+        let start = (word % words) * 8;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&buf[start..start + 8]);
+        let patched = (u64::from_le_bytes(w) ^ xor).to_le_bytes();
+        buf[start..start + 8].copy_from_slice(&patched);
+        prop_assert!(Mlp::load(&mut buf.as_slice()).is_err(), "word at {start} accepted");
+    }
+}
+
+#[test]
+fn untouched_model_still_round_trips() {
+    let buf = saved_model(7);
+    let loaded = Mlp::load(&mut buf.as_slice()).expect("pristine file must load");
+    let mut rng = seeded(7);
+    let original = Mlp::hashing_network(5, &[4], 3, &mut rng);
+    assert_eq!(loaded.flat_params(), original.flat_params());
+}

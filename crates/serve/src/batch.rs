@@ -1,0 +1,270 @@
+//! Admission control and batch formation.
+//!
+//! Connection handlers push [`PendingQuery`]s into a bounded
+//! [`AdmissionQueue`]; a single batch worker pops them in arrival order,
+//! coalescing up to `max_batch` queries per tick (waiting at most
+//! `max_wait` for stragglers once the first query is in hand). The bound is
+//! the overload valve: when the queue is full, `submit` hands the query
+//! straight back with [`SubmitError::Overloaded`] so the caller can answer
+//! `overloaded` immediately instead of letting latency grow without limit.
+//!
+//! Shutdown is cooperative: [`AdmissionQueue::close`] stops admissions
+//! (subsequent submits get [`SubmitError::Draining`]) but the worker keeps
+//! draining what was already admitted; [`AdmissionQueue::next_batch`]
+//! returns `None` only once the queue is both closed and empty, which is
+//! the worker's signal that the drain is complete.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use uhscm_obs::obs_gauge;
+
+use crate::protocol::Response;
+
+/// How the batch worker answers a query; the connection handler captures
+/// its write half in this closure.
+pub type Reply = Box<dyn FnOnce(Response) + Send>;
+
+/// A query admitted to the queue, waiting to be batched.
+pub struct PendingQuery {
+    pub id: u64,
+    pub features: Vec<f64>,
+    pub top_k: usize,
+    /// Absolute deadline; if it passes before the query is dequeued, the
+    /// worker answers `deadline_exceeded` without encoding.
+    pub deadline: Option<Instant>,
+    pub reply: Reply,
+}
+
+/// Batch formation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Most queries coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Once one query is in hand, how long to wait for more before running
+    /// a short batch.
+    pub max_wait: Duration,
+}
+
+/// Why a submission was refused. The query itself is handed back alongside
+/// this so the caller still owns its reply channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — request shed.
+    Overloaded,
+    /// Queue closed for shutdown.
+    Draining,
+}
+
+struct QueueState {
+    queue: VecDeque<PendingQuery>,
+    open: bool,
+}
+
+/// Bounded MPSC hand-off between connection handlers and the batch worker.
+pub struct AdmissionQueue {
+    cap: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// Mutex poisoning only happens if a peer thread panicked; the queue state
+/// (a deque and a flag) is valid after any partial operation, so recover
+/// the guard rather than cascading the panic into every connection.
+fn recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `cap` (clamped to ≥ 1) waiting queries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admit a query, or hand it back with the refusal reason.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when full, [`SubmitError::Draining`]
+    /// after [`AdmissionQueue::close`].
+    pub fn submit(&self, q: PendingQuery) -> Result<(), (PendingQuery, SubmitError)> {
+        let mut state = recover(&self.state);
+        if !state.open {
+            return Err((q, SubmitError::Draining));
+        }
+        if state.queue.len() >= self.cap {
+            return Err((q, SubmitError::Overloaded));
+        }
+        state.queue.push_back(q);
+        obs_gauge!("serve.queue.depth", state.queue.len() as f64);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Stop admitting; already-queued work will still be drained.
+    pub fn close(&self) {
+        recover(&self.state).open = false;
+        self.ready.notify_all();
+    }
+
+    /// Queries currently waiting (diagnostic).
+    pub fn depth(&self) -> usize {
+        recover(&self.state).queue.len()
+    }
+
+    /// Block until a batch is available and pop it in arrival order.
+    ///
+    /// Waits for the first query, then keeps collecting until the batch is
+    /// full, `max_wait` has elapsed, or the queue closes (a closing queue
+    /// flushes immediately — drain should not dawdle). Returns `None` once
+    /// the queue is closed *and* empty: the drain is complete and the
+    /// worker should exit.
+    pub fn next_batch(&self, policy: &BatchPolicy) -> Option<Vec<PendingQuery>> {
+        let max_batch = policy.max_batch.max(1);
+        let mut state = recover(&self.state);
+        // Phase 1: wait for work.
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if !state.open {
+                return None;
+            }
+            state = match self.ready.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        // Phase 2: give stragglers up to `max_wait` to join the batch.
+        let flush_at = Instant::now() + policy.max_wait;
+        while state.queue.len() < max_batch && state.open {
+            let now = Instant::now();
+            let Some(remaining) = flush_at.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, timeout) = match self.ready.wait_timeout(state, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            state = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.queue.len().min(max_batch);
+        let batch: Vec<PendingQuery> = state.queue.drain(..take).collect();
+        obs_gauge!("serve.queue.depth", state.queue.len() as f64);
+        if !state.queue.is_empty() {
+            // Leftovers beyond max_batch: wake the worker again promptly.
+            self.ready.notify_one();
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn query(id: u64) -> PendingQuery {
+        PendingQuery {
+            id,
+            features: vec![0.0; 2],
+            top_k: 1,
+            deadline: None,
+            reply: Box::new(|_| {}),
+        }
+    }
+
+    const FLUSH_NOW: BatchPolicy = BatchPolicy { max_batch: 8, max_wait: Duration::ZERO };
+
+    #[test]
+    fn batches_preserve_arrival_order() {
+        let q = AdmissionQueue::new(16);
+        for id in 0..5 {
+            q.submit(query(id)).map_err(|(_, e)| e).expect("under capacity");
+        }
+        let batch = q.next_batch(&FLUSH_NOW).expect("queue open");
+        let ids: Vec<u64> = batch.iter().map(|p| p.id).collect();
+        assert_eq!(ids, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn max_batch_splits_and_leftovers_survive() {
+        let q = AdmissionQueue::new(16);
+        for id in 0..5 {
+            q.submit(query(id)).map_err(|(_, e)| e).expect("under capacity");
+        }
+        let policy = BatchPolicy { max_batch: 3, max_wait: Duration::ZERO };
+        let first = q.next_batch(&policy).expect("open");
+        assert_eq!(first.len(), 3);
+        assert_eq!(q.depth(), 2);
+        let second = q.next_batch(&policy).expect("open");
+        let ids: Vec<u64> = second.iter().map(|p| p.id).collect();
+        assert_eq!(ids, [3, 4]);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_returns_the_query() {
+        let q = AdmissionQueue::new(2);
+        q.submit(query(0)).map_err(|(_, e)| e).expect("slot 0");
+        q.submit(query(1)).map_err(|(_, e)| e).expect("slot 1");
+        match q.submit(query(7)) {
+            Err((shed, SubmitError::Overloaded)) => assert_eq!(shed.id, 7),
+            other => panic!("expected shed, got {:?}", other.map(|()| ()).map_err(|(_, e)| e)),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_signals_exit() {
+        let q = AdmissionQueue::new(8);
+        q.submit(query(0)).map_err(|(_, e)| e).expect("open");
+        q.close();
+        match q.submit(query(1)) {
+            Err((back, SubmitError::Draining)) => assert_eq!(back.id, 1),
+            other => panic!("expected draining, got {:?}", other.map(|()| ()).map_err(|(_, e)| e)),
+        }
+        // Admitted work still comes out...
+        let batch = q.next_batch(&FLUSH_NOW).expect("drain");
+        assert_eq!(batch.len(), 1);
+        // ...and only then does the queue report drain-complete.
+        assert!(q.next_batch(&FLUSH_NOW).is_none());
+    }
+
+    #[test]
+    fn replies_are_owned_by_the_dequeued_batch() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let q = AdmissionQueue::new(4);
+        let h = Arc::clone(&hits);
+        let p = PendingQuery {
+            id: 1,
+            features: vec![1.0],
+            top_k: 1,
+            deadline: Some(Instant::now()),
+            reply: Box::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        };
+        q.submit(p).map_err(|(_, e)| e).expect("open");
+        let batch = q.next_batch(&FLUSH_NOW).expect("open");
+        for p in batch {
+            (p.reply)(Response::Pong);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

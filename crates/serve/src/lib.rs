@@ -1,0 +1,40 @@
+//! `uhscm-serve`: the online retrieval service for UHSCM hash codes.
+//!
+//! The offline pipeline (train → encode database → evaluate) produces a
+//! hashing model and a packed code database; this crate puts them behind a
+//! TCP endpoint. Four pieces:
+//!
+//! * [`protocol`] — length-prefixed JSON frames; requests carry raw feature
+//!   vectors, responses carry `(distance, index)` hits or a structured
+//!   error reason.
+//! * [`shard`] — the database split into contiguous [`ShardedIndex`] bands,
+//!   searched fan-out/merge with results bit-for-bit identical to the
+//!   offline `HammingRanker` at any shard count.
+//! * [`batch`] — bounded [`AdmissionQueue`] with load shedding, and the
+//!   batch-formation policy that coalesces concurrent queries into one
+//!   forward pass.
+//! * [`server`] — the accept/connection/batch-worker thread layout (all
+//!   threads via [`pool::WorkerPool`]) with per-request deadlines and
+//!   graceful drain.
+//!
+//! Determinism is the headline contract: a query answered online returns
+//! exactly the hits the offline evaluation pipeline would rank for the same
+//! feature vector — same model, same tie-breaking, regardless of batch
+//! composition or shard count. The loopback integration tests pin this
+//! against the offline oracle.
+
+pub mod batch;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod synth;
+
+pub use batch::{AdmissionQueue, BatchPolicy, PendingQuery, SubmitError};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame_blocking,
+    write_frame, FrameReader, QueryRequest, Reason, Request, Response, MAX_FRAME,
+};
+pub use server::{Engine, ServeConfig, ServeError, Server};
+pub use shard::ShardedIndex;
+pub use synth::{workload, SynthWorkload};

@@ -1,0 +1,96 @@
+//! The serve worker pool — alongside `uhscm_linalg::par`, the only module
+//! in the workspace permitted to call `std::thread` (enforced by the
+//! `raw-thread` lint rule in `xtask`). Every thread the service spawns —
+//! acceptor, batch worker, per-connection handlers — goes through
+//! [`WorkerPool`], so lifetimes are visible in one place and shutdown is a
+//! single [`WorkerPool::join_all`].
+
+use std::io;
+use std::thread::JoinHandle;
+
+/// A set of named OS threads joined together at shutdown.
+#[derive(Default)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawn a named thread into the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the thread cannot be created (the caller
+    /// decides whether that is fatal — for a per-connection handler it just
+    /// drops the connection).
+    pub fn spawn(&mut self, name: &str, f: impl FnOnce() + Send + 'static) -> io::Result<()> {
+        let handle = std::thread::Builder::new().name(format!("uhscm-serve-{name}")).spawn(f)?;
+        self.handles.push(handle);
+        Ok(())
+    }
+
+    /// Threads spawned so far (joined ones are no longer counted).
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Join every thread in spawn order, re-raising the first panic payload
+    /// after all threads have stopped (a worker panic must fail shutdown
+    /// loudly, not vanish).
+    pub fn join_all(&mut self) {
+        let mut first_panic = None;
+        for handle in self.handles.drain(..) {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+// No join-on-drop: a dropped pool detaches its threads. Joining in `drop`
+// could deadlock shutdown paths where the threads are themselves waiting on
+// state the dropper holds; explicit `join_all` keeps the ordering visible.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn join_all_waits_for_every_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new();
+        for _ in 0..4 {
+            let d = Arc::clone(&done);
+            pool.spawn("t", move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("spawn");
+        }
+        assert_eq!(pool.len(), 4);
+        pool.join_all();
+        assert!(pool.is_empty());
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_at_join() {
+        let mut pool = WorkerPool::new();
+        pool.spawn("boom", || panic!("worker died")).expect("spawn");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join_all()))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker died");
+    }
+}

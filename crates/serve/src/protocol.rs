@@ -1,0 +1,457 @@
+//! Wire protocol of the retrieval service: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a 4-byte little-endian payload length
+//! followed by that many bytes of UTF-8 JSON. JSON keeps the protocol
+//! debuggable (`nc` + eyes) and reuses workspace machinery on both sides —
+//! the vendored `serde_json` shim encodes, [`uhscm_obs::trace`]'s JSON
+//! parser decodes — while the length prefix makes framing trivial and
+//! caps hostile input at [`MAX_FRAME`] before anything is buffered.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"type":"query","id":7,"top_k":10,"features":[0.25,-1.5,...],"deadline_ms":50}
+//! {"type":"ping"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"type":"hits","id":7,"hits":[[0,412],[1,9],...]}        // [distance,index]
+//! {"type":"error","id":7,"reason":"overloaded","detail":"queue full (cap 256)"}
+//! {"type":"pong"}
+//! ```
+//!
+//! `features` are `f64`s; both the encoder (shortest round-trip formatting)
+//! and the decoder (`f64` parsing) are exact for finite values, so a feature
+//! vector survives the wire bit-for-bit and the online encoding is
+//! bitwise-identical to encoding the same vector offline. Error responses
+//! always carry a machine-readable `reason` from the closed [`Reason`] set
+//! plus a human-readable `detail`.
+
+use std::io::{self, Read, Write};
+use uhscm_obs::trace::{self, Json};
+
+/// Largest accepted frame payload (1 MiB — a 4096-dim query is ~100 KiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame stream stopped being parseable. Protocol errors are
+/// connection-fatal: framing is lost, so the peer must reconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Payload is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtocolError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Write one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a body over [`MAX_FRAME`] is `InvalidInput`.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"));
+    }
+    // One write for prefix + payload: two small writes on a TCP stream
+    // invite the Nagle / delayed-ACK stall (~40 ms per frame).
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Incremental frame assembly over a byte stream. Feed whatever the socket
+/// yields with [`FrameReader::push_bytes`]; [`FrameReader::next_frame`]
+/// returns complete payloads as they materialize. Reading this way (rather
+/// than `read_exact` on the socket) keeps partial frames intact across read
+/// timeouts, which the server uses to poll its drain flag mid-connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` while one is still partial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on an oversized declared length or non-UTF-8
+    /// payload; the stream is unrecoverable after that.
+    pub fn next_frame(&mut self) -> Result<Option<String>, ProtocolError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtocolError::FrameTooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        match String::from_utf8(payload) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => Err(ProtocolError::BadUtf8),
+        }
+    }
+}
+
+/// One retrieval query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Raw feature vector; must match the model's input dimension.
+    pub features: Vec<f64>,
+    /// How many neighbours to return.
+    pub top_k: usize,
+    /// Optional admission deadline: if the query is still queued this many
+    /// milliseconds after arrival, it is answered `deadline_exceeded`
+    /// instead of being encoded.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Query(QueryRequest),
+    Ping,
+}
+
+/// Machine-readable failure reasons carried by error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The request's deadline passed while it waited in the queue.
+    DeadlineExceeded,
+    /// The server is draining and no longer admits new work.
+    Draining,
+    /// The request was malformed (bad JSON, wrong dimensions, zero `top_k`).
+    BadRequest,
+}
+
+impl Reason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reason::Overloaded => "overloaded",
+            Reason::DeadlineExceeded => "deadline_exceeded",
+            Reason::Draining => "draining",
+            Reason::BadRequest => "bad_request",
+        }
+    }
+
+    pub fn from_str(s: &str) -> Option<Reason> {
+        match s {
+            "overloaded" => Some(Reason::Overloaded),
+            "deadline_exceeded" => Some(Reason::DeadlineExceeded),
+            "draining" => Some(Reason::Draining),
+            "bad_request" => Some(Reason::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful retrieval: `(distance, database_index)` pairs in the exact
+    /// `(distance, index)`-ascending order of the offline ranker.
+    Hits {
+        id: u64,
+        hits: Vec<(u32, u32)>,
+    },
+    Error {
+        id: u64,
+        reason: Reason,
+        detail: String,
+    },
+    Pong,
+}
+
+fn obj(fields: Vec<(&str, serde::Value)>) -> serde::Value {
+    serde::Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn encode(value: &serde::Value) -> String {
+    // The value-tree encoder is total; the Result exists for upstream
+    // source compatibility only.
+    serde_json::to_string(value).unwrap_or_default()
+}
+
+/// Encode a request frame body.
+pub fn encode_request(req: &Request) -> String {
+    use serde::Value;
+    let v = match req {
+        Request::Ping => obj(vec![("type", Value::Str("ping".into()))]),
+        Request::Query(q) => {
+            let mut fields = vec![
+                ("type", Value::Str("query".into())),
+                ("id", Value::UInt(q.id)),
+                ("top_k", Value::UInt(q.top_k as u64)),
+                ("features", Value::Seq(q.features.iter().map(|&f| Value::Float(f)).collect())),
+            ];
+            if let Some(ms) = q.deadline_ms {
+                fields.push(("deadline_ms", Value::UInt(ms)));
+            }
+            obj(fields)
+        }
+    };
+    encode(&v)
+}
+
+/// Encode a response frame body.
+pub fn encode_response(resp: &Response) -> String {
+    use serde::Value;
+    let v = match resp {
+        Response::Pong => obj(vec![("type", Value::Str("pong".into()))]),
+        Response::Hits { id, hits } => obj(vec![
+            ("type", Value::Str("hits".into())),
+            ("id", Value::UInt(*id)),
+            (
+                "hits",
+                Value::Seq(
+                    hits.iter()
+                        .map(|&(d, i)| {
+                            Value::Seq(vec![Value::UInt(u64::from(d)), Value::UInt(u64::from(i))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Error { id, reason, detail } => obj(vec![
+            ("type", Value::Str("error".into())),
+            ("id", Value::UInt(*id)),
+            ("reason", Value::Str(reason.as_str().into())),
+            ("detail", Value::Str(detail.clone())),
+        ]),
+    };
+    encode(&v)
+}
+
+fn parse_json(body: &str) -> Result<Json, String> {
+    trace::parse(body).map_err(|e| format!("bad JSON: {e}"))
+}
+
+fn msg_type(v: &Json) -> Result<&str, String> {
+    v.get("type").and_then(Json::as_str).ok_or_else(|| "missing 'type' field".to_string())
+}
+
+/// Decode a request frame body; the error string is a human-readable
+/// `detail` the server echoes back in a `bad_request` response.
+///
+/// # Errors
+///
+/// Returns a description of the malformation.
+pub fn decode_request(body: &str) -> Result<Request, String> {
+    let v = parse_json(body)?;
+    match msg_type(&v)? {
+        "ping" => Ok(Request::Ping),
+        "query" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let top_k =
+                v.get("top_k").and_then(Json::as_u64).ok_or("missing numeric 'top_k'")? as usize;
+            let features = v
+                .get("features")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'features' array")?
+                .iter()
+                .map(|f| f.as_f64().ok_or("non-numeric feature"))
+                .collect::<Result<Vec<f64>, &str>>()?;
+            let deadline_ms = match v.get("deadline_ms") {
+                None => None,
+                Some(d) => Some(d.as_u64().ok_or("non-integer 'deadline_ms'")?),
+            };
+            Ok(Request::Query(QueryRequest { id, features, top_k, deadline_ms }))
+        }
+        other => Err(format!("unknown request type '{other}'")),
+    }
+}
+
+/// Decode a response frame body (the client side of the protocol).
+///
+/// # Errors
+///
+/// Returns a description of the malformation.
+pub fn decode_response(body: &str) -> Result<Response, String> {
+    let v = parse_json(body)?;
+    match msg_type(&v)? {
+        "pong" => Ok(Response::Pong),
+        "hits" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let hits = v
+                .get("hits")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'hits' array")?
+                .iter()
+                .map(|pair| {
+                    let arr = pair.as_arr().filter(|a| a.len() == 2).ok_or("bad hit pair")?;
+                    let d = arr[0].as_u64().ok_or("bad hit distance")?;
+                    let i = arr[1].as_u64().ok_or("bad hit index")?;
+                    Ok((d as u32, i as u32))
+                })
+                .collect::<Result<Vec<(u32, u32)>, &str>>()?;
+            Ok(Response::Hits { id, hits })
+        }
+        "error" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let reason = v
+                .get("reason")
+                .and_then(Json::as_str)
+                .and_then(Reason::from_str)
+                .ok_or("missing or unknown 'reason'")?;
+            let detail =
+                v.get("detail").and_then(Json::as_str).ok_or("missing 'detail'")?.to_string();
+            Ok(Response::Error { id, reason, detail })
+        }
+        other => Err(format!("unknown response type '{other}'")),
+    }
+}
+
+/// Read frames from a blocking reader until one complete frame is
+/// available (the synchronous client path: loadgen, tests, CLI probes).
+///
+/// # Errors
+///
+/// I/O errors propagate; protocol violations surface as `InvalidData`.
+pub fn read_frame_blocking(r: &mut impl Read, frames: &mut FrameReader) -> io::Result<String> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match frames.next_frame() {
+            Ok(Some(body)) => return Ok(body),
+            Ok(None) => {}
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        frames.push_bytes(&chunk[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::Query(QueryRequest {
+            id: 42,
+            features: vec![0.5, -1.25, 3.0e-7, 1234.5],
+            top_k: 10,
+            deadline_ms: Some(50),
+        });
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).expect("round trip"), req);
+        let ping = encode_request(&Request::Ping);
+        assert_eq!(decode_request(&ping).expect("ping"), Request::Ping);
+    }
+
+    #[test]
+    fn features_survive_the_wire_bit_for_bit() {
+        // Awkward values: subnormal-ish, negative zero, long mantissas.
+        let feats = vec![0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, -987654.321];
+        let req = Request::Query(QueryRequest {
+            id: 1,
+            features: feats.clone(),
+            top_k: 1,
+            deadline_ms: None,
+        });
+        let decoded = match decode_request(&encode_request(&req)).expect("decodes") {
+            Request::Query(q) => q.features,
+            other => panic!("unexpected {other:?}"),
+        };
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&decoded), bits(&feats));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let ok = Response::Hits { id: 9, hits: vec![(0, 3), (1, 0), (1, 7)] };
+        assert_eq!(decode_response(&encode_response(&ok)).expect("hits"), ok);
+        let err = Response::Error {
+            id: 9,
+            reason: Reason::Overloaded,
+            detail: "queue full (cap 8)".into(),
+        };
+        assert_eq!(decode_response(&encode_response(&err)).expect("error"), err);
+        assert_eq!(
+            decode_response(&encode_response(&Response::Pong)).expect("pong"),
+            Response::Pong
+        );
+    }
+
+    #[test]
+    fn every_reason_round_trips() {
+        for r in
+            [Reason::Overloaded, Reason::DeadlineExceeded, Reason::Draining, Reason::BadRequest]
+        {
+            assert_eq!(Reason::from_str(r.as_str()), Some(r));
+        }
+        assert_eq!(Reason::from_str("nope"), None);
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_and_batched_frames() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, "\"first\"").expect("vec write");
+        write_frame(&mut bytes, "\"second\"").expect("vec write");
+        let mut fr = FrameReader::new();
+        // Feed one byte at a time: frames must pop exactly when complete.
+        let mut seen = Vec::new();
+        for &b in &bytes {
+            fr.push_bytes(&[b]);
+            while let Some(frame) = fr.next_frame().expect("valid stream") {
+                seen.push(frame);
+            }
+        }
+        assert_eq!(seen, vec!["\"first\"".to_string(), "\"second\"".to_string()]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut fr = FrameReader::new();
+        fr.push_bytes(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(fr.next_frame(), Err(ProtocolError::FrameTooLarge(MAX_FRAME + 1)));
+        let mut sink = Vec::new();
+        let huge = "x".repeat(MAX_FRAME + 1);
+        assert!(write_frame(&mut sink, &huge).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        assert!(decode_request("{").expect_err("bad json").contains("bad JSON"));
+        assert!(decode_request("{\"type\":\"nope\"}").expect_err("type").contains("nope"));
+        let missing = decode_request("{\"type\":\"query\",\"id\":1,\"top_k\":3}");
+        assert!(missing.expect_err("features").contains("features"));
+    }
+}

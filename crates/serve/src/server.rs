@@ -1,0 +1,465 @@
+//! The TCP front-end: accepts connections, admits queries, and runs the
+//! batch worker that coalesces them into single forward passes.
+//!
+//! Thread layout (all threads via [`crate::pool::WorkerPool`]):
+//!
+//! ```text
+//! accept ──┬── conn #1 ──┐          submit          ┌── batch worker
+//!          ├── conn #2 ──┼──▶ AdmissionQueue ──────▶┤  (encode + search,
+//!          └── conn #n ──┘   (bounded, shedding)    └──  replies via the
+//!                                                        conn's write half)
+//! ```
+//!
+//! Each connection thread reads frames with a short socket timeout so it
+//! can poll the drain flag between reads; replies go through a cloned write
+//! half owned by the reply closure, so a response can land after the read
+//! loop has already exited. Shutdown: set the drain flag, close the queue
+//! (new submits answer `draining`, admitted work still runs), poke the
+//! acceptor awake, then join every thread.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use uhscm_eval::BitCodes;
+use uhscm_linalg::Matrix;
+use uhscm_nn::Mlp;
+use uhscm_obs::{obs_count, obs_span, registry};
+
+use crate::batch::{AdmissionQueue, BatchPolicy, PendingQuery, SubmitError};
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    decode_request, encode_response, write_frame, FrameReader, Reason, Request, Response,
+};
+use crate::shard::ShardedIndex;
+
+/// How often a connection thread wakes from a blocking read to poll the
+/// drain flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Everything that can go wrong bringing the service up.
+#[derive(Debug)]
+pub enum ServeError {
+    Io(io::Error),
+    /// Inconsistent configuration (e.g. model width vs. database width).
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Config(msg) => write!(f, "serve config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Server tunables. `Default` binds an ephemeral loopback port with small
+/// batching windows suited to tests; the CLI overrides from flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of contiguous index shards (clamped to the database size).
+    pub shards: usize,
+    /// Most queries coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long the batch worker waits for stragglers once it has one query.
+    pub max_wait: Duration,
+    /// Admission queue bound; submissions beyond it are shed.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// The query engine: a trained hashing model plus the sharded code index.
+/// Immutable after construction, shared read-only across worker threads.
+pub struct Engine {
+    model: Mlp,
+    index: ShardedIndex,
+}
+
+impl Engine {
+    /// Pair a model with a code database.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if the model's output width differs from the
+    /// database's code width.
+    pub fn new(model: Mlp, db: &BitCodes, shards: usize) -> Result<Self, ServeError> {
+        if model.output_dim() != db.bits() {
+            return Err(ServeError::Config(format!(
+                "model emits {}-bit codes but the database stores {}-bit codes",
+                model.output_dim(),
+                db.bits()
+            )));
+        }
+        Ok(Self { index: ShardedIndex::new(db, shards), model })
+    }
+
+    /// Feature dimension a query must supply.
+    pub fn input_dim(&self) -> usize {
+        self.model.input_dim()
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> usize {
+        self.index.bits()
+    }
+
+    /// Number of database codes.
+    pub fn db_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of index shards actually in use.
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards()
+    }
+
+    /// One batched forward pass + sign quantization. Row `i` of the result
+    /// is bitwise-identical to encoding row `i` alone: inference computes
+    /// each output row from its input row only, in fixed k-order.
+    pub fn encode(&self, batch: &Matrix) -> BitCodes {
+        obs_span!("serve_encode");
+        BitCodes::from_real(&self.model.infer(batch))
+    }
+
+    /// Sharded global top-`n` for query `qi` of `codes` (see
+    /// [`ShardedIndex::search`] for the determinism contract).
+    pub fn search(&self, codes: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
+        self.index.search(codes, qi, n)
+    }
+}
+
+/// A running service; dropping it without [`Server::shutdown`] detaches the
+/// worker threads (they keep serving until the process exits).
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<AdmissionQueue>,
+    draining: Arc<AtomicBool>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Bind, spawn the batch worker and acceptor, and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures; a partially-started server is torn
+    /// back down before the error is returned.
+    pub fn start(engine: Engine, config: &ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let queue = Arc::new(AdmissionQueue::new(config.queue_cap));
+        let draining = Arc::new(AtomicBool::new(false));
+        let policy = BatchPolicy { max_batch: config.max_batch.max(1), max_wait: config.max_wait };
+
+        let mut pool = WorkerPool::new();
+        {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            pool.spawn("batch", move || batch_worker(&engine, &queue, policy))?;
+        }
+        {
+            let accept_queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            if let Err(e) = pool
+                .spawn("accept", move || accept_loop(&listener, &engine, &accept_queue, &draining))
+            {
+                // Unwind the batch worker we already started.
+                queue.close();
+                pool.join_all();
+                return Err(ServeError::Io(e));
+            }
+        }
+        Ok(Server { addr, queue, draining, pool })
+    }
+
+    /// The actually-bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries currently waiting for the batch worker (diagnostic).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful drain: stop admitting, serve everything already admitted,
+    /// then join every worker thread. Returns once the last reply is out.
+    pub fn shutdown(mut self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // The acceptor blocks in `accept`; a throwaway connection wakes it
+        // so it can observe the drain flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        self.pool.join_all();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    queue: &Arc<AdmissionQueue>,
+    draining: &Arc<AtomicBool>,
+) {
+    let mut conns = WorkerPool::new();
+    for stream in listener.incoming() {
+        if draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        obs_count!("serve.connections", 1);
+        let engine = Arc::clone(engine);
+        let queue = Arc::clone(queue);
+        let draining = Arc::clone(draining);
+        // A failed spawn just drops this connection; the service lives on.
+        let _ = conns.spawn("conn", move || handle_conn(stream, &engine, &queue, &draining));
+    }
+    conns.join_all();
+}
+
+/// Serialize responses onto the connection's write half. Write errors are
+/// ignored: the client is gone and the read loop will notice on its own.
+fn send(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
+    let body = encode_response(resp);
+    let mut guard = match writer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let _ = write_frame(&mut *guard, &body);
+}
+
+fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, draining: &AtomicBool) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => frames.push_bytes(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            match frames.next_frame() {
+                Ok(Some(body)) => handle_frame(&body, engine, queue, &writer),
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is lost; report and hang up.
+                    send(
+                        &writer,
+                        &Response::Error {
+                            id: 0,
+                            reason: Reason::BadRequest,
+                            detail: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_frame(
+    body: &str,
+    engine: &Engine,
+    queue: &AdmissionQueue,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    let req = match decode_request(body) {
+        Ok(r) => r,
+        Err(detail) => {
+            send(writer, &Response::Error { id: 0, reason: Reason::BadRequest, detail });
+            return;
+        }
+    };
+    let q = match req {
+        Request::Ping => {
+            send(writer, &Response::Pong);
+            return;
+        }
+        Request::Query(q) => q,
+    };
+    obs_count!("serve.requests", 1);
+    if q.features.len() != engine.input_dim() {
+        send(
+            writer,
+            &Response::Error {
+                id: q.id,
+                reason: Reason::BadRequest,
+                detail: format!(
+                    "expected {} features, got {}",
+                    engine.input_dim(),
+                    q.features.len()
+                ),
+            },
+        );
+        return;
+    }
+    if q.top_k == 0 {
+        send(
+            writer,
+            &Response::Error {
+                id: q.id,
+                reason: Reason::BadRequest,
+                detail: "top_k must be at least 1".to_string(),
+            },
+        );
+        return;
+    }
+    let deadline = q.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let w = Arc::clone(writer);
+    let pending = PendingQuery {
+        id: q.id,
+        features: q.features,
+        top_k: q.top_k,
+        deadline,
+        reply: Box::new(move |resp| send(&w, &resp)),
+    };
+    match queue.submit(pending) {
+        Ok(()) => {}
+        Err((shed, SubmitError::Overloaded)) => {
+            obs_count!("serve.shed", 1);
+            send(
+                writer,
+                &Response::Error {
+                    id: shed.id,
+                    reason: Reason::Overloaded,
+                    detail: "admission queue full".to_string(),
+                },
+            );
+        }
+        Err((shed, SubmitError::Draining)) => {
+            send(
+                writer,
+                &Response::Error {
+                    id: shed.id,
+                    reason: Reason::Draining,
+                    detail: "server is draining".to_string(),
+                },
+            );
+        }
+    }
+}
+
+fn batch_worker(engine: &Engine, queue: &AdmissionQueue, policy: BatchPolicy) {
+    while let Some(batch) = queue.next_batch(&policy) {
+        run_batch(engine, batch);
+    }
+}
+
+fn run_batch(engine: &Engine, batch: Vec<PendingQuery>) {
+    obs_span!("serve_batch");
+    registry::histogram_record("serve.batch.size", batch.len() as f64);
+    // Expire at dequeue time: a deadline that passed while queued means the
+    // client has given up; encoding it would only delay live queries.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.deadline.is_some_and(|d| d <= now) {
+            obs_count!("serve.deadline_exceeded", 1);
+            let id = p.id;
+            (p.reply)(Response::Error {
+                id,
+                reason: Reason::DeadlineExceeded,
+                detail: "deadline passed while queued".to_string(),
+            });
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let cols = engine.input_dim();
+    let mut flat = Vec::with_capacity(live.len() * cols);
+    for p in &live {
+        flat.extend_from_slice(&p.features);
+    }
+    let codes = engine.encode(&Matrix::from_vec(live.len(), cols, flat));
+    for (i, p) in live.into_iter().enumerate() {
+        let hits = engine.search(&codes, i, p.top_k);
+        obs_count!("serve.answered", 1);
+        (p.reply)(Response::Hits { id: p.id, hits });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_linalg::rng::seeded;
+
+    #[test]
+    fn engine_rejects_width_mismatch() {
+        let mut rng = seeded(3);
+        let model = Mlp::hashing_network(4, &[], 8, &mut rng);
+        let db = BitCodes::from_bools(&[vec![true; 6]]);
+        match Engine::new(model, &db, 2) {
+            Err(ServeError::Config(msg)) => {
+                assert!(msg.contains("8-bit") && msg.contains("6-bit"), "{msg}");
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("mismatched widths accepted"),
+        }
+    }
+
+    #[test]
+    fn batched_encode_rows_match_single_row_encodes() {
+        let mut rng = seeded(11);
+        let model = Mlp::hashing_network(6, &[5], 16, &mut rng);
+        let db_input = uhscm_linalg::rng::gauss_matrix(&mut rng, 20, 6, 1.0);
+        let db = BitCodes::from_real(&model.infer(&db_input));
+        let engine = Engine::new(model, &db, 3).expect("widths match");
+
+        let queries = uhscm_linalg::rng::gauss_matrix(&mut rng, 7, 6, 1.0);
+        let batched = engine.encode(&queries);
+        for i in 0..queries.rows() {
+            let single = engine.encode(&Matrix::from_vec(1, 6, queries.row(i).to_vec()));
+            assert_eq!(single.code(0), batched.code(i), "row {i}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Sharded read-only Hamming index.
+//!
+//! The database codes are split into contiguous index bands with
+//! [`uhscm_linalg::par::partition`] — the same splitter the offline eval
+//! path uses — and each band gets its own [`HammingRanker`]. A query fans
+//! out to every shard, collects each shard's local top-`n` with distances,
+//! shifts local indices back to global ones, and merges with
+//! [`uhscm_eval::merge_top_n`].
+//!
+//! Determinism contract: because shards are *contiguous* bands in original
+//! database order, a shard-local `(distance, local_index)` ordering plus the
+//! band offset is exactly the global `(distance, global_index)` ordering
+//! restricted to that band, and the lexicographic merge therefore reproduces
+//! single-shard [`HammingRanker::rank_top_n`] output bit-for-bit at any
+//! shard count. The loopback tests and `crates/eval`'s crafted-tie tests
+//! both pin this.
+
+use uhscm_eval::{merge_top_n, BitCodes, HammingRanker};
+use uhscm_linalg::par;
+use uhscm_obs::obs_span;
+
+struct Shard {
+    /// Global index of this shard's first code.
+    offset: u32,
+    ranker: HammingRanker,
+}
+
+/// A read-only Hamming index split into contiguous shards, one ranker per
+/// shard, searched fan-out/merge.
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    len: usize,
+    bits: usize,
+}
+
+impl ShardedIndex {
+    /// Split `db` into `num_shards` contiguous bands (clamped to `1..=len`
+    /// non-empty bands; an empty database yields zero shards).
+    pub fn new(db: &BitCodes, num_shards: usize) -> Self {
+        let len = db.len();
+        let bits = db.bits();
+        let shards = par::partition(len, num_shards.max(1))
+            .into_iter()
+            .map(|band| Shard {
+                offset: band.start as u32,
+                ranker: HammingRanker::new(db.slice(band)),
+            })
+            .collect();
+        Self { shards, len, bits }
+    }
+
+    /// Total number of database codes across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of non-empty shards actually created.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global top-`n` for query `qi` of `queries`, as `(distance,
+    /// global_index)` pairs in ascending `(distance, index)` order — the
+    /// offline ranker's counting-sort tie-break contract.
+    ///
+    /// Shards are searched via [`par::par_map_chunks`], so the fan-out uses
+    /// the same deterministic worker pool as the dense kernels (and runs
+    /// serially under a serial plan, bit-for-bit identically).
+    pub fn search(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
+        obs_span!("serve_search");
+        if n == 0 || self.shards.is_empty() {
+            return Vec::new();
+        }
+        // Work estimate: one popcount pass over every stored word.
+        let words = self.bits.div_ceil(64).max(1);
+        let per_shard: Vec<Vec<(u32, u32)>> =
+            par::par_map_chunks(self.shards.len(), self.len * words, |chunk| {
+                chunk
+                    .map(|s| {
+                        let shard = &self.shards[s];
+                        shard
+                            .ranker
+                            .rank_top_n_with_dist(queries, qi, n)
+                            .into_iter()
+                            .map(|(d, j)| (d, j + shard.offset))
+                            .collect::<Vec<(u32, u32)>>()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        merge_top_n(&per_shard, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhscm_eval::BitCodes;
+
+    /// Deterministic toy codes with heavy distance ties.
+    fn toy_codes(n: usize, bits: usize) -> BitCodes {
+        let rows: Vec<Vec<bool>> =
+            (0..n).map(|i| (0..bits).map(|b| (i >> (b % 4)) & 1 == 1).collect()).collect();
+        BitCodes::from_bools(&rows)
+    }
+
+    #[test]
+    fn sharded_search_matches_single_ranker_at_all_shard_counts() {
+        let db = toy_codes(33, 7);
+        let queries = toy_codes(5, 7);
+        let oracle = HammingRanker::new(db.clone());
+        for shards in [1usize, 2, 4, 9, 33, 64] {
+            let index = ShardedIndex::new(&db, shards);
+            for qi in 0..queries.len() {
+                for n in [0usize, 1, 3, 10, 33, 50] {
+                    let got = index.search(&queries, qi, n);
+                    let want = oracle.rank_top_n_with_dist(&queries, qi, n);
+                    assert_eq!(got, want, "shards={shards} qi={qi} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_no_hits() {
+        let db = BitCodes::from_bools(&Vec::<Vec<bool>>::new());
+        let index = ShardedIndex::new(&db, 4);
+        assert!(index.is_empty());
+        assert_eq!(index.num_shards(), 0);
+        let queries = toy_codes(1, 0);
+        assert_eq!(index.search(&queries, 0, 5), Vec::new());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_database_size() {
+        let db = toy_codes(3, 4);
+        let index = ShardedIndex::new(&db, 16);
+        assert_eq!(index.num_shards(), 3);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.bits(), 4);
+    }
+}

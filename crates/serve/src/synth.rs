@@ -1,0 +1,72 @@
+//! Seeded synthetic serving workloads.
+//!
+//! The loopback tests, the CI smoke test and the load generator all need a
+//! model + database + query stream without running the full training
+//! pipeline. Everything here is derived from a single seed through the
+//! workspace RNG, so every consumer of the same parameters sees the same
+//! bytes — which is what lets the loopback test compare online answers
+//! against an offline oracle built independently from the same seed.
+
+use uhscm_eval::BitCodes;
+use uhscm_linalg::rng::{gauss_matrix, seeded};
+use uhscm_linalg::Matrix;
+use uhscm_nn::Mlp;
+
+/// A ready-to-serve synthetic corpus.
+pub struct SynthWorkload {
+    /// Untrained (but fixed-seed) hashing network.
+    pub model: Mlp,
+    /// Database codes: the model's encoding of `n_db` Gaussian features.
+    pub db: BitCodes,
+    /// Query feature rows (`n_queries x dim`), NOT yet encoded.
+    pub queries: Matrix,
+}
+
+/// Deterministically build a workload: a `dim → dim/2 → bits` hashing
+/// network, `n_db` database vectors encoded through it, and `n_queries`
+/// held-out query vectors.
+pub fn workload(
+    seed: u64,
+    dim: usize,
+    bits: usize,
+    n_db: usize,
+    n_queries: usize,
+) -> SynthWorkload {
+    let mut rng = seeded(seed);
+    let model = Mlp::hashing_network(dim, &[dim.div_ceil(2).max(1)], bits, &mut rng);
+    let db_features = gauss_matrix(&mut rng, n_db, dim, 1.0);
+    let db = BitCodes::from_real(&model.infer(&db_features));
+    let queries = gauss_matrix(&mut rng, n_queries, dim, 1.0);
+    SynthWorkload { model, db, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = workload(5, 8, 16, 30, 4);
+        let b = workload(5, 8, 16, 30, 4);
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.queries.as_slice(), b.queries.as_slice());
+        assert_eq!(a.model.flat_params(), b.model.flat_params());
+    }
+
+    #[test]
+    fn different_seed_different_db() {
+        let a = workload(5, 8, 16, 30, 4);
+        let b = workload(6, 8, 16, 30, 4);
+        assert_ne!(a.db, b.db);
+    }
+
+    #[test]
+    fn shapes_are_as_requested() {
+        let w = workload(1, 7, 12, 19, 3);
+        assert_eq!(w.db.len(), 19);
+        assert_eq!(w.db.bits(), 12);
+        assert_eq!(w.queries.shape(), (3, 7));
+        assert_eq!(w.model.input_dim(), 7);
+        assert_eq!(w.model.output_dim(), 12);
+    }
+}

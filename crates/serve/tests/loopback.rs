@@ -1,0 +1,284 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, a real
+//! TCP client, and the offline evaluation pipeline as the oracle.
+//!
+//! Concurrency on the client side comes from *pipelining* — writing many
+//! frames before reading any responses — rather than client threads, so the
+//! batch worker genuinely coalesces queries while the test itself stays
+//! single-threaded (the `raw-thread` lint allows OS threads only inside
+//! `linalg::par` and the serve worker pool).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use uhscm_eval::{BitCodes, HammingRanker};
+use uhscm_serve::{
+    encode_request, read_frame_blocking, synth, write_frame, Engine, FrameReader, QueryRequest,
+    Reason, Request, Response, ServeConfig, Server,
+};
+
+/// A blocking test client over one connection.
+struct Client {
+    stream: TcpStream,
+    frames: FrameReader,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect to loopback");
+        stream.set_read_timeout(Some(Duration::from_secs(20))).expect("set client read timeout");
+        stream.set_nodelay(true).expect("set nodelay");
+        Client { stream, frames: FrameReader::new() }
+    }
+
+    fn send(&mut self, req: &Request) {
+        write_frame(&mut self.stream, &encode_request(req)).expect("client write");
+    }
+
+    fn recv(&mut self) -> Response {
+        let body =
+            read_frame_blocking(&mut self.stream, &mut self.frames).expect("client read frame");
+        uhscm_serve::decode_response(&body).expect("client decode response")
+    }
+}
+
+fn query(id: u64, features: &[f64], top_k: usize, deadline_ms: Option<u64>) -> Request {
+    Request::Query(QueryRequest { id, features: features.to_vec(), top_k, deadline_ms })
+}
+
+/// Few bits + many database codes = dense distance ties, including across
+/// shard boundaries: exactly the regime where a sloppy merge would diverge
+/// from the offline tie-break order.
+const SEED: u64 = 42;
+const DIM: usize = 8;
+const BITS: usize = 6;
+const N_DB: usize = 48;
+const N_QUERIES: usize = 12;
+
+#[test]
+fn online_hits_are_bitwise_identical_to_the_offline_oracle_at_every_shard_count() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, N_QUERIES);
+
+    // Offline oracle: encode all queries in one batch, rank on one shard.
+    let oracle_codes = BitCodes::from_real(&w.model.infer(&w.queries));
+    let oracle = HammingRanker::new(w.db.clone());
+    let top_k = 10;
+
+    for shards in [1usize, 2, 4] {
+        let engine = Engine::new(w.model.clone(), &w.db, shards).expect("widths match");
+        assert_eq!(engine.num_shards(), shards);
+        assert_eq!(engine.db_len(), N_DB);
+        assert_eq!(engine.bits(), BITS);
+        let config = ServeConfig {
+            shards,
+            // Generous straggler window: the pipelined burst below lands in
+            // few (usually one) genuinely multi-query batches.
+            max_wait: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(engine, &config).expect("server starts");
+        let mut client = Client::connect(&server);
+
+        // Pipeline every query before reading anything.
+        for qi in 0..N_QUERIES {
+            client.send(&query(qi as u64, w.queries.row(qi), top_k, None));
+        }
+        for _ in 0..N_QUERIES {
+            match client.recv() {
+                Response::Hits { id, hits } => {
+                    let qi = id as usize;
+                    let want = oracle.rank_top_n_with_dist(&oracle_codes, qi, top_k);
+                    assert_eq!(hits, want, "shards={shards} query={qi}");
+                }
+                other => panic!("shards={shards}: unexpected response {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn ping_pong_and_structured_bad_requests() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 1);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let server = Server::start(engine, &ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    client.send(&Request::Ping);
+    assert_eq!(client.recv(), Response::Pong);
+    assert_eq!(server.queue_depth(), 0, "ping must not occupy a queue slot");
+
+    // Wrong feature dimension: rejected with a reason, connection survives.
+    client.send(&query(5, &[1.0, 2.0], 3, None));
+    match client.recv() {
+        Response::Error { id, reason, detail } => {
+            assert_eq!(id, 5);
+            assert_eq!(reason, Reason::BadRequest);
+            assert!(detail.contains("features"), "unhelpful detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // top_k == 0 is meaningless: also a structured rejection.
+    client.send(&query(6, w.queries.row(0), 0, None));
+    match client.recv() {
+        Response::Error { id, reason, .. } => {
+            assert_eq!((id, reason), (6, Reason::BadRequest));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Malformed JSON in a well-formed frame: structured reject too.
+    write_frame(&mut client.stream, "{not json").expect("client write");
+    match client.recv() {
+        Response::Error { reason, detail, .. } => {
+            assert_eq!(reason, Reason::BadRequest);
+            assert!(detail.contains("bad JSON"), "unhelpful detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The connection is still usable after all those rejections.
+    client.send(&Request::Ping);
+    assert_eq!(client.recv(), Response::Pong);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_already_expired_is_rejected_without_encoding() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 2);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let server = Server::start(engine, &ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // deadline_ms = 0: the deadline passes the instant the query is
+    // admitted, so dequeue must observe it as expired — deterministically.
+    client.send(&query(1, w.queries.row(0), 5, Some(0)));
+    match client.recv() {
+        Response::Error { id, reason, .. } => {
+            assert_eq!((id, reason), (1, Reason::DeadlineExceeded));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A sibling query with a roomy deadline still gets answered.
+    client.send(&query(2, w.queries.row(1), 5, Some(10_000)));
+    match client.recv() {
+        Response::Hits { id, hits } => {
+            assert_eq!(id, 2);
+            assert_eq!(hits.len(), 5);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_an_explicit_reason() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 2);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    // One queue slot, and a straggler window long enough that the first
+    // query is still occupying that slot when the second arrives (the batch
+    // worker keeps queries queued while it waits for the batch to fill).
+    let config = ServeConfig {
+        queue_cap: 1,
+        max_batch: 8,
+        max_wait: Duration::from_millis(400),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine, &config).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    client.send(&query(1, w.queries.row(0), 3, None));
+    client.send(&query(2, w.queries.row(1), 3, None));
+
+    // The shed reply is written immediately by the connection thread; the
+    // admitted query's hits follow once the straggler window closes.
+    match client.recv() {
+        Response::Error { id, reason, detail } => {
+            assert_eq!((id, reason), (2, Reason::Overloaded));
+            assert!(detail.contains("queue"), "unhelpful detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.recv() {
+        Response::Hits { id, .. } => assert_eq!(id, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_answers_admitted_queries_then_stops_listening() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 4);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let config = ServeConfig { max_wait: Duration::from_millis(200), ..ServeConfig::default() };
+    let server = Server::start(engine, &config).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::connect(&server);
+
+    for qi in 0..4u64 {
+        client.send(&query(qi, w.queries.row(qi as usize), 4, None));
+    }
+    // The connection thread answers frames in order, so the pong proves all
+    // four queries were admitted before we start draining (queries landing
+    // after the drain flag would legitimately be rejected instead).
+    client.send(&Request::Ping);
+    assert_eq!(client.recv(), Response::Pong);
+    // Shutdown while the straggler window is still open: every admitted
+    // query must be answered before shutdown() returns.
+    server.shutdown();
+
+    let mut answered = 0;
+    for _ in 0..4 {
+        match client.recv() {
+            Response::Hits { .. } => answered += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(answered, 4);
+
+    // The listener is gone: nobody is accepting anymore.
+    assert!(TcpStream::connect(addr).is_err(), "listener survived shutdown");
+}
+
+#[test]
+fn batched_and_sequential_queries_agree_with_each_other() {
+    // The same queries sent one-at-a-time (sequential batches of 1) and in
+    // one pipelined burst (coalesced batches) must produce identical hits:
+    // batch composition must not leak into results.
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 6);
+    let top_k = 7;
+
+    let run = |max_wait: Duration, pipelined: bool| -> Vec<Vec<(u32, u32)>> {
+        let engine = Engine::new(w.model.clone(), &w.db, 4).expect("widths match");
+        let config = ServeConfig { max_wait, ..ServeConfig::default() };
+        let server = Server::start(engine, &config).expect("server starts");
+        let mut client = Client::connect(&server);
+        let mut out = vec![Vec::new(); 6];
+        if pipelined {
+            for qi in 0..6u64 {
+                client.send(&query(qi, w.queries.row(qi as usize), top_k, None));
+            }
+            for _ in 0..6 {
+                match client.recv() {
+                    Response::Hits { id, hits } => out[id as usize] = hits,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        } else {
+            for qi in 0..6u64 {
+                client.send(&query(qi, w.queries.row(qi as usize), top_k, None));
+                match client.recv() {
+                    Response::Hits { id, hits } => out[id as usize] = hits,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        server.shutdown();
+        out
+    };
+
+    let sequential = run(Duration::ZERO, false);
+    let coalesced = run(Duration::from_millis(50), true);
+    assert_eq!(sequential, coalesced);
+}

@@ -30,4 +30,12 @@ for b in table1 table2 figure2 figure3 figure4 table3 figure5 figure6; do
   ./target/release/$b --scale full > results/$b.out 2> results/$b.err
   echo "=== DONE $b $(date +%T) rc=$? ===" >> results/experiments.log
 done
+
+# Serving benchmark: the loadgen client drives an in-process uhscm-serve
+# instance over loopback TCP and refreshes BENCH_serve.json (latency
+# percentiles, throughput, batch-size distribution, shed rate).
+echo "=== START loadgen $(date +%T) ===" >> results/experiments.log
+cargo run --release -p uhscm-serve --bin loadgen > results/loadgen.out 2> results/loadgen.err
+echo "=== DONE loadgen $(date +%T) rc=$? ===" >> results/experiments.log
+
 echo "ALL_EXPERIMENTS_DONE" >> results/experiments.log

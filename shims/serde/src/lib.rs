@@ -118,6 +118,15 @@ impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V>
     }
 }
 
+impl Serialize for Value {
+    /// A hand-built [`Value`] tree is its own serialization — this lets
+    /// callers with dynamic shapes (e.g. the serve wire protocol) feed
+    /// `serde_json::to_string` directly.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,15 @@
 //! uhscm eval    --bundle DIR          # MAP over the bundle's query split
 //! uhscm query   --bundle DIR --id Q [--top K]
 //! uhscm info    --bundle DIR
+//! uhscm serve   --bundle DIR [--addr HOST:PORT] [--shards N]
+//!               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
 //! ```
+//!
+//! `serve` puts the bundle behind the `uhscm-serve` TCP front-end (sharded
+//! Hamming index, batched encoding, admission control). It prints the bound
+//! address, then drains gracefully when stdin closes — which lets scripts
+//! and the CI smoke test drive a full start → query → drain cycle without
+//! signals.
 
 use crate::core::pipeline::{Pipeline, SimilaritySource};
 use crate::core::UhscmConfig;
@@ -36,7 +44,33 @@ pub enum Command {
     Eval { bundle: PathBuf },
     Query { bundle: PathBuf, id: usize, top: usize },
     Info { bundle: PathBuf },
+    Serve(ServeArgs),
     Help,
+}
+
+/// Arguments of `uhscm serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    pub bundle: PathBuf,
+    pub addr: String,
+    pub shards: usize,
+    pub max_batch: usize,
+    pub max_wait_ms: u64,
+    pub queue_cap: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let config = uhscm_serve::ServeConfig::default();
+        Self {
+            bundle: PathBuf::from("uhscm-bundle"),
+            addr: config.addr,
+            shards: config.shards,
+            max_batch: config.max_batch,
+            max_wait_ms: config.max_wait.as_millis() as u64,
+            queue_cap: config.queue_cap,
+        }
+    }
 }
 
 /// Arguments of `uhscm train`.
@@ -103,6 +137,8 @@ USAGE:
   uhscm eval  --bundle DIR
   uhscm query --bundle DIR --id QUERY_INDEX [--top K]
   uhscm info  --bundle DIR
+  uhscm serve --bundle DIR [--addr HOST:PORT] [--shards N]
+              [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
 
 GLOBAL FLAGS:
   --trace-out FILE   write a JSON-lines telemetry trace to FILE and print a
@@ -209,6 +245,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Query { bundle: bundle(&flags)?, id, top })
         }
         "info" => Ok(Command::Info { bundle: bundle(&flags)? }),
+        "serve" => {
+            let mut s = ServeArgs { bundle: bundle(&flags)?, ..ServeArgs::default() };
+            for (k, v) in &flags {
+                match k.as_str() {
+                    "bundle" => {}
+                    "addr" => s.addr = v.clone(),
+                    "shards" => s.shards = parse_num(k, v)?,
+                    "max-batch" => s.max_batch = parse_num(k, v)?,
+                    "max-wait-ms" => s.max_wait_ms = parse_num(k, v)? as u64,
+                    "queue-cap" => s.queue_cap = parse_num(k, v)?,
+                    other => return Err(CliError::Usage(format!("unknown flag --{other}"))),
+                }
+            }
+            Ok(Command::Serve(s))
+        }
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -237,6 +288,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         Command::Eval { bundle } => run_eval(bundle),
         Command::Query { bundle, id, top } => run_query(bundle, *id, *top),
         Command::Info { bundle } => run_info(bundle),
+        Command::Serve(args) => run_serve(args),
     }
 }
 
@@ -403,6 +455,60 @@ fn run_query(path: &Path, id: usize, top: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Serve a bundle over TCP until stdin closes, then drain gracefully.
+///
+/// Unlike the offline subcommands this one only needs `model.nn` and
+/// `db.codes` — the dataset recipe is not regenerated, so startup is fast
+/// even for large bundles. The bound address is printed (and flushed)
+/// immediately so scripts driving a piped child can discover the ephemeral
+/// port; the quiescent "close stdin to stop" loop doubles as the drain
+/// trigger for the CI smoke test.
+fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let mut net_file = fs::File::open(args.bundle.join("model.nn"))?;
+    let network =
+        Mlp::load(&mut net_file).map_err(|e| CliError::Corrupt(format!("model.nn: {e}")))?;
+    let mut codes_file = fs::File::open(args.bundle.join("db.codes"))?;
+    let db_codes = BitCodes::load(&mut codes_file)?;
+
+    let engine = uhscm_serve::Engine::new(network, &db_codes, args.shards)
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+    let config = uhscm_serve::ServeConfig {
+        addr: args.addr.clone(),
+        shards: args.shards,
+        max_batch: args.max_batch,
+        max_wait: std::time::Duration::from_millis(args.max_wait_ms),
+        queue_cap: args.queue_cap,
+    };
+    let server = uhscm_serve::Server::start(engine, &config).map_err(|e| match e {
+        uhscm_serve::ServeError::Io(io) => CliError::Io(io),
+        other => CliError::Corrupt(other.to_string()),
+    })?;
+
+    // Printed (not returned) so a parent process can read the ephemeral
+    // port while the server is still running; flush because a piped stdout
+    // is block-buffered.
+    println!(
+        "uhscm-serve listening on {} ({} shards, {} codes, {} bits; close stdin to drain)",
+        server.local_addr(),
+        server_shards(&args.shards, db_codes.len()),
+        db_codes.len(),
+        db_codes.bits()
+    );
+    std::io::stdout().flush()?;
+
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    server.shutdown();
+    Ok("uhscm-serve: drained cleanly\n".to_string())
+}
+
+/// Shards actually usable (the index clamps to the database size).
+fn server_shards(requested: &usize, db_len: usize) -> usize {
+    (*requested).clamp(1, db_len.max(1))
+}
+
 fn run_info(path: &Path) -> Result<String, CliError> {
     let bundle = load_bundle(path)?;
     Ok(format!(
@@ -446,6 +552,39 @@ mod tests {
         assert!(matches!(parse(&argv(&["train", "--bits", "lots"])), Err(CliError::Usage(_))));
         assert!(matches!(
             parse(&argv(&["query", "--bundle", "x"])), // missing --id
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_serve_with_defaults_and_overrides() {
+        let cmd = parse(&argv(&[
+            "serve",
+            "--bundle",
+            "/tmp/b",
+            "--addr",
+            "127.0.0.1:9000",
+            "--shards",
+            "4",
+            "--max-wait-ms",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.bundle, PathBuf::from("/tmp/b"));
+                assert_eq!(s.addr, "127.0.0.1:9000");
+                assert_eq!(s.shards, 4);
+                assert_eq!(s.max_wait_ms, 3);
+                assert_eq!(s.max_batch, ServeArgs::default().max_batch);
+                assert_eq!(s.queue_cap, ServeArgs::default().queue_cap);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --bundle is mandatory, unknown flags rejected.
+        assert!(matches!(parse(&argv(&["serve"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv(&["serve", "--bundle", "b", "--nope", "1"])),
             Err(CliError::Usage(_))
         ));
     }

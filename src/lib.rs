@@ -13,6 +13,7 @@
 //! | [`eval`] | `uhscm-eval` | bit codes, Hamming ranking, MAP/P@N/PR, t-SNE, hash index |
 //! | [`core`] | `uhscm-core` | concept mining, denoising, similarity matrix, hashing loss, trainer |
 //! | [`baselines`] | `uhscm-baselines` | LSH, SH, ITQ, AGH, SSDH, GH, BGAN, MLS³RDUH, CIB, UTH |
+//! | [`serve`] | `uhscm-serve` | online retrieval: sharded index, batched encoding, admission control |
 //!
 //! See the `examples/` directory for end-to-end usage and the `uhscm-bench`
 //! crate for the harness that regenerates every table and figure of the
@@ -39,4 +40,5 @@ pub use uhscm_eval as eval;
 pub use uhscm_linalg as linalg;
 pub use uhscm_nn as nn;
 pub use uhscm_obs as obs;
+pub use uhscm_serve as serve;
 pub use uhscm_vlp as vlp;

@@ -38,7 +38,8 @@
 //!
 //! The `ci` command chains the full tier-1 gate: `cargo fmt --check`, the
 //! lint above (in-process, writing `results/lint.json`), `cargo build
-//! --release` and `cargo test`.
+//! --release`, `cargo test`, and a cross-process smoke of the online
+//! retrieval service (start → query → drain, see [`smoke`]).
 
 mod allowlist;
 mod analysis;
@@ -47,6 +48,7 @@ mod json;
 mod lexer;
 mod parser;
 mod rules;
+mod smoke;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -103,7 +105,7 @@ fn usage() -> ExitCode {
 /// step.
 fn ci() -> ExitCode {
     let root = workspace_root();
-    println!("ci [1/4]: cargo fmt --all -- --check");
+    println!("ci [1/5]: cargo fmt --all -- --check");
     if !run_step(
         "cargo fmt",
         std::process::Command::new("cargo")
@@ -112,7 +114,7 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [2/4]: lint (report: results/lint.json)");
+    println!("ci [2/5]: lint (report: results/lint.json)");
     let opts = LintOpts {
         write_baseline: false,
         write_budget: false,
@@ -123,18 +125,23 @@ fn ci() -> ExitCode {
     if lint_code != 0 {
         return ExitCode::from(lint_code);
     }
-    println!("ci [3/4]: cargo build --release");
+    println!("ci [3/5]: cargo build --release");
     if !run_step(
         "cargo build",
         std::process::Command::new("cargo").args(["build", "--release"]).current_dir(&root),
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [4/4]: cargo test -q");
+    println!("ci [4/5]: cargo test -q");
     if !run_step(
         "cargo test",
         std::process::Command::new("cargo").args(["test", "-q"]).current_dir(&root),
     ) {
+        return ExitCode::from(1);
+    }
+    println!("ci [5/5]: serve smoke (start -> query -> drain)");
+    if let Err(msg) = smoke::serve_smoke(&root) {
+        eprintln!("ci: serve smoke failed: {msg}");
         return ExitCode::from(1);
     }
     println!("ci: all steps passed");

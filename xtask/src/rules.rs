@@ -268,8 +268,13 @@ fn unseeded_rng(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
 /// module is the single place allowed to touch std threads: everything
 /// else must go through its deterministic banded fan-out so that thread
 /// count, work thresholds and bitwise-reproducibility guarantees hold.
+/// Modules allowed to own OS threads: the deterministic data-parallel
+/// runtime, and the serve worker pool (acceptor / connection / batch
+/// threads are I/O-bound and routed through one audited spawn point).
+const RAW_THREAD_ALLOWED: [&str; 2] = ["crates/linalg/src/par.rs", "crates/serve/src/pool.rs"];
+
 fn raw_thread(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
-    if path == "crates/linalg/src/par.rs" {
+    if RAW_THREAD_ALLOWED.contains(&path) {
         return;
     }
     for (lineno, line) in file.masked_lines.iter().enumerate() {
@@ -285,9 +290,10 @@ fn raw_thread(path: &str, file: &MaskedFile, findings: &mut Vec<Finding>) {
                     file,
                     lineno,
                     format!(
-                        "`thread::{tok}` outside linalg::par: use \
+                        "`thread::{tok}` outside linalg::par / serve::pool: use \
                          uhscm_linalg::par (try_par_row_bands_mut / par_map_chunks) \
-                         so partitioning and thread count stay deterministic"
+                         or uhscm_serve's WorkerPool so partitioning, thread count \
+                         and shutdown joins stay in audited modules"
                     ),
                 );
             }
@@ -682,6 +688,9 @@ mod tests {
             assert_eq!(f[0].rule, "raw-thread");
         }
         assert_eq!(lint("crates/linalg/src/par.rs", src).len(), 0);
+        assert_eq!(lint("crates/serve/src/pool.rs", src).len(), 0);
+        // Only the pool module of the serve crate is exempt, not the crate.
+        assert_eq!(lint("crates/serve/src/server.rs", src).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! CI smoke test for the online retrieval service: a full cross-process
+//! start → query → drain cycle against the real `uhscm` binary.
+//!
+//! The smoke stays std-only by speaking the wire protocol by hand (it is
+//! four length bytes plus JSON) and discovering the model's input
+//! dimension from the server's own structured `bad_request` response —
+//! which conveniently also proves the error path carries machine-usable
+//! detail.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Run the smoke; returns a human-readable error on any failure.
+pub fn serve_smoke(root: &Path) -> Result<(), String> {
+    let bundle = root.join("target/serve-smoke-bundle");
+    if !bundle.join("model.nn").exists() {
+        let status = Command::new("cargo")
+            .args(["run", "-q", "--release", "-p", "uhscm", "--bin", "uhscm", "--"])
+            .args(["train", "--out"])
+            .arg(&bundle)
+            .args(["--bits", "16", "--epochs", "2"])
+            .args(["--train", "60", "--query", "15", "--database", "150"])
+            .current_dir(root)
+            .status()
+            .map_err(|e| format!("cannot run `uhscm train`: {e}"))?;
+        if !status.success() {
+            return Err(format!("`uhscm train` failed: {status}"));
+        }
+    }
+
+    let mut child = Command::new("cargo")
+        .args(["run", "-q", "--release", "-p", "uhscm", "--bin", "uhscm", "--"])
+        .args(["serve", "--bundle"])
+        .arg(&bundle)
+        .args(["--addr", "127.0.0.1:0", "--shards", "2"])
+        .current_dir(root)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn `uhscm serve`: {e}"))?;
+
+    let result = drive(&mut child);
+    if result.is_err() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
+}
+
+fn drive(child: &mut Child) -> Result<(), String> {
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut lines = BufReader::new(stdout);
+
+    // The server prints `uhscm-serve listening on HOST:PORT (...)` once up.
+    let mut banner = String::new();
+    lines.read_line(&mut banner).map_err(|e| format!("reading serve banner: {e}"))?;
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| format!("no address in serve banner: {banner:?}"))?;
+
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to served address {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+
+    // 1. Liveness.
+    write_frame(&mut stream, "{\"type\":\"ping\"}")?;
+    expect_contains(&read_frame(&mut stream)?, "\"pong\"", "ping")?;
+
+    // 2. A wrong-dimension query must come back as a structured
+    //    bad_request whose detail names the expected dimension.
+    write_frame(&mut stream, "{\"type\":\"query\",\"id\":1,\"top_k\":3,\"features\":[0.5]}")?;
+    let reject = read_frame(&mut stream)?;
+    expect_contains(&reject, "\"bad_request\"", "wrong-dim query")?;
+    let dim: usize = reject
+        .split("expected ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("no expected-dimension hint in rejection: {reject}"))?;
+
+    // 3. A well-formed query returns hits.
+    let features = vec!["0.25"; dim].join(",");
+    write_frame(
+        &mut stream,
+        &format!("{{\"type\":\"query\",\"id\":2,\"top_k\":3,\"features\":[{features}]}}"),
+    )?;
+    let hits = read_frame(&mut stream)?;
+    expect_contains(&hits, "\"hits\"", "well-formed query")?;
+
+    // 4. Drain: closing stdin asks the server to shut down gracefully.
+    drop(child.stdin.take());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => break,
+            Ok(Some(status)) => return Err(format!("serve exited uncleanly: {status}")),
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Ok(None) => return Err("serve did not drain within 30s of stdin closing".into()),
+            Err(e) => return Err(format!("waiting for serve: {e}")),
+        }
+    }
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).map_err(|e| format!("reading serve output: {e}"))?;
+    expect_contains(&rest, "drained cleanly", "drain message")?;
+    Ok(())
+}
+
+fn write_frame(stream: &mut TcpStream, body: &str) -> Result<(), String> {
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    stream.write_all(&frame).map_err(|e| format!("writing frame: {e}"))
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<String, String> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).map_err(|e| format!("reading frame length: {e}"))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > (1 << 20) {
+        return Err(format!("oversized frame ({len} bytes)"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(|e| format!("reading frame body: {e}"))?;
+    String::from_utf8(body).map_err(|_| "frame body is not UTF-8".into())
+}
+
+fn expect_contains(frame: &str, needle: &str, what: &str) -> Result<(), String> {
+    if frame.contains(needle) {
+        Ok(())
+    } else {
+        Err(format!("{what}: expected {needle} in response, got: {frame}"))
+    }
+}
