@@ -59,13 +59,13 @@ impl HammingRanker {
         }
         // When most of the database is requested, heap maintenance costs
         // more than the O(db + bits) counting sort; the prefix is the same.
+        // Distances are computed once and reused for the output pairs —
+        // re-deriving them per ranked index would double the popcount work
+        // and this branch sits on the serve hot path.
         if n * 4 >= total {
-            let mut full = self.rank(queries, qi);
-            full.truncate(n);
-            return full
-                .into_iter()
-                .map(|j| (queries.hamming(qi, &self.db, j as usize), j))
-                .collect();
+            let dists = self.distances(queries, qi);
+            let order = counting_rank(&dists, self.db.bits());
+            return order.into_iter().take(n).map(|j| (dists[j as usize], j)).collect();
         }
         let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
         for j in 0..total {

@@ -247,6 +247,40 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_queue_lock_recovers_and_keeps_serving() {
+        // A worker that panics while holding the queue mutex poisons it;
+        // every entry point goes through `recover`, so the queue must keep
+        // admitting, reporting depth, and forming batches afterwards.
+        let q = Arc::new(AdmissionQueue::new(8));
+        q.submit(query(0)).map_err(|(_, e)| e).expect("open");
+
+        let mut pool = crate::pool::WorkerPool::new();
+        {
+            let q = Arc::clone(&q);
+            pool.spawn("poison", move || {
+                let _guard = recover(&q.state);
+                panic!("die holding the queue lock");
+            })
+            .expect("spawn");
+        }
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join_all()))
+            .expect_err("worker panic must resurface at join");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied().unwrap_or_default(),
+            "die holding the queue lock"
+        );
+
+        // The mutex is now poisoned. Nothing below may panic.
+        assert_eq!(q.depth(), 1);
+        q.submit(query(1)).map_err(|(_, e)| e).expect("poisoned queue still admits");
+        let batch = q.next_batch(&FLUSH_NOW).expect("open");
+        let ids: Vec<u64> = batch.iter().map(|p| p.id).collect();
+        assert_eq!(ids, [0, 1], "arrival order survives the poisoning");
+        q.close();
+        assert!(q.next_batch(&FLUSH_NOW).is_none(), "drain still completes");
+    }
+
+    #[test]
     fn replies_are_owned_by_the_dequeued_batch() {
         let hits = Arc::new(AtomicUsize::new(0));
         let q = AdmissionQueue::new(4);

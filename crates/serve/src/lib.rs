@@ -32,8 +32,9 @@ pub mod synth;
 
 pub use batch::{AdmissionQueue, BatchPolicy, PendingQuery, SubmitError};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, read_frame_blocking,
-    write_frame, FrameReader, QueryRequest, Reason, Request, Response, MAX_FRAME,
+    decode_request, decode_response, encode_frame, encode_request, encode_response,
+    read_frame_blocking, write_frame, FrameReader, QueryRequest, Reason, Request, Response,
+    MAX_FRAME,
 };
 pub use server::{Engine, ServeConfig, ServeError, Server};
 pub use shard::ShardedIndex;

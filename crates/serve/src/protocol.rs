@@ -58,20 +58,34 @@ impl std::fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Serialize one frame (length prefix + payload) to bytes without touching
+/// any transport. Separating serialization from transmission lets callers
+/// build the frame wherever is convenient and hand the bytes to whichever
+/// thread owns the socket — no socket write ever needs to happen under a
+/// lock.
+///
+/// # Errors
+///
+/// A body over [`MAX_FRAME`] is `InvalidInput`.
+pub fn encode_frame(body: &str) -> io::Result<Vec<u8>> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"));
+    }
+    // One contiguous buffer for prefix + payload: two small writes on a TCP
+    // stream invite the Nagle / delayed-ACK stall (~40 ms per frame).
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    Ok(frame)
+}
+
 /// Write one frame (length prefix + payload).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; a body over [`MAX_FRAME`] is `InvalidInput`.
 pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
-    if body.len() > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"));
-    }
-    // One write for prefix + payload: two small writes on a TCP stream
-    // invite the Nagle / delayed-ACK stall (~40 ms per frame).
-    let mut frame = Vec::with_capacity(4 + body.len());
-    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(body.as_bytes());
+    let frame = encode_frame(body)?;
     w.write_all(&frame)?;
     w.flush()
 }
@@ -435,6 +449,14 @@ mod tests {
             }
         }
         assert_eq!(seen, vec!["\"first\"".to_string(), "\"second\"".to_string()]);
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame_bytes() {
+        let mut written = Vec::new();
+        write_frame(&mut written, "{\"type\":\"pong\"}").expect("vec write");
+        let encoded = encode_frame("{\"type\":\"pong\"}").expect("under cap");
+        assert_eq!(encoded, written);
     }
 
     #[test]

@@ -4,23 +4,29 @@
 //! Thread layout (all threads via [`crate::pool::WorkerPool`]):
 //!
 //! ```text
-//! accept ──┬── conn #1 ──┐          submit          ┌── batch worker
-//!          ├── conn #2 ──┼──▶ AdmissionQueue ──────▶┤  (encode + search,
-//!          └── conn #n ──┘   (bounded, shedding)    └──  replies via the
-//!                                                        conn's write half)
+//! accept ──┬── conn #1 ──┬─┐        submit          ┌── batch worker
+//!          ├── conn #2 …│ ├──▶ AdmissionQueue ─────▶┤  (encode + search,
+//!          │             │ │   (bounded, shedding)  └─┐ replies as frames)
+//!          │  conn-write ◀┴───────────────────────────┘
+//!          └─ (one per conn: sole owner of the write half)
 //! ```
 //!
 //! Each connection thread reads frames with a short socket timeout so it
-//! can poll the drain flag between reads; replies go through a cloned write
-//! half owned by the reply closure, so a response can land after the read
-//! loop has already exited. Shutdown: set the drain flag, close the queue
-//! (new submits answer `draining`, admitted work still runs), poke the
-//! acceptor awake, then join every thread.
+//! can poll the drain flag between reads. Replies are serialized to frame
+//! bytes by whichever thread produced them (connection thread for protocol
+//! errors, batch worker for answers) and queued to a per-connection writer
+//! thread that owns the socket's write half outright — responses stay
+//! well-framed under pipelining without ever holding a lock across a
+//! socket write, and a reply can still land after the read loop has
+//! exited. The writer exits once every sender (the read loop plus any
+//! in-flight reply closures) is gone. Shutdown: set the drain flag, close
+//! the queue (new submits answer `draining`, admitted work still runs),
+//! poke the acceptor awake, then join every thread.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use uhscm_eval::BitCodes;
@@ -31,7 +37,7 @@ use uhscm_obs::{obs_count, obs_span, registry};
 use crate::batch::{AdmissionQueue, BatchPolicy, PendingQuery, SubmitError};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    decode_request, encode_response, write_frame, FrameReader, Reason, Request, Response,
+    decode_request, encode_frame, encode_response, FrameReader, Reason, Request, Response,
 };
 use crate::shard::ShardedIndex;
 
@@ -241,15 +247,33 @@ fn accept_loop(
     conns.join_all();
 }
 
-/// Serialize responses onto the connection's write half. Write errors are
-/// ignored: the client is gone and the read loop will notice on its own.
-fn send(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
+/// Serialize a response and queue its frame bytes to the connection's
+/// writer thread. Encoding happens on the producing thread; the actual
+/// socket write happens on the writer thread, so no lock is ever held
+/// across a blocking write. Send errors are ignored: the writer is gone
+/// only when the client is, and the read loop will notice on its own.
+fn send(out: &mpsc::Sender<Vec<u8>>, resp: &Response) {
     let body = encode_response(resp);
-    let mut guard = match writer.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    let _ = write_frame(&mut *guard, &body);
+    if let Ok(frame) = encode_frame(&body) {
+        let _ = out.send(frame);
+    }
+}
+
+/// The per-connection writer: sole owner of the socket's write half.
+/// Frames arrive whole, so interleaved producers (connection thread and
+/// batch worker) can never tear each other's frames. Runs until every
+/// sender has dropped; after a write error it keeps draining so producers
+/// are never left with a wedged channel.
+fn writer_loop(mut write_half: TcpStream, rx: &mpsc::Receiver<Vec<u8>>) {
+    let mut broken = false;
+    while let Ok(frame) = rx.recv() {
+        if broken {
+            continue;
+        }
+        if write_half.write_all(&frame).and_then(|()| write_half.flush()).is_err() {
+            broken = true; // client is gone; swallow the backlog
+        }
+    }
 }
 
 fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, draining: &AtomicBool) {
@@ -257,11 +281,30 @@ fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, drain
         return;
     }
     let _ = stream.set_nodelay(true);
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+    let write_half = match stream.try_clone() {
+        Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = stream;
+    let (out, rx) = mpsc::channel::<Vec<u8>>();
+    let mut writers = WorkerPool::new();
+    if writers.spawn("conn-write", move || writer_loop(write_half, &rx)).is_err() {
+        return;
+    }
+    read_loop(stream, engine, queue, draining, &out);
+    // Drop our sender so the writer exits once every in-flight reply
+    // closure (each holds a clone) has landed, then wait for it: the last
+    // byte is on the wire before the connection thread retires.
+    drop(out);
+    writers.join_all();
+}
+
+fn read_loop(
+    mut reader: TcpStream,
+    engine: &Engine,
+    queue: &AdmissionQueue,
+    draining: &AtomicBool,
+    out: &mpsc::Sender<Vec<u8>>,
+) {
     let mut frames = FrameReader::new();
     let mut buf = [0u8; 4096];
     loop {
@@ -285,12 +328,12 @@ fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, drain
         }
         loop {
             match frames.next_frame() {
-                Ok(Some(body)) => handle_frame(&body, engine, queue, &writer),
+                Ok(Some(body)) => handle_frame(&body, engine, queue, out),
                 Ok(None) => break,
                 Err(e) => {
                     // Framing is lost; report and hang up.
                     send(
-                        &writer,
+                        out,
                         &Response::Error {
                             id: 0,
                             reason: Reason::BadRequest,
@@ -304,22 +347,17 @@ fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, drain
     }
 }
 
-fn handle_frame(
-    body: &str,
-    engine: &Engine,
-    queue: &AdmissionQueue,
-    writer: &Arc<Mutex<TcpStream>>,
-) {
+fn handle_frame(body: &str, engine: &Engine, queue: &AdmissionQueue, out: &mpsc::Sender<Vec<u8>>) {
     let req = match decode_request(body) {
         Ok(r) => r,
         Err(detail) => {
-            send(writer, &Response::Error { id: 0, reason: Reason::BadRequest, detail });
+            send(out, &Response::Error { id: 0, reason: Reason::BadRequest, detail });
             return;
         }
     };
     let q = match req {
         Request::Ping => {
-            send(writer, &Response::Pong);
+            send(out, &Response::Pong);
             return;
         }
         Request::Query(q) => q,
@@ -327,7 +365,7 @@ fn handle_frame(
     obs_count!("serve.requests", 1);
     if q.features.len() != engine.input_dim() {
         send(
-            writer,
+            out,
             &Response::Error {
                 id: q.id,
                 reason: Reason::BadRequest,
@@ -342,7 +380,7 @@ fn handle_frame(
     }
     if q.top_k == 0 {
         send(
-            writer,
+            out,
             &Response::Error {
                 id: q.id,
                 reason: Reason::BadRequest,
@@ -352,7 +390,7 @@ fn handle_frame(
         return;
     }
     let deadline = q.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let w = Arc::clone(writer);
+    let w = out.clone();
     let pending = PendingQuery {
         id: q.id,
         features: q.features,
@@ -365,7 +403,7 @@ fn handle_frame(
         Err((shed, SubmitError::Overloaded)) => {
             obs_count!("serve.shed", 1);
             send(
-                writer,
+                out,
                 &Response::Error {
                     id: shed.id,
                     reason: Reason::Overloaded,
@@ -375,7 +413,7 @@ fn handle_frame(
         }
         Err((shed, SubmitError::Draining)) => {
             send(
-                writer,
+                out,
                 &Response::Error {
                     id: shed.id,
                     reason: Reason::Draining,

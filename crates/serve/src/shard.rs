@@ -87,12 +87,14 @@ impl ShardedIndex {
                 chunk
                     .map(|s| {
                         let shard = &self.shards[s];
-                        shard
-                            .ranker
-                            .rank_top_n_with_dist(queries, qi, n)
-                            .into_iter()
-                            .map(|(d, j)| (d, j + shard.offset))
-                            .collect::<Vec<(u32, u32)>>()
+                        // Shift local indices to global ones in place: the
+                        // candidate list is already owned, so no second
+                        // per-shard vector on the query hot path.
+                        let mut hits = shard.ranker.rank_top_n_with_dist(queries, qi, n);
+                        for hit in &mut hits {
+                            hit.1 += shard.offset;
+                        }
+                        hits
                     })
                     .collect::<Vec<_>>()
             })

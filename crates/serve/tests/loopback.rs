@@ -242,6 +242,51 @@ fn graceful_drain_answers_admitted_queries_then_stops_listening() {
 }
 
 #[test]
+fn pipelined_mixed_valid_and_invalid_requests_stay_well_framed() {
+    // Rejections are produced by the connection thread, hits by the batch
+    // worker; with both racing onto one socket, every response must still
+    // arrive as a complete, decodable frame (the per-connection writer
+    // thread is the serialization point — nothing writes under a lock).
+    let w = synth::workload(SEED, DIM, BITS, N_DB, N_QUERIES);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let config = ServeConfig { max_wait: Duration::from_millis(20), ..ServeConfig::default() };
+    let server = Server::start(engine, &config).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // Pipeline the whole burst before reading anything: even ids are valid
+    // queries, odd ids carry the wrong feature dimension.
+    const BURST: u64 = 24;
+    for i in 0..BURST {
+        if i % 2 == 0 {
+            client.send(&query(i, w.queries.row((i as usize / 2) % N_QUERIES), 5, None));
+        } else {
+            client.send(&query(i, &[0.5], 5, None));
+        }
+    }
+    let mut hit_ids = std::collections::BTreeSet::new();
+    let mut err_ids = std::collections::BTreeSet::new();
+    // Client::recv decodes each frame; a torn or interleaved frame would
+    // fail right here as a framing/decode panic.
+    for _ in 0..BURST {
+        match client.recv() {
+            Response::Hits { id, hits } => {
+                assert_eq!(id % 2, 0, "hits for an invalid query {id}");
+                assert_eq!(hits.len(), 5);
+                assert!(hit_ids.insert(id), "duplicate hits for {id}");
+            }
+            Response::Error { id, reason, .. } => {
+                assert_eq!((id % 2, reason), (1, Reason::BadRequest), "id={id}");
+                assert!(err_ids.insert(id), "duplicate error for {id}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(hit_ids.len() as u64, BURST / 2);
+    assert_eq!(err_ids.len() as u64, BURST / 2);
+    server.shutdown();
+}
+
+#[test]
 fn batched_and_sequential_queries_agree_with_each_other() {
     // The same queries sent one-at-a-time (sequential batches of 1) and in
     // one pipelined burst (coalesced batches) must produce identical hits:

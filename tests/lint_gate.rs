@@ -4,10 +4,12 @@
 //! whenever a rule is violated without an allowlisted justification, or
 //! an allowlist entry goes stale. The `--json` run additionally pins the
 //! machine-readable report: it must parse (via the workspace's own JSON
-//! reader in `uhscm::obs::trace`), carry all three semantic analyses,
-//! hold the checked-in panic budget, and be determinism-clean. See
-//! `xtask/src/main.rs` for the rules and `xtask/src/analysis/` for the
-//! call-graph passes.
+//! reader in `uhscm::obs::trace`), carry all six semantic analyses
+//! (panic reachability, determinism, dead exports, lock order,
+//! blocking-under-lock, and the allocation budget), hold both checked-in
+//! budgets, report a per-pass timing for every analysis, and be
+//! determinism-clean. See `xtask/src/main.rs` for the rules and
+//! `xtask/src/analysis/` for the call-graph passes.
 
 use std::process::Command;
 use uhscm::obs::trace::{parse, Json};
@@ -50,9 +52,17 @@ fn lint_json_report_is_well_formed_and_budget_holds() {
             .unwrap_or_else(|| panic!("report missing string `{key}`"))
             .to_string()
     };
-    assert_eq!(str_of(&report, "schema"), "uhscm-lint/1");
+    assert_eq!(str_of(&report, "schema"), "uhscm-lint/2");
 
-    // All three semantic analyses must have run.
+    // All six semantic analyses must have run.
+    const ALL_ANALYSES: [&str; 6] = [
+        "panic-reachability",
+        "determinism",
+        "dead-export",
+        "lock-order",
+        "blocking-under-lock",
+        "alloc-budget",
+    ];
     let analyses: Vec<String> = report
         .get("analyses")
         .and_then(Json::as_arr)
@@ -60,8 +70,23 @@ fn lint_json_report_is_well_formed_and_budget_holds() {
         .iter()
         .filter_map(|a| a.as_str().map(str::to_string))
         .collect();
-    for want in ["panic-reachability", "determinism", "dead-export"] {
+    for want in ALL_ANALYSES {
         assert!(analyses.iter().any(|a| a == want), "analysis `{want}` missing: {analyses:?}");
+    }
+
+    // Every analysis reports a wall-time measurement.
+    let timings: Vec<String> = report
+        .get("timings")
+        .and_then(Json::as_arr)
+        .expect("report missing `timings` array")
+        .iter()
+        .map(|t| {
+            assert!(t.get("nanos").and_then(Json::as_u64).is_some(), "timing missing `nanos`");
+            str_of(t, "analysis")
+        })
+        .collect();
+    for want in ALL_ANALYSES {
+        assert!(timings.iter().any(|t| t == want), "no timing for `{want}`: {timings:?}");
     }
 
     // The panic budget holds for every root, and every reachable site
@@ -90,6 +115,30 @@ fn lint_json_report_is_well_formed_and_budget_holds() {
                 site.get("line").and_then(Json::as_u64).unwrap_or(0),
             );
         }
+    }
+
+    // The allocation budget holds for every hot-path root: each root has a
+    // pinned count in xtask/alloc.budget and its status is `ok` (over and
+    // under both fail — a stale budget hides the next regression).
+    let alloc_roots = report
+        .get("alloc_budget")
+        .and_then(|b| b.get("roots"))
+        .and_then(Json::as_arr)
+        .expect("report missing `alloc_budget.roots`");
+    assert!(alloc_roots.len() >= 5, "expected the five hot-path roots, got {}", alloc_roots.len());
+    for root in alloc_roots {
+        let name = str_of(root, "root");
+        assert_eq!(str_of(root, "status"), "ok", "alloc budget violated for root `{name}`");
+        assert!(
+            root.get("budget").and_then(Json::as_u64).is_some(),
+            "root `{name}` has no pinned budget in xtask/alloc.budget"
+        );
+        let sites = root.get("sites").and_then(Json::as_arr).expect("root missing `sites`");
+        let declared = root
+            .get("reachable_sites")
+            .and_then(Json::as_u64)
+            .expect("root missing `reachable_sites`");
+        assert_eq!(sites.len() as u64, declared, "site list disagrees with count for `{name}`");
     }
 
     // Determinism audit must be clean: unordered-map iteration on a hot

@@ -80,7 +80,12 @@ mod tests {
             ),
         ]);
         let g = Graph::build(&ws);
-        let a = analyse(&ws, &g, Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"));
+        let a = analyse(
+            &ws,
+            &g,
+            Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+            Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+        );
         let f = a
             .findings
             .iter()
@@ -115,7 +120,12 @@ mod tests {
             ),
         ]);
         let g = Graph::build(&ws);
-        let a = analyse(&ws, &g, Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"));
+        let a = analyse(
+            &ws,
+            &g,
+            Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+            Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+        );
         assert!(
             a.findings.iter().all(|f| f.rule != "hash-iter"),
             "{:?}",

@@ -1,6 +1,6 @@
 //! Semantic passes over the workspace call graph.
 //!
-//! Three analyses run on every lint (DESIGN.md §11):
+//! Six analyses run on every lint (DESIGN.md §11, §13):
 //!
 //! * **panic-reachability** ([`panic_reach`]) — BFS from the declared
 //!   hot-path roots below; every intrinsic panic site in a reachable
@@ -12,15 +12,29 @@
 //!   order can reorder float accumulation across runs.
 //! * **dead-export** ([`dead_export`]) — `pub` library functions with no
 //!   caller outside their crate (tests count) are warnings.
+//! * **lock-order** ([`locks`]) — cycles and same-lock re-entry in the
+//!   acquired-while-held graph; errors, never allowlistable.
+//! * **blocking-under-lock** ([`locks`]) — blocking operations reachable
+//!   while a guard is live; errors, allowlistable with justification
+//!   (intentional `Condvar::wait` coalescing).
+//! * **alloc-budget** ([`alloc_budget`]) — allocation sites reachable from
+//!   the hot-path roots, pinned by `xtask/alloc.budget` with the same
+//!   semantics as the panic budget (shared machinery in [`budget`]).
 
+pub mod alloc_budget;
+pub mod budget;
 pub mod dead_export;
 pub mod determinism;
+pub mod locks;
 pub mod panic_reach;
+
+pub use budget::BudgetStatus;
 
 use crate::callgraph::{Graph, Workspace};
 use crate::parser::PanicKind;
 use crate::rules::{Finding, Severity, WitnessStep};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Which functions of a root file seed the reachability walk.
 pub enum RootFns {
@@ -75,28 +89,6 @@ pub struct SiteReport {
     pub witness: Vec<WitnessStep>,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum BudgetStatus {
-    Ok,
-    /// More reachable sites than budgeted — lint fails.
-    Over,
-    /// Fewer sites than budgeted — warning to tighten the baseline.
-    Under,
-    /// Root absent from the budget file — lint fails.
-    Unlisted,
-}
-
-impl BudgetStatus {
-    pub fn label(self) -> &'static str {
-        match self {
-            BudgetStatus::Ok => "ok",
-            BudgetStatus::Over => "over",
-            BudgetStatus::Under => "under",
-            BudgetStatus::Unlisted => "unlisted",
-        }
-    }
-}
-
 /// Per-root reachability summary for the report.
 pub struct RootReport {
     pub root: &'static str,
@@ -110,31 +102,43 @@ pub struct RootReport {
 pub struct Analysis {
     pub findings: Vec<Finding>,
     pub roots: Vec<RootReport>,
+    pub alloc_roots: Vec<alloc_budget::AllocRootReport>,
+    /// `(analysis name, wall-time nanos)` per pass, report order.
+    pub timings: Vec<(&'static str, u128)>,
 }
 
-/// Run all three passes. `budget_src` is the content of
-/// `xtask/panic.budget` (`None` = file missing, an error when any root
-/// matches). Roots whose file has no matching functions in `ws` are
-/// skipped, so fixture workspaces exercise only the roots they define.
-pub fn run(ws: &Workspace, g: &Graph, budget_src: Option<&str>) -> Analysis {
+/// Run all six passes. `panic_budget_src` / `alloc_budget_src` are the
+/// contents of `xtask/panic.budget` / `xtask/alloc.budget` (`None` = file
+/// missing, an error when any root matches). Roots whose file has no
+/// matching functions in `ws` are skipped, so fixture workspaces exercise
+/// only the roots they define.
+pub fn run(
+    ws: &Workspace,
+    g: &Graph,
+    panic_budget_src: Option<&str>,
+    alloc_budget_src: Option<&str>,
+) -> Analysis {
     let mut findings = Vec::new();
     let mut roots_out = Vec::new();
-    let (budget, budget_errors) = parse_budget(budget_src);
+    let mut timings: Vec<(&'static str, u128)> = Vec::new();
+    let spec = &budget::PANIC_BUDGET;
+    let (panic_budget, budget_errors) = budget::parse(spec, panic_budget_src);
     for e in budget_errors {
-        findings.push(budget_finding(e, Severity::Error, Vec::new()));
+        findings.push(budget::finding(spec, e, Severity::Error, Vec::new()));
     }
 
     // Reachability per root; remembered for the determinism pass so its
     // findings can reuse the cheapest witness chain.
+    let t = Instant::now();
     let mut reach_witness: BTreeMap<usize, Vec<WitnessStep>> = BTreeMap::new();
     let mut budgeted_roots: Vec<&str> = Vec::new();
 
-    for spec in ROOTS {
-        let seeds = seeds_for(ws, g, spec);
+    for spec_root in ROOTS {
+        let seeds = seeds_for(ws, g, spec_root);
         if seeds.is_empty() {
             continue;
         }
-        budgeted_roots.push(spec.name);
+        budgeted_roots.push(spec_root.name);
         let parent = panic_reach::reach(ws, g, &seeds);
         let mut sites = Vec::new();
         for &n in parent.keys() {
@@ -160,95 +164,50 @@ pub fn run(ws: &Workspace, g: &Graph, budget_src: Option<&str>) -> Analysis {
             ))
         });
 
-        let allotted = budget.as_ref().and_then(|b| b.get(spec.name).copied());
+        let allotted = panic_budget.as_ref().and_then(|b| b.get(spec_root.name).copied());
         let count = sites.len() as u64;
-        let status = match allotted {
-            None if budget.is_some() => BudgetStatus::Unlisted,
-            None => BudgetStatus::Unlisted,
-            Some(b) if count > b => BudgetStatus::Over,
-            Some(b) if count < b => BudgetStatus::Under,
-            Some(_) => BudgetStatus::Ok,
+        let status = budget::status(allotted, count);
+        let witness = if status == BudgetStatus::Over {
+            sites.first().map(|s| s.witness.clone()).unwrap_or_default()
+        } else {
+            Vec::new()
         };
-        match status {
-            BudgetStatus::Over => {
-                let b = allotted.expect("Over implies a budget entry");
-                let witness = sites.first().map(|s| s.witness.clone()).unwrap_or_default();
-                findings.push(budget_finding(
-                    format!(
-                        "panic budget exceeded for root `{}`: {count} reachable panic \
-                         sites, budget {b} — remove the new site or re-baseline with \
-                         `--write-budget` and justify in the PR",
-                        spec.name
-                    ),
-                    Severity::Error,
-                    witness,
-                ));
-            }
-            BudgetStatus::Under => {
-                let b = allotted.expect("Under implies a budget entry");
-                findings.push(budget_finding(
-                    format!(
-                        "panic budget slack for root `{}`: {count} reachable panic sites, \
-                         budget {b} — tighten with `--write-budget`",
-                        spec.name
-                    ),
-                    Severity::Warning,
-                    Vec::new(),
-                ));
-            }
-            BudgetStatus::Unlisted => {
-                findings.push(budget_finding(
-                    format!(
-                        "root `{}` has no entry in xtask/panic.budget — run \
-                         `cargo run -p uhscm-xtask -- lint --write-budget`",
-                        spec.name
-                    ),
-                    Severity::Error,
-                    Vec::new(),
-                ));
-            }
-            BudgetStatus::Ok => {}
+        if let Some(f) =
+            budget::status_finding(spec, spec_root.name, allotted, count, status, witness)
+        {
+            findings.push(f);
         }
         roots_out.push(RootReport {
-            root: spec.name,
+            root: spec_root.name,
             budget: allotted,
             reachable_fns: parent.len(),
             sites,
             status,
         });
     }
+    findings.extend(budget::stale_findings(spec, &panic_budget, &budgeted_roots));
+    timings.push(("panic-reachability", t.elapsed().as_nanos()));
 
-    // Budget entries for roots that matched nothing are stale.
-    if let Some(b) = &budget {
-        for root in b.keys() {
-            if !budgeted_roots.contains(&root.as_str()) {
-                findings.push(budget_finding(
-                    format!(
-                        "stale entry `{root}` in xtask/panic.budget matches no root \
-                         with functions — remove it or run `--write-budget`"
-                    ),
-                    Severity::Error,
-                    Vec::new(),
-                ));
-            }
-        }
-    }
-
+    let t = Instant::now();
     findings.extend(determinism::run(ws, g, &reach_witness));
-    findings.extend(dead_export::run(ws, g));
-    Analysis { findings, roots: roots_out }
-}
+    timings.push(("determinism", t.elapsed().as_nanos()));
 
-fn budget_finding(message: String, severity: Severity, witness: Vec<WitnessStep>) -> Finding {
-    Finding {
-        rule: "panic-budget",
-        path: "xtask/panic.budget".to_string(),
-        line: 1,
-        key: String::new(),
-        message,
-        severity,
-        witness,
-    }
+    let t = Instant::now();
+    findings.extend(dead_export::run(ws, g));
+    timings.push(("dead-export", t.elapsed().as_nanos()));
+
+    let lock_report = locks::run(ws, g);
+    findings.extend(lock_report.lock_order);
+    timings.push(("lock-order", lock_report.order_nanos));
+    findings.extend(lock_report.blocking);
+    timings.push(("blocking-under-lock", lock_report.blocking_nanos));
+
+    let t = Instant::now();
+    let (alloc_findings, alloc_roots) = alloc_budget::run(ws, g, alloc_budget_src);
+    findings.extend(alloc_findings);
+    timings.push(("alloc-budget", t.elapsed().as_nanos()));
+
+    Analysis { findings, roots: roots_out, alloc_roots, timings }
 }
 
 /// Seed nodes for one root: non-test functions of the root file matching
@@ -274,61 +233,16 @@ fn seeds_for(ws: &Workspace, g: &Graph, spec: &RootSpec) -> Vec<usize> {
     out
 }
 
-/// Parse `xtask/panic.budget`: `#` comments and `root<TAB>count` lines.
-fn parse_budget(src: Option<&str>) -> (Option<BTreeMap<String, u64>>, Vec<String>) {
-    let Some(src) = src else {
-        return (
-            None,
-            vec!["xtask/panic.budget missing — generate it with \
-                 `cargo run -p uhscm-xtask -- lint --write-budget`"
-                .to_string()],
-        );
-    };
-    let mut map = BTreeMap::new();
-    let mut errors = Vec::new();
-    for (idx, line) in src.lines().enumerate() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split('\t');
-        let (root, count) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-        if parts.next().is_some() || root.trim().is_empty() {
-            errors.push(format!("xtask/panic.budget:{}: expected `root<TAB>count`", idx + 1));
-            continue;
-        }
-        match count.trim().parse::<u64>() {
-            Ok(n) => {
-                if map.insert(root.trim().to_string(), n).is_some() {
-                    errors.push(format!(
-                        "xtask/panic.budget:{}: duplicate root `{}`",
-                        idx + 1,
-                        root.trim()
-                    ));
-                }
-            }
-            Err(_) => errors.push(format!(
-                "xtask/panic.budget:{}: count `{}` is not a non-negative integer",
-                idx + 1,
-                count.trim()
-            )),
-        }
-    }
-    (Some(map), errors)
+/// Render `xtask/panic.budget` from a fresh analysis (for `--write-budget`).
+pub fn render_budget(roots: &[RootReport]) -> String {
+    let counts: Vec<(&str, usize)> = roots.iter().map(|r| (r.root, r.sites.len())).collect();
+    budget::render(&budget::PANIC_BUDGET, &counts)
 }
 
-/// Render the budget file from a fresh analysis (for `--write-budget`).
-pub fn render_budget(roots: &[RootReport]) -> String {
-    let mut out = String::from(
-        "# uhscm panic budget — reachable panic sites per hot-path root.\n\
-         # Format: root<TAB>count. Checked against every `xtask lint` run;\n\
-         # growth fails the lint (fix the site or regenerate with\n\
-         # `cargo run -p uhscm-xtask -- lint --write-budget` and justify in the PR).\n",
-    );
-    for r in roots {
-        out.push_str(&format!("{}\t{}\n", r.root, r.sites.len()));
-    }
-    out
+/// Render `xtask/alloc.budget` from a fresh analysis (for `--write-budget`).
+pub fn render_alloc_budget(roots: &[alloc_budget::AllocRootReport]) -> String {
+    let counts: Vec<(&str, usize)> = roots.iter().map(|r| (r.root, r.sites.len())).collect();
+    budget::render(&budget::ALLOC_BUDGET, &counts)
 }
 
 #[cfg(test)]
@@ -357,10 +271,14 @@ mod tests {
         ]
     }
 
+    /// The fixture has no allocation sites, so a zeroed alloc budget keeps
+    /// the alloc pass clean while the panic assertions run.
+    const ZERO_ALLOC: &str = "uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n";
+
     fn analyse(extra_panic: bool, budget: &str) -> Analysis {
         let ws = Workspace::from_sources(&fixture(extra_panic));
         let g = Graph::build(&ws);
-        run(&ws, &g, Some(budget))
+        run(&ws, &g, Some(budget), Some(ZERO_ALLOC))
     }
 
     #[test]
@@ -385,6 +303,23 @@ mod tests {
                 "uhscm_core::pipeline::run",
                 "uhscm_core::trainer::epoch",
                 "uhscm_core::trainer::loss"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_six_passes_report_timings() {
+        let a = analyse(false, "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n");
+        let names: Vec<&str> = a.timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "panic-reachability",
+                "determinism",
+                "dead-export",
+                "lock-order",
+                "blocking-under-lock",
+                "alloc-budget"
             ]
         );
     }
@@ -435,11 +370,16 @@ mod tests {
     fn missing_budget_file_is_an_error() {
         let ws = Workspace::from_sources(&fixture(false));
         let g = Graph::build(&ws);
-        let a = run(&ws, &g, None);
+        let a = run(&ws, &g, None, Some(ZERO_ALLOC));
         assert!(a
             .findings
             .iter()
             .any(|f| f.rule == "panic-budget" && f.message.contains("missing")));
+        let b = run(&ws, &g, Some("uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n"), None);
+        assert!(b
+            .findings
+            .iter()
+            .any(|f| f.rule == "alloc-budget" && f.message.contains("missing")));
     }
 
     #[test]
@@ -448,8 +388,10 @@ mod tests {
         let rendered = render_budget(&a.roots);
         assert!(rendered.contains("uhscm_core::pipeline\t1"));
         assert!(rendered.contains("uhscm_core::trainer\t1"));
-        let (parsed, errs) = parse_budget(Some(&rendered));
+        let (parsed, errs) = budget::parse(&budget::PANIC_BUDGET, Some(&rendered));
         assert!(errs.is_empty());
         assert_eq!(parsed.unwrap().len(), 2);
+        let alloc_rendered = render_alloc_budget(&a.alloc_roots);
+        assert!(alloc_rendered.contains("uhscm_core::pipeline\t0"));
     }
 }

@@ -1,12 +1,13 @@
 //! Hand-rolled JSON rendering for `lint --json` (std-only, no serde).
 //!
-//! Schema `uhscm-lint/1`:
+//! Schema `uhscm-lint/2` (v1 + lock/alloc passes and per-pass timings):
 //!
 //! ```text
 //! {
-//!   "schema": "uhscm-lint/1",
+//!   "schema": "uhscm-lint/2",
 //!   "files_scanned": N,
-//!   "analyses": ["panic-reachability", "determinism", "dead-export"],
+//!   "analyses": ["panic-reachability", "determinism", "dead-export",
+//!                "lock-order", "blocking-under-lock", "alloc-budget"],
 //!   "findings": [{rule, severity, path, line, message, allowed,
 //!                 witness: [{fn, path, line}]}],
 //!   "panic_budget": {
@@ -14,13 +15,22 @@
 //!     "roots": [{root, budget, reachable_fns, reachable_sites, status,
 //!                sites: [{kind, path, line, fn, witness: [...]}]}]
 //!   },
+//!   "alloc_budget": {
+//!     "budget_path": "xtask/alloc.budget",
+//!     "roots": [{root, budget, reachable_fns, reachable_sites, status,
+//!                sites: [{kind, path, line, fn}]}]
+//!   },
+//!   "timings": [{analysis, nanos}],
 //!   "summary": {findings, errors, warnings, allowlisted}
 //! }
 //! ```
 //!
+//! Alloc sites carry no per-site witness (the vocabulary is too dense);
+//! the over-budget finding carries one chain instead.
 //! `findings[*].allowed` entries are baselined in `xtask/lint.allow`;
 //! `summary.errors` counts only non-allowed errors (the exit-code signal).
 
+use crate::analysis::alloc_budget::AllocRootReport;
 use crate::analysis::RootReport;
 use crate::rules::{Finding, WitnessStep};
 
@@ -62,15 +72,21 @@ pub struct Report<'a> {
     pub files_scanned: usize,
     pub findings: &'a [(&'a Finding, bool)],
     pub roots: &'a [RootReport],
+    pub alloc_roots: &'a [AllocRootReport],
+    /// `(analysis name, wall-time nanos)` per pass.
+    pub timings: &'a [(&'static str, u128)],
     pub errors: usize,
     pub warnings: usize,
     pub allowlisted: usize,
 }
 
 pub fn render(r: &Report) -> String {
-    let mut out = String::from("{\n  \"schema\": \"uhscm-lint/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"uhscm-lint/2\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
-    out.push_str("  \"analyses\": [\"panic-reachability\", \"determinism\", \"dead-export\"],\n");
+    out.push_str(
+        "  \"analyses\": [\"panic-reachability\", \"determinism\", \"dead-export\", \
+         \"lock-order\", \"blocking-under-lock\", \"alloc-budget\"],\n",
+    );
 
     let findings: Vec<String> = r
         .findings
@@ -127,6 +143,47 @@ pub fn render(r: &Report) -> String {
         roots.join(",\n")
     ));
 
+    let alloc_roots: Vec<String> = r
+        .alloc_roots
+        .iter()
+        .map(|root| {
+            let sites: Vec<String> = root
+                .sites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "      {{\"kind\":\"{}\",\"path\":\"{}\",\"line\":{},\"fn\":\"{}\"}}",
+                        s.kind.label(),
+                        esc(&s.path),
+                        s.line,
+                        esc(&s.fn_qualified)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"root\":\"{}\",\"budget\":{},\"reachable_fns\":{},\
+                 \"reachable_sites\":{},\"status\":\"{}\",\"sites\":[\n{}\n    ]}}",
+                esc(root.root),
+                root.budget.map(|b| b.to_string()).unwrap_or_else(|| "null".to_string()),
+                root.reachable_fns,
+                root.sites.len(),
+                root.status.label(),
+                sites.join(",\n")
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"alloc_budget\": {{\"budget_path\": \"xtask/alloc.budget\", \"roots\": [\n{}\n  ]}},\n",
+        alloc_roots.join(",\n")
+    ));
+
+    let timings: Vec<String> = r
+        .timings
+        .iter()
+        .map(|(name, nanos)| format!("    {{\"analysis\":\"{}\",\"nanos\":{}}}", esc(name), nanos))
+        .collect();
+    out.push_str(&format!("  \"timings\": [\n{}\n  ],\n", timings.join(",\n")));
+
     out.push_str(&format!(
         "  \"summary\": {{\"findings\": {}, \"errors\": {}, \"warnings\": {}, \"allowlisted\": {}}}\n}}\n",
         r.findings.len(),
@@ -140,8 +197,9 @@ pub fn render(r: &Report) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::alloc_budget::{AllocRootReport, AllocSiteReport};
     use crate::analysis::{BudgetStatus, RootReport, SiteReport};
-    use crate::parser::PanicKind;
+    use crate::parser::{AllocKind, PanicKind};
     use crate::rules::{Finding, Severity, WitnessStep};
 
     #[test]
@@ -172,19 +230,39 @@ mod tests {
             }],
             status: BudgetStatus::Ok,
         }];
+        let alloc_roots = [AllocRootReport {
+            root: "uhscm_core::pipeline",
+            budget: Some(4),
+            reachable_fns: 5,
+            sites: vec![AllocSiteReport {
+                kind: AllocKind::Collect,
+                path: "crates/a/src/lib.rs".to_string(),
+                line: 9,
+                fn_qualified: "uhscm_a::f".to_string(),
+            }],
+            status: BudgetStatus::Under,
+        }];
         let out = render(&Report {
             files_scanned: 7,
             findings: &[(&finding, true)],
             roots: &roots,
+            alloc_roots: &alloc_roots,
+            timings: &[("panic-reachability", 1200), ("alloc-budget", 800)],
             errors: 0,
             warnings: 0,
             allowlisted: 1,
         });
-        assert!(out.contains("\"schema\": \"uhscm-lint/1\""));
+        assert!(out.contains("\"schema\": \"uhscm-lint/2\""));
+        assert!(out.contains("\"lock-order\""));
+        assert!(out.contains("\"blocking-under-lock\""));
         assert!(out.contains("say \\\"no\\\"\\tto unwrap\\\\panic"));
         assert!(out.contains("\"allowed\":true"));
         assert!(out.contains("\"status\":\"ok\""));
         assert!(out.contains("\"kind\":\"index\""));
+        assert!(out.contains("\"alloc_budget\""));
+        assert!(out.contains("\"kind\":\"collect\""));
+        assert!(out.contains("\"status\":\"under\""));
+        assert!(out.contains("{\"analysis\":\"alloc-budget\",\"nanos\":800}"));
         // The obs trace parser is the reference JSON reader in this
         // workspace; structural validity is asserted end-to-end in
         // tests/lint_gate.rs. Here: balanced braces as a smoke check.
@@ -197,6 +275,8 @@ mod tests {
             files_scanned: 0,
             findings: &[],
             roots: &[],
+            alloc_roots: &[],
+            timings: &[],
             errors: 0,
             warnings: 0,
             allowlisted: 0,

@@ -29,11 +29,18 @@
 //!   against `xtask/panic.budget`; growth fails, never allowlistable
 //! * `hash-iter`      — `HashMap`/`HashSet` iteration reachable from a root
 //! * `dead-export`    — `pub fn`s with no out-of-crate caller (warning)
+//! * `lock-order`     — acquired-while-held cycles and same-lock re-entry;
+//!   never allowlistable
+//! * `lock-blocking`  — blocking I/O / sleeps / joins reachable while a
+//!   guard is live (allowlistable: intentional `Condvar::wait`)
+//! * `alloc-budget`   — allocation sites reachable from hot-path roots,
+//!   checked against `xtask/alloc.budget`; growth fails, never
+//!   allowlistable
 //!
 //! Accepted findings live in `xtask/lint.allow` with mandatory one-line
 //! justifications; stale, duplicate or unknown-rule entries fail the run.
 //! Diagnostics are rustc-style `file:line` so editors can jump to them;
-//! `--json` emits the `uhscm-lint/1` report (schema in [`json`]) on stdout
+//! `--json` emits the `uhscm-lint/2` report (schema in [`json`]) on stdout
 //! with diagnostics moved to stderr.
 //!
 //! The `ci` command chains the full tier-1 gate: `cargo fmt --check`, the
@@ -62,6 +69,7 @@ fn main() -> ExitCode {
                 write_budget: args.iter().any(|a| a == "--write-budget"),
                 json_stdout: args.iter().any(|a| a == "--json"),
                 json_file: None,
+                bench_file: None,
             };
             let known = ["--write-baseline", "--write-budget", "--json"];
             if let Some(bad) = args[1..].iter().find(|a| !known.contains(&a.as_str())) {
@@ -91,10 +99,11 @@ fn usage() -> ExitCode {
          \x20                       (diagnostics go to stderr)\n\
          \x20 lint --write-baseline rewrite xtask/lint.allow from current findings,\n\
          \x20                       keeping existing justifications\n\
-         \x20 lint --write-budget   rewrite xtask/panic.budget from the current\n\
-         \x20                       panic-reachability counts\n\
-         \x20 ci                    fmt-check + lint (writes results/lint.json) +\n\
-         \x20                       release build + tests (the full tier-1 gate)"
+         \x20 lint --write-budget   rewrite xtask/panic.budget and xtask/alloc.budget\n\
+         \x20                       from the current reachability counts\n\
+         \x20 ci                    fmt-check + lint (writes results/lint.json and\n\
+         \x20                       BENCH_lint.json) + release build + tests (the\n\
+         \x20                       full tier-1 gate)"
     );
     ExitCode::from(2)
 }
@@ -114,12 +123,13 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [2/5]: lint (report: results/lint.json)");
+    println!("ci [2/5]: lint (report: results/lint.json, timings: BENCH_lint.json)");
     let opts = LintOpts {
         write_baseline: false,
         write_budget: false,
         json_stdout: false,
         json_file: Some(root.join("results/lint.json")),
+        bench_file: Some(root.join("BENCH_lint.json")),
     };
     let lint_code = lint(&opts);
     if lint_code != 0 {
@@ -180,6 +190,8 @@ struct LintOpts {
     json_stdout: bool,
     /// Also write the JSON report here (used by `ci`).
     json_file: Option<PathBuf>,
+    /// Write per-pass wall-times here (used by `ci` → `BENCH_lint.json`).
+    bench_file: Option<PathBuf>,
 }
 
 /// Run the linter; returns the process exit code (0 = clean).
@@ -218,7 +230,9 @@ fn lint(opts: &LintOpts) -> u8 {
     let graph = callgraph::Graph::build(&ws);
     let budget_path = root.join("xtask/panic.budget");
     let budget_src = std::fs::read_to_string(&budget_path).ok();
-    let analysis = analysis::run(&ws, &graph, budget_src.as_deref());
+    let alloc_budget_path = root.join("xtask/alloc.budget");
+    let alloc_budget_src = std::fs::read_to_string(&alloc_budget_path).ok();
+    let analysis = analysis::run(&ws, &graph, budget_src.as_deref(), alloc_budget_src.as_deref());
 
     if opts.write_budget {
         let rendered = analysis::render_budget(&analysis.roots);
@@ -231,6 +245,17 @@ fn lint(opts: &LintOpts) -> u8 {
             budget_path.display(),
             analysis.roots.len(),
             analysis.roots.iter().map(|r| r.sites.len()).sum::<usize>()
+        );
+        let rendered = analysis::render_alloc_budget(&analysis.alloc_roots);
+        if let Err(e) = std::fs::write(&alloc_budget_path, rendered) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", alloc_budget_path.display());
+            return 2;
+        }
+        diag!(
+            "wrote {} ({} roots, {} reachable allocation sites)",
+            alloc_budget_path.display(),
+            analysis.alloc_roots.len(),
+            analysis.alloc_roots.iter().map(|r| r.sites.len()).sum::<usize>()
         );
         return 0;
     }
@@ -251,10 +276,11 @@ fn lint(opts: &LintOpts) -> u8 {
     };
 
     if opts.write_baseline {
-        // Budget findings are never allowlistable — keep them out of the
-        // baseline (they are fixed or re-baselined via --write-budget).
+        // Budget and lock-order findings are never allowlistable — keep
+        // them out of the baseline (budgets are re-baselined via
+        // --write-budget; ordering cycles must be fixed).
         let baselinable: Vec<rules::Finding> =
-            findings.into_iter().filter(|f| f.rule != "panic-budget").collect();
+            findings.into_iter().filter(|f| rules::allowlistable(f.rule)).collect();
         let rendered = allowlist::render(&baselinable, &allow);
         if let Err(e) = std::fs::write(&allow_path, rendered) {
             eprintln!("uhscm-xtask: cannot write {}: {e}", allow_path.display());
@@ -274,7 +300,7 @@ fn lint(opts: &LintOpts) -> u8 {
     let mut allowed = 0usize;
     let mut classified: Vec<(&rules::Finding, bool)> = Vec::new();
     for f in &findings {
-        let is_allowed = f.rule != "panic-budget" && allow.covers(f);
+        let is_allowed = rules::allowlistable(f.rule) && allow.covers(f);
         classified.push((f, is_allowed));
         if is_allowed {
             allowed += 1;
@@ -305,6 +331,8 @@ fn lint(opts: &LintOpts) -> u8 {
         files_scanned: files.len(),
         findings: &classified,
         roots: &analysis.roots,
+        alloc_roots: &analysis.alloc_roots,
+        timings: &analysis.timings,
         errors: failures,
         warnings,
         allowlisted: allowed,
@@ -317,6 +345,28 @@ fn lint(opts: &LintOpts) -> u8 {
             let _ = std::fs::create_dir_all(dir);
         }
         if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+    if let Some(path) = &opts.bench_file {
+        let passes: Vec<String> = analysis
+            .timings
+            .iter()
+            .map(|(name, nanos)| {
+                format!(
+                    "    {{\"analysis\": \"{name}\", \"nanos\": {nanos}, \"millis\": {:.3}}}",
+                    *nanos as f64 / 1e6
+                )
+            })
+            .collect();
+        let bench = format!(
+            "{{\n  \"schema\": \"uhscm-bench-lint/1\",\n  \"files_scanned\": {},\n  \
+             \"passes\": [\n{}\n  ]\n}}\n",
+            files.len(),
+            passes.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, bench) {
             eprintln!("uhscm-xtask: cannot write {}: {e}", path.display());
             return 2;
         }

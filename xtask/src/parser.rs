@@ -15,16 +15,22 @@
 //!   macros, slice/collection indexing `x[..]`, and integer `/` / `%`
 //!   with a non-literal divisor;
 //! * `HashMap`/`HashSet` bindings (fields and `let`s) plus iteration
-//!   calls over them, for the determinism audit.
+//!   calls over them, for the determinism audit;
+//! * lock bindings (`Mutex`/`RwLock`/`Condvar` fields, statics, lets and
+//!   params), lock acquisitions with their guard bindings, blocking
+//!   operations (socket I/O, `thread::sleep`, channel `recv`, thread
+//!   `join`, `Condvar::wait*`) and allocation sites, for the concurrency
+//!   and allocation-budget passes.
 //!
-//! Known over-approximations are deliberate (DESIGN.md §11): a closure's
-//! body is attributed to its enclosing function, any `[` after a value
-//! token counts as indexing, and call resolution is left entirely to
-//! [`crate::callgraph`].
+//! Known over-approximations are deliberate (DESIGN.md §11, §13): a
+//! closure's body is attributed to its enclosing function, any `[` after a
+//! value token counts as indexing, a let-bound guard is assumed live to
+//! the end of the function (or an explicit `drop`), and call resolution is
+//! left entirely to [`crate::callgraph`].
 
 use crate::lexer::MaskedFile;
 use crate::rules;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One lexical token of the masked source.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +94,13 @@ pub struct PanicSite {
 pub struct Call {
     pub segments: Vec<String>,
     pub line: usize,
+    /// Identifiers appearing in the argument list (bounded scan), used to
+    /// map guard-returning calls like `recover(&self.state)` back to the
+    /// lock binding they acquire, and to spot `drop(guard)`.
+    pub args: Vec<String>,
+    /// `Some(name)` when the call result is let-bound (`let g = f(..)`,
+    /// `if let Some(w) = f(..)`); the innermost pattern identifier.
+    pub bound: Option<String>,
 }
 
 /// Iteration over a `HashMap`/`HashSet` binding (determinism audit input).
@@ -96,6 +109,95 @@ pub struct HashIter {
     pub binding: String,
     /// `iter` / `keys` / `values` / `into_iter` / `drain` / `for-in`.
     pub method: String,
+    pub line: usize,
+}
+
+/// Which lock primitive a binding was declared with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    Mutex,
+    RwLock,
+    Condvar,
+}
+
+/// How a guard is obtained at an acquisition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    /// `m.lock()` on a `Mutex` binding.
+    MutexLock,
+    /// `l.read()` on a `RwLock` binding.
+    RwRead,
+    /// `l.write()` on a `RwLock` binding.
+    RwWrite,
+}
+
+impl LockKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            LockKind::MutexLock => "lock",
+            LockKind::RwRead => "read",
+            LockKind::RwWrite => "write",
+        }
+    }
+}
+
+/// A lock acquisition inside one function body (0-based line).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// The lock binding acquired (`state` in `self.state.lock()`).
+    pub binding: String,
+    pub kind: LockKind,
+    pub line: usize,
+    /// `Some(name)` when the guard is let-bound (`let g = m.lock()`);
+    /// `None` for a temporary that dies within its own statement.
+    pub guard: Option<String>,
+}
+
+/// A potentially blocking operation (0-based line).
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// Operation label (`write_all`, `thread::sleep`, `Condvar::wait`, ..).
+    pub op: String,
+    pub line: usize,
+    /// `Condvar::wait*` atomically releases its guard, so the
+    /// blocking-under-lock pass treats it as intentional-but-reportable.
+    pub condvar_wait: bool,
+}
+
+/// Why a line allocates (the curated hot-path allocation vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AllocKind {
+    VecNew,
+    WithCapacity,
+    VecMacro,
+    Clone,
+    ToVec,
+    Collect,
+    FormatMacro,
+    StringFrom,
+    BoxNew,
+}
+
+impl AllocKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocKind::VecNew => "vec-new",
+            AllocKind::WithCapacity => "with-capacity",
+            AllocKind::VecMacro => "vec-macro",
+            AllocKind::Clone => "clone",
+            AllocKind::ToVec => "to-vec",
+            AllocKind::Collect => "collect",
+            AllocKind::FormatMacro => "format",
+            AllocKind::StringFrom => "string-from",
+            AllocKind::BoxNew => "box-new",
+        }
+    }
+}
+
+/// An allocation site inside one function body (0-based line).
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    pub kind: AllocKind,
     pub line: usize,
 }
 
@@ -122,6 +224,15 @@ pub struct FnItem {
     pub macros: Vec<Call>,
     pub panic_sites: Vec<PanicSite>,
     pub hash_iters: Vec<HashIter>,
+    /// 0-based line of the body's closing `}` (used for guard-extent
+    /// scans; equals `line` until the body closes).
+    pub end_line: usize,
+    /// Whether the signature mentions a `*Guard` type: acquisitions inside
+    /// escape to the caller instead of dying in this body.
+    pub ret_guard: bool,
+    pub lock_sites: Vec<LockSite>,
+    pub blocking_sites: Vec<BlockingSite>,
+    pub alloc_sites: Vec<AllocSite>,
 }
 
 /// Everything extracted from one source file.
@@ -132,6 +243,10 @@ pub struct ParsedFile {
     pub fns: Vec<FnItem>,
     /// Names bound to a `HashMap`/`HashSet` (struct fields and lets).
     pub hash_bindings: BTreeSet<String>,
+    /// Names bound to a lock primitive (fields, statics, lets, params).
+    pub lock_bindings: BTreeMap<String, LockClass>,
+    /// Names bound to a `TcpStream`/`TcpListener`.
+    pub net_bindings: BTreeSet<String>,
 }
 
 /// Tokenize masked lines. Strings/comments are already blanked, so only
@@ -241,6 +356,21 @@ enum Pending {
     Fn { name: String, is_pub: bool, line: usize },
 }
 
+/// A `.lock()`/`.read()`/`.write()`/`.wait*()` call awaiting receiver
+/// classification (the binding may be declared later in the file).
+struct LockCand {
+    recv: String,
+    method: String,
+    line: usize,
+    guard: Option<String>,
+}
+
+/// Method calls that block regardless of receiver type (socket/file I/O,
+/// channel receives). Over-approximate by design: a `flush` on an
+/// in-memory writer still counts (DESIGN.md §13).
+const BLOCKING_METHODS: &[&str] =
+    &["write_all", "read_exact", "read_to_end", "flush", "accept", "recv", "recv_timeout"];
+
 /// Parse one masked file into items, calls and panic sites.
 pub fn parse(file: &MaskedFile) -> ParsedFile {
     let toks = tokenize(&file.masked_lines);
@@ -249,12 +379,17 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
     // once the whole file has been scanned (fields may be declared after
     // the methods that iterate them).
     let mut raw_iters: Vec<(usize, HashIter)> = Vec::new(); // (fn index, site)
+                                                            // Lock-method candidates, filtered against `lock_bindings` /
+                                                            // `net_bindings` once the whole file has been scanned.
+    let mut raw_locks: Vec<(usize, LockCand)> = Vec::new();
 
     let mut scopes: Vec<Scope> = Vec::new();
     let mut mod_path: Vec<String> = Vec::new();
     let mut impl_ctx: Vec<(String, bool)> = Vec::new();
     let mut fn_stack: Vec<usize> = Vec::new();
     let mut pending: Option<Pending> = None;
+    // Set while a `Pending::Fn` signature mentions a `*Guard` type.
+    let mut pending_ret_guard = false;
     let mut depth = 0i64;
     let mut paren_depth = 0i64;
 
@@ -301,6 +436,11 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             macros: Vec::new(),
                             panic_sites: Vec::new(),
                             hash_iters: Vec::new(),
+                            end_line: line,
+                            ret_guard: std::mem::take(&mut pending_ret_guard),
+                            lock_sites: Vec::new(),
+                            blocking_sites: Vec::new(),
+                            alloc_sites: Vec::new(),
                         });
                         fn_stack.push(out.fns.len() - 1);
                         ScopeKind::Fn
@@ -321,7 +461,9 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             impl_ctx.pop();
                         }
                         Some(ScopeKind::Fn) => {
-                            fn_stack.pop();
+                            if let Some(fi) = fn_stack.pop() {
+                                out.fns[fi].end_line = t.line;
+                            }
                         }
                         _ => {}
                     }
@@ -331,9 +473,13 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                 // A `;` before any body means the pending item was
                 // braceless (trait method decl, `mod x;`).
                 pending = None;
+                pending_ret_guard = false;
             }
             Tok::Ident(name) => {
                 let in_sig = pending.is_some();
+                if name.ends_with("Guard") && matches!(pending, Some(Pending::Fn { .. })) {
+                    pending_ret_guard = true;
+                }
                 match name.as_str() {
                     "use" if pending.is_none() => {
                         i = parse_use(&toks, i + 1, &mut out.uses);
@@ -371,6 +517,21 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             out.hash_bindings.insert(binding);
                         }
                     }
+                    "Mutex" | "RwLock" | "Condvar" => {
+                        if let Some(binding) = generic_binding_before(&toks, i) {
+                            let class = match name.as_str() {
+                                "Mutex" => LockClass::Mutex,
+                                "RwLock" => LockClass::RwLock,
+                                _ => LockClass::Condvar,
+                            };
+                            out.lock_bindings.insert(binding, class);
+                        }
+                    }
+                    "TcpStream" | "TcpListener" => {
+                        if let Some(binding) = generic_binding_before(&toks, i) {
+                            out.net_bindings.insert(binding);
+                        }
+                    }
                     _ => {}
                 }
                 // Body-level extraction: calls, macros, iteration sites.
@@ -388,17 +549,29 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                                 &mut out.fns[fi],
                                 fi,
                                 &mut raw_iters,
+                                &mut raw_locks,
                             );
                         } else {
                             let segments = path_back(&toks, i);
-                            out.fns[fi].calls.push(Call { segments, line: t.line });
+                            let head = i - 2 * (segments.len() - 1);
+                            let call = Call {
+                                segments,
+                                line: t.line,
+                                args: call_args(&toks, after),
+                                bound: let_bound_before(&toks, head),
+                            };
+                            classify_path_call(&call, &mut out.fns[fi]);
+                            out.fns[fi].calls.push(call);
                         }
                     } else if punct(i + 1, '!')
                         && (punct(i + 2, '(') || punct(i + 2, '[') || punct(i + 2, '{'))
                     {
-                        out.fns[fi]
-                            .macros
-                            .push(Call { segments: vec![name.clone()], line: t.line });
+                        out.fns[fi].macros.push(Call {
+                            segments: vec![name.clone()],
+                            line: t.line,
+                            args: Vec::new(),
+                            bound: None,
+                        });
                         if PANIC_MACROS.contains(&name.as_str()) {
                             out.fns[fi]
                                 .panic_sites
@@ -407,6 +580,15 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             out.fns[fi]
                                 .panic_sites
                                 .push(PanicSite { kind: PanicKind::Assert, line: t.line });
+                        }
+                        if name == "vec" {
+                            out.fns[fi]
+                                .alloc_sites
+                                .push(AllocSite { kind: AllocKind::VecMacro, line: t.line });
+                        } else if name == "format" {
+                            out.fns[fi]
+                                .alloc_sites
+                                .push(AllocSite { kind: AllocKind::FormatMacro, line: t.line });
                         }
                     }
                 }
@@ -453,17 +635,102 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
         i += 1;
     }
 
+    // Unterminated bodies (truncated input): extend to the last line.
+    let last_line = file.masked_lines.len().saturating_sub(1);
+    for fi in fn_stack {
+        out.fns[fi].end_line = out.fns[fi].end_line.max(last_line);
+    }
+
     // Keep only iteration sites whose receiver is a known hash binding.
     for (fi, site) in raw_iters {
         if out.hash_bindings.contains(&site.binding) {
             out.fns[fi].hash_iters.push(site);
         }
     }
+    // Classify lock-method candidates now that all bindings are known.
+    for (fi, c) in raw_locks {
+        match c.method.as_str() {
+            "lock" => {
+                if out.lock_bindings.get(&c.recv) == Some(&LockClass::Mutex) {
+                    out.fns[fi].lock_sites.push(LockSite {
+                        binding: c.recv,
+                        kind: LockKind::MutexLock,
+                        line: c.line,
+                        guard: c.guard,
+                    });
+                }
+            }
+            "read" | "write" => {
+                if out.lock_bindings.get(&c.recv) == Some(&LockClass::RwLock) {
+                    let kind =
+                        if c.method == "read" { LockKind::RwRead } else { LockKind::RwWrite };
+                    out.fns[fi].lock_sites.push(LockSite {
+                        binding: c.recv,
+                        kind,
+                        line: c.line,
+                        guard: c.guard,
+                    });
+                } else if out.net_bindings.contains(&c.recv) {
+                    out.fns[fi].blocking_sites.push(BlockingSite {
+                        op: c.method,
+                        line: c.line,
+                        condvar_wait: false,
+                    });
+                }
+            }
+            // wait / wait_timeout / wait_while / wait_timeout_while
+            m => {
+                if out.lock_bindings.get(&c.recv) == Some(&LockClass::Condvar) {
+                    out.fns[fi].blocking_sites.push(BlockingSite {
+                        op: format!("Condvar::{m}"),
+                        line: c.line,
+                        condvar_wait: true,
+                    });
+                }
+            }
+        }
+    }
+    for f in &mut out.fns {
+        f.lock_sites.sort_by_key(|s| s.line);
+        f.blocking_sites.sort_by(|a, b| (a.line, &a.op).cmp(&(b.line, &b.op)));
+        f.alloc_sites.sort_by_key(|s| (s.line, s.kind));
+    }
     out
 }
 
-/// Record a `.name(` method call plus, when applicable, its panic or
-/// hash-iteration consequences.
+/// Record blocking/allocation consequences of a free or path call.
+fn classify_path_call(call: &Call, item: &mut FnItem) {
+    let segs = &call.segments;
+    let tail2 = |a: &str, b: &str| {
+        segs.len() >= 2 && segs[segs.len() - 2] == a && segs[segs.len() - 1] == b
+    };
+    if tail2("thread", "sleep") {
+        item.blocking_sites.push(BlockingSite {
+            op: "thread::sleep".to_string(),
+            line: call.line,
+            condvar_wait: false,
+        });
+    } else if tail2("TcpStream", "connect") {
+        item.blocking_sites.push(BlockingSite {
+            op: "TcpStream::connect".to_string(),
+            line: call.line,
+            condvar_wait: false,
+        });
+    }
+    if tail2("Vec", "new") {
+        item.alloc_sites.push(AllocSite { kind: AllocKind::VecNew, line: call.line });
+    } else if segs.last().is_some_and(|s| s == "with_capacity") {
+        item.alloc_sites.push(AllocSite { kind: AllocKind::WithCapacity, line: call.line });
+    } else if tail2("String", "from") {
+        item.alloc_sites.push(AllocSite { kind: AllocKind::StringFrom, line: call.line });
+    } else if tail2("Box", "new") {
+        item.alloc_sites.push(AllocSite { kind: AllocKind::BoxNew, line: call.line });
+    }
+}
+
+/// Record a `.name(` method call plus, when applicable, its panic,
+/// hash-iteration, lock, blocking or allocation consequences.
+#[allow(clippy::too_many_arguments)]
 fn record_method_call(
     toks: &[Token],
     i: usize,
@@ -472,8 +739,15 @@ fn record_method_call(
     item: &mut FnItem,
     fi: usize,
     raw_iters: &mut Vec<(usize, HashIter)>,
+    raw_locks: &mut Vec<(usize, LockCand)>,
 ) {
-    item.method_calls.push(Call { segments: vec![name.to_string()], line });
+    let after = skip_turbofish(toks, i + 1);
+    item.method_calls.push(Call {
+        segments: vec![name.to_string()],
+        line,
+        args: call_args(toks, after),
+        bound: let_bound_before(toks, i),
+    });
     match name {
         "unwrap" => item.panic_sites.push(PanicSite { kind: PanicKind::Unwrap, line }),
         "expect" => item.panic_sites.push(PanicSite { kind: PanicKind::Expect, line }),
@@ -487,6 +761,50 @@ fn record_method_call(
                     .push((fi, HashIter { binding: recv.clone(), method: name.to_string(), line }));
             }
         }
+    }
+    match name {
+        "lock" | "read" | "write" | "wait" | "wait_timeout" | "wait_while"
+        | "wait_timeout_while" => {
+            // Receiver-dependent: classified against the file's lock/net
+            // bindings once the whole file has been scanned.
+            if i >= 2 {
+                if let Tok::Ident(recv) = &toks[i - 2].tok {
+                    raw_locks.push((
+                        fi,
+                        LockCand {
+                            recv: recv.clone(),
+                            method: name.to_string(),
+                            line,
+                            guard: let_bound_before(toks, i),
+                        },
+                    ));
+                }
+            }
+        }
+        m if BLOCKING_METHODS.contains(&m) => {
+            item.blocking_sites.push(BlockingSite {
+                op: name.to_string(),
+                line,
+                condvar_wait: false,
+            });
+        }
+        "join" => {
+            // `handle.join()` (thread join) blocks; `parts.join(", ")`
+            // (slice join) does not — told apart by the empty arg list.
+            if matches!(toks.get(after).map(|t| &t.tok), Some(Tok::Punct('(')))
+                && matches!(toks.get(after + 1).map(|t| &t.tok), Some(Tok::Punct(')')))
+            {
+                item.blocking_sites.push(BlockingSite {
+                    op: "join".to_string(),
+                    line,
+                    condvar_wait: false,
+                });
+            }
+        }
+        "clone" => item.alloc_sites.push(AllocSite { kind: AllocKind::Clone, line }),
+        "to_vec" => item.alloc_sites.push(AllocSite { kind: AllocKind::ToVec, line }),
+        "collect" => item.alloc_sites.push(AllocSite { kind: AllocKind::Collect, line }),
+        _ => {}
     }
 }
 
@@ -813,6 +1131,47 @@ fn binding_before(toks: &[Token], mut i: usize) -> Option<String> {
     {
         i -= 2;
     }
+    binding_target(toks, i)
+}
+
+/// Like [`binding_before`], but first unwraps wrapper generics, path
+/// prefixes and reference sigils, so `state: Arc<Mutex<T>>`,
+/// `lock: &'a std::sync::Mutex<T>` and `w: &mut TcpStream` all resolve
+/// to their binding name.
+fn generic_binding_before(toks: &[Token], mut i: usize) -> Option<String> {
+    loop {
+        // `std::sync::Mutex` → hop the path prefix.
+        while i >= 2
+            && matches!(toks[i - 1].tok, Tok::ColonColon)
+            && matches!(toks[i - 2].tok, Tok::Ident(_))
+        {
+            i -= 2;
+        }
+        // `Arc<Mutex<..>>` → hop one wrapper generic and retry.
+        if i >= 2
+            && matches!(toks[i - 1].tok, Tok::Punct('<'))
+            && matches!(toks[i - 2].tok, Tok::Ident(_))
+        {
+            i -= 2;
+            continue;
+        }
+        // `&`, `mut`, `dyn` sigils (lifetimes never reach the token
+        // stream).
+        if i >= 1
+            && (matches!(toks[i - 1].tok, Tok::Punct('&'))
+                || matches!(&toks[i - 1].tok, Tok::Ident(s) if s == "mut" || s == "dyn"))
+        {
+            i -= 1;
+            continue;
+        }
+        break;
+    }
+    binding_target(toks, i)
+}
+
+/// Shared tail of the binding scans: the type at `i` either annotates a
+/// `name:` field/let/param or initializes a `let [mut] name = ...`.
+fn binding_target(toks: &[Token], i: usize) -> Option<String> {
     match toks.get(i.checked_sub(1)?).map(|t| &t.tok) {
         Some(Tok::Punct(':')) => match toks.get(i.checked_sub(2)?).map(|t| &t.tok) {
             Some(Tok::Ident(name)) => Some(name.clone()),
@@ -841,6 +1200,64 @@ fn binding_before(toks: &[Token], mut i: usize) -> Option<String> {
             None
         }
     }
+}
+
+/// Identifiers inside a call's parentheses (bounded scan from the `(` at
+/// `open`), for mapping guard-returning calls to their lock argument.
+fn call_args(toks: &[Token], open: usize) -> Vec<String> {
+    let mut args = Vec::new();
+    if !matches!(toks.get(open).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return args;
+    }
+    let mut depth = 0i64;
+    for t in toks.iter().skip(open).take(40) {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => args.push(s.clone()),
+            _ => {}
+        }
+    }
+    args
+}
+
+/// The name a call result is let-bound to — `let [mut] g = ..call..`,
+/// `if let Some(w) = ..call..` — scanning a bounded window back from the
+/// call head. Returns the innermost pattern identifier.
+fn let_bound_before(toks: &[Token], head: usize) -> Option<String> {
+    let lo = head.saturating_sub(12);
+    for j in (lo..head).rev() {
+        match &toks[j].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return None,
+            Tok::Ident(s) if s == "let" => {
+                let mut k = j + 1;
+                if matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "mut") {
+                    k += 1;
+                }
+                return match toks.get(k).map(|t| &t.tok) {
+                    Some(Tok::Ident(name)) => {
+                        // `Some(w)` / `Ok(g)` patterns: the inner name.
+                        if matches!(toks.get(k + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                            match toks.get(k + 2).map(|t| &t.tok) {
+                                Some(Tok::Ident(inner)) => Some(inner.clone()),
+                                _ => None,
+                            }
+                        } else {
+                            Some(name.clone())
+                        }
+                    }
+                    _ => None,
+                };
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -1042,5 +1459,135 @@ mod tests {
         let fs: Vec<&FnItem> = p.fns.iter().filter(|f| f.name == "f").collect();
         assert_eq!(fs.len(), 2);
         assert_ne!(fs[0].module, fs[1].module);
+    }
+
+    #[test]
+    fn lock_bindings_fields_statics_params_and_lets() {
+        let src = "struct Q { state: Mutex<u32>, ready: Condvar, idx: std::sync::RwLock<u8> }\n\
+                   static SINK: Mutex<Option<u8>> = Mutex::new(None);\n\
+                   fn f(lock: &Mutex<u32>, shared: &Arc<Mutex<u32>>) {\n\
+                       let m = Arc::new(Mutex::new(0u32));\n\
+                   }\n";
+        let p = parse_src(src);
+        for (b, class) in [
+            ("state", LockClass::Mutex),
+            ("ready", LockClass::Condvar),
+            ("idx", LockClass::RwLock),
+            ("SINK", LockClass::Mutex),
+            ("lock", LockClass::Mutex),
+            ("shared", LockClass::Mutex),
+            ("m", LockClass::Mutex),
+        ] {
+            assert_eq!(p.lock_bindings.get(b), Some(&class), "binding {b}: {:?}", p.lock_bindings);
+        }
+    }
+
+    #[test]
+    fn lock_sites_classified_by_receiver() {
+        let src = "struct S { state: Mutex<u32>, idx: RwLock<u8> }\n\
+                   impl S {\n\
+                       fn a(&self) { let g = self.state.lock(); use_it(g); }\n\
+                       fn b(&self) { self.idx.read(); self.idx.write(); }\n\
+                       fn c(&self, v: Vec<u8>) { v.lock(); v.read(); }\n\
+                   }\n";
+        let p = parse_src(src);
+        let a = &fn_named(&p, "a").lock_sites;
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].binding, "state");
+        assert_eq!(a[0].kind, LockKind::MutexLock);
+        assert_eq!(a[0].guard.as_deref(), Some("g"));
+        let b: Vec<LockKind> = fn_named(&p, "b").lock_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(b, vec![LockKind::RwRead, LockKind::RwWrite]);
+        // Temporaries carry no guard binding.
+        assert!(fn_named(&p, "b").lock_sites.iter().all(|s| s.guard.is_none()));
+        // Non-lock receivers produce no sites.
+        assert!(fn_named(&p, "c").lock_sites.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_blocking_not_a_lock_site() {
+        let src = "struct S { ready: Condvar }\n\
+                   impl S { fn w(&self, g: u32) { let _x = self.ready.wait(g); } }\n";
+        let p = parse_src(src);
+        let w = fn_named(&p, "w");
+        assert!(w.lock_sites.is_empty());
+        assert_eq!(w.blocking_sites.len(), 1);
+        assert_eq!(w.blocking_sites[0].op, "Condvar::wait");
+        assert!(w.blocking_sites[0].condvar_wait);
+    }
+
+    #[test]
+    fn guard_returning_fn_flagged() {
+        let src = "fn lockit(m: &Mutex<u32>) -> MutexGuard<u32> { m.lock() }\nfn plain() {}\n";
+        let p = parse_src(src);
+        assert!(fn_named(&p, "lockit").ret_guard);
+        assert!(!fn_named(&p, "plain").ret_guard);
+    }
+
+    #[test]
+    fn blocking_sites_detected() {
+        let src = "fn f(s: TcpStream, parts: Vec<String>) {\n\
+                       s.write_all(buf);\n\
+                       s.read(&mut buf);\n\
+                       thread::sleep(d);\n\
+                       rx.recv();\n\
+                       h.join();\n\
+                       parts.join(value);\n\
+                   }\n";
+        let p = parse_src(src);
+        let ops: Vec<&str> =
+            fn_named(&p, "f").blocking_sites.iter().map(|b| b.op.as_str()).collect();
+        assert_eq!(ops, vec!["write_all", "read", "thread::sleep", "recv", "join"]);
+    }
+
+    #[test]
+    fn alloc_sites_curated_vocabulary() {
+        let src = "fn f() {\n\
+                       let a = Vec::new();\n\
+                       let b = Vec::with_capacity(4);\n\
+                       let c = vec![0u8; 4];\n\
+                       let d = x.clone();\n\
+                       let e = s.to_vec();\n\
+                       let f2 = it.collect::<Vec<u8>>();\n\
+                       let g = format!(\"{q}\");\n\
+                       let h = String::from(raw);\n\
+                       let i2 = Box::new(3);\n\
+                   }\n";
+        let p = parse_src(src);
+        let kinds: Vec<AllocKind> = fn_named(&p, "f").alloc_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AllocKind::VecNew,
+                AllocKind::WithCapacity,
+                AllocKind::VecMacro,
+                AllocKind::Clone,
+                AllocKind::ToVec,
+                AllocKind::Collect,
+                AllocKind::FormatMacro,
+                AllocKind::StringFrom,
+                AllocKind::BoxNew,
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_end_line_tracks_closing_brace() {
+        let src = "fn f() {\n    a();\n    b();\n}\nfn g() {}\n";
+        let p = parse_src(src);
+        assert_eq!(fn_named(&p, "f").end_line, 3);
+        assert_eq!(fn_named(&p, "g").end_line, 4);
+    }
+
+    #[test]
+    fn call_args_and_let_binding_captured() {
+        let src = "fn f(q: &Q) { let mut state = recover(&q.state); }\n\
+                   fn g() { if let Some(w) = fetch().as_mut() { w.flush(); } }\n";
+        let p = parse_src(src);
+        let rec = fn_named(&p, "f").calls.iter().find(|c| c.segments == ["recover"]).unwrap();
+        assert!(rec.args.contains(&"state".to_string()));
+        assert_eq!(rec.bound.as_deref(), Some("state"));
+        let fetch = fn_named(&p, "g").calls.iter().find(|c| c.segments == ["fetch"]).unwrap();
+        assert_eq!(fetch.bound.as_deref(), Some("w"));
     }
 }

@@ -108,8 +108,10 @@ pub struct Finding {
 }
 
 /// Every rule name a finding (and therefore an allowlist entry) can carry.
-/// `panic-budget` is deliberately absent: budget regressions must be fixed
-/// or re-baselined via `--write-budget`, never allowlisted.
+/// `panic-budget`, `alloc-budget` and `lock-order` are deliberately absent:
+/// budget regressions must be fixed or re-baselined via `--write-budget`,
+/// and deadlock-shaped findings must be fixed — none of them can ever be
+/// allowlisted (see [`allowlistable`]).
 pub const ALL_RULES: &[&str] = &[
     "no-unwrap",
     "unseeded-rng",
@@ -120,7 +122,16 @@ pub const ALL_RULES: &[&str] = &[
     "panics-doc",
     "hash-iter",
     "dead-export",
+    "lock-blocking",
 ];
+
+/// Whether findings of `rule` may be baselined in `xtask/lint.allow`.
+/// Budget growth and lock-order cycles/re-entry are always hard errors;
+/// `lock-blocking` stays allowlistable because an intentional
+/// `Condvar::wait` under its own mutex is the correct coalescing idiom.
+pub fn allowlistable(rule: &str) -> bool {
+    !matches!(rule, "panic-budget" | "alloc-budget" | "lock-order")
+}
 
 /// Run every applicable rule on one file.
 pub fn check_file(rel_path: &str, file: &MaskedFile) -> Vec<Finding> {
