@@ -108,11 +108,22 @@ impl BitCodes {
     }
 
     /// Unpack code `i` back to ±1 reals.
+    ///
+    /// Walks each packed word with a shift instead of re-deriving a
+    /// word/bit pair per output element (the old div/mod-per-bit loop).
     pub fn unpack(&self, i: usize) -> Vec<f64> {
-        let words = self.code(i);
-        (0..self.bits)
-            .map(|b| if words[b / 64] >> (b % 64) & 1 == 1 { 1.0 } else { -1.0 })
-            .collect()
+        let mut out = Vec::with_capacity(self.bits);
+        let mut remaining = self.bits;
+        for &word in self.code(i) {
+            let take = remaining.min(64);
+            let mut w = word;
+            for _ in 0..take {
+                out.push(if w & 1 == 1 { 1.0 } else { -1.0 });
+                w >>= 1;
+            }
+            remaining -= take;
+        }
+        out
     }
 
     /// Serialize the packed codes (magic `UHBC`, version, dims, raw words —
@@ -197,6 +208,176 @@ impl BitCodes {
             m.row_mut(i).copy_from_slice(&self.unpack(i));
         }
         m
+    }
+}
+
+/// Batched query-vs-database Hamming scans over the packed word buffer.
+///
+/// [`BitCodes::hamming`] builds two word slices per pair; fine for a single
+/// distance, wasteful for the database-sweep shape every retrieval path
+/// actually runs (`rank_top_n`, MAP/P@N/PR, `HashIndex` probing, the serve
+/// shards). The kernels here hoist the query words once and walk the
+/// database's packed `data` buffer directly, writing distances into a
+/// caller-provided `&mut [u32]`.
+///
+/// The inner loop is monomorphized per code width: dedicated instantiations
+/// for `words_per_code` ∈ {1, 2, 4} (bits ≤ 64, ≤ 128, ≤ 256 — every width
+/// the paper uses lands on one of these) and a 4-unrolled generic fallback
+/// for everything else. Padding bits above `bits` are never set by
+/// construction, so whole-word popcounts are exact for any bit width.
+///
+/// Offline eval and online serving both funnel through these kernels (via
+/// [`crate::HammingRanker`]), so offline == online bitwise identity of
+/// rankings is preserved by construction rather than by parallel
+/// maintenance of two scan loops.
+pub mod hamming_scan {
+    use super::BitCodes;
+    use std::ops::Range;
+
+    /// Block length used by callers that scan through a fixed stack buffer
+    /// instead of materializing all `n` distances (top-`n` heaps, radius
+    /// filters): 512 distances = 2 KB of stack.
+    pub const SCAN_BLOCK: usize = 512;
+
+    /// Distances from query `qi` of `queries` to every code of `db`,
+    /// written to `out[j]` for database index `j`.
+    ///
+    /// # Panics
+    /// Panics on code-length mismatch or if `out.len() != db.len()`.
+    pub fn scan_into(queries: &BitCodes, qi: usize, db: &BitCodes, out: &mut [u32]) {
+        scan_range_into(queries, qi, db, 0..db.n, out);
+    }
+
+    /// [`scan_into`] restricted to database indices `range`; `out[k]` holds
+    /// the distance to code `range.start + k`.
+    ///
+    /// # Panics
+    /// Panics on code-length mismatch, an out-of-bounds range, or if
+    /// `out.len() != range.len()`.
+    pub fn scan_range_into(
+        queries: &BitCodes,
+        qi: usize,
+        db: &BitCodes,
+        range: Range<usize>,
+        out: &mut [u32],
+    ) {
+        assert_eq!(queries.bits, db.bits, "code length mismatch");
+        assert!(range.start <= range.end && range.end <= db.n, "scan range out of bounds");
+        assert_eq!(out.len(), range.len(), "scan output length mismatch");
+        let w = db.words_per_code;
+        if w == 0 {
+            out.fill(0);
+            return;
+        }
+        let q = queries.code(qi);
+        let data = &db.data[range.start * w..range.end * w];
+        match w {
+            1 => scan_w::<1>(q, data, out),
+            2 => scan_w::<2>(q, data, out),
+            4 => scan_w::<4>(q, data, out),
+            _ => scan_generic(q, data, out),
+        }
+    }
+
+    /// Visit `(database_index, distance)` for each index in `indices` —
+    /// the scattered-access twin of [`scan_into`] used by bucketed index
+    /// probes. The query words and the width dispatch are hoisted out of
+    /// the loop exactly like the contiguous scan.
+    ///
+    /// # Panics
+    /// Panics on code-length mismatch or an out-of-range index.
+    pub fn gather_each(
+        queries: &BitCodes,
+        qi: usize,
+        db: &BitCodes,
+        indices: &[u32],
+        visit: impl FnMut(u32, u32),
+    ) {
+        assert_eq!(queries.bits, db.bits, "code length mismatch");
+        let w = db.words_per_code;
+        if w == 0 {
+            let mut visit = visit;
+            for &j in indices {
+                assert!((j as usize) < db.n, "gather index out of range");
+                visit(j, 0);
+            }
+            return;
+        }
+        let q = queries.code(qi);
+        match w {
+            1 => gather_w::<1>(q, &db.data, indices, visit),
+            2 => gather_w::<2>(q, &db.data, indices, visit),
+            4 => gather_w::<4>(q, &db.data, indices, visit),
+            _ => gather_generic(q, &db.data, indices, visit),
+        }
+    }
+
+    /// Width-monomorphized contiguous scan: the query lives in a `[u64; W]`
+    /// register array and the XOR/popcount chain is fully unrolled.
+    fn scan_w<const W: usize>(q: &[u64], data: &[u64], out: &mut [u32]) {
+        let mut qw = [0u64; W];
+        qw.copy_from_slice(q);
+        for (o, code) in out.iter_mut().zip(data.chunks_exact(W)) {
+            let mut d = 0u32;
+            for t in 0..W {
+                d += (qw[t] ^ code[t]).count_ones();
+            }
+            *o = d;
+        }
+    }
+
+    /// Generic-width contiguous scan, manually unrolled by four words.
+    fn scan_generic(q: &[u64], data: &[u64], out: &mut [u32]) {
+        let w = q.len();
+        for (o, code) in out.iter_mut().zip(data.chunks_exact(w)) {
+            *o = wide_hamming(q, code);
+        }
+    }
+
+    /// Width-monomorphized scattered gather.
+    fn gather_w<const W: usize>(
+        q: &[u64],
+        data: &[u64],
+        indices: &[u32],
+        mut visit: impl FnMut(u32, u32),
+    ) {
+        let mut qw = [0u64; W];
+        qw.copy_from_slice(q);
+        for &j in indices {
+            let code = &data[j as usize * W..j as usize * W + W];
+            let mut d = 0u32;
+            for t in 0..W {
+                d += (qw[t] ^ code[t]).count_ones();
+            }
+            visit(j, d);
+        }
+    }
+
+    /// Generic-width scattered gather.
+    fn gather_generic(q: &[u64], data: &[u64], indices: &[u32], mut visit: impl FnMut(u32, u32)) {
+        let w = q.len();
+        for &j in indices {
+            let code = &data[j as usize * w..(j as usize + 1) * w];
+            visit(j, wide_hamming(q, code));
+        }
+    }
+
+    /// XOR/popcount over two equal-length word slices, unrolled by four.
+    #[inline]
+    fn wide_hamming(q: &[u64], code: &[u64]) -> u32 {
+        let mut d = 0u32;
+        let mut qc = q.chunks_exact(4);
+        let mut cc = code.chunks_exact(4);
+        for (qs, cs) in (&mut qc).zip(&mut cc) {
+            d += (qs[0] ^ cs[0]).count_ones()
+                + (qs[1] ^ cs[1]).count_ones()
+                + (qs[2] ^ cs[2]).count_ones()
+                + (qs[3] ^ cs[3]).count_ones();
+        }
+        for (a, b) in qc.remainder().iter().zip(cc.remainder()) {
+            d += (a ^ b).count_ones();
+        }
+        d
     }
 }
 
@@ -295,5 +476,73 @@ mod tests {
         let unpacked = codes.unpack_all();
         let recoded = BitCodes::from_real(&unpacked);
         assert_eq!(codes, recoded);
+    }
+
+    /// Deterministic bit pattern for the width-sweep tests: varies with
+    /// both the code index and the bit position so no word is all-zero or
+    /// all-one.
+    fn patterned_rows(n: usize, bits: usize, salt: usize) -> Vec<Vec<bool>> {
+        (0..n).map(|i| (0..bits).map(|b| (i * 37 + b * 13 + salt) % 5 < 2).collect()).collect()
+    }
+
+    #[test]
+    fn from_bools_unpack_round_trip_across_word_widths() {
+        // Widths straddling the u64 word boundaries (and the word-at-a-time
+        // unpack's final partial word).
+        for bits in [1usize, 63, 64, 65, 128, 200] {
+            let rows = patterned_rows(5, bits, 1);
+            let codes = BitCodes::from_bools(&rows);
+            let back: Vec<Vec<bool>> = (0..codes.len())
+                .map(|i| codes.unpack(i).iter().map(|&v| v > 0.0).collect())
+                .collect();
+            assert_eq!(rows, back, "bits={bits}");
+            assert_eq!(BitCodes::from_bools(&back), codes, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn hamming_scan_matches_pairwise_across_word_widths() {
+        // Widths selecting every specialized scan kernel (1, 2, and 4
+        // words per code) and the generic fallback (3 and 5 words), with
+        // partial final words in most cases.
+        for bits in [1usize, 63, 64, 65, 128, 192, 200, 320] {
+            let db = BitCodes::from_bools(&patterned_rows(33, bits, 0));
+            let queries = BitCodes::from_bools(&patterned_rows(7, bits, 3));
+            let mut out = vec![0u32; db.len()];
+            for qi in 0..queries.len() {
+                hamming_scan::scan_into(&queries, qi, &db, &mut out);
+                for (j, &d) in out.iter().enumerate() {
+                    assert_eq!(d, queries.hamming(qi, &db, j), "bits={bits} qi={qi} j={j}");
+                }
+
+                let mut mid = vec![0u32; 20];
+                hamming_scan::scan_range_into(&queries, qi, &db, 9..29, &mut mid);
+                assert_eq!(mid, out[9..29], "range scan bits={bits} qi={qi}");
+
+                let indices = [0u32, 7, 13, 32];
+                let mut seen = Vec::new();
+                hamming_scan::gather_each(&queries, qi, &db, &indices, |j, d| seen.push((j, d)));
+                let want: Vec<(u32, u32)> = indices.iter().map(|&j| (j, out[j as usize])).collect();
+                assert_eq!(seen, want, "gather bits={bits} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_scan_empty_database_and_zero_width() {
+        let q = BitCodes::from_bools(&[vec![true, false, true]]);
+        let empty = q.slice(0..0);
+        let mut out = [0u32; 0];
+        hamming_scan::scan_into(&q, 0, &empty, &mut out);
+
+        // Zero-width codes: every distance is 0.
+        let zq = BitCodes::from_bools(&[vec![], vec![]]);
+        let zdb = BitCodes::from_bools(&[vec![], vec![], vec![]]);
+        let mut dists = [7u32; 3];
+        hamming_scan::scan_into(&zq, 1, &zdb, &mut dists);
+        assert_eq!(dists, [0, 0, 0]);
+        let mut seen = Vec::new();
+        hamming_scan::gather_each(&zq, 0, &zdb, &[2, 0], |j, d| seen.push((j, d)));
+        assert_eq!(seen, vec![(2, 0), (0, 0)]);
     }
 }

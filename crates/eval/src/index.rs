@@ -8,6 +8,7 @@
 //! For radius `r < prefix_bits` this visits only `Σ_{i≤r} C(prefix_bits, i)`
 //! buckets instead of all `n` codes.
 
+use crate::bitcode::hamming_scan;
 use crate::BitCodes;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -160,14 +161,21 @@ impl HashIndex {
             // Probing would touch more buckets than there are points.
             linear = true;
             scanned_codes = self.codes.len() as u64;
-            for j in 0..self.codes.len() {
-                if self.tombstones.contains(&(j as u32)) {
-                    continue;
+            // Blocked batched scan: the width-specialized kernel fills a
+            // stack buffer of distances, the filter loop stays branch-light.
+            let mut block = [0u32; hamming_scan::SCAN_BLOCK];
+            let mut start = 0;
+            while start < self.codes.len() {
+                let end = (start + hamming_scan::SCAN_BLOCK).min(self.codes.len());
+                let dists = &mut block[..end - start];
+                hamming_scan::scan_range_into(queries, qi, &self.codes, start..end, dists);
+                for (off, &d) in dists.iter().enumerate() {
+                    let j = (start + off) as u32;
+                    if d <= radius && !self.tombstones.contains(&j) {
+                        out.push((j, d));
+                    }
                 }
-                let d = queries.hamming(qi, &self.codes, j);
-                if d <= radius {
-                    out.push((j as u32, d));
-                }
+                start = end;
             }
         } else {
             let qprefix = prefix_of(queries, qi, self.prefix_bits);
@@ -175,15 +183,13 @@ impl HashIndex {
                 probed_buckets += 1;
                 if let Some(items) = self.buckets.get(&key) {
                     scanned_codes += items.len() as u64;
-                    for &j in items {
-                        if self.tombstones.contains(&j) {
-                            continue;
-                        }
-                        let d = queries.hamming(qi, &self.codes, j as usize);
-                        if d <= radius {
+                    // Scattered twin of the linear scan: the query words and
+                    // width dispatch are hoisted once per bucket.
+                    hamming_scan::gather_each(queries, qi, &self.codes, items, |j, d| {
+                        if d <= radius && !self.tombstones.contains(&j) {
                             out.push((j, d));
                         }
-                    }
+                    });
                 }
             };
             // Enumerate prefixes at distance 0..=min(radius, prefix_bits).

@@ -158,8 +158,11 @@ pub fn pr_curve(
         // accumulation total even if a ranker ever violated that.
         let mut by_dist = vec![(0u64, 0u64); bits + 1];
         let mut total_relevant = 0u64;
+        // One distance buffer per chunk, refilled by the batched scan kernel
+        // — no per-query allocation on the radius sweep.
+        let mut dists = vec![0u32; ranker.database().len()];
         for qi in range {
-            let dists = ranker.distances(queries, qi);
+            ranker.distances_into(queries, qi, &mut dists);
             for (db_idx, &d) in dists.iter().enumerate() {
                 if let Some((ret, rel)) = by_dist.get_mut(d as usize) {
                     *ret += 1;

@@ -1,5 +1,6 @@
 //! Hamming ranking over a code database.
 
+use crate::bitcode::hamming_scan;
 use crate::BitCodes;
 use std::collections::BinaryHeap;
 
@@ -27,7 +28,18 @@ impl HammingRanker {
 
     /// Distances from query `qi` of `queries` to every database code.
     pub fn distances(&self, queries: &BitCodes, qi: usize) -> Vec<u32> {
-        (0..self.db.len()).map(|j| queries.hamming(qi, &self.db, j)).collect()
+        let mut out = vec![0u32; self.db.len()];
+        self.distances_into(queries, qi, &mut out);
+        out
+    }
+
+    /// [`Self::distances`] into a caller-provided buffer, so per-query loops
+    /// (MAP, P@N, PR curves) reuse one allocation across the whole query set.
+    ///
+    /// # Panics
+    /// Panics on code-length mismatch or if `out.len() != self.database().len()`.
+    pub(crate) fn distances_into(&self, queries: &BitCodes, qi: usize, out: &mut [u32]) {
+        hamming_scan::scan_into(queries, qi, &self.db, out);
     }
 
     /// Database indices sorted by ascending Hamming distance (stable).
@@ -67,17 +79,28 @@ impl HammingRanker {
             let order = counting_rank(&dists, self.db.bits());
             return order.into_iter().take(n).map(|j| (dists[j as usize], j)).collect();
         }
+        // Distances come from the batched scan kernel in SCAN_BLOCK-sized
+        // stack chunks: the popcount sweep runs at full width-specialized
+        // speed and the heap only ever sees a 2 KB resident buffer.
         let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
-        for j in 0..total {
-            let cand = (queries.hamming(qi, &self.db, j), j as u32);
-            if heap.len() < n {
-                heap.push(cand);
-            } else if let Some(&worst) = heap.peek() {
-                if cand < worst {
-                    heap.pop();
+        let mut block = [0u32; hamming_scan::SCAN_BLOCK];
+        let mut start = 0;
+        while start < total {
+            let end = (start + hamming_scan::SCAN_BLOCK).min(total);
+            let dists = &mut block[..end - start];
+            hamming_scan::scan_range_into(queries, qi, &self.db, start..end, dists);
+            for (off, &d) in dists.iter().enumerate() {
+                let cand = (d, (start + off) as u32);
+                if heap.len() < n {
                     heap.push(cand);
+                } else if let Some(&worst) = heap.peek() {
+                    if cand < worst {
+                        heap.pop();
+                        heap.push(cand);
+                    }
                 }
             }
+            start = end;
         }
         heap.into_sorted_vec()
     }

@@ -21,6 +21,19 @@ fn sign_matrix(rows: usize, cols: usize, bools: &[bool]) -> Matrix {
 
 proptest! {
     #[test]
+    fn scan_matches_pairwise_hamming((db, q) in code_pair()) {
+        let dbc = BitCodes::from_real(&db);
+        let qc = BitCodes::from_real(&q);
+        let mut out = vec![0u32; dbc.len()];
+        for qi in 0..qc.len() {
+            uhscm_eval::bitcode::hamming_scan::scan_into(&qc, qi, &dbc, &mut out);
+            for (j, &d) in out.iter().enumerate() {
+                prop_assert_eq!(d, qc.hamming(qi, &dbc, j));
+            }
+        }
+    }
+
+    #[test]
     fn hamming_is_a_metric((db, q) in code_pair()) {
         let dbc = BitCodes::from_real(&db);
         let qc = BitCodes::from_real(&q);

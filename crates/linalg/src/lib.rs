@@ -7,6 +7,8 @@
 //!
 //! * [`Matrix`] — row-major dense matrix with the handful of BLAS-like
 //!   operations the paper's algorithms need,
+//! * [`kernels`] — the register-tiled band microkernels behind the three
+//!   matrix products, plus their naive bitwise-reference implementations,
 //! * [`par`] — the deterministic data-parallel runtime every multi-threaded
 //!   kernel in the workspace routes through (`UHSCM_THREADS`),
 //! * [`eigen`] — a Jacobi eigensolver for symmetric matrices,
@@ -18,6 +20,7 @@
 pub mod checked;
 pub mod eigen;
 pub mod hadamard;
+pub mod kernels;
 pub mod kmeans;
 pub mod matrix;
 pub mod par;

@@ -1,8 +1,9 @@
 //! Row-major dense matrix.
 //!
 //! A deliberately small surface: exactly the operations the UHSCM pipeline
-//! and its baselines use, implemented with cache-friendly loop orders and no
-//! per-element allocation.
+//! and its baselines use, with no per-element allocation. The three matrix
+//! products run the register-tiled band kernels of [`crate::kernels`] on
+//! both the serial and the [`crate::par`] row-band paths.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -173,10 +174,12 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses the classic i-k-j loop order so the innermost loop streams over
-    /// contiguous rows of both operands. Output rows fan out over the
-    /// [`crate::par`] runtime; each row runs the identical serial kernel, so
-    /// the result is bitwise independent of the thread count.
+    /// Runs the register-tiled band kernel of [`crate::kernels`] (4×8
+    /// output tiles, `k` innermost). Output rows fan out over the
+    /// [`crate::par`] runtime; every band runs the identical kernel and
+    /// every output element accumulates its terms in ascending-`k` order,
+    /// so the result is bitwise independent of the thread count *and*
+    /// bitwise identical to [`crate::kernels::matmul_naive`].
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -190,22 +193,19 @@ impl Matrix {
         let cols = other.cols;
         let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
         let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
-            for (k, out_row) in band.chunks_mut(cols).enumerate() {
-                matmul_row(self.row(row0 + k), other, out_row);
-            }
+            crate::kernels::matmul_band(self, row0, other, band);
         });
         if !fanned {
-            for i in 0..self.rows {
-                matmul_row(self.row(i), other, &mut out.data[i * cols..(i + 1) * cols]);
-            }
+            crate::kernels::matmul_band(self, 0, other, &mut out.data);
         }
         out
     }
 
     /// `self^T * other` without materializing the transpose.
     ///
-    /// The parallel path walks output rows `k` (columns of `self`), each
-    /// accumulating over `i` in the same ascending order as the serial
+    /// Both paths run the 2×8 register-tiled band kernel of
+    /// [`crate::kernels`]: each output row `k` (a column of `self`)
+    /// accumulates over `i` in the same ascending order as the naive
     /// i-outer loop — bitwise identical per element, only the interleaving
     /// across elements differs.
     ///
@@ -221,39 +221,19 @@ impl Matrix {
         let cols = other.cols;
         let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
         let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
-            for (bk, out_row) in band.chunks_mut(cols).enumerate() {
-                let k = row0 + bk;
-                for i in 0..self.rows {
-                    let a = self.data[i * self.cols + k];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    for (o, &b) in out_row.iter_mut().zip(other.row(i)) {
-                        *o += a * b;
-                    }
-                }
-            }
+            crate::kernels::t_matmul_band(self, row0, other, band);
         });
         if !fanned {
-            // Serial order streams rows of both operands (cache-friendly).
-            for i in 0..self.rows {
-                let a_row = self.row(i);
-                let b_row = other.row(i);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[k * cols..(k + 1) * cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            crate::kernels::t_matmul_band(self, 0, other, &mut out.data);
         }
         out
     }
 
     /// `self * other^T` without materializing the transpose.
+    ///
+    /// Runs the 2×4 register-tiled dot-product band kernel of
+    /// [`crate::kernels`]; each output element is the plain ascending-`k`
+    /// dot, bitwise identical to [`crate::kernels::matmul_t_naive`].
     ///
     /// # Panics
     /// Panics on column-count mismatch.
@@ -267,14 +247,10 @@ impl Matrix {
         let cols = other.rows;
         let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
         let fanned = crate::par::try_par_row_bands_mut(&mut out.data, cols, work, |row0, band| {
-            for (bi, out_row) in band.chunks_mut(cols).enumerate() {
-                matmul_t_row(self.row(row0 + bi), other, out_row);
-            }
+            crate::kernels::matmul_t_band(self, row0, other, band);
         });
         if !fanned {
-            for i in 0..self.rows {
-                matmul_t_row(self.row(i), other, &mut out.data[i * cols..(i + 1) * cols]);
-            }
+            crate::kernels::matmul_t_band(self, 0, other, &mut out.data);
         }
         out
     }
@@ -417,28 +393,6 @@ impl Matrix {
     /// Maximum absolute element.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
-    }
-}
-
-/// One output row of `a · b`: `out_row += a_row[k] · b.row(k)`, skipping
-/// exact zeros. Shared by the serial and banded paths of [`Matrix::matmul`].
-#[inline]
-fn matmul_row(a_row: &[f64], b: &Matrix, out_row: &mut [f64]) {
-    for (k, &a) in a_row.iter().enumerate() {
-        if a == 0.0 {
-            continue;
-        }
-        for (o, &bv) in out_row.iter_mut().zip(b.row(k)) {
-            *o += a * bv;
-        }
-    }
-}
-
-/// One output row of `a · bᵀ`: dot products against every row of `b`.
-#[inline]
-fn matmul_t_row(a_row: &[f64], b: &Matrix, out_row: &mut [f64]) {
-    for (j, o) in out_row.iter_mut().enumerate() {
-        *o = crate::vecops::dot(a_row, b.row(j));
     }
 }
 

@@ -144,9 +144,12 @@ fn record_bands(ranges: &[Range<usize>]) {
 }
 
 /// Fan a mutable row-major buffer (`cols` elements per row) out over
-/// contiguous row bands, calling `f(first_row, band)` on each band from a
-/// scoped worker thread. Workers run with their own override pinned to `1`,
-/// so kernels called from inside a band never nest another fan-out.
+/// contiguous row bands, calling `f(first_row, band)` on each band. The
+/// final band runs inline on the calling thread, so a fan-out over `p`
+/// bands spawns only `p - 1` workers — at one effective thread no thread is
+/// ever spawned, and the calling core does real work instead of parking in
+/// `join`. Workers (and the inline band) run with their own override pinned
+/// to `1`, so kernels called from inside a band never nest another fan-out.
 ///
 /// Returns `false` — without calling `f` — when the plan is serial (one
 /// band, zero `cols`, or sub-threshold work): the caller then runs its own
@@ -169,11 +172,20 @@ where
     record_bands(&ranges);
     std::thread::scope(|s| {
         let mut rest: &mut [T] = buf;
-        for r in ranges {
+        let last = ranges.len() - 1;
+        let mut inline: Option<(usize, &mut [T])> = None;
+        for (bi, r) in ranges.into_iter().enumerate() {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * cols);
             rest = tail;
-            let f = &f;
-            s.spawn(move || with_threads(1, || f(r.start, band)));
+            if bi == last {
+                inline = Some((r.start, band));
+            } else {
+                let f = &f;
+                s.spawn(move || with_threads(1, || f(r.start, band)));
+            }
+        }
+        if let Some((start, band)) = inline {
+            with_threads(1, || f(start, band));
         }
     });
     true
@@ -182,6 +194,8 @@ where
 /// Map `0..n` through `f` by contiguous chunks, collecting the per-chunk
 /// results in ascending chunk order. A serial plan runs `f(0..n)` inline on
 /// the calling thread (the exact serial path); `n == 0` yields no chunks.
+/// Like [`try_par_row_bands_mut`], the final chunk runs inline on the
+/// calling thread — `p` chunks cost `p - 1` spawns.
 ///
 /// Callers that reduce floating-point values across units must emit one
 /// value *per unit* (not per chunk) and fold them in unit order — chunk
@@ -195,8 +209,11 @@ where
     if parts <= 1 {
         return if n == 0 { Vec::new() } else { vec![f(0..n)] };
     }
-    let ranges = partition(n, parts);
+    let mut ranges = partition(n, parts);
     record_bands(&ranges);
+    // `parts >= 2` so the pop always succeeds; the last chunk is the
+    // caller's share.
+    let last_range = ranges.pop();
     std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .into_iter()
@@ -205,13 +222,16 @@ where
                 s.spawn(move || with_threads(1, || f(r)))
             })
             .collect();
-        handles
+        let last = last_range.map(|r| with_threads(1, || f(r)));
+        let mut out: Vec<R> = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(v) => v,
                 Err(payload) => std::panic::resume_unwind(payload),
             })
-            .collect()
+            .collect();
+        out.extend(last);
+        out
     })
 }
 
@@ -311,6 +331,39 @@ mod tests {
             let depth: Vec<usize> = par_map_chunks(4, 0, |_| Parallelism::effective().threads());
             assert!(depth.iter().all(|&t| t == 1), "workers must be pinned serial");
         });
+    }
+
+    #[test]
+    fn one_chunk_runs_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let ids = with_threads(4, || par_map_chunks(4, 0, |_| std::thread::current().id()));
+        assert_eq!(ids.len(), 4);
+        assert_eq!(
+            ids.iter().filter(|&&id| id == caller).count(),
+            1,
+            "exactly one chunk must execute inline on the caller"
+        );
+        assert_eq!(*ids.last().unwrap(), caller, "the caller takes the final chunk");
+    }
+
+    #[test]
+    fn one_band_runs_on_the_calling_thread() {
+        use std::sync::Mutex;
+        let caller = std::thread::current().id();
+        let seen: Mutex<Vec<(usize, std::thread::ThreadId)>> = Mutex::new(Vec::new());
+        let mut buf = vec![0.0f64; 8 * 2];
+        let fanned = with_threads(4, || {
+            try_par_row_bands_mut(&mut buf, 2, 0, |first_row, _| {
+                seen.lock().unwrap().push((first_row, std::thread::current().id()));
+            })
+        });
+        assert!(fanned);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable_by_key(|&(row, _)| row);
+        assert_eq!(seen.len(), 4);
+        let on_caller: Vec<usize> =
+            seen.iter().filter(|&&(_, id)| id == caller).map(|&(row, _)| row).collect();
+        assert_eq!(on_caller, vec![6], "only the final band (rows 6..8) runs inline");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use uhscm_linalg::{jacobi_eigen, par, vecops, Matrix};
+use uhscm_linalg::{jacobi_eigen, kernels, par, vecops, Matrix};
 
 fn small_vec() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-100.0..100.0f64, 1..16)
@@ -148,5 +148,44 @@ proptest! {
             let parallel = par::with_threads(threads, || a.t_matmul(&c));
             prop_assert_eq!(serial.as_slice(), parallel.as_slice());
         }
+    }
+}
+
+/// Operand pair for the tiled-vs-naive kernel checks: sizes large enough
+/// to cross the 8-row block and 4-term unroll boundaries of the tiled
+/// kernels (plus their single-row / single-term tails), with exact zeros
+/// sprinkled into `a` so the sparsity-skip paths run too.
+fn tiled_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..21, 1usize..21, 1usize..21).prop_flat_map(|(n, k, m)| {
+        // ~20% exact zeros so the sparsity-skip paths run too.
+        let elem = (-12.5..12.5f64).prop_map(|v| if v.abs() < 2.5 { 0.0 } else { v });
+        let a =
+            prop::collection::vec(elem, n * k).prop_map(move |data| Matrix::from_vec(n, k, data));
+        let b = prop::collection::vec(-10.0..10.0f64, k * m)
+            .prop_map(move |data| Matrix::from_vec(k, m, data));
+        (a, b)
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn tiled_matmul_matches_naive_bitwise((a, b) in tiled_pair()) {
+        prop_assert_eq!(bits(&a.matmul(&b)), bits(&kernels::matmul_naive(&a, &b)));
+    }
+
+    #[test]
+    fn tiled_matmul_t_matches_naive_bitwise((a, b) in tiled_pair()) {
+        let bt = b.transpose();
+        prop_assert_eq!(bits(&a.matmul_t(&bt)), bits(&kernels::matmul_t_naive(&a, &bt)));
+    }
+
+    #[test]
+    fn tiled_t_matmul_matches_naive_bitwise((a, b) in tiled_pair()) {
+        let c = a.matmul(&b);
+        prop_assert_eq!(bits(&a.t_matmul(&c)), bits(&kernels::t_matmul_naive(&a, &c)));
     }
 }

@@ -14,6 +14,12 @@
 //! single-shard [`HammingRanker::rank_top_n`] output bit-for-bit at any
 //! shard count. The loopback tests and `crates/eval`'s crafted-tie tests
 //! both pin this.
+//!
+//! Each shard's per-query scan runs on the batched, width-specialized
+//! Hamming kernels in `uhscm_eval::bitcode::hamming_scan` (via
+//! [`HammingRanker::rank_top_n_with_dist`]), so the online serving path and
+//! the offline eval path share one scan implementation — there is no second
+//! distance loop to drift out of sync.
 
 use uhscm_eval::{merge_top_n, BitCodes, HammingRanker};
 use uhscm_linalg::par;

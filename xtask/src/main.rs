@@ -102,19 +102,22 @@ fn usage() -> ExitCode {
          \x20 lint --write-budget   rewrite xtask/panic.budget and xtask/alloc.budget\n\
          \x20                       from the current reachability counts\n\
          \x20 ci                    fmt-check + lint (writes results/lint.json and\n\
-         \x20                       BENCH_lint.json) + release build + tests (the\n\
+         \x20                       BENCH_lint.json) + release build + tests +\n\
+         \x20                       kernel-regression gate + serve smoke (the\n\
          \x20                       full tier-1 gate)"
     );
     ExitCode::from(2)
 }
 
 /// The chained tier-1 gate: rustfmt check, the in-process linter (which
-/// also writes `results/lint.json`), then the ROADMAP's verify commands
-/// (`cargo build --release && cargo test`). Stops at the first failing
-/// step.
+/// also writes `results/lint.json`), the ROADMAP's verify commands
+/// (`cargo build --release && cargo test`), the kernel-regression gate
+/// (tuned kernels must stay bitwise identical to — and no slower than —
+/// their naive references), then the serve smoke. Stops at the first
+/// failing step.
 fn ci() -> ExitCode {
     let root = workspace_root();
-    println!("ci [1/5]: cargo fmt --all -- --check");
+    println!("ci [1/6]: cargo fmt --all -- --check");
     if !run_step(
         "cargo fmt",
         std::process::Command::new("cargo")
@@ -123,7 +126,7 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [2/5]: lint (report: results/lint.json, timings: BENCH_lint.json)");
+    println!("ci [2/6]: lint (report: results/lint.json, timings: BENCH_lint.json)");
     let opts = LintOpts {
         write_baseline: false,
         write_budget: false,
@@ -135,21 +138,30 @@ fn ci() -> ExitCode {
     if lint_code != 0 {
         return ExitCode::from(lint_code);
     }
-    println!("ci [3/5]: cargo build --release");
+    println!("ci [3/6]: cargo build --release");
     if !run_step(
         "cargo build",
         std::process::Command::new("cargo").args(["build", "--release"]).current_dir(&root),
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [4/5]: cargo test -q");
+    println!("ci [4/6]: cargo test -q");
     if !run_step(
         "cargo test",
         std::process::Command::new("cargo").args(["test", "-q"]).current_dir(&root),
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [5/5]: serve smoke (start -> query -> drain)");
+    println!("ci [5/6]: kernel regression (tuned vs naive, bitwise + throughput floor)");
+    if !run_step(
+        "kernel_regression",
+        std::process::Command::new("cargo")
+            .args(["run", "--release", "-p", "uhscm-bench", "--bin", "kernel_regression"])
+            .current_dir(&root),
+    ) {
+        return ExitCode::from(1);
+    }
+    println!("ci [6/6]: serve smoke (start -> query -> drain)");
     if let Err(msg) = smoke::serve_smoke(&root) {
         eprintln!("ci: serve smoke failed: {msg}");
         return ExitCode::from(1);
