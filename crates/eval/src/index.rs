@@ -63,13 +63,28 @@ impl HashIndex {
         index
     }
 
+    /// Live (non-tombstoned) items in one bucket.
+    fn live_in_bucket(&self, items: &[u32]) -> usize {
+        items.iter().filter(|i| !self.tombstones.contains(i)).count()
+    }
+
     /// Publish bucket-occupancy telemetry (no-op when tracing is off).
+    /// Occupancy counts *live* items only — a bucket whose members are all
+    /// tombstoned contributes occupancy 0 and does not count as a bucket,
+    /// matching what a lookup probing it would actually find.
+    ///
+    /// Called from [`Self::build`] only: `insert`/`remove` share names with
+    /// map/set mutators, so routing telemetry through them would thread the
+    /// obs registry lock through the lint's name-resolved call graph.
     fn record_bucket_stats(&self) {
         if uhscm_obs::enabled() {
-            uhscm_obs::registry::gauge_set("index.buckets", self.buckets.len() as f64);
+            uhscm_obs::registry::gauge_set("index.buckets", self.bucket_count() as f64);
             uhscm_obs::registry::gauge_set("index.prefix_bits", self.prefix_bits as f64);
             for items in self.buckets.values() {
-                uhscm_obs::registry::histogram_record("index.bucket_occupancy", items.len() as f64);
+                let live = self.live_in_bucket(items);
+                if live > 0 {
+                    uhscm_obs::registry::histogram_record("index.bucket_occupancy", live as f64);
+                }
             }
         }
     }
@@ -91,8 +106,9 @@ impl HashIndex {
         first
     }
 
-    /// Logically delete item `i`: it no longer appears in lookups. Returns
-    /// whether the item was present (not already removed). `O(1)`.
+    /// Logically delete item `i`: it no longer appears in lookups, `len`,
+    /// or bucket-occupancy stats. Returns whether the item was present (not
+    /// already removed).
     ///
     /// # Panics
     /// Panics if `i` is out of range.
@@ -112,14 +128,23 @@ impl HashIndex {
         Self::build(codes, p)
     }
 
-    /// Number of indexed codes.
+    /// Number of live (non-removed) codes — an alias of [`Self::live_len`],
+    /// so `len` and lookup results always agree. Use [`Self::total_len`]
+    /// for the physical code count including tombstones.
     pub fn len(&self) -> usize {
+        self.live_len()
+    }
+
+    /// Number of codes ever inserted, including tombstoned ones. Item
+    /// indices range over `0..total_len()`.
+    pub fn total_len(&self) -> usize {
         self.codes.len()
     }
 
-    /// Whether the index is empty (never true — construction requires codes).
+    /// Whether no live items remain (construction requires codes, but every
+    /// item can be removed afterwards).
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.len() == 0
     }
 
     /// Width of the bucketing prefix actually used.
@@ -127,9 +152,10 @@ impl HashIndex {
         self.prefix_bits
     }
 
-    /// Number of non-empty buckets.
+    /// Number of buckets holding at least one *live* item — the buckets a
+    /// lookup can actually hit something in.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.buckets.values().filter(|items| self.live_in_bucket(items) > 0).count()
     }
 
     /// The indexed codes.
@@ -417,6 +443,46 @@ mod tests {
         assert!(hits.iter().all(|&(j, _)| j as usize != nearest));
         let new_nearest = index.knn(&q, 0, 1)[0].0 as usize;
         assert_ne!(new_nearest, nearest);
+    }
+
+    #[test]
+    fn len_and_bucket_stats_exclude_removed_items_across_reinsert() {
+        // Hand-built 4-bit codes bucketed on a 2-bit prefix:
+        //   a = 1000 → prefix 0b01,  b = 1010 → prefix 0b01,  c = 0100 → prefix 0b10
+        let a = vec![true, false, false, false];
+        let b = vec![true, false, true, false];
+        let c = vec![false, true, false, false];
+        let mut index = HashIndex::build(BitCodes::from_bools(&[a, b, c.clone()]), 2);
+        assert_eq!((index.len(), index.total_len(), index.bucket_count()), (3, 3, 2));
+
+        // Removing c empties its bucket: len drops, the bucket no longer
+        // counts, but the physical slot (and its index) remains.
+        assert!(index.remove(2));
+        assert_eq!((index.len(), index.total_len(), index.bucket_count()), (2, 3, 1));
+        assert!(!index.is_empty());
+
+        // Re-inserting into the emptied bucket revives the bucket without
+        // resurrecting the tombstoned item.
+        let d = vec![false, true, true, false]; // 0110 → prefix 0b10, like c
+        let first = index.insert(&BitCodes::from_bools(&[d]));
+        assert_eq!(first, 3, "insert offsets are total-length based");
+        assert_eq!((index.len(), index.total_len(), index.bucket_count()), (3, 4, 2));
+
+        // The tombstone stays dead through the reuse: a full-radius lookup
+        // sees a, b, and d but never c.
+        let q = BitCodes::from_bools(&[c]);
+        let got: Vec<u32> = index.lookup(&q, 0, 4).iter().map(|&(j, _)| j).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 3]);
+
+        // Removing everything: len 0, no live buckets, is_empty.
+        for i in [0usize, 1, 3] {
+            assert!(index.remove(i));
+        }
+        assert_eq!((index.len(), index.bucket_count()), (0, 0));
+        assert!(index.is_empty());
+        assert_eq!(index.total_len(), 4);
     }
 
     #[test]

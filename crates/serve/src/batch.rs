@@ -120,6 +120,14 @@ impl AdmissionQueue {
         recover(&self.state).queue.len()
     }
 
+    /// Whether the queue still admits new work. Mutations bypass the batch
+    /// queue, so the connection handler consults this to give writes the
+    /// same drain semantics as queries: once the queue closes, writes are
+    /// answered `draining` instead of silently committing past shutdown.
+    pub fn is_open(&self) -> bool {
+        recover(&self.state).open
+    }
+
     /// Block until a batch is available and pop it in arrival order.
     ///
     /// Waits for the first query, then keeps collecting until the batch is
@@ -234,7 +242,9 @@ mod tests {
     fn closed_queue_drains_then_signals_exit() {
         let q = AdmissionQueue::new(8);
         q.submit(query(0)).map_err(|(_, e)| e).expect("open");
+        assert!(q.is_open());
         q.close();
+        assert!(!q.is_open());
         match q.submit(query(1)) {
             Err((back, SubmitError::Draining)) => assert_eq!(back.id, 1),
             other => panic!("expected draining, got {:?}", other.map(|()| ()).map_err(|(_, e)| e)),

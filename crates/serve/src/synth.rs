@@ -40,6 +40,23 @@ pub fn workload(
     SynthWorkload { model, db, queries }
 }
 
+/// A second hashing network with the same topology as [`workload`]'s but
+/// different (seed-derived) parameters: the "retrained model" for bundle
+/// reload tests. Same `(dim, bits)`, so it installs cleanly; different
+/// weights, so encodings demonstrably change at the swap.
+pub fn alt_model(seed: u64, dim: usize, bits: usize) -> Mlp {
+    let mut rng = seeded(seed ^ 0x5eed_a17e);
+    Mlp::hashing_network(dim, &[dim.div_ceil(2).max(1)], bits, &mut rng)
+}
+
+/// Deterministic feature rows to insert during a mutation test, disjoint
+/// from both the database and the query stream of the same seed (the RNG
+/// stream is re-derived from a scrambled seed).
+pub fn insert_rows(seed: u64, n: usize, dim: usize) -> Matrix {
+    let mut rng = seeded(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    gauss_matrix(&mut rng, n, dim, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +75,25 @@ mod tests {
         let a = workload(5, 8, 16, 30, 4);
         let b = workload(6, 8, 16, 30, 4);
         assert_ne!(a.db, b.db);
+    }
+
+    #[test]
+    fn alt_model_shares_topology_but_not_parameters() {
+        let w = workload(5, 8, 16, 30, 4);
+        let alt = alt_model(5, 8, 16);
+        assert_eq!(alt.input_dim(), w.model.input_dim());
+        assert_eq!(alt.output_dim(), w.model.output_dim());
+        assert_ne!(alt.flat_params(), w.model.flat_params());
+        assert_eq!(alt.flat_params(), alt_model(5, 8, 16).flat_params());
+    }
+
+    #[test]
+    fn insert_rows_are_deterministic_and_shaped() {
+        let a = insert_rows(5, 6, 8);
+        let b = insert_rows(5, 6, 8);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.shape(), (6, 8));
+        assert_ne!(insert_rows(6, 6, 8).as_slice(), a.as_slice());
     }
 
     #[test]

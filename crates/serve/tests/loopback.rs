@@ -84,7 +84,7 @@ fn online_hits_are_bitwise_identical_to_the_offline_oracle_at_every_shard_count(
         }
         for _ in 0..N_QUERIES {
             match client.recv() {
-                Response::Hits { id, hits } => {
+                Response::Hits { id, hits, .. } => {
                     let qi = id as usize;
                     let want = oracle.rank_top_n_with_dist(&oracle_codes, qi, top_k);
                     assert_eq!(hits, want, "shards={shards} query={qi}");
@@ -163,7 +163,7 @@ fn deadline_already_expired_is_rejected_without_encoding() {
     // A sibling query with a roomy deadline still gets answered.
     client.send(&query(2, w.queries.row(1), 5, Some(10_000)));
     match client.recv() {
-        Response::Hits { id, hits } => {
+        Response::Hits { id, hits, .. } => {
             assert_eq!(id, 2);
             assert_eq!(hits.len(), 5);
         }
@@ -269,7 +269,7 @@ fn pipelined_mixed_valid_and_invalid_requests_stay_well_framed() {
     // fail right here as a framing/decode panic.
     for _ in 0..BURST {
         match client.recv() {
-            Response::Hits { id, hits } => {
+            Response::Hits { id, hits, .. } => {
                 assert_eq!(id % 2, 0, "hits for an invalid query {id}");
                 assert_eq!(hits.len(), 5);
                 assert!(hit_ids.insert(id), "duplicate hits for {id}");
@@ -306,7 +306,7 @@ fn batched_and_sequential_queries_agree_with_each_other() {
             }
             for _ in 0..6 {
                 match client.recv() {
-                    Response::Hits { id, hits } => out[id as usize] = hits,
+                    Response::Hits { id, hits, .. } => out[id as usize] = hits,
                     other => panic!("unexpected {other:?}"),
                 }
             }
@@ -314,7 +314,7 @@ fn batched_and_sequential_queries_agree_with_each_other() {
             for qi in 0..6u64 {
                 client.send(&query(qi, w.queries.row(qi as usize), top_k, None));
                 match client.recv() {
-                    Response::Hits { id, hits } => out[id as usize] = hits,
+                    Response::Hits { id, hits, .. } => out[id as usize] = hits,
                     other => panic!("unexpected {other:?}"),
                 }
             }
@@ -326,4 +326,196 @@ fn batched_and_sequential_queries_agree_with_each_other() {
     let sequential = run(Duration::ZERO, false);
     let coalesced = run(Duration::from_millis(50), true);
     assert_eq!(sequential, coalesced);
+}
+
+#[test]
+fn live_mutations_and_reload_answer_over_the_wire() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 2);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let server = Server::start(engine, &ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // Insert two rows: the receipt reports the commit and where they landed.
+    let rows = synth::insert_rows(SEED, 2, DIM);
+    client.send(&Request::Insert { id: 1, rows: (0..2).map(|i| rows.row(i).to_vec()).collect() });
+    match client.recv() {
+        Response::Inserted { id, generation, first_index, count, live, bundle } => {
+            assert_eq!(
+                (id, generation, first_index, count, live, bundle),
+                (1, 1, N_DB as u64, 2, N_DB as u64 + 2, 0)
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Query with the first inserted row's features: the same bundle encodes
+    // it to the same code, so the inserted item comes back at distance 0.
+    client.send(&query(2, rows.row(0), N_DB + 2, None));
+    match client.recv() {
+        Response::Hits { id, hits, generation, bundle } => {
+            assert_eq!((id, generation, bundle), (2, 1, 0));
+            assert!(
+                hits.iter().any(|&(d, j)| d == 0 && j == N_DB as u32),
+                "inserted item not found at distance 0: {hits:?}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Remove it; a full-depth query no longer returns it.
+    client.send(&Request::Remove { id: 3, index: N_DB as u64 });
+    match client.recv() {
+        Response::Removed { id, generation, removed, live } => {
+            assert_eq!((id, generation, removed, live), (3, 2, true, N_DB as u64 + 1));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    client.send(&query(4, rows.row(0), N_DB + 2, None));
+    match client.recv() {
+        Response::Hits { id, hits, generation, .. } => {
+            assert_eq!((id, generation), (4, 2));
+            assert!(hits.iter().all(|&(_, j)| j != N_DB as u32), "tombstoned item returned");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Removing it again: explicit no-op, no new generation.
+    client.send(&Request::Remove { id: 5, index: N_DB as u64 });
+    match client.recv() {
+        Response::Removed { id, generation, removed, .. } => {
+            assert_eq!((id, generation, removed), (5, 2, false));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Hot-reload a retrained bundle from disk mid-connection.
+    let dir = std::env::temp_dir().join(format!("uhscm-loopback-reload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bundle dir");
+    let alt = synth::alt_model(SEED, DIM, BITS);
+    let mut f = std::fs::File::create(dir.join("model.nn")).expect("create model.nn");
+    alt.save(&mut f).expect("save alt model");
+    std::fs::write(dir.join("vocab.txt"), "alpha\nbeta\n").expect("write vocab");
+
+    client.send(&Request::Reload { id: 6, path: dir.to_string_lossy().into_owned() });
+    match client.recv() {
+        Response::Reloaded { id, bundle, vocab } => assert_eq!((id, bundle, vocab), (6, 1, 2)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Queries still answer, now reporting the new bundle, and match the
+    // offline oracle evaluated with the reloaded model over the live set.
+    client.send(&query(7, w.queries.row(0), 5, None));
+    match client.recv() {
+        Response::Hits { id, hits, generation, bundle } => {
+            assert_eq!((id, generation, bundle), (7, 2, 1));
+            // Database codes are immutable: the genesis codes and the rows
+            // inserted under bundle 0 keep their bundle-0 encodings. Only
+            // the query is encoded by the reloaded model.
+            let mut db = w.db.clone();
+            db.extend(&BitCodes::from_real(&w.model.infer(&rows)).slice(0..2));
+            let q = BitCodes::from_real(&alt.infer(&uhscm_linalg::Matrix::from_vec(
+                1,
+                DIM,
+                w.queries.row(0).to_vec(),
+            )));
+            let mut want: Vec<(u32, u32)> = (0..db.len())
+                .filter(|&j| j != N_DB) // the tombstoned insert
+                .map(|j| (q.hamming(0, &db, j), j as u32))
+                .collect();
+            want.sort_unstable();
+            want.truncate(5);
+            assert_eq!(hits, want, "post-reload hits diverge from the offline oracle");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A flush readback agrees with everything above.
+    client.send(&Request::Flush { id: 8 });
+    match client.recv() {
+        Response::Flushed { id, generation, live, total, bundle } => {
+            assert_eq!(
+                (id, generation, live, total, bundle),
+                (8, 2, N_DB as u64 + 1, N_DB as u64 + 2, 1)
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_commits_admitted_mutations_before_returning() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 1);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let server = Server::start(engine, &ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // Pipeline a burst of inserts plus a trailing flush, then a ping. The
+    // connection thread handles frames in order and mutations commit
+    // synchronously, so the pong proves every mutation above it was already
+    // admitted AND committed — not parked in a queue shutdown could drop.
+    let rows = synth::insert_rows(SEED, 4, DIM);
+    for i in 0..4u64 {
+        client.send(&Request::Insert { id: i, rows: vec![rows.row(i as usize).to_vec()] });
+    }
+    client.send(&Request::Flush { id: 90 });
+    client.send(&Request::Ping);
+
+    let mut receipts = 0u64;
+    loop {
+        match client.recv() {
+            Response::Inserted { id, generation, first_index, .. } => {
+                // Single-connection writes commit in frame order: generation
+                // i+1 holds row i at global index N_DB + i.
+                assert_eq!(generation, id + 1, "insert {id} committed out of order");
+                assert_eq!(first_index, N_DB as u64 + id);
+                receipts += 1;
+            }
+            Response::Flushed { id, generation, live, total, .. } => {
+                assert_eq!(id, 90);
+                assert_eq!(generation, 4);
+                assert_eq!(live, N_DB as u64 + 4);
+                assert_eq!(total, N_DB as u64 + 4);
+            }
+            Response::Pong => break,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(receipts, 4, "an admitted insert went unanswered");
+
+    // Drain with those commits in the log: shutdown returns cleanly, and
+    // the receipts above are the durable record — every write the server
+    // acknowledged had already committed before the drain began.
+    server.shutdown();
+}
+
+#[test]
+fn readonly_server_refuses_writes_over_the_wire() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 1);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let config = ServeConfig { writable: false, ..ServeConfig::default() };
+    let server = Server::start(engine, &config).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    client.send(&Request::Insert { id: 1, rows: vec![vec![0.0; DIM]] });
+    match client.recv() {
+        Response::Error { id, reason, detail } => {
+            assert_eq!((id, reason), (1, Reason::BadRequest));
+            assert!(detail.contains("read-only"), "unhelpful detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Reads are unaffected.
+    client.send(&query(2, w.queries.row(0), 3, None));
+    match client.recv() {
+        Response::Hits { id, generation, bundle, .. } => {
+            assert_eq!((id, generation, bundle), (2, 0, 0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
 }

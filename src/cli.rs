@@ -19,13 +19,15 @@
 //! uhscm info    --bundle DIR
 //! uhscm serve   --bundle DIR [--addr HOST:PORT] [--shards N]
 //!               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
+//!               [--readonly true|false]
 //! ```
 //!
 //! `serve` puts the bundle behind the `uhscm-serve` TCP front-end (sharded
-//! Hamming index, batched encoding, admission control). It prints the bound
-//! address, then drains gracefully when stdin closes — which lets scripts
-//! and the CI smoke test drive a full start → query → drain cycle without
-//! signals.
+//! Hamming index, batched encoding, admission control, and — unless
+//! `--readonly true` — live `insert`/`remove`/`reload` mutations). It
+//! prints the bound address, then drains gracefully when stdin closes —
+//! which lets scripts and the CI smoke test drive a full start → mutate →
+//! query → drain cycle without signals.
 
 use crate::core::pipeline::{Pipeline, SimilaritySource};
 use crate::core::UhscmConfig;
@@ -57,6 +59,9 @@ pub struct ServeArgs {
     pub max_batch: usize,
     pub max_wait_ms: u64,
     pub queue_cap: usize,
+    /// Refuse the write path (`insert`/`remove`/`reload`) at the protocol
+    /// layer while still answering queries.
+    pub readonly: bool,
 }
 
 impl Default for ServeArgs {
@@ -69,6 +74,7 @@ impl Default for ServeArgs {
             max_batch: config.max_batch,
             max_wait_ms: config.max_wait.as_millis() as u64,
             queue_cap: config.queue_cap,
+            readonly: !config.writable,
         }
     }
 }
@@ -139,6 +145,7 @@ USAGE:
   uhscm info  --bundle DIR
   uhscm serve --bundle DIR [--addr HOST:PORT] [--shards N]
               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
+              [--readonly true|false]
 
 GLOBAL FLAGS:
   --trace-out FILE   write a JSON-lines telemetry trace to FILE and print a
@@ -255,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "max-batch" => s.max_batch = parse_num(k, v)?,
                     "max-wait-ms" => s.max_wait_ms = parse_num(k, v)? as u64,
                     "queue-cap" => s.queue_cap = parse_num(k, v)?,
+                    "readonly" => s.readonly = parse_bool(k, v)?,
                     other => return Err(CliError::Usage(format!("unknown flag --{other}"))),
                 }
             }
@@ -277,6 +285,16 @@ fn parse_dataset(v: &str) -> Result<DatasetKind, CliError> {
 
 fn parse_num(key: &str, v: &str) -> Result<usize, CliError> {
     v.parse::<usize>().map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'")))
+}
+
+/// Every flag takes a value, so booleans are spelled out explicitly
+/// (`--readonly true`) rather than by bare presence.
+fn parse_bool(key: &str, v: &str) -> Result<bool, CliError> {
+    match v {
+        "true" | "1" | "yes" => Ok(true),
+        "false" | "0" | "no" => Ok(false),
+        other => Err(CliError::Usage(format!("--{key} expects true|false, got '{other}'"))),
+    }
 }
 
 /// Execute a command, writing human-readable output into a string
@@ -480,6 +498,7 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
         max_batch: args.max_batch,
         max_wait: std::time::Duration::from_millis(args.max_wait_ms),
         queue_cap: args.queue_cap,
+        writable: !args.readonly,
     };
     let server = uhscm_serve::Server::start(engine, &config).map_err(|e| match e {
         uhscm_serve::ServeError::Io(io) => CliError::Io(io),
@@ -490,11 +509,12 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     // port while the server is still running; flush because a piped stdout
     // is block-buffered.
     println!(
-        "uhscm-serve listening on {} ({} shards, {} codes, {} bits; close stdin to drain)",
+        "uhscm-serve listening on {} ({} shards, {} codes, {} bits, {}; close stdin to drain)",
         server.local_addr(),
         server_shards(&args.shards, db_codes.len()),
         db_codes.len(),
-        db_codes.bits()
+        db_codes.bits(),
+        if args.readonly { "read-only" } else { "writable" }
     );
     std::io::stdout().flush()?;
 
@@ -568,6 +588,8 @@ mod tests {
             "4",
             "--max-wait-ms",
             "3",
+            "--readonly",
+            "true",
         ]))
         .unwrap();
         match cmd {
@@ -578,9 +600,16 @@ mod tests {
                 assert_eq!(s.max_wait_ms, 3);
                 assert_eq!(s.max_batch, ServeArgs::default().max_batch);
                 assert_eq!(s.queue_cap, ServeArgs::default().queue_cap);
+                assert!(s.readonly);
             }
             other => panic!("unexpected {other:?}"),
         }
+        // Writable is the default; booleans must be spelled out.
+        assert!(!ServeArgs::default().readonly);
+        assert!(matches!(
+            parse(&argv(&["serve", "--bundle", "b", "--readonly", "maybe"])),
+            Err(CliError::Usage(_))
+        ));
         // --bundle is mandatory, unknown flags rejected.
         assert!(matches!(parse(&argv(&["serve"])), Err(CliError::Usage(_))));
         assert!(matches!(

@@ -52,8 +52,9 @@ pub struct RootSpec {
 }
 
 /// The declared hot paths of the reproduction: training pipeline, trainer
-/// internals, retrieval metrics, the index probe path, and the parallel
-/// fan-out runtime.
+/// internals, retrieval metrics, the index probe path, the parallel
+/// fan-out runtime, and the serve read/write path (generation-swapped
+/// shards plus the batch worker and connection dispatch).
 pub const ROOTS: &[RootSpec] = &[
     RootSpec {
         name: "uhscm_core::pipeline",
@@ -76,6 +77,16 @@ pub const ROOTS: &[RootSpec] = &[
         fns: RootFns::Named(&["build", "insert", "remove", "lookup", "knn"]),
     },
     RootSpec { name: "uhscm_linalg::par", path: "crates/linalg/src/par.rs", fns: RootFns::PubFns },
+    RootSpec {
+        name: "uhscm_serve::shard",
+        path: "crates/serve/src/shard.rs",
+        fns: RootFns::Named(&["new", "search", "insert", "remove", "snapshot"]),
+    },
+    RootSpec {
+        name: "uhscm_serve::server",
+        path: "crates/serve/src/server.rs",
+        fns: RootFns::Named(&["run_batch", "handle_frame"]),
+    },
 ];
 
 /// One panic site reachable from a root, with its call-chain witness

@@ -1,5 +1,6 @@
 //! CI smoke test for the online retrieval service: a full cross-process
-//! start → query → drain cycle against the real `uhscm` binary.
+//! start → query → insert → remove → reload → drain cycle against the real
+//! `uhscm` binary.
 //!
 //! The smoke stays std-only by speaking the wire protocol by hand (it is
 //! four length bytes plus JSON) and discovering the model's input
@@ -42,7 +43,7 @@ pub fn serve_smoke(root: &Path) -> Result<(), String> {
         .spawn()
         .map_err(|e| format!("cannot spawn `uhscm serve`: {e}"))?;
 
-    let result = drive(&mut child);
+    let result = drive(&mut child, &bundle);
     if result.is_err() {
         let _ = child.kill();
         let _ = child.wait();
@@ -50,7 +51,7 @@ pub fn serve_smoke(root: &Path) -> Result<(), String> {
     result
 }
 
-fn drive(child: &mut Child) -> Result<(), String> {
+fn drive(child: &mut Child, bundle: &Path) -> Result<(), String> {
     let stdout = child.stdout.take().ok_or("child stdout not captured")?;
     let mut lines = BufReader::new(stdout);
 
@@ -94,7 +95,69 @@ fn drive(child: &mut Child) -> Result<(), String> {
     let hits = read_frame(&mut stream)?;
     expect_contains(&hits, "\"hits\"", "well-formed query")?;
 
-    // 4. Drain: closing stdin asks the server to shut down gracefully.
+    // 4. Write path: the training database holds 150 codes (indices
+    //    0..149), so the first insert must land at global index 150.
+    write_frame(
+        &mut stream,
+        &format!("{{\"type\":\"insert\",\"id\":10,\"rows\":[[{features}]]}}"),
+    )?;
+    let receipt = read_frame(&mut stream)?;
+    expect_contains(&receipt, "\"inserted\"", "insert receipt")?;
+    expect_contains(&receipt, "\"committed_generation\":1", "insert commit")?;
+    expect_contains(&receipt, "\"first_index\":150", "insert offset")?;
+
+    // 5. The inserted row encodes the same features as the query, so a
+    //    deep re-query must find item 150 at Hamming distance 0.
+    write_frame(
+        &mut stream,
+        &format!("{{\"type\":\"query\",\"id\":11,\"top_k\":200,\"features\":[{features}]}}"),
+    )?;
+    let hits = read_frame(&mut stream)?;
+    expect_contains(&hits, "[0,150]", "inserted item retrievable at distance 0")?;
+    expect_contains(&hits, "\"generation\":1", "query pinned the committed generation")?;
+
+    // 6. Remove it again: the receipt commits a new generation, and the
+    //    same deep query no longer returns the tombstoned index.
+    write_frame(&mut stream, "{\"type\":\"remove\",\"id\":12,\"index\":150}")?;
+    let receipt = read_frame(&mut stream)?;
+    expect_contains(&receipt, "\"removed\":true", "remove receipt")?;
+    expect_contains(&receipt, "\"committed_generation\":2", "remove commit")?;
+    write_frame(
+        &mut stream,
+        &format!("{{\"type\":\"query\",\"id\":13,\"top_k\":200,\"features\":[{features}]}}"),
+    )?;
+    let hits = read_frame(&mut stream)?;
+    expect_contains(&hits, "\"hits\"", "post-remove query")?;
+    expect_absent(&hits, ",150]", "tombstoned item must not be returned")?;
+
+    // 7. Flush readback: 150 live of 151 total, still on bundle 0.
+    write_frame(&mut stream, "{\"type\":\"flush\",\"id\":14}")?;
+    let readback = read_frame(&mut stream)?;
+    expect_contains(&readback, "\"flushed\"", "flush readback")?;
+    expect_contains(&readback, "\"live\":150", "flush live count")?;
+    expect_contains(&readback, "\"total\":151", "flush total count")?;
+
+    // 8. Hot reload (the training bundle doubles as the reload source):
+    //    version bumps to 1 and queries still answer afterwards.
+    write_frame(
+        &mut stream,
+        &format!(
+            "{{\"type\":\"reload\",\"id\":15,\"path\":\"{}\"}}",
+            bundle.display().to_string().replace('\\', "/")
+        ),
+    )?;
+    let reloaded = read_frame(&mut stream)?;
+    expect_contains(&reloaded, "\"reloaded\"", "reload receipt")?;
+    expect_contains(&reloaded, "\"bundle\":1", "reload version bump")?;
+    write_frame(
+        &mut stream,
+        &format!("{{\"type\":\"query\",\"id\":16,\"top_k\":3,\"features\":[{features}]}}"),
+    )?;
+    let hits = read_frame(&mut stream)?;
+    expect_contains(&hits, "\"hits\"", "post-reload query")?;
+    expect_contains(&hits, "\"bundle\":1", "post-reload query reports the new bundle")?;
+
+    // 9. Drain: closing stdin asks the server to shut down gracefully.
     drop(child.stdin.take());
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -138,5 +201,13 @@ fn expect_contains(frame: &str, needle: &str, what: &str) -> Result<(), String> 
         Ok(())
     } else {
         Err(format!("{what}: expected {needle} in response, got: {frame}"))
+    }
+}
+
+fn expect_absent(frame: &str, needle: &str, what: &str) -> Result<(), String> {
+    if frame.contains(needle) {
+        Err(format!("{what}: unexpected {needle} in response: {frame}"))
+    } else {
+        Ok(())
     }
 }
