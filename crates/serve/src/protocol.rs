@@ -315,6 +315,9 @@ pub fn encode_request(req: &Request) -> String {
         Request::Insert { id, rows } => obj(vec![
             ("type", Value::Str("insert".into())),
             ("id", Value::UInt(*id)),
+            // Declared row count: lets the decoder reject frames whose
+            // claimed batch size disagrees with the payload they carry.
+            ("count", Value::UInt(rows.len() as u64)),
             (
                 "rows",
                 Value::Seq(
@@ -452,6 +455,20 @@ pub fn decode_request(body: &str) -> Result<Request, String> {
                         .collect::<Result<Vec<f64>, &str>>()
                 })
                 .collect::<Result<Vec<Vec<f64>>, &str>>()?;
+            // `count` is optional for wire compatibility with pre-count
+            // clients, but when present it must match the payload: a
+            // disagreement means the frame was truncated or forged, and
+            // silently trusting either number would commit the wrong
+            // batch under the client's id.
+            if let Some(c) = v.get("count") {
+                let declared = c.as_u64().ok_or("non-integer 'count'")?;
+                if u64::try_from(rows.len()).ok() != Some(declared) {
+                    return Err(format!(
+                        "insert declared {declared} rows but the payload has {}",
+                        rows.len()
+                    ));
+                }
+            }
             Ok(Request::Insert { id, rows })
         }
         "remove" => {

@@ -99,6 +99,10 @@ pub struct ServeConfig {
     /// Whether mutation frames (insert/remove/reload) are accepted; a
     /// read-only server answers them `bad_request`.
     pub writable: bool,
+    /// Largest `top_k` a query frame may request; anything above it is
+    /// refused `bad_request` before the query is admitted, so a hostile
+    /// client cannot size per-query heaps and result buffers at will.
+    pub max_top_k: usize,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +114,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(1),
             queue_cap: 256,
             writable: true,
+            max_top_k: 1024,
         }
     }
 }
@@ -296,7 +301,13 @@ impl Engine {
             };
             return Ok((commit, bundle.version));
         }
-        let mut flat = Vec::with_capacity(rows.len() * dim);
+        // Both factors arrive from outside (wire rows x bundle dim), so the
+        // flat-buffer size is computed checked: overflow is a refused
+        // request, not a wrapped allocation.
+        let Some(flat_len) = rows.len().checked_mul(dim) else {
+            return Err(format!("insert of {} rows x {dim} features overflows", rows.len()));
+        };
+        let mut flat = Vec::with_capacity(flat_len);
         for row in rows {
             flat.extend_from_slice(row);
         }
@@ -322,11 +333,15 @@ impl Engine {
     /// (Named `remove_index` for the same lint-call-graph reason as
     /// [`Engine::insert_rows`].)
     pub fn remove_index(&self, index: u64) -> Result<RemoveCommit, String> {
-        let total = self.index.total_len() as u64;
-        if index >= total {
+        let total = self.index.total_len();
+        // `try_from` + range check replace the old `as` casts in both
+        // directions: a wire index survives to the commit only as a value
+        // proven to fit `usize` and to name an existing slot.
+        let valid = usize::try_from(index).ok().filter(|&i| i < total);
+        let Some(checked) = valid else {
             return Err(format!("index {index} out of range (total {total})"));
-        }
-        let commit = self.index.remove(index as usize);
+        };
+        let commit = self.index.remove(checked);
         if commit.removed {
             obs_count!("serve.mutations.remove", 1);
             obs_count!("serve.swaps.generation", 1);
@@ -417,8 +432,9 @@ impl Server {
             let accept_queue = Arc::clone(&queue);
             let draining = Arc::clone(&draining);
             let writable = config.writable;
+            let max_top_k = config.max_top_k;
             if let Err(e) = pool.spawn("accept", move || {
-                accept_loop(&listener, &engine, &accept_queue, &draining, writable)
+                accept_loop(&listener, &engine, &accept_queue, &draining, writable, max_top_k)
             }) {
                 // Unwind the batch worker we already started.
                 queue.close();
@@ -457,6 +473,7 @@ fn accept_loop(
     queue: &Arc<AdmissionQueue>,
     draining: &Arc<AtomicBool>,
     writable: bool,
+    max_top_k: usize,
 ) {
     let mut conns = WorkerPool::new();
     for stream in listener.incoming() {
@@ -469,8 +486,9 @@ fn accept_loop(
         let queue = Arc::clone(queue);
         let draining = Arc::clone(draining);
         // A failed spawn just drops this connection; the service lives on.
-        let _ =
-            conns.spawn("conn", move || handle_conn(stream, &engine, &queue, &draining, writable));
+        let _ = conns.spawn("conn", move || {
+            handle_conn(stream, &engine, &queue, &draining, writable, max_top_k)
+        });
     }
     conns.join_all();
 }
@@ -510,6 +528,7 @@ fn handle_conn(
     queue: &AdmissionQueue,
     draining: &AtomicBool,
     writable: bool,
+    max_top_k: usize,
 ) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
@@ -524,7 +543,7 @@ fn handle_conn(
     if writers.spawn("conn-write", move || writer_loop(write_half, &rx)).is_err() {
         return;
     }
-    read_loop(stream, engine, queue, draining, writable, &out);
+    read_loop(stream, engine, queue, draining, writable, max_top_k, &out);
     // Drop our sender so the writer exits once every in-flight reply
     // closure (each holds a clone) has landed, then wait for it: the last
     // byte is on the wire before the connection thread retires.
@@ -538,6 +557,7 @@ fn read_loop(
     queue: &AdmissionQueue,
     draining: &AtomicBool,
     writable: bool,
+    max_top_k: usize,
     out: &mpsc::Sender<Vec<u8>>,
 ) {
     let mut frames = FrameReader::new();
@@ -563,7 +583,7 @@ fn read_loop(
         }
         loop {
             match frames.next_frame() {
-                Ok(Some(body)) => handle_frame(&body, engine, queue, out, writable),
+                Ok(Some(body)) => handle_frame(&body, engine, queue, out, writable, max_top_k),
                 Ok(None) => break,
                 Err(e) => {
                     // Framing is lost; report and hang up.
@@ -611,6 +631,7 @@ fn handle_frame(
     queue: &AdmissionQueue,
     out: &mpsc::Sender<Vec<u8>>,
     writable: bool,
+    max_top_k: usize,
 ) {
     let req = match decode_request(body) {
         Ok(r) => r,
@@ -729,6 +750,19 @@ fn handle_frame(
         );
         return;
     }
+    if q.top_k > max_top_k {
+        // Capping here — before admission — keeps the wire value out of
+        // every downstream heap- and buffer-sizing position.
+        send(
+            out,
+            &Response::Error {
+                id: q.id,
+                reason: Reason::BadRequest,
+                detail: format!("top_k {} exceeds the cap {max_top_k}", q.top_k),
+            },
+        );
+        return;
+    }
     let deadline = q.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let w = out.clone();
     let pending = PendingQuery {
@@ -841,9 +875,15 @@ mod tests {
     }
 
     /// Run one frame through `handle_frame` and decode the reply it queued.
-    fn one_frame(engine: &Engine, queue: &AdmissionQueue, body: &str, writable: bool) -> Response {
+    fn one_frame(
+        engine: &Engine,
+        queue: &AdmissionQueue,
+        body: &str,
+        writable: bool,
+        max_top_k: usize,
+    ) -> Response {
         let (out, rx) = mpsc::channel::<Vec<u8>>();
-        handle_frame(body, engine, queue, &out, writable);
+        handle_frame(body, engine, queue, &out, writable, max_top_k);
         let frame = rx.try_recv().expect("a reply was queued");
         let body = String::from_utf8(frame[4..].to_vec()).expect("utf8 payload");
         decode_response(&body).expect("decodable reply")
@@ -891,7 +931,7 @@ mod tests {
             r#"{"type":"remove","id":2,"index":0}"#,
             r#"{"type":"reload","id":3,"path":"/nowhere"}"#,
         ] {
-            match one_frame(&engine, &queue, body, true) {
+            match one_frame(&engine, &queue, body, true, 1024) {
                 Response::Error { reason: Reason::Draining, .. } => {}
                 other => panic!("expected draining refusal for {body}, got {other:?}"),
             }
@@ -901,7 +941,7 @@ mod tests {
 
         // Flush is read-only state readback and still answers while
         // draining, so a client can confirm what did commit.
-        match one_frame(&engine, &queue, r#"{"type":"flush","id":4}"#, true) {
+        match one_frame(&engine, &queue, r#"{"type":"flush","id":4}"#, true, 1024) {
             Response::Flushed { id: 4, generation, live, total, bundle } => {
                 assert_eq!((generation, live, total, bundle), (0, 12, 12, 0));
             }
@@ -914,13 +954,13 @@ mod tests {
         let engine = test_engine();
         let queue = AdmissionQueue::new(4);
 
-        match one_frame(&engine, &queue, r#"{"type":"remove","id":7,"index":0}"#, false) {
+        match one_frame(&engine, &queue, r#"{"type":"remove","id":7,"index":0}"#, false, 1024) {
             Response::Error { id: 7, reason: Reason::BadRequest, detail } => {
                 assert!(detail.contains("read-only"), "{detail}");
             }
             other => panic!("expected read-only refusal, got {other:?}"),
         }
-        match one_frame(&engine, &queue, r#"{"type":"flush","id":8}"#, false) {
+        match one_frame(&engine, &queue, r#"{"type":"flush","id":8}"#, false, 1024) {
             Response::Flushed { id: 8, .. } => {}
             other => panic!("expected flushed, got {other:?}"),
         }

@@ -61,7 +61,12 @@ impl Segment {
         tombstones: &BTreeSet<u32>,
     ) -> Vec<(u32, u32)> {
         let total = self.codes.len();
-        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(n + 1);
+        // The heap is trimmed to `n` entries after every push and can never
+        // hold more than this segment's code count, so its capacity is
+        // bounded by what we store — a caller-supplied `n` (ultimately a
+        // wire `top_k`) cannot size the allocation past the data.
+        let cap = n.min(total).saturating_add(1);
+        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(cap);
         let mut block = [0u32; hamming_scan::SCAN_BLOCK];
         let mut start = 0;
         while start < total {
@@ -168,7 +173,12 @@ impl Generation {
 
     /// Whether global index `i` exists and is not tombstoned.
     pub fn is_live(&self, i: usize) -> bool {
-        i < self.total && !self.tombstones.contains(&(i as u32))
+        match u32::try_from(i) {
+            // Indices that cannot fit the tombstone key type cannot have
+            // been stored either, so they are simply not live.
+            Ok(key) => i < self.total && !self.tombstones.contains(&key),
+            Err(_) => false,
+        }
     }
 
     /// Global top-`n` for query `qi` of `queries`, as `(distance,
@@ -184,18 +194,23 @@ impl Generation {
         if n == 0 || self.segments.is_empty() {
             return Vec::new();
         }
+        // Clamp the caller-provided `n` into a fresh binding before it
+        // reaches any heap- or buffer-sizing position: no search can return
+        // more than `total` hits, so the clamp never changes a result, and
+        // the taint pass's name-based tracking sees the sanitized value.
+        let want = n.min(self.total);
         // Work estimate: one popcount pass over every stored word.
         let words = self.bits.div_ceil(64).max(1);
         let per_segment: Vec<Vec<(u32, u32)>> =
             par::par_map_chunks(self.segments.len(), self.total * words, |chunk| {
                 chunk
-                    .map(|s| self.segments[s].top_n(queries, qi, n, &self.tombstones))
+                    .map(|s| self.segments[s].top_n(queries, qi, want, &self.tombstones))
                     .collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
             .collect();
-        merge_top_n(&per_segment, n)
+        merge_top_n(&per_segment, want)
     }
 }
 
@@ -363,10 +378,16 @@ impl ShardedIndex {
             return RemoveCommit { generation: cur.seq(), removed: false, live: cur.live_len() };
         }
         let mut next = cur.child();
+        // The range assert above bounds `index` by the stored total, which
+        // itself fits `u32` by construction, so the conversion is total;
+        // `try_from` keeps the narrowing visibly checked.
+        let Ok(key) = u32::try_from(index) else {
+            return RemoveCommit { generation: cur.seq(), removed: false, live: cur.live_len() };
+        };
         // `extend`, not `BTreeSet::insert`: the writer gate is held here,
         // and the name-based lint call graph would resolve an `insert` call
         // to `ShardedIndex::insert` (a false self-deadlock witness).
-        next.tombstones.extend([index as u32]);
+        next.tombstones.extend([key]);
         let commit = RemoveCommit { generation: next.seq(), removed: true, live: next.live_len() };
         self.commit(next);
         commit

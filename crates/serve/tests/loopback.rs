@@ -144,6 +144,61 @@ fn ping_pong_and_structured_bad_requests() {
 }
 
 #[test]
+fn wire_integer_validation_rejects_oversized_top_k_and_count_mismatches() {
+    let w = synth::workload(SEED, DIM, BITS, N_DB, 1);
+    let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");
+    let config = ServeConfig { max_top_k: 8, ..ServeConfig::default() };
+    let server = Server::start(engine, &config).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // top_k above the configured cap: refused before admission, with the
+    // limit spelled out, and the connection survives.
+    client.send(&query(1, w.queries.row(0), 9, None));
+    match client.recv() {
+        Response::Error { id, reason, detail } => {
+            assert_eq!((id, reason), (1, Reason::BadRequest));
+            assert!(detail.contains("exceeds the cap 8"), "unhelpful detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Exactly at the cap is still a served query.
+    client.send(&query(2, w.queries.row(0), 8, None));
+    match client.recv() {
+        Response::Hits { id, hits, .. } => {
+            assert_eq!(id, 2);
+            assert_eq!(hits.len(), 8);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // An insert whose declared row count disagrees with its payload is a
+    // truncated or forged frame: structured rejection (decode-level, so the
+    // reply carries id 0), and nothing commits behind the client's back.
+    let features = vec!["0.0"; DIM].join(",");
+    let forged = format!(r#"{{"type":"insert","id":3,"count":2,"rows":[[{features}]]}}"#);
+    write_frame(&mut client.stream, &forged).expect("client write");
+    match client.recv() {
+        Response::Error { id, reason, detail } => {
+            assert_eq!((id, reason), (0, Reason::BadRequest));
+            assert!(
+                detail.contains("declared 2 rows but the payload has 1"),
+                "unhelpful detail: {detail}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A well-formed insert (the encoder stamps the count itself) commits.
+    client.send(&Request::Insert { id: 4, rows: vec![vec![0.25; DIM]] });
+    match client.recv() {
+        Response::Inserted { id, count, .. } => assert_eq!((id, count), (4, 1)),
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn deadline_already_expired_is_rejected_without_encoding() {
     let w = synth::workload(SEED, DIM, BITS, N_DB, 2);
     let engine = Engine::new(w.model.clone(), &w.db, 2).expect("widths match");

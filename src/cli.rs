@@ -19,7 +19,7 @@
 //! uhscm info    --bundle DIR
 //! uhscm serve   --bundle DIR [--addr HOST:PORT] [--shards N]
 //!               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
-//!               [--readonly true|false]
+//!               [--readonly true|false] [--max-top-k N]
 //! ```
 //!
 //! `serve` puts the bundle behind the `uhscm-serve` TCP front-end (sharded
@@ -62,6 +62,9 @@ pub struct ServeArgs {
     /// Refuse the write path (`insert`/`remove`/`reload`) at the protocol
     /// layer while still answering queries.
     pub readonly: bool,
+    /// Largest `top_k` a query frame may request before it is refused
+    /// `bad_request` (see [`uhscm_serve::ServeConfig::max_top_k`]).
+    pub max_top_k: usize,
 }
 
 impl Default for ServeArgs {
@@ -75,6 +78,7 @@ impl Default for ServeArgs {
             max_wait_ms: config.max_wait.as_millis() as u64,
             queue_cap: config.queue_cap,
             readonly: !config.writable,
+            max_top_k: config.max_top_k,
         }
     }
 }
@@ -145,7 +149,7 @@ USAGE:
   uhscm info  --bundle DIR
   uhscm serve --bundle DIR [--addr HOST:PORT] [--shards N]
               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
-              [--readonly true|false]
+              [--readonly true|false] [--max-top-k N]
 
 GLOBAL FLAGS:
   --trace-out FILE   write a JSON-lines telemetry trace to FILE and print a
@@ -263,6 +267,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "max-wait-ms" => s.max_wait_ms = parse_num(k, v)? as u64,
                     "queue-cap" => s.queue_cap = parse_num(k, v)?,
                     "readonly" => s.readonly = parse_bool(k, v)?,
+                    "max-top-k" => s.max_top_k = parse_num(k, v)?,
                     other => return Err(CliError::Usage(format!("unknown flag --{other}"))),
                 }
             }
@@ -499,6 +504,7 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
         max_wait: std::time::Duration::from_millis(args.max_wait_ms),
         queue_cap: args.queue_cap,
         writable: !args.readonly,
+        max_top_k: args.max_top_k,
     };
     let server = uhscm_serve::Server::start(engine, &config).map_err(|e| match e {
         uhscm_serve::ServeError::Io(io) => CliError::Io(io),
@@ -590,6 +596,8 @@ mod tests {
             "3",
             "--readonly",
             "true",
+            "--max-top-k",
+            "64",
         ]))
         .unwrap();
         match cmd {
@@ -601,6 +609,7 @@ mod tests {
                 assert_eq!(s.max_batch, ServeArgs::default().max_batch);
                 assert_eq!(s.queue_cap, ServeArgs::default().queue_cap);
                 assert!(s.readonly);
+                assert_eq!(s.max_top_k, 64);
             }
             other => panic!("unexpected {other:?}"),
         }

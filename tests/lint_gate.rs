@@ -4,12 +4,12 @@
 //! whenever a rule is violated without an allowlisted justification, or
 //! an allowlist entry goes stale. The `--json` run additionally pins the
 //! machine-readable report: it must parse (via the workspace's own JSON
-//! reader in `uhscm::obs::trace`), carry all six semantic analyses
+//! reader in `uhscm::obs::trace`), carry all seven semantic analyses
 //! (panic reachability, determinism, dead exports, lock order,
-//! blocking-under-lock, and the allocation budget), hold both checked-in
-//! budgets, report a per-pass timing for every analysis, and be
-//! determinism-clean. See `xtask/src/main.rs` for the rules and
-//! `xtask/src/analysis/` for the call-graph passes.
+//! blocking-under-lock, the allocation budget, and the taint-flow pass),
+//! hold all three checked-in budgets, report a per-pass timing for every
+//! analysis, and be determinism-clean. See `xtask/src/main.rs` for the
+//! rules and `xtask/src/analysis/` for the call-graph passes.
 
 use std::process::Command;
 use uhscm::obs::trace::{parse, Json};
@@ -52,16 +52,17 @@ fn lint_json_report_is_well_formed_and_budget_holds() {
             .unwrap_or_else(|| panic!("report missing string `{key}`"))
             .to_string()
     };
-    assert_eq!(str_of(&report, "schema"), "uhscm-lint/2");
+    assert_eq!(str_of(&report, "schema"), "uhscm-lint/3");
 
-    // All six semantic analyses must have run.
-    const ALL_ANALYSES: [&str; 6] = [
+    // All seven semantic analyses must have run.
+    const ALL_ANALYSES: [&str; 7] = [
         "panic-reachability",
         "determinism",
         "dead-export",
         "lock-order",
         "blocking-under-lock",
         "alloc-budget",
+        "taint-flow",
     ];
     let analyses: Vec<String> = report
         .get("analyses")
@@ -139,6 +140,42 @@ fn lint_json_report_is_well_formed_and_budget_holds() {
             .and_then(Json::as_u64)
             .expect("root missing `reachable_sites`");
         assert_eq!(sites.len() as u64, declared, "site list disagrees with count for `{name}`");
+    }
+
+    // The taint budget holds for every source group: residual tainted
+    // sinks behind the serve/CLI validation boundaries are pinned in
+    // xtask/taint.budget, and every reported site names the untrusted
+    // source it flows from plus a source->sink call-chain witness.
+    let taint_roots = report
+        .get("taint_budget")
+        .and_then(|b| b.get("roots"))
+        .and_then(Json::as_arr)
+        .expect("report missing `taint_budget.roots`");
+    assert!(taint_roots.len() >= 3, "expected wire/cli/bundle groups, got {}", taint_roots.len());
+    for root in taint_roots {
+        let name = str_of(root, "root");
+        assert_eq!(str_of(root, "status"), "ok", "taint budget violated for group `{name}`");
+        assert!(
+            root.get("budget").and_then(Json::as_u64).is_some(),
+            "group `{name}` has no pinned budget in xtask/taint.budget"
+        );
+        let sites = root.get("sites").and_then(Json::as_arr).expect("group missing `sites`");
+        let declared = root
+            .get("reachable_sites")
+            .and_then(Json::as_u64)
+            .expect("group missing `reachable_sites`");
+        assert_eq!(sites.len() as u64, declared, "site list disagrees with count for `{name}`");
+        for site in sites {
+            assert!(!str_of(site, "source").is_empty(), "taint site in `{name}` names no source");
+            assert!(!str_of(site, "kind").is_empty(), "taint site in `{name}` has no sink kind");
+            let witness = site.get("witness").and_then(Json::as_arr).unwrap_or(&[]);
+            assert!(
+                !witness.is_empty(),
+                "taint site {}:{} in group `{name}` has no source->sink witness",
+                str_of(site, "path"),
+                site.get("line").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
     }
 
     // Determinism audit must be clean: unordered-map iteration on a hot

@@ -1,11 +1,13 @@
-//! Shared budget-file machinery for the panic and allocation budgets.
+//! Shared budget-file machinery for the panic, allocation, and taint
+//! budgets.
 //!
-//! Both budgets pin a per-root count of reachable sites in a checked-in
-//! file (`xtask/panic.budget`, `xtask/alloc.budget`) with identical
-//! semantics: growth over the budget is an error that can never be
-//! allowlisted, slack is a warning nudging a `--write-budget` re-baseline,
-//! and a missing/stale/malformed file is an error. The passes differ only
-//! in what they count; everything about the file lives here.
+//! All three budgets pin a per-root count of sites in a checked-in file
+//! (`xtask/panic.budget`, `xtask/alloc.budget`, `xtask/taint.budget`)
+//! with identical semantics: growth over the budget is an error that can
+//! never be allowlisted, slack is a warning nudging a `--write-budget`
+//! re-baseline, and a missing/stale/malformed file is an error. The
+//! passes differ only in what they count; everything about the file
+//! lives here.
 
 use crate::rules::{Finding, Severity, WitnessStep};
 use std::collections::BTreeMap;
@@ -29,6 +31,10 @@ pub const PANIC_BUDGET: BudgetSpec =
 /// The hot-path allocation budget.
 pub const ALLOC_BUDGET: BudgetSpec =
     BudgetSpec { rule: "alloc-budget", path: "xtask/alloc.budget", noun: "allocation" };
+
+/// The taint budget: tainted sink sites per untrusted-input group.
+pub const TAINT_BUDGET: BudgetSpec =
+    BudgetSpec { rule: "taint-budget", path: "xtask/taint.budget", noun: "taint" };
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BudgetStatus {

@@ -85,6 +85,8 @@ mod tests {
             &g,
             Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
             Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+            Some(""),
+            None,
         );
         let f = a
             .findings
@@ -125,6 +127,8 @@ mod tests {
             &g,
             Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
             Some("uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n"),
+            Some(""),
+            None,
         );
         assert!(
             a.findings.iter().all(|f| f.rule != "hash-iter"),

@@ -1,6 +1,6 @@
 //! Semantic passes over the workspace call graph.
 //!
-//! Six analyses run on every lint (DESIGN.md §11, §13):
+//! Seven analyses run on every lint (DESIGN.md §11, §13, §16):
 //!
 //! * **panic-reachability** ([`panic_reach`]) — BFS from the declared
 //!   hot-path roots below; every intrinsic panic site in a reachable
@@ -20,6 +20,12 @@
 //! * **alloc-budget** ([`alloc_budget`]) — allocation sites reachable from
 //!   the hot-path roots, pinned by `xtask/alloc.budget` with the same
 //!   semantics as the panic budget (shared machinery in [`budget`]).
+//! * **taint-flow** ([`taint`]) — untrusted wire/CLI/bundle values flowing
+//!   to indexing, narrowing-cast, unchecked-arithmetic, and
+//!   allocation-size sinks, pinned by `xtask/taint.budget`.
+//!
+//! `lint --only <pass>` runs a single analysis by the names in
+//! [`PASS_NAMES`]; `ci` always runs the full set.
 
 pub mod alloc_budget;
 pub mod budget;
@@ -27,6 +33,7 @@ pub mod dead_export;
 pub mod determinism;
 pub mod locks;
 pub mod panic_reach;
+pub mod taint;
 
 pub use budget::BudgetStatus;
 
@@ -114,111 +121,167 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     pub roots: Vec<RootReport>,
     pub alloc_roots: Vec<alloc_budget::AllocRootReport>,
-    /// `(analysis name, wall-time nanos)` per pass, report order.
+    pub taint_roots: Vec<taint::TaintRootReport>,
+    /// `(analysis name, wall-time nanos)` per pass that ran, report order.
     pub timings: Vec<(&'static str, u128)>,
 }
 
-/// Run all six passes. `panic_budget_src` / `alloc_budget_src` are the
-/// contents of `xtask/panic.budget` / `xtask/alloc.budget` (`None` = file
-/// missing, an error when any root matches). Roots whose file has no
-/// matching functions in `ws` are skipped, so fixture workspaces exercise
-/// only the roots they define.
+/// The analyses, in report order — the valid arguments to
+/// `lint --only <pass>`.
+pub const PASS_NAMES: &[&str] = &[
+    "panic-reachability",
+    "determinism",
+    "dead-export",
+    "lock-order",
+    "blocking-under-lock",
+    "alloc-budget",
+    "taint-flow",
+];
+
+/// Run the passes. The `*_budget_src` arguments are the contents of the
+/// corresponding `xtask/*.budget` files (`None` = file missing, an
+/// error). Roots whose file has no matching functions in `ws` are
+/// skipped, so fixture workspaces exercise only the roots they define.
+/// `only` restricts the run to a single pass from [`PASS_NAMES`]
+/// (`None` = run everything); `timings` lists only the passes that ran.
 pub fn run(
     ws: &Workspace,
     g: &Graph,
     panic_budget_src: Option<&str>,
     alloc_budget_src: Option<&str>,
+    taint_budget_src: Option<&str>,
+    only: Option<&str>,
 ) -> Analysis {
+    let enabled = |name: &str| only.map_or(true, |o| o == name);
     let mut findings = Vec::new();
     let mut roots_out = Vec::new();
     let mut timings: Vec<(&'static str, u128)> = Vec::new();
-    let spec = &budget::PANIC_BUDGET;
-    let (panic_budget, budget_errors) = budget::parse(spec, panic_budget_src);
-    for e in budget_errors {
-        findings.push(budget::finding(spec, e, Severity::Error, Vec::new()));
-    }
 
     // Reachability per root; remembered for the determinism pass so its
     // findings can reuse the cheapest witness chain.
-    let t = Instant::now();
     let mut reach_witness: BTreeMap<usize, Vec<WitnessStep>> = BTreeMap::new();
-    let mut budgeted_roots: Vec<&str> = Vec::new();
 
-    for spec_root in ROOTS {
-        let seeds = seeds_for(ws, g, spec_root);
-        if seeds.is_empty() {
-            continue;
+    if enabled("panic-reachability") {
+        let spec = &budget::PANIC_BUDGET;
+        let (panic_budget, budget_errors) = budget::parse(spec, panic_budget_src);
+        for e in budget_errors {
+            findings.push(budget::finding(spec, e, Severity::Error, Vec::new()));
         }
-        budgeted_roots.push(spec_root.name);
-        let parent = panic_reach::reach(ws, g, &seeds);
-        let mut sites = Vec::new();
-        for &n in parent.keys() {
-            let chain = panic_reach::witness(ws, g, &parent, n);
-            reach_witness.entry(n).or_insert_with(|| chain.clone());
-            let item = g.item(ws, n);
-            for site in &item.panic_sites {
-                sites.push(SiteReport {
-                    kind: site.kind,
-                    path: g.path(ws, n).to_string(),
-                    line: site.line + 1,
-                    fn_qualified: g.nodes[n].qualified.clone(),
-                    witness: chain.clone(),
-                });
+        let t = Instant::now();
+        let mut budgeted_roots: Vec<&str> = Vec::new();
+
+        for spec_root in ROOTS {
+            let seeds = seeds_for(ws, g, spec_root);
+            if seeds.is_empty() {
+                continue;
+            }
+            budgeted_roots.push(spec_root.name);
+            let parent = panic_reach::reach(ws, g, &seeds);
+            let mut sites = Vec::new();
+            for &n in parent.keys() {
+                let chain = panic_reach::witness(ws, g, &parent, n);
+                reach_witness.entry(n).or_insert_with(|| chain.clone());
+                let item = g.item(ws, n);
+                for site in &item.panic_sites {
+                    sites.push(SiteReport {
+                        kind: site.kind,
+                        path: g.path(ws, n).to_string(),
+                        line: site.line + 1,
+                        fn_qualified: g.nodes[n].qualified.clone(),
+                        witness: chain.clone(),
+                    });
+                }
+            }
+            sites.sort_by(|a, b| {
+                (&a.path, a.line, a.kind, &a.fn_qualified).cmp(&(
+                    &b.path,
+                    b.line,
+                    b.kind,
+                    &b.fn_qualified,
+                ))
+            });
+
+            let allotted = panic_budget.as_ref().and_then(|b| b.get(spec_root.name).copied());
+            let count = sites.len() as u64;
+            let status = budget::status(allotted, count);
+            let witness = if status == BudgetStatus::Over {
+                sites.first().map(|s| s.witness.clone()).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            if let Some(f) =
+                budget::status_finding(spec, spec_root.name, allotted, count, status, witness)
+            {
+                findings.push(f);
+            }
+            roots_out.push(RootReport {
+                root: spec_root.name,
+                budget: allotted,
+                reachable_fns: parent.len(),
+                sites,
+                status,
+            });
+        }
+        findings.extend(budget::stale_findings(spec, &panic_budget, &budgeted_roots));
+        timings.push(("panic-reachability", t.elapsed().as_nanos()));
+    } else if enabled("determinism") {
+        // Determinism reuses the reachability witnesses; compute them
+        // without any budget bookkeeping when the panic pass is skipped.
+        for spec_root in ROOTS {
+            let seeds = seeds_for(ws, g, spec_root);
+            if seeds.is_empty() {
+                continue;
+            }
+            let parent = panic_reach::reach(ws, g, &seeds);
+            for &n in parent.keys() {
+                reach_witness.entry(n).or_insert_with(|| panic_reach::witness(ws, g, &parent, n));
             }
         }
-        sites.sort_by(|a, b| {
-            (&a.path, a.line, a.kind, &a.fn_qualified).cmp(&(
-                &b.path,
-                b.line,
-                b.kind,
-                &b.fn_qualified,
-            ))
-        });
-
-        let allotted = panic_budget.as_ref().and_then(|b| b.get(spec_root.name).copied());
-        let count = sites.len() as u64;
-        let status = budget::status(allotted, count);
-        let witness = if status == BudgetStatus::Over {
-            sites.first().map(|s| s.witness.clone()).unwrap_or_default()
-        } else {
-            Vec::new()
-        };
-        if let Some(f) =
-            budget::status_finding(spec, spec_root.name, allotted, count, status, witness)
-        {
-            findings.push(f);
-        }
-        roots_out.push(RootReport {
-            root: spec_root.name,
-            budget: allotted,
-            reachable_fns: parent.len(),
-            sites,
-            status,
-        });
     }
-    findings.extend(budget::stale_findings(spec, &panic_budget, &budgeted_roots));
-    timings.push(("panic-reachability", t.elapsed().as_nanos()));
 
-    let t = Instant::now();
-    findings.extend(determinism::run(ws, g, &reach_witness));
-    timings.push(("determinism", t.elapsed().as_nanos()));
+    if enabled("determinism") {
+        let t = Instant::now();
+        findings.extend(determinism::run(ws, g, &reach_witness));
+        timings.push(("determinism", t.elapsed().as_nanos()));
+    }
 
-    let t = Instant::now();
-    findings.extend(dead_export::run(ws, g));
-    timings.push(("dead-export", t.elapsed().as_nanos()));
+    if enabled("dead-export") {
+        let t = Instant::now();
+        findings.extend(dead_export::run(ws, g));
+        timings.push(("dead-export", t.elapsed().as_nanos()));
+    }
 
-    let lock_report = locks::run(ws, g);
-    findings.extend(lock_report.lock_order);
-    timings.push(("lock-order", lock_report.order_nanos));
-    findings.extend(lock_report.blocking);
-    timings.push(("blocking-under-lock", lock_report.blocking_nanos));
+    if enabled("lock-order") || enabled("blocking-under-lock") {
+        let lock_report = locks::run(ws, g);
+        if enabled("lock-order") {
+            findings.extend(lock_report.lock_order);
+            timings.push(("lock-order", lock_report.order_nanos));
+        }
+        if enabled("blocking-under-lock") {
+            findings.extend(lock_report.blocking);
+            timings.push(("blocking-under-lock", lock_report.blocking_nanos));
+        }
+    }
 
-    let t = Instant::now();
-    let (alloc_findings, alloc_roots) = alloc_budget::run(ws, g, alloc_budget_src);
-    findings.extend(alloc_findings);
-    timings.push(("alloc-budget", t.elapsed().as_nanos()));
+    let mut alloc_roots = Vec::new();
+    if enabled("alloc-budget") {
+        let t = Instant::now();
+        let (alloc_findings, roots) = alloc_budget::run(ws, g, alloc_budget_src);
+        findings.extend(alloc_findings);
+        alloc_roots = roots;
+        timings.push(("alloc-budget", t.elapsed().as_nanos()));
+    }
 
-    Analysis { findings, roots: roots_out, alloc_roots, timings }
+    let mut taint_roots = Vec::new();
+    if enabled("taint-flow") {
+        let t = Instant::now();
+        let (taint_findings, roots) = taint::run(ws, g, taint_budget_src);
+        findings.extend(taint_findings);
+        taint_roots = roots;
+        timings.push(("taint-flow", t.elapsed().as_nanos()));
+    }
+
+    Analysis { findings, roots: roots_out, alloc_roots, taint_roots, timings }
 }
 
 /// Seed nodes for one root: non-test functions of the root file matching
@@ -256,6 +319,12 @@ pub fn render_alloc_budget(roots: &[alloc_budget::AllocRootReport]) -> String {
     budget::render(&budget::ALLOC_BUDGET, &counts)
 }
 
+/// Render `xtask/taint.budget` from a fresh analysis (for `--write-budget`).
+pub fn render_taint_budget(roots: &[taint::TaintRootReport]) -> String {
+    let counts: Vec<(&str, usize)> = roots.iter().map(|r| (r.root, r.sites.len())).collect();
+    budget::render(&budget::TAINT_BUDGET, &counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,10 +355,14 @@ mod tests {
     /// the alloc pass clean while the panic assertions run.
     const ZERO_ALLOC: &str = "uhscm_core::pipeline\t0\nuhscm_core::trainer\t0\n";
 
+    /// The fixture defines none of the taint source functions, so an
+    /// empty taint budget stays clean.
+    const NO_TAINT: &str = "";
+
     fn analyse(extra_panic: bool, budget: &str) -> Analysis {
         let ws = Workspace::from_sources(&fixture(extra_panic));
         let g = Graph::build(&ws);
-        run(&ws, &g, Some(budget), Some(ZERO_ALLOC))
+        run(&ws, &g, Some(budget), Some(ZERO_ALLOC), Some(NO_TAINT), None)
     }
 
     #[test]
@@ -319,20 +392,27 @@ mod tests {
     }
 
     #[test]
-    fn all_six_passes_report_timings() {
+    fn all_seven_passes_report_timings() {
         let a = analyse(false, "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n");
         let names: Vec<&str> = a.timings.iter().map(|(n, _)| *n).collect();
-        assert_eq!(
-            names,
-            vec![
-                "panic-reachability",
-                "determinism",
-                "dead-export",
-                "lock-order",
-                "blocking-under-lock",
-                "alloc-budget"
-            ]
-        );
+        assert_eq!(names, PASS_NAMES);
+    }
+
+    #[test]
+    fn only_restricts_to_a_single_pass() {
+        let ws = Workspace::from_sources(&fixture(false));
+        let g = Graph::build(&ws);
+        let a = run(&ws, &g, None, None, None, Some("dead-export"));
+        let names: Vec<&str> = a.timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["dead-export"]);
+        // Skipped passes must not complain about their missing budgets.
+        assert!(a.findings.iter().all(|f| !f.rule.ends_with("-budget")), "no budget findings");
+
+        // Determinism alone still gets reachability witnesses without
+        // running the panic budget bookkeeping.
+        let d = run(&ws, &g, None, None, None, Some("determinism"));
+        let names: Vec<&str> = d.timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["determinism"]);
     }
 
     #[test]
@@ -381,16 +461,22 @@ mod tests {
     fn missing_budget_file_is_an_error() {
         let ws = Workspace::from_sources(&fixture(false));
         let g = Graph::build(&ws);
-        let a = run(&ws, &g, None, Some(ZERO_ALLOC));
+        let a = run(&ws, &g, None, Some(ZERO_ALLOC), Some(NO_TAINT), None);
         assert!(a
             .findings
             .iter()
             .any(|f| f.rule == "panic-budget" && f.message.contains("missing")));
-        let b = run(&ws, &g, Some("uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n"), None);
+        let panic_ok = "uhscm_core::pipeline\t1\nuhscm_core::trainer\t1\n";
+        let b = run(&ws, &g, Some(panic_ok), None, Some(NO_TAINT), None);
         assert!(b
             .findings
             .iter()
             .any(|f| f.rule == "alloc-budget" && f.message.contains("missing")));
+        let c = run(&ws, &g, Some(panic_ok), Some(ZERO_ALLOC), None, None);
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.rule == "taint-budget" && f.message.contains("missing")));
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! Interprocedural taint-flow analysis (DESIGN.md §16).
+//!
+//! **Sources** are the untrusted-input boundaries: the wire-protocol
+//! decoders, the CLI argument parser, and the byte-level bundle/model
+//! loaders (see [`GROUPS`]). **Propagation** is name-based and
+//! conservative, the same over-approximation discipline as the lock
+//! passes: a value returned from, or passed through, a function whose
+//! argument is tainted stays tainted. Per-function state is a set of
+//! tainted identifier names, grown to fixpoint over
+//!
+//! * call results (`let n = decode_request(..)` taints `n` when the
+//!   callee is a source or returns taint, or when any argument/receiver
+//!   is already tainted),
+//! * dataflow binds extracted by the parser (`let`, `match`-arm,
+//!   `for .. in`), and
+//! * parameter summaries: a call with a tainted argument taints **all**
+//!   parameters of every resolved in-scope callee (no positional
+//!   mapping — the name-based graph cannot support one).
+//!
+//! `.min(..)`/`.clamp(..)` are **sanitizers**: clamping to a trusted cap
+//! is exactly the remediation this pass asks for, so their results are
+//! clean. Because the analysis is name-based, re-binding the *same* name
+//! (`let n = n.min(cap)`) cannot un-taint it — sanitized values must use
+//! a fresh name.
+//!
+//! **Sinks** are the parser's [`crate::parser::SinkSite`]s — indexing,
+//! narrowing `as` casts, raw integer `+`/`*`/`-`, and allocation-size
+//! positions. A sink whose operand names intersect the function's
+//! tainted set and that sits inside the group's validation **boundary**
+//! files (see [`SourceGroup::boundary`]) is a finding, pinned per source
+//! group in `xtask/taint.budget` with the shared budget semantics
+//! (growth is a non-allowlistable error, `--write-budget` re-baselines)
+//! and witnessed by the origin chain source → … → sink function.
+
+use super::budget;
+use crate::callgraph::{Graph, Workspace};
+use crate::parser::{Call, SinkKind};
+use crate::rules::{Category, Finding, WitnessStep};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A group of taint sources sharing one budget entry.
+pub struct SourceGroup {
+    /// Budget root name (`wire` / `cli` / `bundle`).
+    pub name: &'static str,
+    /// Qualified source functions (`crate::module::[Type::]fn`). A group
+    /// whose functions are all absent from the workspace is skipped, so
+    /// fixtures and subsets stay analysable.
+    pub sources: &'static [&'static str],
+    /// Path prefixes of the group's validation boundary. Only sinks in
+    /// these files count against the budget: the boundary is where
+    /// untrusted values must be validated, and past it the conservative
+    /// name-based join saturates by construction (a wire `top_k` feeds
+    /// matmul dimensions feeds every kernel), so budgeting the full
+    /// closure would pin the workspace's total sink count rather than
+    /// the unvalidated surface. Propagation itself is *not* truncated —
+    /// `tainted_fns` still reports the whole closure.
+    pub boundary: &'static [&'static str],
+}
+
+/// The untrusted-input boundaries of the workspace.
+pub const GROUPS: &[SourceGroup] = &[
+    SourceGroup {
+        name: "wire",
+        sources: &[
+            "uhscm_serve::protocol::decode_request",
+            "uhscm_serve::protocol::decode_response",
+        ],
+        boundary: &["crates/serve/"],
+    },
+    SourceGroup {
+        name: "cli",
+        sources: &[
+            "uhscm::cli::parse",
+            "uhscm::cli::parse_invocation",
+            "uhscm::cli::parse_num",
+            "uhscm::cli::parse_bool",
+        ],
+        boundary: &["src/"],
+    },
+    SourceGroup {
+        name: "bundle",
+        sources: &["uhscm_serve::bundle::Bundle::load_dir", "uhscm_nn::persist::Mlp::load"],
+        boundary: &["crates/serve/src/bundle.rs", "crates/nn/src/persist.rs"],
+    },
+];
+
+/// Methods/functions whose result is considered clean (clamping to a
+/// trusted bound) and through which taint does not propagate.
+const SANITIZERS: &[&str] = &["min", "clamp"];
+
+/// One tainted sink site reachable from a source group.
+pub struct TaintSiteReport {
+    pub kind: SinkKind,
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+    pub fn_qualified: String,
+    /// The qualified source function the taint originates from.
+    pub source: String,
+    /// Origin chain source → … → sink function (declaration lines).
+    pub witness: Vec<WitnessStep>,
+}
+
+/// Per-group taint summary for the report.
+pub struct TaintRootReport {
+    pub root: &'static str,
+    pub budget: Option<u64>,
+    /// Functions holding at least one tainted name.
+    pub tainted_fns: usize,
+    pub sites: Vec<TaintSiteReport>,
+    pub status: budget::BudgetStatus,
+}
+
+/// Whether a node participates in propagation: library and CLI-facade
+/// functions outside test regions. Test code handles fixture data, not
+/// untrusted input.
+fn in_scope(ws: &Workspace, g: &Graph, n: usize) -> bool {
+    matches!(g.nodes[n].category, Category::Library | Category::RootFacade)
+        && !g.item(ws, n).in_test
+}
+
+/// Run the pass. `budget_src` is the content of `xtask/taint.budget`
+/// (`None` = file missing).
+pub fn run(
+    ws: &Workspace,
+    g: &Graph,
+    budget_src: Option<&str>,
+) -> (Vec<Finding>, Vec<TaintRootReport>) {
+    let spec = &budget::TAINT_BUDGET;
+    let mut findings = Vec::new();
+    let mut roots_out = Vec::new();
+    let (bmap, budget_errors) = budget::parse(spec, budget_src);
+    for e in budget_errors {
+        findings.push(budget::finding(spec, e, crate::rules::Severity::Error, Vec::new()));
+    }
+
+    // Call resolution: the graph's edges carry (callee, line) but not
+    // which textual call produced them, so calls are joined back to
+    // edges by (line, callee fn name).
+    let mut resolved: Vec<BTreeMap<(usize, &str), Vec<usize>>> = Vec::with_capacity(g.nodes.len());
+    for edges in &g.edges {
+        let mut m: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        for e in edges {
+            m.entry((e.line, g.item(ws, e.callee).name.as_str())).or_default().push(e.callee);
+        }
+        resolved.push(m);
+    }
+    // Reverse edges, for re-processing callers when a callee's return
+    // becomes tainted.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for (n, edges) in g.edges.iter().enumerate() {
+        for e in edges {
+            callers[e.callee].push(n);
+        }
+    }
+
+    let mut live_roots: Vec<&str> = Vec::new();
+    for group in GROUPS {
+        let source_nodes: BTreeSet<usize> = (0..g.nodes.len())
+            .filter(|&n| {
+                in_scope(ws, g, n)
+                    && group.sources.iter().any(|s| {
+                        let q = g.nodes[n].qualified.as_str();
+                        q == *s || s.ends_with(&format!("::{q}")) || q.ends_with(&format!("::{s}"))
+                    })
+            })
+            .collect();
+        if source_nodes.is_empty() {
+            continue;
+        }
+        live_roots.push(group.name);
+
+        // Per-node tainted name sets, return-taint, and origin links
+        // (source qualified name, parent hop) for witnesses.
+        let mut tainted: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        let mut ret_tainted: BTreeSet<usize> = BTreeSet::new();
+        let mut origin: BTreeMap<usize, (String, Option<usize>)> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut queued: BTreeSet<usize> = BTreeSet::new();
+
+        for &s in &source_nodes {
+            let item = g.item(ws, s);
+            tainted.insert(s, item.params.iter().cloned().collect());
+            ret_tainted.insert(s);
+            origin.insert(s, (g.nodes[s].qualified.clone(), None));
+            queue.push_back(s);
+            queued.insert(s);
+            for &c in &callers[s] {
+                if in_scope(ws, g, c) && queued.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+
+        while let Some(n) = queue.pop_front() {
+            queued.remove(&n);
+            if !in_scope(ws, g, n) {
+                continue;
+            }
+            let item = g.item(ws, n);
+            let mut set = tainted.get(&n).cloned().unwrap_or_default();
+            let src_of = |origin: &BTreeMap<usize, (String, Option<usize>)>, m: usize| {
+                origin.get(&m).map(|(s, _)| s.clone())
+            };
+
+            // Local fixpoint over call results and binds.
+            let mut saw_tainted_call = false;
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for call in item.calls.iter().chain(item.method_calls.iter()) {
+                    let Some(name) = call.segments.last() else { continue };
+                    if SANITIZERS.contains(&name.as_str()) {
+                        continue;
+                    }
+                    let from_args = call_args_tainted(call, &set);
+                    let via_ret = resolved[n]
+                        .get(&(call.line, name.as_str()))
+                        .into_iter()
+                        .flatten()
+                        .find(|c| ret_tainted.contains(c))
+                        .copied();
+                    if from_args || via_ret.is_some() {
+                        saw_tainted_call = true;
+                        // Record the origin hop even when the result is
+                        // not bound to a name: an unbound tainted call
+                        // still makes this function's return tainted, and
+                        // callers need a chain back to the source.
+                        if !origin.contains_key(&n) {
+                            if let Some(c) = via_ret {
+                                if let Some(src) = src_of(&origin, c) {
+                                    origin.insert(n, (src, Some(c)));
+                                }
+                            }
+                        }
+                        if let Some(bound) = &call.bound {
+                            if !set.contains(bound) {
+                                set.insert(bound.clone());
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                for b in &item.binds {
+                    if b.rhs.iter().any(|r| SANITIZERS.contains(&r.as_str())) {
+                        continue;
+                    }
+                    if b.bound.iter().all(|x| set.contains(x)) {
+                        continue;
+                    }
+                    if b.rhs.iter().any(|r| set.contains(r)) {
+                        for x in &b.bound {
+                            set.insert(x.clone());
+                        }
+                        changed = true;
+                    }
+                }
+            }
+
+            // Parameter summaries: a tainted argument taints every
+            // parameter of each resolved in-scope callee.
+            for call in item.calls.iter().chain(item.method_calls.iter()) {
+                let Some(name) = call.segments.last() else { continue };
+                if SANITIZERS.contains(&name.as_str()) || !call_args_tainted(call, &set) {
+                    continue;
+                }
+                let callees: Vec<usize> = resolved[n]
+                    .get(&(call.line, name.as_str()))
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                for c in callees {
+                    if !in_scope(ws, g, c) {
+                        continue;
+                    }
+                    let cparams = &g.item(ws, c).params;
+                    if cparams.is_empty() {
+                        continue;
+                    }
+                    let cset = tainted.entry(c).or_default();
+                    let mut grew = false;
+                    for p in cparams {
+                        if cset.insert(p.clone()) {
+                            grew = true;
+                        }
+                    }
+                    if grew {
+                        if !origin.contains_key(&c) {
+                            if let Some(src) = src_of(&origin, n) {
+                                origin.insert(c, (src, Some(n)));
+                            }
+                        }
+                        if queued.insert(c) {
+                            queue.push_back(c);
+                        }
+                    }
+                }
+            }
+
+            if !set.is_empty() {
+                tainted.insert(n, set);
+            }
+            // Return-taint: any tainted name, or an unbound call whose
+            // result is tainted (a wrapper returning a source's value
+            // directly).
+            let rets = tainted.get(&n).is_some_and(|s| !s.is_empty()) || saw_tainted_call;
+            if rets && ret_tainted.insert(n) {
+                for &caller in &callers[n] {
+                    if in_scope(ws, g, caller) && queued.insert(caller) {
+                        queue.push_back(caller);
+                    }
+                }
+            }
+        }
+
+        // Collect tainted sink sites inside the group's boundary files.
+        let mut sites: Vec<TaintSiteReport> = Vec::new();
+        for (&n, set) in &tainted {
+            if set.is_empty() || !in_scope(ws, g, n) {
+                continue;
+            }
+            if !group.boundary.iter().any(|b| g.path(ws, n).starts_with(b)) {
+                continue;
+            }
+            let item = g.item(ws, n);
+            let Some((src, _)) = origin.get(&n) else { continue };
+            for sink in &item.sinks {
+                if sink.operands.iter().any(|o| set.contains(o)) {
+                    sites.push(TaintSiteReport {
+                        kind: sink.kind,
+                        path: g.path(ws, n).to_string(),
+                        line: sink.line + 1,
+                        fn_qualified: g.nodes[n].qualified.clone(),
+                        source: src.clone(),
+                        witness: witness_chain(ws, g, &origin, n),
+                    });
+                }
+            }
+        }
+        sites.sort_by(|a, b| {
+            (&a.path, a.line, a.kind, &a.fn_qualified).cmp(&(
+                &b.path,
+                b.line,
+                b.kind,
+                &b.fn_qualified,
+            ))
+        });
+
+        let allotted = bmap.as_ref().and_then(|b| b.get(group.name).copied());
+        let count = sites.len() as u64;
+        let status = budget::status(allotted, count);
+        let witness = if status == budget::BudgetStatus::Over {
+            sites.first().map(|s| s.witness.clone()).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        if let Some(f) = budget::status_finding(spec, group.name, allotted, count, status, witness)
+        {
+            findings.push(f);
+        }
+        roots_out.push(TaintRootReport {
+            root: group.name,
+            budget: allotted,
+            tainted_fns: tainted.values().filter(|s| !s.is_empty()).count(),
+            sites,
+            status,
+        });
+    }
+    findings.extend(budget::stale_findings(spec, &bmap, &live_roots));
+    (findings, roots_out)
+}
+
+/// Whether any argument or the receiver of a call is tainted.
+fn call_args_tainted(call: &Call, set: &BTreeSet<String>) -> bool {
+    call.args.iter().any(|a| set.contains(a)) || call.recv.as_ref().is_some_and(|r| set.contains(r))
+}
+
+/// Origin chain source → … → `n`, one step per function (declaration
+/// lines, 1-based). Bounded against origin-map cycles, which the
+/// first-origin-wins discipline should already prevent.
+fn witness_chain(
+    ws: &Workspace,
+    g: &Graph,
+    origin: &BTreeMap<usize, (String, Option<usize>)>,
+    n: usize,
+) -> Vec<WitnessStep> {
+    let mut chain = vec![n];
+    let mut cur = n;
+    for _ in 0..64 {
+        match origin.get(&cur) {
+            Some((_, Some(parent))) if !chain.contains(parent) => {
+                chain.push(*parent);
+                cur = *parent;
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+        .into_iter()
+        .map(|m| WitnessStep {
+            qualified: g.nodes[m].qualified.clone(),
+            path: g.path(ws, m).to_string(),
+            line: g.item(ws, m).line + 1,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{Graph, Workspace};
+    use crate::rules::Severity;
+
+    fn analyse(files: &[(&str, &str)], budget: &str) -> (Vec<Finding>, Vec<TaintRootReport>) {
+        let ws = Workspace::from_sources(files);
+        let g = Graph::build(&ws);
+        run(&ws, &g, Some(budget))
+    }
+
+    const DECODE: &str = "pub fn decode_request(line: &str) -> usize { line.len() }\n";
+
+    #[test]
+    fn taint_flows_through_calls_binds_and_params_to_sinks() {
+        let files = [
+            ("crates/serve/src/protocol.rs", DECODE),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn handle(line: &str) -> usize {\n\
+                     let n = crate::protocol::decode_request(line);\n\
+                     dispatch(n)\n\
+                 }\n\
+                 fn dispatch(n: usize) -> usize { n + 1 }\n",
+            ),
+        ];
+        let (findings, roots) = analyse(&files, "wire\t1\n");
+        assert!(
+            findings.is_empty(),
+            "{:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+        let wire = roots.iter().find(|r| r.root == "wire").unwrap();
+        assert_eq!(wire.status, budget::BudgetStatus::Ok);
+        assert_eq!(wire.sites.len(), 1, "{}", wire.sites.len());
+        let site = &wire.sites[0];
+        assert_eq!(site.kind, SinkKind::Arith);
+        assert!(site.fn_qualified.ends_with("::dispatch"));
+        assert_eq!(site.source, "uhscm_serve::protocol::decode_request");
+        // The witness walks source → handler → sink function.
+        let names: Vec<&str> = site.witness.iter().map(|w| w.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "uhscm_serve::protocol::decode_request",
+                "uhscm_serve::server::handle",
+                "uhscm_serve::server::dispatch"
+            ]
+        );
+    }
+
+    #[test]
+    fn laundering_helper_propagates_via_return() {
+        // `launder` is called with a clean argument inside a wrapper that
+        // feeds it the source's value only through its own return path.
+        let files = [
+            ("crates/serve/src/protocol.rs", DECODE),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn handle(line: &str, v: &[u8]) -> u8 {\n\
+                     let m = fetch(line);\n\
+                     v[m]\n\
+                 }\n\
+                 fn fetch(line: &str) -> usize { launder(crate::protocol::decode_request(line)) }\n\
+                 fn launder(x: usize) -> usize { x }\n",
+            ),
+        ];
+        let (findings, roots) = analyse(&files, "wire\t1\n");
+        assert!(
+            findings.is_empty(),
+            "{:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+        let wire = roots.iter().find(|r| r.root == "wire").unwrap();
+        assert_eq!(wire.sites.len(), 1);
+        assert_eq!(wire.sites[0].kind, SinkKind::Index);
+        assert!(wire.sites[0].fn_qualified.ends_with("::handle"));
+    }
+
+    #[test]
+    fn min_clamp_sanitizes_into_a_fresh_name() {
+        let files = [
+            ("crates/serve/src/protocol.rs", DECODE),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn handle(line: &str, v: &[u8]) -> u8 {\n\
+                     let n = crate::protocol::decode_request(line);\n\
+                     let capped = n.min(v.len());\n\
+                     v[capped]\n\
+                 }\n",
+            ),
+        ];
+        let (findings, roots) = analyse(&files, "wire\t0\n");
+        assert!(
+            findings.is_empty(),
+            "{:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+        assert!(roots.iter().find(|r| r.root == "wire").unwrap().sites.is_empty());
+    }
+
+    #[test]
+    fn tainted_index_and_capacity_trip_the_budget() {
+        // Negative fixture: a hot-path index and a `with_capacity` both
+        // fed by wire input, against a zero budget.
+        let files = [
+            ("crates/serve/src/protocol.rs", DECODE),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn handle(line: &str, v: &[u8]) -> u8 {\n\
+                     let n = crate::protocol::decode_request(line);\n\
+                     let buf: Vec<u8> = Vec::with_capacity(n);\n\
+                     keep(buf);\n\
+                     v[n]\n\
+                 }\n\
+                 fn keep(_b: Vec<u8>) {}\n",
+            ),
+        ];
+        let (findings, roots) = analyse(&files, "wire\t0\n");
+        let over = findings
+            .iter()
+            .find(|f| f.rule == "taint-budget" && f.message.contains("exceeded"))
+            .expect("expected an over-budget error");
+        assert_eq!(over.severity, Severity::Error);
+        assert!(over.message.contains("`wire`"), "{}", over.message);
+        assert!(!over.witness.is_empty(), "over finding carries a witness");
+        let wire = roots.iter().find(|r| r.root == "wire").unwrap();
+        assert_eq!(wire.status, budget::BudgetStatus::Over);
+        let kinds: Vec<SinkKind> = wire.sites.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SinkKind::AllocSize), "{kinds:?}");
+        assert!(kinds.contains(&SinkKind::Index), "{kinds:?}");
+        // Every site names both its source and a witness chain.
+        assert!(wire.sites.iter().all(|s| !s.source.is_empty() && !s.witness.is_empty()));
+    }
+
+    #[test]
+    fn groups_without_sources_are_skipped_and_stale_entries_error() {
+        let files = [("crates/core/src/pipeline.rs", "pub fn run(n: usize) -> usize { n + 1 }\n")];
+        let (findings, roots) = analyse(&files, "wire\t3\n");
+        assert!(roots.is_empty());
+        assert!(
+            findings.iter().any(|f| f.rule == "taint-budget" && f.message.contains("stale")),
+            "{:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn test_region_code_is_out_of_scope() {
+        let files = [
+            ("crates/serve/src/protocol.rs", DECODE),
+            (
+                "crates/serve/src/server.rs",
+                "#[cfg(test)]\nmod tests {\n\
+                     fn poke(v: &[u8]) -> u8 {\n\
+                         let n = crate::protocol::decode_request(\"x\");\n\
+                         v[n]\n\
+                     }\n\
+                 }\n",
+            ),
+        ];
+        let (_, roots) = analyse(&files, "wire\t0\n");
+        let wire = roots.iter().find(|r| r.root == "wire").unwrap();
+        assert!(wire.sites.is_empty(), "test-region sinks must not count");
+    }
+}

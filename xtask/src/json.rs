@@ -1,13 +1,14 @@
 //! Hand-rolled JSON rendering for `lint --json` (std-only, no serde).
 //!
-//! Schema `uhscm-lint/2` (v1 + lock/alloc passes and per-pass timings):
+//! Schema `uhscm-lint/3` (v2 + the taint-flow pass):
 //!
 //! ```text
 //! {
-//!   "schema": "uhscm-lint/2",
+//!   "schema": "uhscm-lint/3",
 //!   "files_scanned": N,
 //!   "analyses": ["panic-reachability", "determinism", "dead-export",
-//!                "lock-order", "blocking-under-lock", "alloc-budget"],
+//!                "lock-order", "blocking-under-lock", "alloc-budget",
+//!                "taint-flow"],
 //!   "findings": [{rule, severity, path, line, message, allowed,
 //!                 witness: [{fn, path, line}]}],
 //!   "panic_budget": {
@@ -20,17 +21,26 @@
 //!     "roots": [{root, budget, reachable_fns, reachable_sites, status,
 //!                sites: [{kind, path, line, fn}]}]
 //!   },
+//!   "taint_budget": {
+//!     "budget_path": "xtask/taint.budget",
+//!     "roots": [{root, budget, tainted_fns, reachable_sites, status,
+//!                sites: [{kind, path, line, fn, source, witness: [...]}]}]
+//!   },
 //!   "timings": [{analysis, nanos}],
 //!   "summary": {findings, errors, warnings, allowlisted}
 //! }
 //! ```
 //!
+//! `analyses` is the schema's full pass set; under `lint --only <pass>`
+//! the `timings` array reflects which passes actually ran.
 //! Alloc sites carry no per-site witness (the vocabulary is too dense);
-//! the over-budget finding carries one chain instead.
+//! the over-budget finding carries one chain instead. Taint sites carry
+//! both their originating `source` function and the source→sink chain.
 //! `findings[*].allowed` entries are baselined in `xtask/lint.allow`;
 //! `summary.errors` counts only non-allowed errors (the exit-code signal).
 
 use crate::analysis::alloc_budget::AllocRootReport;
+use crate::analysis::taint::TaintRootReport;
 use crate::analysis::RootReport;
 use crate::rules::{Finding, WitnessStep};
 
@@ -73,7 +83,8 @@ pub struct Report<'a> {
     pub findings: &'a [(&'a Finding, bool)],
     pub roots: &'a [RootReport],
     pub alloc_roots: &'a [AllocRootReport],
-    /// `(analysis name, wall-time nanos)` per pass.
+    pub taint_roots: &'a [TaintRootReport],
+    /// `(analysis name, wall-time nanos)` per pass that ran.
     pub timings: &'a [(&'static str, u128)],
     pub errors: usize,
     pub warnings: usize,
@@ -81,11 +92,11 @@ pub struct Report<'a> {
 }
 
 pub fn render(r: &Report) -> String {
-    let mut out = String::from("{\n  \"schema\": \"uhscm-lint/2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"uhscm-lint/3\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
     out.push_str(
         "  \"analyses\": [\"panic-reachability\", \"determinism\", \"dead-export\", \
-         \"lock-order\", \"blocking-under-lock\", \"alloc-budget\"],\n",
+         \"lock-order\", \"blocking-under-lock\", \"alloc-budget\", \"taint-flow\"],\n",
     );
 
     let findings: Vec<String> = r
@@ -177,6 +188,43 @@ pub fn render(r: &Report) -> String {
         alloc_roots.join(",\n")
     ));
 
+    let taint_roots: Vec<String> = r
+        .taint_roots
+        .iter()
+        .map(|root| {
+            let sites: Vec<String> = root
+                .sites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "      {{\"kind\":\"{}\",\"path\":\"{}\",\"line\":{},\"fn\":\"{}\",\
+                         \"source\":\"{}\",\"witness\":{}}}",
+                        s.kind.label(),
+                        esc(&s.path),
+                        s.line,
+                        esc(&s.fn_qualified),
+                        esc(&s.source),
+                        witness_json(&s.witness)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"root\":\"{}\",\"budget\":{},\"tainted_fns\":{},\
+                 \"reachable_sites\":{},\"status\":\"{}\",\"sites\":[\n{}\n    ]}}",
+                esc(root.root),
+                root.budget.map(|b| b.to_string()).unwrap_or_else(|| "null".to_string()),
+                root.tainted_fns,
+                root.sites.len(),
+                root.status.label(),
+                sites.join(",\n")
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"taint_budget\": {{\"budget_path\": \"xtask/taint.budget\", \"roots\": [\n{}\n  ]}},\n",
+        taint_roots.join(",\n")
+    ));
+
     let timings: Vec<String> = r
         .timings
         .iter()
@@ -198,8 +246,9 @@ pub fn render(r: &Report) -> String {
 mod tests {
     use super::*;
     use crate::analysis::alloc_budget::{AllocRootReport, AllocSiteReport};
+    use crate::analysis::taint::{TaintRootReport, TaintSiteReport};
     use crate::analysis::{BudgetStatus, RootReport, SiteReport};
-    use crate::parser::{AllocKind, PanicKind};
+    use crate::parser::{AllocKind, PanicKind, SinkKind};
     use crate::rules::{Finding, Severity, WitnessStep};
 
     #[test]
@@ -242,19 +291,39 @@ mod tests {
             }],
             status: BudgetStatus::Under,
         }];
+        let taint_roots = [TaintRootReport {
+            root: "wire",
+            budget: Some(3),
+            tainted_fns: 6,
+            sites: vec![TaintSiteReport {
+                kind: SinkKind::Cast,
+                path: "crates/serve/src/server.rs".to_string(),
+                line: 12,
+                fn_qualified: "uhscm_serve::server::handle_frame".to_string(),
+                source: "uhscm_serve::protocol::decode_request".to_string(),
+                witness: vec![WitnessStep {
+                    qualified: "uhscm_serve::protocol::decode_request".to_string(),
+                    path: "crates/serve/src/protocol.rs".to_string(),
+                    line: 4,
+                }],
+            }],
+            status: BudgetStatus::Ok,
+        }];
         let out = render(&Report {
             files_scanned: 7,
             findings: &[(&finding, true)],
             roots: &roots,
             alloc_roots: &alloc_roots,
+            taint_roots: &taint_roots,
             timings: &[("panic-reachability", 1200), ("alloc-budget", 800)],
             errors: 0,
             warnings: 0,
             allowlisted: 1,
         });
-        assert!(out.contains("\"schema\": \"uhscm-lint/2\""));
+        assert!(out.contains("\"schema\": \"uhscm-lint/3\""));
         assert!(out.contains("\"lock-order\""));
         assert!(out.contains("\"blocking-under-lock\""));
+        assert!(out.contains("\"taint-flow\""));
         assert!(out.contains("say \\\"no\\\"\\tto unwrap\\\\panic"));
         assert!(out.contains("\"allowed\":true"));
         assert!(out.contains("\"status\":\"ok\""));
@@ -262,6 +331,10 @@ mod tests {
         assert!(out.contains("\"alloc_budget\""));
         assert!(out.contains("\"kind\":\"collect\""));
         assert!(out.contains("\"status\":\"under\""));
+        assert!(out.contains("\"taint_budget\""));
+        assert!(out.contains("\"kind\":\"cast\""));
+        assert!(out.contains("\"tainted_fns\":6"));
+        assert!(out.contains("\"source\":\"uhscm_serve::protocol::decode_request\""));
         assert!(out.contains("{\"analysis\":\"alloc-budget\",\"nanos\":800}"));
         // The obs trace parser is the reference JSON reader in this
         // workspace; structural validity is asserted end-to-end in
@@ -276,6 +349,7 @@ mod tests {
             findings: &[],
             roots: &[],
             alloc_roots: &[],
+            taint_roots: &[],
             timings: &[],
             errors: 0,
             warnings: 0,

@@ -3,8 +3,9 @@
 //! ```text
 //! cargo run -p uhscm-xtask -- lint                    # check, exit 1 on errors
 //! cargo run -p uhscm-xtask -- lint --json             # machine-readable report
+//! cargo run -p uhscm-xtask -- lint --only <pass>      # run a single semantic pass
 //! cargo run -p uhscm-xtask -- lint --write-baseline   # regenerate xtask/lint.allow
-//! cargo run -p uhscm-xtask -- lint --write-budget     # regenerate xtask/panic.budget
+//! cargo run -p uhscm-xtask -- lint --write-budget     # regenerate the budget files
 //! cargo run -p uhscm-xtask -- ci                      # fmt-check + lint + tier-1 tests
 //! ```
 //!
@@ -36,12 +37,17 @@
 //! * `alloc-budget`   — allocation sites reachable from hot-path roots,
 //!   checked against `xtask/alloc.budget`; growth fails, never
 //!   allowlistable
+//! * `taint-budget`   — untrusted wire/CLI/bundle values flowing to
+//!   index/cast/arith/alloc-size sinks, checked against
+//!   `xtask/taint.budget`; growth fails, never allowlistable
 //!
 //! Accepted findings live in `xtask/lint.allow` with mandatory one-line
 //! justifications; stale, duplicate or unknown-rule entries fail the run.
 //! Diagnostics are rustc-style `file:line` so editors can jump to them;
-//! `--json` emits the `uhscm-lint/2` report (schema in [`json`]) on stdout
-//! with diagnostics moved to stderr.
+//! `--json` emits the `uhscm-lint/3` report (schema in [`json`]) on stdout
+//! with diagnostics moved to stderr. `--only <pass>` (pass names as in
+//! [`analysis::PASS_NAMES`]) runs one semantic pass for fast iteration;
+//! `ci` always runs the full set.
 //!
 //! The `ci` command chains the full tier-1 gate: `cargo fmt --check`, the
 //! lint above (in-process, writing `results/lint.json`), `cargo build
@@ -64,16 +70,44 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let opts = LintOpts {
-                write_baseline: args.iter().any(|a| a == "--write-baseline"),
-                write_budget: args.iter().any(|a| a == "--write-budget"),
-                json_stdout: args.iter().any(|a| a == "--json"),
+            let mut opts = LintOpts {
+                write_baseline: false,
+                write_budget: false,
+                json_stdout: false,
                 json_file: None,
                 bench_file: None,
+                only: None,
             };
-            let known = ["--write-baseline", "--write-budget", "--json"];
-            if let Some(bad) = args[1..].iter().find(|a| !known.contains(&a.as_str())) {
-                eprintln!("uhscm-xtask: unknown lint flag `{bad}`");
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--write-baseline" => opts.write_baseline = true,
+                    "--write-budget" => opts.write_budget = true,
+                    "--json" => opts.json_stdout = true,
+                    "--only" => {
+                        let Some(pass) = args.get(i + 1) else {
+                            eprintln!("uhscm-xtask: --only needs a pass name");
+                            return usage();
+                        };
+                        if !analysis::PASS_NAMES.contains(&pass.as_str()) {
+                            eprintln!(
+                                "uhscm-xtask: unknown pass `{pass}` (expected one of: {})",
+                                analysis::PASS_NAMES.join(", ")
+                            );
+                            return usage();
+                        }
+                        opts.only = Some(pass.clone());
+                        i += 1;
+                    }
+                    bad => {
+                        eprintln!("uhscm-xtask: unknown lint flag `{bad}`");
+                        return usage();
+                    }
+                }
+                i += 1;
+            }
+            if opts.only.is_some() && (opts.write_budget || opts.write_baseline) {
+                eprintln!("uhscm-xtask: --only cannot be combined with --write-*: baselines and budgets need the full pass set");
                 return usage();
             }
             ExitCode::from(lint(&opts))
@@ -95,12 +129,15 @@ fn usage() -> ExitCode {
          \n\
          commands:\n\
          \x20 lint                  scan workspace sources; exit 1 on errors\n\
-         \x20 lint --json           print the uhscm-lint/1 JSON report on stdout\n\
+         \x20 lint --json           print the uhscm-lint/3 JSON report on stdout\n\
          \x20                       (diagnostics go to stderr)\n\
+         \x20 lint --only <pass>    run a single semantic pass (panic-reachability,\n\
+         \x20                       determinism, dead-export, lock-order,\n\
+         \x20                       blocking-under-lock, alloc-budget, taint-flow)\n\
          \x20 lint --write-baseline rewrite xtask/lint.allow from current findings,\n\
          \x20                       keeping existing justifications\n\
-         \x20 lint --write-budget   rewrite xtask/panic.budget and xtask/alloc.budget\n\
-         \x20                       from the current reachability counts\n\
+         \x20 lint --write-budget   rewrite xtask/panic.budget, xtask/alloc.budget\n\
+         \x20                       and xtask/taint.budget from the current counts\n\
          \x20 ci                    fmt-check + lint (writes results/lint.json and\n\
          \x20                       BENCH_lint.json) + release build + tests +\n\
          \x20                       kernel-regression gate + serve smoke (the\n\
@@ -133,6 +170,7 @@ fn ci() -> ExitCode {
         json_stdout: false,
         json_file: Some(root.join("results/lint.json")),
         bench_file: Some(root.join("BENCH_lint.json")),
+        only: None,
     };
     let lint_code = lint(&opts);
     if lint_code != 0 {
@@ -204,6 +242,8 @@ struct LintOpts {
     json_file: Option<PathBuf>,
     /// Write per-pass wall-times here (used by `ci` → `BENCH_lint.json`).
     bench_file: Option<PathBuf>,
+    /// Run only this semantic pass (a name from [`analysis::PASS_NAMES`]).
+    only: Option<String>,
 }
 
 /// Run the linter; returns the process exit code (0 = clean).
@@ -244,7 +284,16 @@ fn lint(opts: &LintOpts) -> u8 {
     let budget_src = std::fs::read_to_string(&budget_path).ok();
     let alloc_budget_path = root.join("xtask/alloc.budget");
     let alloc_budget_src = std::fs::read_to_string(&alloc_budget_path).ok();
-    let analysis = analysis::run(&ws, &graph, budget_src.as_deref(), alloc_budget_src.as_deref());
+    let taint_budget_path = root.join("xtask/taint.budget");
+    let taint_budget_src = std::fs::read_to_string(&taint_budget_path).ok();
+    let analysis = analysis::run(
+        &ws,
+        &graph,
+        budget_src.as_deref(),
+        alloc_budget_src.as_deref(),
+        taint_budget_src.as_deref(),
+        opts.only.as_deref(),
+    );
 
     if opts.write_budget {
         let rendered = analysis::render_budget(&analysis.roots);
@@ -268,6 +317,17 @@ fn lint(opts: &LintOpts) -> u8 {
             alloc_budget_path.display(),
             analysis.alloc_roots.len(),
             analysis.alloc_roots.iter().map(|r| r.sites.len()).sum::<usize>()
+        );
+        let rendered = analysis::render_taint_budget(&analysis.taint_roots);
+        if let Err(e) = std::fs::write(&taint_budget_path, rendered) {
+            eprintln!("uhscm-xtask: cannot write {}: {e}", taint_budget_path.display());
+            return 2;
+        }
+        diag!(
+            "wrote {} ({} source groups, {} tainted sink sites)",
+            taint_budget_path.display(),
+            analysis.taint_roots.len(),
+            analysis.taint_roots.iter().map(|r| r.sites.len()).sum::<usize>()
         );
         return 0;
     }
@@ -344,6 +404,7 @@ fn lint(opts: &LintOpts) -> u8 {
         findings: &classified,
         roots: &analysis.roots,
         alloc_roots: &analysis.alloc_roots,
+        taint_roots: &analysis.taint_roots,
         timings: &analysis.timings,
         errors: failures,
         warnings,

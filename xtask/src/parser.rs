@@ -20,7 +20,15 @@
 //!   params), lock acquisitions with their guard bindings, blocking
 //!   operations (socket I/O, `thread::sleep`, channel `recv`, thread
 //!   `join`, `Condvar::wait*`) and allocation sites, for the concurrency
-//!   and allocation-budget passes.
+//!   and allocation-budget passes;
+//! * taint plumbing for [`crate::analysis::taint`]: signature parameter
+//!   names, name-level dataflow binds (`let` initializers, `match`-arm
+//!   destructuring against the scrutinee, `for pat in expr`), and **sink
+//!   sites** — indexing operands, narrowing `as` casts, raw `+`/`*`/`-`
+//!   integer arithmetic (checked/saturating/wrapping forms are method
+//!   calls and never produce a raw operator), and allocation-size
+//!   positions (`with_capacity`, `reserve`, `vec![..; n]`) — each with
+//!   the identifiers that feed it.
 //!
 //! Known over-approximations are deliberate (DESIGN.md §11, §13): a
 //! closure's body is attributed to its enclosing function, any `[` after a
@@ -101,6 +109,10 @@ pub struct Call {
     /// `Some(name)` when the call result is let-bound (`let g = f(..)`,
     /// `if let Some(w) = f(..)`); the innermost pattern identifier.
     pub bound: Option<String>,
+    /// `Some(name)` for method calls whose receiver is a bare identifier
+    /// (`recv.f(..)`); `None` for free calls, macros and chained
+    /// receivers. Taint treats the receiver as an extra argument.
+    pub recv: Option<String>,
 }
 
 /// Iteration over a `HashMap`/`HashSet` binding (determinism audit input).
@@ -201,6 +213,53 @@ pub struct AllocSite {
     pub line: usize,
 }
 
+/// What an untrusted value must not reach unchecked (taint sinks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// Slice/array/map indexing — the index expression's operands.
+    Index,
+    /// Narrowing `as` cast to an integer type (float contexts excluded,
+    /// same discipline as the int-div panic site).
+    Cast,
+    /// Raw `+`/`*`/`-` on integer operands; `checked_*`/`saturating_*`/
+    /// `wrapping_*` are method calls and never produce a raw operator.
+    Arith,
+    /// Allocation-size position: `with_capacity(n)`, `reserve(n)`,
+    /// `vec![x; n]`.
+    AllocSize,
+}
+
+impl SinkKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkKind::Index => "index",
+            SinkKind::Cast => "cast",
+            SinkKind::Arith => "arith",
+            SinkKind::AllocSize => "alloc-size",
+        }
+    }
+}
+
+/// A taint sink inside one function body (0-based line) plus the
+/// identifiers feeding it (bounded scans, [`taint_ident`]-filtered).
+#[derive(Debug, Clone)]
+pub struct SinkSite {
+    pub kind: SinkKind,
+    pub line: usize,
+    pub operands: Vec<String>,
+}
+
+/// A name-level dataflow bind: if any identifier on the right is tainted,
+/// every bound name on the left becomes tainted. Produced by `let`
+/// initializers, `match`-arm patterns (rhs = the scrutinee) and
+/// `for pat in expr` loops.
+#[derive(Debug, Clone)]
+pub struct TaintBind {
+    pub bound: Vec<String>,
+    pub rhs: Vec<String>,
+    pub line: usize,
+}
+
 /// One `fn` item and everything extracted from its body.
 #[derive(Debug, Clone)]
 pub struct FnItem {
@@ -233,6 +292,12 @@ pub struct FnItem {
     pub lock_sites: Vec<LockSite>,
     pub blocking_sites: Vec<BlockingSite>,
     pub alloc_sites: Vec<AllocSite>,
+    /// Signature parameter names (`self` excluded), in declaration order.
+    pub params: Vec<String>,
+    /// Name-level dataflow binds for taint propagation.
+    pub binds: Vec<TaintBind>,
+    /// Taint sinks with their feeding identifiers.
+    pub sinks: Vec<SinkSite>,
 }
 
 /// Everything extracted from one source file.
@@ -390,6 +455,14 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
     let mut pending: Option<Pending> = None;
     // Set while a `Pending::Fn` signature mentions a `*Guard` type.
     let mut pending_ret_guard = false;
+    // Parameter names collected while a `Pending::Fn` signature is open.
+    let mut pending_params: Vec<String> = Vec::new();
+    // A `match` whose arm block opens at token index `.0`, with the
+    // scrutinee identifiers `.1`; promoted onto `match_stack` when the
+    // opening `{` is reached.
+    let mut pending_match: Option<(usize, Vec<String>)> = None;
+    // Open `match` blocks: (open brace depth, scrutinee identifiers).
+    let mut match_stack: Vec<(i64, Vec<String>)> = Vec::new();
     let mut depth = 0i64;
     let mut paren_depth = 0i64;
 
@@ -441,17 +514,29 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             lock_sites: Vec::new(),
                             blocking_sites: Vec::new(),
                             alloc_sites: Vec::new(),
+                            params: std::mem::take(&mut pending_params),
+                            binds: Vec::new(),
+                            sinks: Vec::new(),
                         });
                         fn_stack.push(out.fns.len() - 1);
                         ScopeKind::Fn
                     }
                     None => ScopeKind::Other,
                 };
+                match pending_match.take() {
+                    Some((open, scrut)) if open == i => match_stack.push((depth, scrut)),
+                    // A stale entry (its `{` was never reached at the
+                    // recorded index) is dropped.
+                    _ => {}
+                }
                 scopes.push(Scope { kind, open_depth: depth });
                 depth += 1;
             }
             Tok::Punct('}') => {
                 depth -= 1;
+                while match_stack.last().is_some_and(|(d, _)| *d == depth) {
+                    match_stack.pop();
+                }
                 while scopes.last().is_some_and(|s| s.open_depth == depth) {
                     match scopes.pop().map(|s| s.kind) {
                         Some(ScopeKind::Mod) => {
@@ -474,6 +559,7 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                 // braceless (trait method decl, `mod x;`).
                 pending = None;
                 pending_ret_guard = false;
+                pending_params.clear();
             }
             Tok::Ident(name) => {
                 let in_sig = pending.is_some();
@@ -534,6 +620,17 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                     }
                     _ => {}
                 }
+                // Signature parameter names: `name:` inside the open
+                // paren list of a pending `fn` (generic bounds sit
+                // outside the parens and never match).
+                if paren_depth >= 1
+                    && matches!(pending, Some(Pending::Fn { .. }))
+                    && name != "self"
+                    && !KEYWORDS.contains(&name.as_str())
+                    && punct(i + 1, ':')
+                {
+                    pending_params.push(name.clone());
+                }
                 // Body-level extraction: calls, macros, iteration sites.
                 if !in_sig && !fn_stack.is_empty() && !KEYWORDS.contains(&name.as_str()) {
                     let fi = *fn_stack.last().expect("fn_stack checked non-empty");
@@ -559,6 +656,7 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                                 line: t.line,
                                 args: call_args(&toks, after),
                                 bound: let_bound_before(&toks, head),
+                                recv: None,
                             };
                             classify_path_call(&call, &mut out.fns[fi]);
                             out.fns[fi].calls.push(call);
@@ -571,6 +669,7 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             line: t.line,
                             args: Vec::new(),
                             bound: None,
+                            recv: None,
                         });
                         if PANIC_MACROS.contains(&name.as_str()) {
                             out.fns[fi]
@@ -585,6 +684,11 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                             out.fns[fi]
                                 .alloc_sites
                                 .push(AllocSite { kind: AllocKind::VecMacro, line: t.line });
+                            out.fns[fi].sinks.push(SinkSite {
+                                kind: SinkKind::AllocSize,
+                                line: t.line,
+                                operands: macro_operand_idents(&toks, i + 2),
+                            });
                         } else if name == "format" {
                             out.fns[fi]
                                 .alloc_sites
@@ -598,6 +702,51 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                         let fi = *fn_stack.last().expect("fn_stack checked non-empty");
                         raw_iters
                             .push((fi, HashIter { binding, method: "for-in".to_string(), line }));
+                    }
+                    // Generalized dataflow: the loop pattern binds to the
+                    // iterated expression's identifiers.
+                    if let Some(bind) = for_in_bind(&toks, i) {
+                        let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                        out.fns[fi].binds.push(bind);
+                    }
+                }
+                if !in_sig && !fn_stack.is_empty() {
+                    match name.as_str() {
+                        // Narrowing cast sink (`x as u32`).
+                        "as" => {
+                            if let Some(site) = cast_site(&toks, i, file) {
+                                let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                                out.fns[fi].sinks.push(site);
+                            }
+                        }
+                        // `let pat = expr;` dataflow bind.
+                        "let" => {
+                            if let Some(bind) = let_bind(&toks, i) {
+                                let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                                out.fns[fi].binds.push(bind);
+                            }
+                        }
+                        // `match expr {`: remember the scrutinee; each
+                        // arm's `=>` records a bind against it.
+                        "match" => {
+                            let mut scrut = Vec::new();
+                            let mut k = i + 1;
+                            while k < toks.len() && k < i + 24 {
+                                match &toks[k].tok {
+                                    Tok::Punct('{') => {
+                                        if !scrut.is_empty() {
+                                            pending_match = Some((k, scrut));
+                                        }
+                                        break;
+                                    }
+                                    Tok::Punct(';') => break,
+                                    Tok::Ident(s) if taint_ident(s) => scrut.push(s.clone()),
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -620,6 +769,11 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                         out.fns[fi]
                             .panic_sites
                             .push(PanicSite { kind: PanicKind::Index, line: t.line });
+                        out.fns[fi].sinks.push(SinkSite {
+                            kind: SinkKind::Index,
+                            line: t.line,
+                            operands: bracket_operand_idents(&toks, i),
+                        });
                     }
                 }
             }
@@ -628,6 +782,30 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
                 if let Some(site) = int_div_site(&toks, i, file) {
                     let fi = *fn_stack.last().expect("fn_stack checked non-empty");
                     out.fns[fi].panic_sites.push(site);
+                }
+            }
+            Tok::Punct('+' | '*' | '-') if pending.is_none() && !fn_stack.is_empty() => {
+                if let Some(site) = arith_site(&toks, i, file) {
+                    let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                    out.fns[fi].sinks.push(site);
+                }
+            }
+            Tok::Punct('=') if pending.is_none() && !fn_stack.is_empty() && punct(i + 1, '>') => {
+                // `match`-arm arrow: bind the arm pattern against the
+                // scrutinee of the innermost open match (arms sit one
+                // brace level inside it).
+                if let Some((d, scrut)) = match_stack.last() {
+                    if *d + 1 == depth {
+                        let bound = match_arm_pattern(&toks, i);
+                        if !bound.is_empty() {
+                            let fi = *fn_stack.last().expect("fn_stack checked non-empty");
+                            out.fns[fi].binds.push(TaintBind {
+                                bound,
+                                rhs: scrut.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
                 }
             }
             _ => {}
@@ -694,6 +872,8 @@ pub fn parse(file: &MaskedFile) -> ParsedFile {
         f.lock_sites.sort_by_key(|s| s.line);
         f.blocking_sites.sort_by(|a, b| (a.line, &a.op).cmp(&(b.line, &b.op)));
         f.alloc_sites.sort_by_key(|s| (s.line, s.kind));
+        f.sinks.sort_by(|a, b| (a.line, a.kind).cmp(&(b.line, b.kind)));
+        f.binds.sort_by_key(|b| b.line);
     }
     out
 }
@@ -721,6 +901,11 @@ fn classify_path_call(call: &Call, item: &mut FnItem) {
         item.alloc_sites.push(AllocSite { kind: AllocKind::VecNew, line: call.line });
     } else if segs.last().is_some_and(|s| s == "with_capacity") {
         item.alloc_sites.push(AllocSite { kind: AllocKind::WithCapacity, line: call.line });
+        item.sinks.push(SinkSite {
+            kind: SinkKind::AllocSize,
+            line: call.line,
+            operands: call.args.iter().filter(|a| taint_ident(a)).cloned().collect(),
+        });
     } else if tail2("String", "from") {
         item.alloc_sites.push(AllocSite { kind: AllocKind::StringFrom, line: call.line });
     } else if tail2("Box", "new") {
@@ -742,11 +927,17 @@ fn record_method_call(
     raw_locks: &mut Vec<(usize, LockCand)>,
 ) {
     let after = skip_turbofish(toks, i + 1);
+    let args = call_args(toks, after);
+    let recv = match toks.get(i.wrapping_sub(2)).map(|t| &t.tok) {
+        Some(Tok::Ident(r)) if i >= 2 => Some(r.clone()),
+        _ => None,
+    };
     item.method_calls.push(Call {
         segments: vec![name.to_string()],
         line,
-        args: call_args(toks, after),
+        args: args.clone(),
         bound: let_bound_before(toks, i),
+        recv,
     });
     match name {
         "unwrap" => item.panic_sites.push(PanicSite { kind: PanicKind::Unwrap, line }),
@@ -804,6 +995,16 @@ fn record_method_call(
         "clone" => item.alloc_sites.push(AllocSite { kind: AllocKind::Clone, line }),
         "to_vec" => item.alloc_sites.push(AllocSite { kind: AllocKind::ToVec, line }),
         "collect" => item.alloc_sites.push(AllocSite { kind: AllocKind::Collect, line }),
+        // Allocation-size sink only: `reserve` grows in place, so it is
+        // not part of the hot-path alloc vocabulary, but its argument is
+        // still an untrusted-size position.
+        "reserve" | "reserve_exact" | "with_capacity" => {
+            item.sinks.push(SinkSite {
+                kind: SinkKind::AllocSize,
+                line,
+                operands: args.iter().filter(|a| taint_ident(a)).cloned().collect(),
+            });
+        }
         _ => {}
     }
 }
@@ -928,6 +1129,315 @@ fn literal_value_nonzero(n: &str) -> bool {
         .trim_start_matches("0b")
         .replace('_', "");
     body.chars().take_while(|c| c.is_ascii_hexdigit()).any(|c| c != '0')
+}
+
+/// Whether an identifier can name a tainted value. Locals and parameters
+/// are lowercase/snake_case, so uppercase-leading identifiers (types,
+/// enum variants, consts), keywords and primitive-type tokens never carry
+/// taint; filtering them here keeps binds and sink operands from
+/// cross-linking through type annotations and paths.
+pub fn taint_ident(s: &str) -> bool {
+    const NEVER: &[&str] = &[
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        "f32", "f64", "bool", "str", "char", "self", "_",
+    ];
+    s.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && !KEYWORDS.contains(&s)
+        && !NEVER.contains(&s)
+}
+
+/// Narrowing `as` cast sink at the `as` keyword token `i`, or `None` in
+/// float contexts: float→int casts saturate rather than wrap, the same
+/// exclusion discipline as [`int_div_site`]. (`use x as y` imports are
+/// consumed by `parse_use` and never reach this.)
+fn cast_site(toks: &[Token], i: usize, file: &MaskedFile) -> Option<SinkSite> {
+    const INT_TYPES: &[&str] =
+        &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+    match toks.get(i + 1).map(|t| &t.tok) {
+        Some(Tok::Ident(target)) if INT_TYPES.contains(&target.as_str()) => {}
+        _ => return None,
+    }
+    // The cast must follow a value token.
+    if i == 0
+        || !matches!(
+            toks[i - 1].tok,
+            Tok::Ident(_) | Tok::Num(_) | Tok::Punct(')') | Tok::Punct(']')
+        )
+    {
+        return None;
+    }
+    if float_in_window(toks, i) {
+        return None;
+    }
+    let line_text = file.masked_lines.get(toks[i].line).map(String::as_str).unwrap_or("");
+    let col = toks[i].col.min(line_text.len());
+    if rules::looks_float(&rules::operand_before(line_text, col)) {
+        return None;
+    }
+    Some(SinkSite {
+        kind: SinkKind::Cast,
+        line: toks[i].line,
+        operands: operand_idents_back(toks, i),
+    })
+}
+
+/// Raw integer `+`/`*`/`-` sink at token `i`, or `None` for float
+/// arithmetic, unary operators and `->` arrows. Checked/saturating/
+/// wrapping forms are method calls and never produce a raw operator.
+fn arith_site(toks: &[Token], i: usize, file: &MaskedFile) -> Option<SinkSite> {
+    // Binary use only: a value token must precede.
+    if i == 0
+        || !matches!(
+            toks[i - 1].tok,
+            Tok::Ident(_) | Tok::Num(_) | Tok::Punct(')') | Tok::Punct(']')
+        )
+    {
+        return None;
+    }
+    if let Tok::Ident(s) = &toks[i - 1].tok {
+        if KEYWORDS.contains(&s.as_str()) {
+            return None;
+        }
+    }
+    if let Tok::Num(n) = &toks[i - 1].tok {
+        if is_float_literal(n) {
+            return None;
+        }
+    }
+    // `->` return arrow (closures in bodies).
+    if matches!(toks[i].tok, Tok::Punct('-'))
+        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('>')))
+    {
+        return None;
+    }
+    // Skip the `=` of a compound `+=`/`-=`/`*=`.
+    let mut j = i + 1;
+    if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('='))) {
+        j += 1;
+    }
+    // The right side must start a value.
+    match toks.get(j).map(|t| &t.tok) {
+        Some(Tok::Num(n)) if is_float_literal(n) => return None,
+        Some(Tok::Ident(_) | Tok::Num(_) | Tok::Punct('(') | Tok::Punct('&') | Tok::Punct('*')) => {
+        }
+        _ => return None,
+    }
+    if float_in_window(toks, i) {
+        return None;
+    }
+    let line_text = file.masked_lines.get(toks[i].line).map(String::as_str).unwrap_or("");
+    let col = toks[i].col.min(line_text.len());
+    let before = rules::operand_before(line_text, col);
+    let after = rules::operand_after(line_text, (col + 1).min(line_text.len()));
+    if rules::looks_float(&before) || rules::looks_float(&after) {
+        return None;
+    }
+    let mut operands = operand_idents_back(toks, i);
+    operands.extend(operand_idents_fwd(toks, i));
+    Some(SinkSite { kind: SinkKind::Arith, line: toks[i].line, operands })
+}
+
+/// Taintable identifiers in a bounded window before token `i`, stopped at
+/// statement punctuation — the left operand(s) of a cast or operator.
+fn operand_idents_back(toks: &[Token], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for j in (i.saturating_sub(8)..i).rev() {
+        match &toks[j].tok {
+            Tok::Punct(';' | '{' | '}' | ',' | '=') => break,
+            Tok::Ident(s) if taint_ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Taintable identifiers in a bounded window after token `i`, stopped at
+/// statement punctuation — the right operand(s) of an operator.
+fn operand_idents_fwd(toks: &[Token], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in toks.iter().skip(i + 1).take(8) {
+        match &t.tok {
+            Tok::Punct(';' | '{' | '}' | ',' | '=') => break,
+            Tok::Ident(s) if taint_ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Taintable identifiers inside an index expression `[ .. ]` (bounded
+/// scan from the `[` at `open`). The indexed base is deliberately
+/// excluded: a tainted container indexed by a trusted loop variable is
+/// not an untrusted-index site.
+fn bracket_operand_idents(toks: &[Token], open: usize) -> Vec<String> {
+    let mut depth = 0i64;
+    let mut out = Vec::new();
+    for t in toks.iter().skip(open).take(24) {
+        match &t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) if taint_ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Taintable identifiers inside a `vec![..]` invocation (bounded scan
+/// from the opening delimiter at `open`). For the repeat form
+/// `vec![x; n]` only the length expression after the `;` counts.
+fn macro_operand_idents(toks: &[Token], open: usize) -> Vec<String> {
+    let (open_c, close_c) = match toks.get(open).map(|t| &t.tok) {
+        Some(Tok::Punct('(')) => ('(', ')'),
+        Some(Tok::Punct('[')) => ('[', ']'),
+        Some(Tok::Punct('{')) => ('{', '}'),
+        _ => return Vec::new(),
+    };
+    let mut depth = 0i64;
+    let mut all = Vec::new();
+    let mut after_semi: Option<usize> = None;
+    for t in toks.iter().skip(open).take(32) {
+        match &t.tok {
+            Tok::Punct(c) if *c == open_c => depth += 1,
+            Tok::Punct(c) if *c == close_c => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Punct(';') if depth == 1 => after_semi = Some(all.len()),
+            Tok::Ident(s) if taint_ident(s) => all.push(s.clone()),
+            _ => {}
+        }
+    }
+    match after_semi {
+        Some(k) => all.split_off(k),
+        None => all,
+    }
+}
+
+/// Dataflow bind for a `let pat = expr` statement at the `let` token.
+/// The right-hand scan stops at `{` so `if let`/`let .. else` bodies are
+/// never swallowed into the initializer.
+fn let_bind(toks: &[Token], let_idx: usize) -> Option<TaintBind> {
+    let mut bound = Vec::new();
+    let mut eq = None;
+    let mut j = let_idx + 1;
+    while j < toks.len() && j < let_idx + 16 {
+        match &toks[j].tok {
+            Tok::Punct('=') => {
+                // `==`/`=>` never follow a let pattern; a lone `=` starts
+                // the initializer.
+                eq = Some(j);
+                break;
+            }
+            Tok::Punct(';' | '{') => break,
+            Tok::Ident(s) if taint_ident(s) => bound.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let eq = eq?;
+    if bound.is_empty() {
+        return None;
+    }
+    let mut rhs = Vec::new();
+    for t in toks.iter().skip(eq + 1).take(40) {
+        match &t.tok {
+            Tok::Punct(';' | '{') => break,
+            Tok::Ident(s) if taint_ident(s) => rhs.push(s.clone()),
+            _ => {}
+        }
+    }
+    if rhs.is_empty() {
+        return None;
+    }
+    Some(TaintBind { bound, rhs, line: toks[let_idx].line })
+}
+
+/// Dataflow bind for `for pat in expr {` at the `in` token: the loop
+/// pattern binds to the iterated expression's identifiers.
+fn for_in_bind(toks: &[Token], in_idx: usize) -> Option<TaintBind> {
+    let lo = in_idx.saturating_sub(8);
+    let for_at =
+        (lo..in_idx).rev().find(|&j| matches!(&toks[j].tok, Tok::Ident(s) if s == "for"))?;
+    let bound: Vec<String> = toks[for_at + 1..in_idx]
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) if taint_ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    if bound.is_empty() {
+        return None;
+    }
+    let mut rhs = Vec::new();
+    for t in toks.iter().skip(in_idx + 1).take(16) {
+        match &t.tok {
+            Tok::Punct('{' | ';') => break,
+            Tok::Ident(s) if taint_ident(s) => rhs.push(s.clone()),
+            _ => {}
+        }
+    }
+    if rhs.is_empty() {
+        return None;
+    }
+    Some(TaintBind { bound, rhs, line: toks[in_idx].line })
+}
+
+/// The taintable identifiers of a match-arm pattern, scanning backward
+/// from its `=>` arrow. Struct patterns (`Path { a, b }`) are entered;
+/// a previous arm's block (`=> { .. }`, told apart by the token before
+/// its `{`) ends the pattern, discarding anything collected inside it.
+fn match_arm_pattern(toks: &[Token], arrow: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut brace = 0i64;
+    let mut paren = 0i64;
+    let mut checkpoint = 0usize;
+    let lo = arrow.saturating_sub(24);
+    let mut j = arrow;
+    while j > lo {
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Punct('}') => {
+                if brace == 0 {
+                    checkpoint = out.len();
+                }
+                brace += 1;
+            }
+            Tok::Punct('{') => {
+                if brace == 0 {
+                    // The match's own opening brace.
+                    break;
+                }
+                brace -= 1;
+                if brace == 0 {
+                    let struct_pat =
+                        j > 0 && matches!(toks[j - 1].tok, Tok::Ident(_) | Tok::ColonColon);
+                    if !struct_pat {
+                        out.truncate(checkpoint);
+                        break;
+                    }
+                }
+            }
+            Tok::Punct(')') => paren += 1,
+            Tok::Punct('(') => {
+                if paren == 0 {
+                    break;
+                }
+                paren -= 1;
+            }
+            Tok::Punct(',' | ';') if brace == 0 && paren == 0 => break,
+            Tok::Ident(s) if taint_ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Skip a turbofish (`::<..>`) after a call/method name; returns the index
@@ -1577,6 +2087,125 @@ mod tests {
         let p = parse_src(src);
         assert_eq!(fn_named(&p, "f").end_line, 3);
         assert_eq!(fn_named(&p, "g").end_line, 4);
+    }
+
+    #[test]
+    fn params_captured_without_self_or_generics() {
+        let src = "impl S { fn m<T: Send>(&self, top_k: usize, mut rows: Vec<T>) {} }\n\
+                   fn free(n: u64, flag: bool) {}\nfn unit() {}\n";
+        let p = parse_src(src);
+        assert_eq!(fn_named(&p, "m").params, vec!["top_k", "rows"]);
+        assert_eq!(fn_named(&p, "free").params, vec!["n", "flag"]);
+        assert!(fn_named(&p, "unit").params.is_empty());
+    }
+
+    #[test]
+    fn let_for_and_match_binds_captured() {
+        let src = "fn f(req: R) {\n\
+                       let n = req.count();\n\
+                       for row in rows { use_it(row); }\n\
+                       match req {\n\
+                           R::Insert { id, rows } => use_it(id),\n\
+                           R::Query(q) => use_it(q),\n\
+                           _ => {}\n\
+                       }\n\
+                   }\n";
+        let p = parse_src(src);
+        let binds = &fn_named(&p, "f").binds;
+        let has = |bound: &str, rhs: &str| {
+            binds
+                .iter()
+                .any(|b| b.bound.contains(&bound.to_string()) && b.rhs.contains(&rhs.to_string()))
+        };
+        assert!(has("n", "req"), "{binds:?}");
+        assert!(has("row", "rows"), "{binds:?}");
+        assert!(has("id", "req"), "{binds:?}");
+        assert!(has("rows", "req"), "{binds:?}");
+        assert!(has("q", "req"), "{binds:?}");
+    }
+
+    #[test]
+    fn match_arm_after_block_arm_does_not_leak_previous_body() {
+        let src = "fn f(x: X) {\n\
+                       match x {\n\
+                           X::A(v) => { helper(v); }\n\
+                           X::B(w) => use_it(w),\n\
+                       }\n\
+                   }\n";
+        let p = parse_src(src);
+        let binds = &fn_named(&p, "f").binds;
+        let b_arm = binds.iter().find(|b| b.bound.contains(&"w".to_string())).unwrap();
+        assert!(!b_arm.bound.contains(&"helper".to_string()), "{binds:?}");
+        assert!(!b_arm.bound.contains(&"v".to_string()), "{binds:?}");
+    }
+
+    #[test]
+    fn index_and_cast_sinks_with_operands() {
+        let src = "fn f(v: &[u8], idx: usize, n: u64) -> u8 {\n\
+                       let c = n as usize;\n\
+                       v[idx]\n\
+                   }\n\
+                   fn g(x: f64) -> usize { (x * 2.0) as usize }\n";
+        let p = parse_src(src);
+        let f = fn_named(&p, "f");
+        let cast = f.sinks.iter().find(|s| s.kind == SinkKind::Cast).unwrap();
+        assert!(cast.operands.contains(&"n".to_string()), "{:?}", f.sinks);
+        let index = f.sinks.iter().find(|s| s.kind == SinkKind::Index).unwrap();
+        assert!(index.operands.contains(&"idx".to_string()), "{:?}", f.sinks);
+        // The indexed base is not an operand.
+        assert!(!index.operands.contains(&"v".to_string()), "{:?}", f.sinks);
+        // Float-context casts are excluded.
+        assert!(
+            fn_named(&p, "g").sinks.iter().all(|s| s.kind != SinkKind::Cast),
+            "{:?}",
+            fn_named(&p, "g").sinks
+        );
+    }
+
+    #[test]
+    fn arith_sinks_integer_only() {
+        let src = "fn f(a: usize, b: usize) -> usize { a * b + 1 }\n\
+                   fn g(x: f64) -> f64 { x * 2.0 }\n\
+                   fn h(n: usize) -> usize { n.checked_mul(4).unwrap_or(0) }\n";
+        let p = parse_src(src);
+        let f_ops: Vec<&str> = fn_named(&p, "f")
+            .sinks
+            .iter()
+            .filter(|s| s.kind == SinkKind::Arith)
+            .flat_map(|s| s.operands.iter().map(String::as_str))
+            .collect();
+        assert!(f_ops.contains(&"a") && f_ops.contains(&"b"), "{f_ops:?}");
+        assert!(fn_named(&p, "g").sinks.iter().all(|s| s.kind != SinkKind::Arith));
+        assert!(fn_named(&p, "h").sinks.iter().all(|s| s.kind != SinkKind::Arith));
+    }
+
+    #[test]
+    fn alloc_size_sinks_capacity_reserve_and_vec_macro() {
+        let src = "fn f(n: usize, seed: u8) {\n\
+                       let a = Vec::<u8>::with_capacity(n * 4);\n\
+                       buf.reserve(n);\n\
+                       let b = vec![seed; n + 1];\n\
+                   }\n";
+        let p = parse_src(src);
+        let sinks: Vec<&SinkSite> =
+            fn_named(&p, "f").sinks.iter().filter(|s| s.kind == SinkKind::AllocSize).collect();
+        assert_eq!(sinks.len(), 3, "{sinks:?}");
+        assert!(sinks.iter().all(|s| s.operands.contains(&"n".to_string())), "{sinks:?}");
+        // Repeat form: only the length expression counts, not the element.
+        assert!(sinks.iter().all(|s| !s.operands.contains(&"seed".to_string())), "{sinks:?}");
+    }
+
+    #[test]
+    fn method_receiver_captured() {
+        let p = parse_src("fn f(rows: Vec<u8>) { rows.len(); fetch().len(); }\n");
+        let f = fn_named(&p, "f");
+        let lens: Vec<Option<&str>> = f
+            .method_calls
+            .iter()
+            .filter(|c| c.segments == ["len"])
+            .map(|c| c.recv.as_deref())
+            .collect();
+        assert_eq!(lens, vec![Some("rows"), None]);
     }
 
     #[test]

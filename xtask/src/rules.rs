@@ -108,10 +108,10 @@ pub struct Finding {
 }
 
 /// Every rule name a finding (and therefore an allowlist entry) can carry.
-/// `panic-budget`, `alloc-budget` and `lock-order` are deliberately absent:
-/// budget regressions must be fixed or re-baselined via `--write-budget`,
-/// and deadlock-shaped findings must be fixed — none of them can ever be
-/// allowlisted (see [`allowlistable`]).
+/// `panic-budget`, `alloc-budget`, `taint-budget` and `lock-order` are
+/// deliberately absent: budget regressions must be fixed or re-baselined
+/// via `--write-budget`, and deadlock-shaped findings must be fixed —
+/// none of them can ever be allowlisted (see [`allowlistable`]).
 pub const ALL_RULES: &[&str] = &[
     "no-unwrap",
     "unseeded-rng",
@@ -130,7 +130,7 @@ pub const ALL_RULES: &[&str] = &[
 /// `lock-blocking` stays allowlistable because an intentional
 /// `Condvar::wait` under its own mutex is the correct coalescing idiom.
 pub fn allowlistable(rule: &str) -> bool {
-    !matches!(rule, "panic-budget" | "alloc-budget" | "lock-order")
+    !matches!(rule, "panic-budget" | "alloc-budget" | "taint-budget" | "lock-order")
 }
 
 /// Run every applicable rule on one file.
