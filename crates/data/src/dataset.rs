@@ -57,7 +57,7 @@ impl DatasetKind {
     /// first picks a group, then includes each member with probability 0.55,
     /// which produces the overlapping label sets that make NUS-WIDE and
     /// MIRFlickr harder than CIFAR10 in the paper.
-    fn cooccurrence_groups(self) -> Vec<Vec<&'static str>> {
+    pub(crate) fn cooccurrence_groups(self) -> Vec<Vec<&'static str>> {
         match self {
             DatasetKind::Cifar10Like => Vec::new(),
             DatasetKind::NusWideLike => vec![
@@ -267,7 +267,7 @@ impl Dataset {
 }
 
 /// Sample one item's label set.
-fn sample_labels(
+pub(crate) fn sample_labels(
     kind: DatasetKind,
     groups: &[Vec<usize>],
     n_classes: usize,

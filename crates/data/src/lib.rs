@@ -18,7 +18,9 @@
 
 pub mod concepts;
 pub mod dataset;
+pub mod stream;
 pub mod vocab;
 
 pub use concepts::{canonical, prototype, stable_hash, ConceptSpace};
 pub use dataset::{share_label, Dataset, DatasetConfig, DatasetKind, Split};
+pub use stream::{share_mask, LatentStream, StreamChunk};

@@ -97,6 +97,38 @@ impl BitCodes {
         &self.data[i * self.words_per_code..(i + 1) * self.words_per_code]
     }
 
+    /// The whole packed word buffer, codes laid out contiguously
+    /// (`words_per_code` words per code). This is the serialization surface
+    /// consumed by the segment store.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuild a code set from a raw packed word buffer, validating the two
+    /// invariants every scan kernel relies on: `data.len() == n ·
+    /// bits.div_ceil(64)`, and no padding bit above `bits` is set in any
+    /// word (whole-word popcounts would otherwise overcount distances).
+    ///
+    /// Returns a static description of the violated invariant on failure;
+    /// deserializers map it into their own typed error. Hostile input must
+    /// flow through this constructor — never into the private fields.
+    pub fn from_words(n: usize, bits: usize, data: Vec<u64>) -> Result<BitCodes, &'static str> {
+        let words_per_code = bits.div_ceil(64);
+        let expect = n.checked_mul(words_per_code).ok_or("code buffer length overflows")?;
+        if data.len() != expect {
+            return Err("code buffer length mismatch");
+        }
+        if bits % 64 != 0 && words_per_code > 0 {
+            let pad_mask = !0u64 << (bits % 64);
+            let mut tail = data.iter().skip(words_per_code - 1).step_by(words_per_code);
+            if tail.any(|&w| w & pad_mask != 0) {
+                return Err("padding bits set above code width");
+            }
+        }
+        Ok(BitCodes { n, bits, words_per_code, data })
+    }
+
     /// Hamming distance between code `i` of `self` and code `j` of `other`.
     ///
     /// # Panics
@@ -526,6 +558,36 @@ mod tests {
                 assert_eq!(seen, want, "gather bits={bits} qi={qi}");
             }
         }
+    }
+
+    #[test]
+    fn from_words_round_trips_and_validates() {
+        let codes = BitCodes::from_bools(&patterned_rows(6, 70, 2));
+        let rebuilt =
+            BitCodes::from_words(codes.len(), codes.bits(), codes.as_words().to_vec()).unwrap();
+        assert_eq!(rebuilt, codes);
+
+        // Wrong buffer length.
+        let mut short = codes.as_words().to_vec();
+        short.pop();
+        assert_eq!(
+            BitCodes::from_words(codes.len(), codes.bits(), short),
+            Err("code buffer length mismatch")
+        );
+
+        // A set padding bit (above bit 70 in the second word) must be
+        // rejected — it would corrupt whole-word popcount distances.
+        let mut forged = codes.as_words().to_vec();
+        forged[1] |= 1u64 << 63;
+        assert_eq!(
+            BitCodes::from_words(codes.len(), codes.bits(), forged),
+            Err("padding bits set above code width")
+        );
+
+        // Word-aligned widths have no padding to check.
+        let aligned = BitCodes::from_bools(&patterned_rows(3, 128, 4));
+        let back = BitCodes::from_words(aligned.len(), aligned.bits(), aligned.as_words().to_vec());
+        assert_eq!(back.unwrap(), aligned);
     }
 
     #[test]

@@ -50,8 +50,10 @@ pub fn mean_average_precision(
 }
 
 /// AP of one query over the top `n` returns (zero when nothing relevant is
-/// retrieved) — the per-query body of [`mean_average_precision`].
-fn average_precision(
+/// retrieved) — the per-query body of [`mean_average_precision`], shared
+/// with the sampled estimator so a full-population sample reproduces the
+/// exhaustive MAP bitwise.
+pub(crate) fn average_precision(
     ranker: &HammingRanker,
     queries: &BitCodes,
     qi: usize,

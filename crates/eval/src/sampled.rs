@@ -1,0 +1,289 @@
+//! Sampled-query evaluation: MAP/P@N point estimates with confidence
+//! intervals from a deterministic query subsample.
+//!
+//! Exhaustive evaluation ranks every query against every database item —
+//! quadratic work that caps eval at toy sizes (ROADMAP item 1). At 1M
+//! database items the metrics stay tractable by scoring a seeded subsample
+//! of the queries and reporting a normal-approximation interval around the
+//! sample mean:
+//!
+//! `estimate ± 1.96 · s/√n · √((N−n)/(N−1))`
+//!
+//! where `s` is the sample standard deviation and the last factor is the
+//! finite-population correction — sampling *without* replacement from `N`
+//! queries shrinks the interval, and collapses it to the point estimate
+//! when the sample is the whole population.
+//!
+//! Two agreement contracts, pinned by tests:
+//! * a full-population sample reproduces the exhaustive
+//!   [`mean_average_precision`](crate::mean_average_precision) **bitwise**
+//!   (same per-query AP routine, same ascending fold order), and
+//! * subsampling is deterministic in `(population, sample_size, seed)` —
+//!   the indices come from the seeded `rand` shim, sorted ascending.
+
+use crate::metrics::average_precision;
+use crate::{BitCodes, HammingRanker};
+use uhscm_linalg::{par, rng};
+
+/// Two-sided z for a 95% normal-approximation interval.
+const Z_95: f64 = 1.96;
+
+/// A sampled metric estimate with its 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledMetric {
+    /// Sample mean (equals the exhaustive value when the sample is the
+    /// whole population).
+    pub estimate: f64,
+    /// Standard error of the mean, finite-population corrected.
+    pub std_error: f64,
+    /// Lower 95% bound, clamped to the metric's `[0, 1]` range.
+    pub ci_low: f64,
+    /// Upper 95% bound, clamped to the metric's `[0, 1]` range.
+    pub ci_high: f64,
+    /// Queries actually scored.
+    pub sample_size: usize,
+    /// Queries the estimate generalizes over.
+    pub population: usize,
+}
+
+impl SampledMetric {
+    /// Whether `value` lies inside the confidence interval.
+    pub fn covers(&self, value: f64) -> bool {
+        (self.ci_low..=self.ci_high).contains(&value)
+    }
+}
+
+/// Deterministic seeded sample of `sample_size` distinct query indices
+/// from `0..population`, sorted ascending. A full-population request
+/// returns `0..population` verbatim (no RNG involved), so downstream
+/// folds visit queries in exactly the exhaustive order.
+///
+/// # Panics
+///
+/// Panics if `sample_size > population`.
+pub fn sample_indices(population: usize, sample_size: usize, seed: u64) -> Vec<usize> {
+    assert!(sample_size <= population, "sample larger than population");
+    if sample_size == population {
+        return (0..population).collect();
+    }
+    let mut r = rng::seeded(seed);
+    let mut idx = rng::sample_without_replacement(&mut r, population, sample_size);
+    idx.sort_unstable();
+    idx
+}
+
+/// Point estimate and interval from per-query metric values drawn from a
+/// population of `population` queries. The mean is folded in slice order
+/// (callers pass values in ascending query order, preserving the
+/// exhaustive addition sequence).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or longer than `population`.
+pub fn estimate_from_samples(values: &[f64], population: usize) -> SampledMetric {
+    let n = values.len();
+    assert!(n > 0, "estimate over zero sampled queries");
+    assert!(n <= population, "sample larger than population");
+    let mut total = 0.0;
+    for &v in values {
+        total += v;
+    }
+    let estimate = total / n as f64;
+    let std_error = if n > 1 && population > 1 {
+        let mut ss = 0.0;
+        for &v in values {
+            let d = v - estimate;
+            ss += d * d;
+        }
+        let variance = ss / (n - 1) as f64;
+        // Finite-population correction: zero when the sample is the
+        // whole population — the interval collapses to the point.
+        let fpc = ((population - n) as f64 / (population - 1) as f64).sqrt();
+        (variance / n as f64).sqrt() * fpc
+    } else {
+        0.0
+    };
+    SampledMetric {
+        estimate,
+        std_error,
+        ci_low: (estimate - Z_95 * std_error).max(0.0),
+        ci_high: (estimate + Z_95 * std_error).min(1.0),
+        sample_size: n,
+        population,
+    }
+}
+
+/// Sampled MAP@`top_n`: scores only the queries in `sample` (ascending
+/// indices into `queries`, e.g. from [`sample_indices`]) and generalizes
+/// over all of them. With `sample == 0..queries.len()` the estimate equals
+/// the exhaustive [`mean_average_precision`](crate::mean_average_precision)
+/// bitwise.
+///
+/// # Panics
+///
+/// Panics if `sample` is empty or contains an index `≥ queries.len()`.
+pub fn sampled_map(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
+    top_n: usize,
+    sample: &[usize],
+) -> SampledMetric {
+    let _span = uhscm_obs::span("sampled_map");
+    let values = per_query_values(ranker, queries, sample, |qi| {
+        average_precision(ranker, queries, qi, relevant, top_n)
+    });
+    uhscm_obs::registry::counter_add("eval.sampled.map.queries", values.len() as u64);
+    estimate_from_samples(&values, queries.len())
+}
+
+/// Sampled P@`n`: precision among each sampled query's top `n` returns
+/// (divisor `n` clamped to the database size, matching
+/// [`precision_at_n`](crate::precision_at_n)).
+///
+/// # Panics
+///
+/// Panics if `sample` is empty, contains an index `≥ queries.len()`, or
+/// `n == 0`.
+pub fn sampled_precision_at_n(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    relevant: &(dyn Fn(usize, usize) -> bool + Sync),
+    n: usize,
+    sample: &[usize],
+) -> SampledMetric {
+    let _span = uhscm_obs::span("sampled_pn");
+    assert!(n > 0, "P@0 is undefined");
+    let n = n.min(ranker.database().len()).max(1);
+    let values = per_query_values(ranker, queries, sample, |qi| {
+        let ranked = ranker.rank_top_n(queries, qi, n);
+        let mut hits = 0usize;
+        for &db_idx in &ranked {
+            if relevant(qi, db_idx as usize) {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    });
+    uhscm_obs::registry::counter_add("eval.sampled.pn.queries", values.len() as u64);
+    estimate_from_samples(&values, queries.len())
+}
+
+/// Fan the sampled queries out over the deterministic worker pool and
+/// return their metric values in `sample` order (ascending query index) —
+/// the same fold discipline as the exhaustive metrics.
+fn per_query_values(
+    ranker: &HammingRanker,
+    queries: &BitCodes,
+    sample: &[usize],
+    value: impl Fn(usize) -> f64 + Sync,
+) -> Vec<f64> {
+    assert!(!sample.is_empty(), "empty query sample");
+    assert!(sample.iter().all(|&qi| qi < queries.len()), "sampled query index out of range");
+    let work = sample.len().saturating_mul(ranker.database().len().max(1));
+    par::par_map_chunks(sample.len(), work, |range| {
+        range.map(|k| value(sample[k])).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean_average_precision;
+    use uhscm_linalg::Matrix;
+
+    fn fixture(n_db: usize, nq: usize, bits: usize) -> (HammingRanker, BitCodes) {
+        let rows = |n: usize, salt: usize| -> Vec<Vec<f64>> {
+            (0..n)
+                .map(|i| {
+                    (0..bits)
+                        .map(|b| if (i * 29 + b * 11 + salt) % 7 < 3 { 1.0 } else { -1.0 })
+                        .collect()
+                })
+                .collect()
+        };
+        let db = BitCodes::from_real(&Matrix::from_rows(&rows(n_db, 0)));
+        let q = BitCodes::from_real(&Matrix::from_rows(&rows(nq, 5)));
+        (HammingRanker::new(db), q)
+    }
+
+    #[test]
+    fn full_population_sample_is_bitwise_exhaustive() {
+        let (ranker, q) = fixture(200, 37, 24);
+        let rel = |qi: usize, di: usize| (qi + di) % 3 == 0;
+        let exhaustive = mean_average_precision(&ranker, &q, &rel, 25);
+        let sample = sample_indices(q.len(), q.len(), 123);
+        let est = sampled_map(&ranker, &q, &rel, 25, &sample);
+        assert_eq!(est.estimate.to_bits(), exhaustive.to_bits());
+        assert_eq!(est.std_error, 0.0);
+        assert_eq!(
+            (est.ci_low.to_bits(), est.ci_high.to_bits()),
+            (exhaustive.to_bits(), exhaustive.to_bits())
+        );
+        assert!(est.covers(exhaustive));
+    }
+
+    #[test]
+    fn sample_indices_deterministic_sorted_distinct() {
+        let a = sample_indices(1000, 100, 7);
+        let b = sample_indices(1000, 100, 7);
+        let c = sample_indices(1000, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "unsorted or duplicated");
+        assert!(a.iter().all(|&i| i < 1000));
+        assert_eq!(sample_indices(5, 5, 9), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let (ranker, q) = fixture(300, 100, 16);
+        let rel = |qi: usize, di: usize| (qi * 13 + di) % 4 == 0;
+        let small = sampled_map(&ranker, &q, &rel, 50, &sample_indices(q.len(), 10, 1));
+        let large = sampled_map(&ranker, &q, &rel, 50, &sample_indices(q.len(), 80, 1));
+        assert!(large.std_error <= small.std_error, "{} vs {}", large.std_error, small.std_error);
+        assert!(small.ci_low <= small.estimate && small.estimate <= small.ci_high);
+        assert!((0.0..=1.0).contains(&small.ci_low) && (0.0..=1.0).contains(&small.ci_high));
+    }
+
+    #[test]
+    fn precision_estimates_match_exhaustive_on_full_population() {
+        let (ranker, q) = fixture(150, 20, 16);
+        let rel = |qi: usize, di: usize| (qi + 2 * di) % 5 == 0;
+        let full = sample_indices(q.len(), q.len(), 0);
+        let est = sampled_precision_at_n(&ranker, &q, &rel, 10, &full);
+        let exhaustive = crate::precision_at_n(&ranker, &q, &rel, &[10]);
+        assert!((est.estimate - exhaustive[0]).abs() < 1e-12);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    fn estimate_from_samples_hand_computed() {
+        // Sample {0.2, 0.4, 0.6} from a population of 30: mean 0.4,
+        // s² = 0.04, fpc = √(27/29).
+        let est = estimate_from_samples(&[0.2, 0.4, 0.6], 30);
+        assert!((est.estimate - 0.4).abs() < 1e-12);
+        let fpc = (27.0f64 / 29.0).sqrt();
+        let want_se = (0.04f64 / 3.0).sqrt() * fpc;
+        assert!((est.std_error - want_se).abs() < 1e-12);
+        assert!(est.covers(0.4));
+        assert!(!est.covers(0.95));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample larger than population")]
+    fn oversized_sample_rejected() {
+        let _ = sample_indices(10, 11, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query sample")]
+    fn empty_sample_rejected() {
+        let (ranker, q) = fixture(10, 2, 8);
+        let _ = sampled_map(&ranker, &q, &|_, _| true, 5, &[]);
+    }
+}

@@ -49,5 +49,5 @@ pub use protocol::{
     MAX_FRAME,
 };
 pub use server::{Engine, EngineSnapshot, ServeConfig, ServeError, Server};
-pub use shard::{Generation, InsertCommit, RemoveCommit, ShardedIndex};
+pub use shard::{Generation, GenesisBuilder, InsertCommit, RemoveCommit, ShardedIndex};
 pub use synth::{workload, SynthWorkload};

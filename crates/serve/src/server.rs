@@ -209,17 +209,34 @@ impl Engine {
         db: &BitCodes,
         shards: usize,
     ) -> Result<Self, ServeError> {
-        if model.output_dim() != db.bits() {
+        Self::with_vocab_index(model, vocab, ShardedIndex::new(db, shards))
+    }
+
+    /// Pair a bundle with an already-built index — the store-backed path:
+    /// a `GenesisBuilder` fed segment by segment from an on-disk store
+    /// yields the index without the database ever being concatenated in
+    /// memory (the serve crate stays independent of the store format).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if the model's output width differs from the
+    /// index's code width.
+    pub fn with_vocab_index(
+        model: Mlp,
+        vocab: Vec<String>,
+        index: ShardedIndex,
+    ) -> Result<Self, ServeError> {
+        if model.output_dim() != index.bits() {
             return Err(ServeError::Config(format!(
                 "model emits {}-bit codes but the database stores {}-bit codes",
                 model.output_dim(),
-                db.bits()
+                index.bits()
             )));
         }
         Ok(Self {
             bundle: RwLock::new(Arc::new(Bundle::initial(model, vocab))),
             reload: Mutex::new(()),
-            index: ShardedIndex::new(db, shards),
+            index,
         })
     }
 

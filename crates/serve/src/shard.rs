@@ -214,6 +214,66 @@ impl Generation {
     }
 }
 
+/// Streaming constructor for a genesis generation: segments are pushed one
+/// at a time (e.g. straight off a `uhscm-store` segment reader) and become
+/// the contiguous bands of generation 0 — the database is never
+/// concatenated in memory. By the determinism contract above, an index
+/// built from *any* segmentation of the same codes answers every query
+/// bit-for-bit identically to [`ShardedIndex::new`] on the materialized
+/// database, at any shard count.
+pub struct GenesisBuilder {
+    bits: usize,
+    segments: Vec<Arc<Segment>>,
+    total: usize,
+}
+
+impl GenesisBuilder {
+    /// Start an empty genesis of `bits`-bit codes.
+    pub fn new(bits: usize) -> Self {
+        Self { bits, segments: Vec::new(), total: 0 }
+    }
+
+    /// Append `codes` as the next contiguous band (taking ownership — the
+    /// chunk is the only copy held). Empty chunks are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit-width mismatch or if the total code count would
+    /// exceed the `u32` global index space.
+    pub fn push(&mut self, codes: BitCodes) {
+        assert_eq!(codes.bits(), self.bits, "code length mismatch");
+        if codes.is_empty() {
+            return;
+        }
+        assert!(codes.len() <= (u32::MAX as usize) - self.total, "genesis exceeds u32 index space");
+        let offset = self.total as u32;
+        self.total += codes.len();
+        self.segments.push(Arc::new(Segment { offset, codes }));
+    }
+
+    /// Codes pushed so far.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Bands pushed so far.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Seal the bands into generation 0 of a [`ShardedIndex`].
+    pub fn finish(self) -> ShardedIndex {
+        let genesis = Arc::new(Generation {
+            seq: 0,
+            bits: self.bits,
+            segments: self.segments,
+            tombstones: BTreeSet::new(),
+            total: self.total,
+        });
+        ShardedIndex { current: RwLock::new(genesis), mutate: Mutex::new(()), bits: self.bits }
+    }
+}
+
 /// Receipt of a committed insert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertCommit {
@@ -534,6 +594,50 @@ mod tests {
         // And the live index has moved on.
         assert_eq!(index.total_len(), 12);
         assert_eq!(index.len(), 11);
+    }
+
+    #[test]
+    fn genesis_builder_matches_materialized_index_at_any_banding() {
+        let db = toy_codes(33, 7);
+        let queries = toy_codes(5, 7);
+        let oracle = HammingRanker::new(db.clone());
+        for band in [1usize, 2, 4, 5, 33] {
+            let mut b = GenesisBuilder::new(db.bits());
+            let mut at = 0;
+            while at < db.len() {
+                let end = (at + band).min(db.len());
+                b.push(db.slice(at..end));
+                at = end;
+            }
+            assert_eq!(b.total_len(), db.len());
+            let index = b.finish();
+            assert_eq!(index.len(), db.len());
+            for qi in 0..queries.len() {
+                for n in [1usize, 3, 33] {
+                    assert_eq!(
+                        index.search(&queries, qi, n),
+                        oracle.rank_top_n_with_dist(&queries, qi, n),
+                        "band={band} qi={qi} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn genesis_builder_supports_mutations() {
+        let db = toy_codes(10, 5);
+        let mut b = GenesisBuilder::new(5);
+        b.push(db.slice(0..6));
+        b.push(db.slice(6..6)); // empty chunks are skipped
+        b.push(db.slice(6..10));
+        assert_eq!(b.num_segments(), 2);
+        let index = b.finish();
+        assert_eq!(index.generation(), 0);
+        let commit = index.insert(&toy_codes(3, 5));
+        assert_eq!((commit.generation, commit.first_index), (1, 10));
+        assert!(index.remove(0).removed);
+        assert_eq!(index.len(), 12);
     }
 
     #[test]

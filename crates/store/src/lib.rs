@@ -1,0 +1,26 @@
+//! `uhscm-store`: out-of-core segment store for packed bit codes.
+//!
+//! The offline pipeline and the serve path both held every database code in
+//! RAM, capping experiments at toy sizes; the paper's retrieval regime is
+//! Flickr-1M-scale (PAPERS.md: PSIDP, rank-preserving large-scale hashing).
+//! This crate is the bridge: a versioned, checksummed on-disk format
+//! ([`segment`]) that a generator streams into chunk by chunk (generate →
+//! encode → [`StoreWriter::append`]) and that index construction drains
+//! segment by segment ([`StoreReader::next_segment`]) — at no point does
+//! either side hold more than one chunk of codes.
+//!
+//! Store segments become the contiguous bands of a `ShardedIndex` genesis
+//! generation; its fan-out/merge determinism contract makes store-backed
+//! retrieval bitwise identical to a fully materialized in-memory index at
+//! any segment count.
+//!
+//! Everything on the read path treats the file as hostile input, in the
+//! `Mlp::load` discipline: magic/version checks, dimension caps before
+//! allocation, bounded incremental reads, per-segment FNV-1a checksums,
+//! and padding-bit validation (via `BitCodes::from_words`) so a forged
+//! payload can never corrupt whole-word Hamming popcounts. Failures are
+//! typed [`StoreError`]s, never panics.
+
+pub mod segment;
+
+pub use segment::{store_path, StoreError, StoreReader, StoreSummary, StoreWriter, STORE_FILE};

@@ -1,0 +1,542 @@
+//! The on-disk segment format and its writer/reader.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header   magic "UHSS" · version u32 · bits u64 · segment_count u64 ·
+//!          total_count u64 · FNV-1a trailer over the preceding 32 bytes
+//! segment  count u64 · count × bits.div_ceil(64) packed words ·
+//!          FNV-1a trailer over the segment's count field and payload
+//! ```
+//!
+//! The discipline mirrors `Mlp::load` (DESIGN.md §9): magic and version
+//! first, dimension caps before any allocation, payloads read through a
+//! hashing adapter in bounded chunks, and every checksum compared before
+//! the bytes are trusted. A file is only valid once [`StoreWriter::finish`]
+//! has patched the real counts into the header — a crashed or abandoned
+//! write leaves a zero-count header that the reader rejects as corrupt.
+//!
+//! The reader never materializes more than one segment: peak memory is
+//! bounded by the writer's chunk size, not the database size, which is the
+//! whole point of the store (ROADMAP item 1: million-item databases).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use uhscm_eval::BitCodes;
+use uhscm_obs::registry;
+
+const MAGIC: &[u8; 4] = b"UHSS";
+const VERSION: u32 = 1;
+/// Widest code the format accepts (matches the `BitCodes::load` cap).
+const MAX_BITS: usize = 1 << 20;
+/// Most codes a store may declare (matches the `BitCodes::load` cap).
+const MAX_TOTAL_CODES: u64 = 1 << 32;
+/// Hashed header prefix: magic + version + bits + segment_count + total.
+const HEADER_PREFIX_BYTES: usize = 4 + 4 + 8 + 8 + 8;
+/// Payload read granularity: segment bytes stream through a buffer of at
+/// most this size, so a forged count cannot force a large allocation
+/// before the missing bytes produce an EOF error.
+const READ_CHUNK_BYTES: usize = 1 << 19;
+
+/// Conventional store file name inside a `--db-store` directory.
+pub const STORE_FILE: &str = "segments.uhss";
+
+/// The store file path for a database directory.
+pub fn store_path(dir: &Path) -> PathBuf {
+    dir.join(STORE_FILE)
+}
+
+/// Typed failure of a store read or write. Hostile bytes must surface
+/// here — never as a panic, never as silently misindexed codes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (including truncation mid-field).
+    Io(io::Error),
+    /// The file does not start with the `UHSS` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Structurally invalid or checksum-failing content.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a UHSCM segment store (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported segment store version {v}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt segment store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Write adapter folding every byte into a running FNV-1a hash.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: u64,
+}
+
+impl<'a, W: Write> HashingWriter<'a, W> {
+    fn new(inner: &'a mut W) -> Self {
+        Self { inner, hash: FNV_OFFSET }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash = fnv1a_step(self.hash, b);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Read adapter folding every byte into a running FNV-1a hash. Checksum
+/// trailers are read through `inner` directly so they never hash
+/// themselves.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    hash: u64,
+}
+
+impl<'a, R: Read> HashingReader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        Self { inner, hash: FNV_OFFSET }
+    }
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash = fnv1a_step(self.hash, b);
+        }
+        Ok(n)
+    }
+}
+
+fn read_u64_raw(r: &mut impl Read) -> Result<u64, StoreError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// What a finished write produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Segments appended.
+    pub segments: u64,
+    /// Codes across all segments.
+    pub codes: u64,
+    /// Code width in bits.
+    pub bits: usize,
+    /// Total file size in bytes, header included.
+    pub bytes: u64,
+}
+
+/// Chunked segment writer: open, [`append`](Self::append) one encoded
+/// chunk at a time, [`finish`](Self::finish). Memory held is whatever the
+/// caller's chunk is — the writer itself only streams.
+pub struct StoreWriter<W: Write + Seek> {
+    out: W,
+    bits: usize,
+    segments: u64,
+    total: u64,
+    bytes: u64,
+}
+
+impl StoreWriter<BufWriter<File>> {
+    /// Create (truncating) a store file on disk for `bits`-bit codes.
+    pub fn create(path: &Path, bits: usize) -> Result<Self, StoreError> {
+        StoreWriter::new(BufWriter::new(File::create(path)?), bits)
+    }
+}
+
+impl<W: Write + Seek> StoreWriter<W> {
+    /// Start a store of `bits`-bit codes on a fresh seekable sink. Writes
+    /// a placeholder header; the real counts and header checksum land in
+    /// [`finish`](Self::finish).
+    pub fn new(mut out: W, bits: usize) -> Result<Self, StoreError> {
+        if bits == 0 || bits > MAX_BITS {
+            return Err(StoreError::Corrupt("code width out of range"));
+        }
+        out.write_all(&[0u8; HEADER_PREFIX_BYTES + 8])?;
+        Ok(Self { out, bits, segments: 0, total: 0, bytes: (HEADER_PREFIX_BYTES + 8) as u64 })
+    }
+
+    /// Append one chunk of codes as a segment (count, payload, FNV-1a
+    /// trailer). Empty chunks are skipped — segments are never empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` has a different bit width than the store.
+    pub fn append(&mut self, codes: &BitCodes) -> Result<(), StoreError> {
+        assert_eq!(codes.bits(), self.bits, "store code width mismatch");
+        if codes.is_empty() {
+            return Ok(());
+        }
+        let count = codes.len() as u64;
+        if self.total.saturating_add(count) > MAX_TOTAL_CODES {
+            return Err(StoreError::Corrupt("store exceeds maximum code count"));
+        }
+        let mut hw = HashingWriter::new(&mut self.out);
+        hw.write_all(&count.to_le_bytes())?;
+        for &word in codes.as_words() {
+            hw.write_all(&word.to_le_bytes())?;
+        }
+        let sum = hw.hash;
+        self.out.write_all(&sum.to_le_bytes())?;
+        let seg_bytes = 8 + codes.as_words().len() as u64 * 8 + 8;
+        self.segments += 1;
+        self.total += count;
+        self.bytes += seg_bytes;
+        registry::counter_add("store.write.codes", count);
+        registry::counter_add("store.write.bytes", seg_bytes);
+        registry::histogram_record("store.write.segment_bytes", seg_bytes as f64);
+        Ok(())
+    }
+
+    /// Seal the store: seek back and write the real header (with its
+    /// checksum), flush, and return the totals.
+    pub fn finish(mut self) -> Result<StoreSummary, StoreError> {
+        self.out.flush()?;
+        self.out.seek(SeekFrom::Start(0))?;
+        let mut hw = HashingWriter::new(&mut self.out);
+        hw.write_all(MAGIC)?;
+        hw.write_all(&VERSION.to_le_bytes())?;
+        hw.write_all(&(self.bits as u64).to_le_bytes())?;
+        hw.write_all(&self.segments.to_le_bytes())?;
+        hw.write_all(&self.total.to_le_bytes())?;
+        let sum = hw.hash;
+        self.out.write_all(&sum.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(StoreSummary {
+            segments: self.segments,
+            codes: self.total,
+            bits: self.bits,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// Bounded-memory segment reader: validates the header up front, then
+/// yields one checksum-verified [`BitCodes`] segment per
+/// [`next_segment`](Self::next_segment) call.
+pub struct StoreReader<R: Read> {
+    inner: R,
+    bits: usize,
+    declared_segments: u64,
+    declared_total: u64,
+    segments_read: u64,
+    codes_read: u64,
+    finished: bool,
+    scratch: Vec<u8>,
+}
+
+impl StoreReader<BufReader<File>> {
+    /// Open and validate a store file on disk.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        StoreReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> StoreReader<R> {
+    /// Read and validate the header from an untrusted byte source. Caps
+    /// are enforced before anything is allocated.
+    pub fn new(mut inner: R) -> Result<Self, StoreError> {
+        let mut hr = HashingReader::new(&mut inner);
+        let mut magic = [0u8; 4];
+        hr.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut ver = [0u8; 4];
+        hr.read_exact(&mut ver)?;
+        let version = u32::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let bits = read_u64_hashed(&mut hr)?;
+        let declared_segments = read_u64_hashed(&mut hr)?;
+        let declared_total = read_u64_hashed(&mut hr)?;
+        if bits == 0 || bits > MAX_BITS as u64 {
+            return Err(StoreError::Corrupt("code width out of range"));
+        }
+        if declared_total > MAX_TOTAL_CODES {
+            return Err(StoreError::Corrupt("header code count out of range"));
+        }
+        if declared_segments > declared_total {
+            return Err(StoreError::Corrupt("header segment count exceeds code count"));
+        }
+        if (declared_total == 0) != (declared_segments == 0) {
+            return Err(StoreError::Corrupt("header segment/code counts disagree"));
+        }
+        let expected = hr.hash;
+        let actual = read_u64_raw(&mut inner)?;
+        if expected != actual {
+            return Err(StoreError::Corrupt("header checksum mismatch"));
+        }
+        Ok(Self {
+            inner,
+            bits: bits as usize,
+            declared_segments,
+            declared_total,
+            segments_read: 0,
+            codes_read: 0,
+            finished: false,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Total codes the header declares.
+    pub fn len(&self) -> usize {
+        self.declared_total as usize
+    }
+
+    /// Whether the store declares zero codes.
+    pub fn is_empty(&self) -> bool {
+        self.declared_total == 0
+    }
+
+    /// Segments the header declares.
+    pub fn segment_count(&self) -> u64 {
+        self.declared_segments
+    }
+
+    /// Read, verify, and return the next segment; `Ok(None)` after the
+    /// final one. The terminal call cross-checks the running code count
+    /// against the header and rejects trailing bytes, so a file that
+    /// iterates to `None` was consumed and validated in full.
+    pub fn next_segment(&mut self) -> Result<Option<BitCodes>, StoreError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.segments_read == self.declared_segments {
+            if self.codes_read != self.declared_total {
+                return Err(StoreError::Corrupt("segment code counts do not sum to header total"));
+            }
+            let mut probe = [0u8; 1];
+            loop {
+                match self.inner.read(&mut probe) {
+                    Ok(0) => break,
+                    Ok(_) => return Err(StoreError::Corrupt("trailing bytes after final segment")),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(StoreError::Io(e)),
+                }
+            }
+            self.finished = true;
+            return Ok(None);
+        }
+        let mut hr = HashingReader::new(&mut self.inner);
+        let count = read_u64_hashed(&mut hr)?;
+        if count == 0 {
+            return Err(StoreError::Corrupt("empty segment"));
+        }
+        if self.codes_read.saturating_add(count) > self.declared_total {
+            return Err(StoreError::Corrupt("segment count exceeds header total"));
+        }
+        let words_per_code = (self.bits as u64).div_ceil(64);
+        let payload_bytes = count
+            .checked_mul(words_per_code)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or(StoreError::Corrupt("segment size overflows"))?;
+        if self.scratch.is_empty() {
+            self.scratch = vec![0u8; READ_CHUNK_BYTES.min(payload_bytes as usize).max(8)];
+        }
+        let mut data: Vec<u64> = Vec::new();
+        let mut remaining = payload_bytes;
+        while remaining > 0 {
+            let take = (remaining as usize).min(self.scratch.len());
+            hr.read_exact(&mut self.scratch[..take])?;
+            for chunk in self.scratch[..take].chunks_exact(8) {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                data.push(u64::from_le_bytes(w));
+            }
+            remaining -= take as u64;
+        }
+        let expected = hr.hash;
+        let actual = read_u64_raw(&mut self.inner)?;
+        if expected != actual {
+            return Err(StoreError::Corrupt("segment checksum mismatch"));
+        }
+        let codes =
+            BitCodes::from_words(count as usize, self.bits, data).map_err(StoreError::Corrupt)?;
+        self.segments_read += 1;
+        self.codes_read += count;
+        let seg_bytes = 8 + payload_bytes + 8;
+        registry::counter_add("store.read.codes", count);
+        registry::counter_add("store.read.bytes", seg_bytes);
+        registry::histogram_record("store.read.segment_bytes", seg_bytes as f64);
+        Ok(Some(codes))
+    }
+
+    /// Drain every segment into one in-memory code set, validating the
+    /// whole file. Convenience for small databases and verification paths;
+    /// at scale, iterate [`next_segment`](Self::next_segment) instead.
+    pub fn read_all(mut self) -> Result<BitCodes, StoreError> {
+        let mut all =
+            BitCodes::from_words(0, self.bits, Vec::new()).map_err(StoreError::Corrupt)?;
+        while let Some(seg) = self.next_segment()? {
+            all.extend(&seg);
+        }
+        Ok(all)
+    }
+}
+
+fn read_u64_hashed<R: Read>(hr: &mut HashingReader<'_, R>) -> Result<u64, StoreError> {
+    let mut buf = [0u8; 8];
+    hr.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn patterned(n: usize, bits: usize, salt: usize) -> BitCodes {
+        let rows: Vec<Vec<bool>> =
+            (0..n).map(|i| (0..bits).map(|b| (i * 31 + b * 7 + salt) % 4 < 2).collect()).collect();
+        BitCodes::from_bools(&rows)
+    }
+
+    fn write_store(segments: &[BitCodes], bits: usize) -> Vec<u8> {
+        let mut cur = Cursor::new(Vec::new());
+        let mut w = StoreWriter::new(&mut cur, bits).unwrap();
+        for seg in segments {
+            w.append(seg).unwrap();
+        }
+        w.finish().unwrap();
+        cur.into_inner()
+    }
+
+    #[test]
+    fn round_trip_multiple_segments() {
+        for bits in [1usize, 63, 64, 65, 128, 200] {
+            let segs = vec![patterned(5, bits, 0), patterned(3, bits, 1), patterned(9, bits, 2)];
+            let bytes = write_store(&segs, bits);
+            let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(r.bits(), bits);
+            assert_eq!(r.len(), 17);
+            assert_eq!(r.segment_count(), 3);
+            for seg in &segs {
+                assert_eq!(r.next_segment().unwrap().as_ref(), Some(seg), "bits={bits}");
+            }
+            assert!(r.next_segment().unwrap().is_none());
+            assert!(r.next_segment().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn read_all_concatenates() {
+        let segs = vec![patterned(4, 70, 0), patterned(6, 70, 5)];
+        let bytes = write_store(&segs, 70);
+        let all = StoreReader::new(bytes.as_slice()).unwrap().read_all().unwrap();
+        let mut want = segs[0].clone();
+        want.extend(&segs[1]);
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let bytes = write_store(&[], 32);
+        let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert!(r.next_segment().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_appends_are_skipped() {
+        let mut cur = Cursor::new(Vec::new());
+        let mut w = StoreWriter::new(&mut cur, 16).unwrap();
+        let empty = patterned(1, 16, 0).slice(0..0);
+        w.append(&empty).unwrap();
+        w.append(&patterned(2, 16, 0)).unwrap();
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.segments, 1);
+        assert_eq!(summary.codes, 2);
+        assert_eq!(summary.bytes as usize, cur.into_inner().len());
+    }
+
+    #[test]
+    fn unfinished_store_is_rejected() {
+        let mut cur = Cursor::new(Vec::new());
+        let mut w = StoreWriter::new(&mut cur, 16).unwrap();
+        w.append(&patterned(2, 16, 0)).unwrap();
+        drop(w); // no finish(): header still the zeroed placeholder
+        assert!(matches!(StoreReader::new(cur.into_inner().as_slice()), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = write_store(&[patterned(3, 32, 0)], 32);
+        bytes.push(0);
+        let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+        r.next_segment().unwrap();
+        assert!(matches!(
+            r.next_segment(),
+            Err(StoreError::Corrupt("trailing bytes after final segment"))
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut bytes = write_store(&[patterned(1, 8, 0)], 8);
+        bytes[4] = 99;
+        // Version is covered by the header checksum; to observe BadVersion
+        // the checksum must be recomputed the way the writer does it.
+        let mut hash = FNV_OFFSET;
+        for &b in &bytes[..HEADER_PREFIX_BYTES] {
+            hash = fnv1a_step(hash, b);
+        }
+        bytes[HEADER_PREFIX_BYTES..HEADER_PREFIX_BYTES + 8].copy_from_slice(&hash.to_le_bytes());
+        assert!(matches!(StoreReader::new(bytes.as_slice()), Err(StoreError::BadVersion(99))));
+    }
+
+    #[test]
+    #[should_panic(expected = "store code width mismatch")]
+    fn append_rejects_width_mismatch() {
+        let mut cur = Cursor::new(Vec::new());
+        let mut w = StoreWriter::new(&mut cur, 16).unwrap();
+        let _ = w.append(&patterned(1, 32, 0));
+    }
+
+    #[test]
+    fn writer_rejects_zero_width() {
+        assert!(matches!(
+            StoreWriter::new(Cursor::new(Vec::new()), 0),
+            Err(StoreError::Corrupt("code width out of range"))
+        ));
+    }
+}

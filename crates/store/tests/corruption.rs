@@ -1,0 +1,176 @@
+//! Adversarial properties of the segment store format. `serve --db-store`
+//! and `db build`/`db info` read store files from operator-supplied paths,
+//! so *every* byte-level mutation — bit flips anywhere, truncation at any
+//! offset, a forged count or a forged-but-checksummed payload — must
+//! surface as a typed `StoreError`: never a panic, never a misindexed or
+//! wrong-but-accepted database, never an attacker-sized allocation.
+
+use proptest::prelude::*;
+use uhscm_eval::BitCodes;
+use uhscm_linalg::rng::seeded;
+use uhscm_store::{StoreError, StoreReader, StoreWriter};
+
+use rand::Rng;
+use std::io::Cursor;
+
+/// Header prefix (magic + version + bits + segment count + total) and its
+/// trailing checksum — kept in sync with the format doc in
+/// `segment.rs`.
+const HEADER_PREFIX: usize = 4 + 4 + 8 + 8 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// A small three-segment store; varying the seed varies every payload
+/// byte, so corruption offsets land on different content across cases.
+/// 70-bit codes leave live padding bits in every second word.
+fn saved_store(seed: u64) -> Vec<u8> {
+    let mut rng = seeded(seed);
+    let mut cur = Cursor::new(Vec::new());
+    let mut w = StoreWriter::new(&mut cur, 70).expect("width in range");
+    for n in [5usize, 3, 9] {
+        let rows: Vec<Vec<bool>> =
+            (0..n).map(|_| (0..70).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        w.append(&BitCodes::from_bools(&rows)).expect("writing to a Vec cannot fail");
+    }
+    w.finish().expect("writing to a Vec cannot fail");
+    cur.into_inner()
+}
+
+/// Open and fully drain a store, which also runs the terminal
+/// total/trailing-bytes cross-checks.
+fn read_fully(bytes: &[u8]) -> Result<usize, StoreError> {
+    let mut r = StoreReader::new(bytes)?;
+    let mut total = 0usize;
+    while let Some(seg) = r.next_segment()? {
+        total += seg.len();
+    }
+    Ok(total)
+}
+
+proptest! {
+    /// Flipping any bits of any single byte is always detected: the header
+    /// carries its own FNV-1a trailer, every segment carries one over its
+    /// count field and payload, and each hash step is a state bijection,
+    /// so a single-byte difference can never collide.
+    #[test]
+    fn single_byte_corruption_always_rejected(
+        seed in any::<u64>(),
+        offset in 0usize..100_000,
+        flip in 1u8..=255,
+    ) {
+        let mut buf = saved_store(seed);
+        let offset = offset % buf.len();
+        buf[offset] ^= flip;
+        match read_fully(&buf) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "corruption at byte {offset} was silently accepted"),
+        }
+    }
+
+    /// Truncation at any point — mid-header, mid-count, mid-payload, or
+    /// inside a checksum trailer — is an error, never a panic and never an
+    /// allocation beyond the bytes actually present.
+    #[test]
+    fn truncation_always_rejected(seed in any::<u64>(), cut in 0usize..100_000) {
+        let buf = saved_store(seed);
+        let cut = cut % buf.len(); // strictly shorter than the full file
+        prop_assert!(read_fully(&buf[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+
+    /// Forging a segment's count field — even with a correctly recomputed
+    /// trailer for the forged bytes — is rejected: the shifted payload
+    /// framing breaks a later checksum, runs past the header total, or
+    /// hits EOF. An attacker who can recompute FNV still cannot make the
+    /// reader misindex.
+    #[test]
+    fn forged_segment_count_rejected(seed in any::<u64>(), forged in 0u64..50) {
+        let buf = saved_store(seed);
+        let seg0 = HEADER_PREFIX + 8; // first segment's count field
+        let words_per_code = 70usize.div_ceil(64);
+        let true_count = 5u64;
+        if forged != true_count {
+            let mut forged_buf = buf.clone();
+            forged_buf[seg0..seg0 + 8].copy_from_slice(&forged.to_le_bytes());
+            // Recompute a *valid* trailer over the forged count + the payload
+            // bytes the forged count claims, when they exist in the file.
+            let payload = (forged as usize) * words_per_code * 8;
+            let trailer_at = seg0 + 8 + payload;
+            if trailer_at + 8 <= forged_buf.len() {
+                let sum = fnv(&forged_buf[seg0..trailer_at]);
+                forged_buf[trailer_at..trailer_at + 8].copy_from_slice(&sum.to_le_bytes());
+            }
+            prop_assert!(read_fully(&forged_buf).is_err(), "forged count {forged} accepted");
+        }
+    }
+}
+
+#[test]
+fn untouched_store_still_round_trips() {
+    let buf = saved_store(7);
+    assert_eq!(read_fully(&buf).expect("pristine store must load"), 17);
+}
+
+/// A checksummed-but-forged payload that sets bits above the 70-bit code
+/// width must be rejected: padding bits would silently corrupt whole-word
+/// popcount distances (misindexing, not just misloading).
+#[test]
+fn forged_padding_bits_rejected() {
+    let mut buf = saved_store(3);
+    let seg0 = HEADER_PREFIX + 8;
+    // Second word of the first code: bits 70..127 are padding; set bit 127.
+    let word1 = seg0 + 8 + 8;
+    buf[word1 + 7] |= 0x80;
+    let words_per_code = 70usize.div_ceil(64);
+    let trailer_at = seg0 + 8 + 5 * words_per_code * 8;
+    let sum = fnv(&buf[seg0..trailer_at]);
+    buf[trailer_at..trailer_at + 8].copy_from_slice(&sum.to_le_bytes());
+    assert!(
+        matches!(read_fully(&buf), Err(StoreError::Corrupt("padding bits set above code width"))),
+        "forged padding bits must be a typed corruption error"
+    );
+}
+
+/// A forged header declaring a huge database with no payload behind it
+/// must fail fast on EOF without attempting an attacker-sized allocation
+/// (the reader streams payloads through a bounded chunk buffer).
+#[test]
+fn forged_huge_count_fails_fast_without_huge_alloc() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"UHSS");
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.extend_from_slice(&64u64.to_le_bytes()); // bits
+    buf.extend_from_slice(&1u64.to_le_bytes()); // one segment
+    buf.extend_from_slice(&(1u64 << 32).to_le_bytes()); // 4G codes claimed
+    let sum = fnv(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    // The single segment claims all 4G codes but carries only 8 words.
+    let seg_start = buf.len();
+    buf.extend_from_slice(&(1u64 << 32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 64]);
+    let sum = fnv(&buf[seg_start..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    assert!(matches!(read_fully(&buf), Err(StoreError::Io(_))), "must EOF, not allocate 32 GiB");
+}
+
+/// Counts past the format cap are rejected at the header, before any
+/// segment is read.
+#[test]
+fn header_count_over_cap_rejected() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"UHSS");
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.extend_from_slice(&64u64.to_le_bytes());
+    buf.extend_from_slice(&1u64.to_le_bytes());
+    buf.extend_from_slice(&((1u64 << 32) + 1).to_le_bytes());
+    let sum = fnv(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    assert!(matches!(
+        StoreReader::new(buf.as_slice()),
+        Err(StoreError::Corrupt("header code count out of range"))
+    ));
+}

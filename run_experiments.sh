@@ -38,4 +38,19 @@ echo "=== START loadgen $(date +%T) ===" >> results/experiments.log
 cargo run --release -p uhscm-serve --bin loadgen > results/loadgen.out 2> results/loadgen.err
 echo "=== DONE loadgen $(date +%T) rc=$? ===" >> results/experiments.log
 
+# Scale phase: the out-of-core segment store benchmark (DESIGN.md §17)
+# stream-builds databases, loads them through the store-backed index, and
+# refreshes BENCH_scale.json (schema uhscm-bench-scale/1). 10k and 100k run
+# by default; the million-item point is opt-in via UHSCM_SCALE_1M=1 since
+# it generates and encodes 10^6 items.
+scale_sizes="10000,100000"
+if [ "${UHSCM_SCALE_1M:-0}" = "1" ]; then
+  scale_sizes="10000,100000,1000000"
+fi
+echo "=== START scale sizes=$scale_sizes $(date +%T) ===" >> results/experiments.log
+cargo run --release -p uhscm-bench --bin scale -- --sizes "$scale_sizes" \
+  > results/scale.out 2> results/scale.err
+echo "=== DONE scale $(date +%T) rc=$? ===" >> results/experiments.log
+cp BENCH_scale.json results/BENCH_scale.json 2>/dev/null || true
+
 echo "ALL_EXPERIMENTS_DONE" >> results/experiments.log

@@ -17,9 +17,13 @@
 //! uhscm eval    --bundle DIR          # MAP over the bundle's query split
 //! uhscm query   --bundle DIR --id Q [--top K]
 //! uhscm info    --bundle DIR
-//! uhscm serve   --bundle DIR [--addr HOST:PORT] [--shards N]
+//! uhscm serve   --bundle DIR [--db-store DIR] [--addr HOST:PORT] [--shards N]
 //!               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
 //!               [--readonly true|false] [--max-top-k N]
+//! uhscm db build  --out DIR [--items N] [--bits K] [--dim D] [--seed S]
+//!                 [--chunk N] [--dataset cifar|nus|flickr]
+//! uhscm db info   --store DIR
+//! uhscm db verify --store DIR [--queries N] [--top K]
 //! ```
 //!
 //! `serve` puts the bundle behind the `uhscm-serve` TCP front-end (sharded
@@ -28,12 +32,23 @@
 //! prints the bound address, then drains gracefully when stdin closes —
 //! which lets scripts and the CI smoke test drive a full start → mutate →
 //! query → drain cycle without signals.
+//!
+//! The `db` family manages **out-of-core** code databases in the
+//! `uhscm-store` segment format, sized beyond what a bundle's `db.codes`
+//! comfortably holds: `db build` streams a synthetic database through a
+//! randomly-initialized hashing network into `DIR/segments.uhss` in
+//! bounded memory (one `--chunk` of latents at a time), `db info` verifies
+//! and summarizes a store, and `db verify` proves the store-backed index
+//! returns top-k hits bitwise-identical to the in-memory index. `serve
+//! --db-store DIR` then serves straight from the store, one index band per
+//! segment, without ever concatenating the database in memory.
 
 use crate::core::pipeline::{Pipeline, SimilaritySource};
 use crate::core::UhscmConfig;
-use crate::data::{Dataset, DatasetConfig, DatasetKind};
+use crate::data::{Dataset, DatasetConfig, DatasetKind, LatentStream};
 use crate::eval::{mean_average_precision, top_k, BitCodes, HammingRanker};
 use crate::nn::Mlp;
+use crate::store::{store_path, StoreError, StoreReader, StoreWriter};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -47,6 +62,9 @@ pub enum Command {
     Query { bundle: PathBuf, id: usize, top: usize },
     Info { bundle: PathBuf },
     Serve(ServeArgs),
+    DbBuild(DbBuildArgs),
+    DbInfo { store: PathBuf },
+    DbVerify { store: PathBuf, queries: usize, top: usize },
     Help,
 }
 
@@ -54,6 +72,10 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
     pub bundle: PathBuf,
+    /// Serve the database from an `uhscm-store` segment store directory
+    /// instead of the bundle's `db.codes` (the bundle still provides the
+    /// model). One index band per on-disk segment.
+    pub db_store: Option<PathBuf>,
     pub addr: String,
     pub shards: usize,
     pub max_batch: usize,
@@ -72,6 +94,7 @@ impl Default for ServeArgs {
         let config = uhscm_serve::ServeConfig::default();
         Self {
             bundle: PathBuf::from("uhscm-bundle"),
+            db_store: None,
             addr: config.addr,
             shards: config.shards,
             max_batch: config.max_batch,
@@ -111,6 +134,37 @@ impl Default for TrainArgs {
     }
 }
 
+/// Arguments of `uhscm db build`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbBuildArgs {
+    /// Output directory; receives `model.nn`, `segments.uhss`, `store.meta`.
+    pub out: PathBuf,
+    pub dataset: DatasetKind,
+    /// Database items to generate, encode, and store.
+    pub items: usize,
+    pub bits: usize,
+    /// Latent feature dimension (the hashing network's input width).
+    pub dim: usize,
+    pub seed: u64,
+    /// Items generated and encoded per streaming chunk — the memory
+    /// high-water mark, independent of `items`.
+    pub chunk: usize,
+}
+
+impl Default for DbBuildArgs {
+    fn default() -> Self {
+        Self {
+            out: PathBuf::from("uhscm-db"),
+            dataset: DatasetKind::Cifar10Like,
+            items: 10_000,
+            bits: 64,
+            dim: 64,
+            seed: 42,
+            chunk: 65_536,
+        }
+    }
+}
+
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
 pub enum CliError {
@@ -130,7 +184,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
-            CliError::Corrupt(msg) => write!(f, "bundle error: {msg}"),
+            CliError::Corrupt(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }
@@ -147,9 +201,19 @@ USAGE:
   uhscm eval  --bundle DIR
   uhscm query --bundle DIR --id QUERY_INDEX [--top K]
   uhscm info  --bundle DIR
-  uhscm serve --bundle DIR [--addr HOST:PORT] [--shards N]
+  uhscm serve --bundle DIR [--db-store DIR] [--addr HOST:PORT] [--shards N]
               [--max-batch N] [--max-wait-ms MS] [--queue-cap N]
               [--readonly true|false] [--max-top-k N]
+  uhscm db build  --out DIR [--items N] [--bits K] [--dim D] [--seed S]
+                  [--chunk N] [--dataset cifar|nus|flickr]
+  uhscm db info   --store DIR
+  uhscm db verify --store DIR [--queries N] [--top K]
+
+`db build` streams an `--items`-sized synthetic database through a seeded
+hashing network into the checksummed `uhscm-store` segment format, holding
+only `--chunk` items in memory at a time; `serve --db-store DIR` serves it
+with one index band per segment, and `db verify` proves the store-backed
+top-k matches the in-memory index bit for bit.
 
 GLOBAL FLAGS:
   --trace-out FILE   write a JSON-lines telemetry trace to FILE and print a
@@ -207,7 +271,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some(s) => s.as_str(),
     };
     let mut flags: BTreeMap<String, String> = BTreeMap::new();
-    let rest: Vec<&String> = it.collect();
+    let mut rest: Vec<&String> = it.collect();
+    // `db` takes a nested action as a second positional before the flags.
+    let mut db_action = "";
+    if sub == "db" {
+        match rest.first() {
+            Some(a) if !a.starts_with("--") => db_action = rest.remove(0).as_str(),
+            _ => {
+                return Err(CliError::Usage(
+                    "db needs an action: db build|info|verify [--flags]".into(),
+                ))
+            }
+        }
+    }
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i]
@@ -261,6 +337,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             for (k, v) in &flags {
                 match k.as_str() {
                     "bundle" => {}
+                    "db-store" => s.db_store = Some(PathBuf::from(v)),
                     "addr" => s.addr = v.clone(),
                     "shards" => s.shards = parse_num(k, v)?,
                     "max-batch" => s.max_batch = parse_num(k, v)?,
@@ -272,6 +349,60 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Serve(s))
+        }
+        "db" => {
+            let store = |flags: &BTreeMap<String, String>| -> Result<PathBuf, CliError> {
+                flags
+                    .get("store")
+                    .map(PathBuf::from)
+                    .ok_or_else(|| CliError::Usage("--store DIR is required".into()))
+            };
+            match db_action {
+                "build" => {
+                    let mut b = DbBuildArgs::default();
+                    for (k, v) in &flags {
+                        match k.as_str() {
+                            "out" => b.out = PathBuf::from(v),
+                            "dataset" => b.dataset = parse_dataset(v)?,
+                            "items" => b.items = parse_num(k, v)?,
+                            "bits" => b.bits = parse_num(k, v)?,
+                            "dim" => b.dim = parse_num(k, v)?,
+                            "seed" => b.seed = parse_num(k, v)? as u64,
+                            "chunk" => b.chunk = parse_num(k, v)?,
+                            other => {
+                                return Err(CliError::Usage(format!("unknown flag --{other}")))
+                            }
+                        }
+                    }
+                    Ok(Command::DbBuild(b))
+                }
+                "info" => {
+                    for k in flags.keys() {
+                        if k != "store" {
+                            return Err(CliError::Usage(format!("unknown flag --{k}")));
+                        }
+                    }
+                    Ok(Command::DbInfo { store: store(&flags)? })
+                }
+                "verify" => {
+                    let mut queries = 25;
+                    let mut top = 10;
+                    for (k, v) in &flags {
+                        match k.as_str() {
+                            "store" => {}
+                            "queries" => queries = parse_num(k, v)?,
+                            "top" => top = parse_num(k, v)?,
+                            other => {
+                                return Err(CliError::Usage(format!("unknown flag --{other}")))
+                            }
+                        }
+                    }
+                    Ok(Command::DbVerify { store: store(&flags)?, queries, top })
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown db action '{other}' (expected build|info|verify)"
+                ))),
+            }
         }
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -312,6 +443,18 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         Command::Query { bundle, id, top } => run_query(bundle, *id, *top),
         Command::Info { bundle } => run_info(bundle),
         Command::Serve(args) => run_serve(args),
+        Command::DbBuild(args) => run_db_build(args),
+        Command::DbInfo { store } => run_db_info(store),
+        Command::DbVerify { store, queries, top } => run_db_verify(store, *queries, *top),
+    }
+}
+
+/// Store errors keep their i/o flavor; format violations surface as
+/// corruption (same split `Mlp::load` failures get via [`CliError`]).
+fn store_err(e: StoreError) -> CliError {
+    match e {
+        StoreError::Io(io) => CliError::Io(io),
+        other => CliError::Corrupt(other.to_string()),
     }
 }
 
@@ -480,9 +623,10 @@ fn run_query(path: &Path, id: usize, top: usize) -> Result<String, CliError> {
 
 /// Serve a bundle over TCP until stdin closes, then drain gracefully.
 ///
-/// Unlike the offline subcommands this one only needs `model.nn` and
-/// `db.codes` — the dataset recipe is not regenerated, so startup is fast
-/// even for large bundles. The bound address is printed (and flushed)
+/// Unlike the offline subcommands this one only needs `model.nn` and the
+/// code database — `db.codes`, or with `--db-store DIR` an `uhscm-store`
+/// segment store streamed in segment by segment. The dataset recipe is not
+/// regenerated, so startup is fast even for large databases. The bound address is printed (and flushed)
 /// immediately so scripts driving a piped child can discover the ephemeral
 /// port; the quiescent "close stdin to stop" loop doubles as the drain
 /// trigger for the CI smoke test.
@@ -492,11 +636,26 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     let mut net_file = fs::File::open(args.bundle.join("model.nn"))?;
     let network =
         Mlp::load(&mut net_file).map_err(|e| CliError::Corrupt(format!("model.nn: {e}")))?;
-    let mut codes_file = fs::File::open(args.bundle.join("db.codes"))?;
-    let db_codes = BitCodes::load(&mut codes_file)?;
-
-    let engine = uhscm_serve::Engine::new(network, &db_codes, args.shards)
-        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+    let engine = match &args.db_store {
+        // Store-backed: stream segments straight into index bands (one
+        // band per segment) without concatenating the database in memory.
+        Some(dir) => {
+            let mut reader = StoreReader::open(&store_path(dir)).map_err(store_err)?;
+            let mut genesis = uhscm_serve::GenesisBuilder::new(reader.bits());
+            while let Some(segment) = reader.next_segment().map_err(store_err)? {
+                genesis.push(segment);
+            }
+            uhscm_serve::Engine::with_vocab_index(network, Vec::new(), genesis.finish())
+                .map_err(|e| CliError::Corrupt(e.to_string()))?
+        }
+        None => {
+            let mut codes_file = fs::File::open(args.bundle.join("db.codes"))?;
+            let db_codes = BitCodes::load(&mut codes_file)?;
+            uhscm_serve::Engine::new(network, &db_codes, args.shards)
+                .map_err(|e| CliError::Corrupt(e.to_string()))?
+        }
+    };
+    let (num_shards, db_len, db_bits) = (engine.num_shards(), engine.db_len(), engine.bits());
     let config = uhscm_serve::ServeConfig {
         addr: args.addr.clone(),
         shards: args.shards,
@@ -517,9 +676,9 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     println!(
         "uhscm-serve listening on {} ({} shards, {} codes, {} bits, {}; close stdin to drain)",
         server.local_addr(),
-        server_shards(&args.shards, db_codes.len()),
-        db_codes.len(),
-        db_codes.bits(),
+        num_shards,
+        db_len,
+        db_bits,
         if args.readonly { "read-only" } else { "writable" }
     );
     std::io::stdout().flush()?;
@@ -528,11 +687,6 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     let _ = std::io::stdin().read_line(&mut line);
     server.shutdown();
     Ok("uhscm-serve: drained cleanly\n".to_string())
-}
-
-/// Shards actually usable (the index clamps to the database size).
-fn server_shards(requested: &usize, db_len: usize) -> usize {
-    (*requested).clamp(1, db_len.max(1))
 }
 
 fn run_info(path: &Path) -> Result<String, CliError> {
@@ -545,6 +699,132 @@ fn run_info(path: &Path) -> Result<String, CliError> {
         bundle.db_codes.len(),
         bundle.dataset.split.query.len(),
         bundle.network.param_count()
+    ))
+}
+
+/// `db build`: stream-generate an `items`-sized database and encode it
+/// into a segment store, never holding more than one `chunk` of latents
+/// (plus one chunk's codes) in memory. The model is freshly initialized
+/// from the seed and saved alongside the store so `serve --db-store` and
+/// future queries encode with the exact network that built the database.
+fn run_db_build(args: &DbBuildArgs) -> Result<String, CliError> {
+    for (flag, v) in [("items", args.items), ("bits", args.bits), ("dim", args.dim)] {
+        if v == 0 {
+            return Err(CliError::Usage(format!("--{flag} must be at least 1")));
+        }
+    }
+    let chunk = args.chunk.max(1);
+    let started = std::time::Instant::now();
+
+    let mut rng = crate::linalg::rng::seeded(args.seed);
+    let hidden = [args.dim.div_ceil(2).max(1)];
+    let model = Mlp::hashing_network(args.dim, &hidden, args.bits, &mut rng);
+    fs::create_dir_all(&args.out)?;
+    let mut net_file = fs::File::create(args.out.join("model.nn"))?;
+    model.save(&mut net_file)?;
+
+    let config = DatasetConfig { latent_dim: args.dim, ..DatasetConfig::default() };
+    let mut stream = LatentStream::new(args.dataset, &config, args.items, args.seed);
+    let mut writer = StoreWriter::create(&store_path(&args.out), args.bits).map_err(store_err)?;
+    while let Some(batch) = stream.next_chunk(chunk) {
+        writer.append(&BitCodes::from_real(&model.infer(&batch.latents))).map_err(store_err)?;
+    }
+    let summary = writer.finish().map_err(store_err)?;
+
+    let meta = format!(
+        "dataset={}\nitems={}\nbits={}\ndim={}\nseed={}\nchunk={}\n",
+        args.dataset.name(),
+        args.items,
+        args.bits,
+        args.dim,
+        args.seed,
+        chunk
+    );
+    fs::write(args.out.join("store.meta"), meta)?;
+
+    let rate = summary.codes as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    Ok(format!(
+        "built {}-bit store: {} codes in {} segments ({} payload bytes, {:.0} items/sec) -> {}\n",
+        args.bits,
+        summary.codes,
+        summary.segments,
+        summary.bytes,
+        rate,
+        args.out.display()
+    ))
+}
+
+/// `db info`: verify every checksum by streaming the whole store through
+/// the bounded-memory reader, then summarize it (with the build recipe
+/// when a `store.meta` sits next to the segments).
+fn run_db_info(store: &Path) -> Result<String, CliError> {
+    let path = store_path(store);
+    let mut reader = StoreReader::open(&path).map_err(store_err)?;
+    let mut out = format!(
+        "store: {}\n  bits      : {}\n  codes     : {}\n  segments  : {}\n",
+        path.display(),
+        reader.bits(),
+        reader.len(),
+        reader.segment_count()
+    );
+    let mut codes = 0usize;
+    let mut largest = 0usize;
+    while let Some(segment) = reader.next_segment().map_err(store_err)? {
+        codes += segment.len();
+        largest = largest.max(segment.len());
+    }
+    let _ =
+        writeln!(out, "  verified  : {codes} codes, all checksums ok (largest segment {largest})");
+    if let Ok(meta) = fs::read_to_string(store.join("store.meta")) {
+        let recipe: Vec<&str> = meta.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+        let _ = writeln!(out, "  recipe    : {}", recipe.join(" "));
+    }
+    Ok(out)
+}
+
+/// `db verify`: prove the store-backed genesis index (one band per on-disk
+/// segment) returns hits bitwise-identical to an in-memory
+/// [`uhscm_serve::ShardedIndex`] over the concatenated codes, at shard
+/// counts 1, 2 and 4, using the store's own first codes as self-queries.
+fn run_db_verify(store: &Path, queries: usize, top: usize) -> Result<String, CliError> {
+    let path = store_path(store);
+    let mut reader = StoreReader::open(&path).map_err(store_err)?;
+    let mut genesis = uhscm_serve::GenesisBuilder::new(reader.bits());
+    while let Some(segment) = reader.next_segment().map_err(store_err)? {
+        genesis.push(segment);
+    }
+    let segments = genesis.num_segments();
+    let store_index = genesis.finish();
+
+    // Second pass: the oracle — everything concatenated in memory.
+    let reader = StoreReader::open(&path).map_err(store_err)?;
+    let full = reader.read_all().map_err(store_err)?;
+    if full.is_empty() {
+        return Ok(format!("store {} is empty; nothing to verify\n", path.display()));
+    }
+    let nq = queries.clamp(1, full.len());
+    let top = top.clamp(1, full.len());
+    let probes = full.slice(0..nq);
+    for shards in [1usize, 2, 4] {
+        let mem_index = uhscm_serve::ShardedIndex::new(&full, shards);
+        for qi in 0..nq {
+            let got = store_index.search(&probes, qi, top);
+            let want = mem_index.search(&probes, qi, top);
+            if got != want {
+                return Err(CliError::Corrupt(format!(
+                    "store-backed top-{top} diverges from the in-memory index at \
+                     query {qi} with {shards} shards ({} segments)",
+                    segments
+                )));
+            }
+        }
+    }
+    Ok(format!(
+        "store {}: {} codes in {} segments; store-backed top-{top} bitwise-identical \
+         to the in-memory index (shards 1/2/4, {nq} self-queries)\n",
+        path.display(),
+        full.len(),
+        segments
     ))
 }
 
@@ -625,6 +905,100 @@ mod tests {
             parse(&argv(&["serve", "--bundle", "b", "--nope", "1"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_db_actions_with_defaults_and_overrides() {
+        let cmd = parse(&argv(&[
+            "db", "build", "--out", "/tmp/s", "--items", "500", "--bits", "16", "--dim", "8",
+            "--chunk", "200", "--seed", "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::DbBuild(b) => {
+                assert_eq!(b.out, PathBuf::from("/tmp/s"));
+                assert_eq!((b.items, b.bits, b.dim, b.chunk, b.seed), (500, 16, 8, 200, 7));
+                assert_eq!(b.dataset, DbBuildArgs::default().dataset);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv(&["db", "info", "--store", "/tmp/s"])).unwrap(),
+            Command::DbInfo { store: PathBuf::from("/tmp/s") }
+        );
+        assert_eq!(
+            parse(&argv(&["db", "verify", "--store", "/tmp/s", "--queries", "9"])).unwrap(),
+            Command::DbVerify { store: PathBuf::from("/tmp/s"), queries: 9, top: 10 }
+        );
+        // The action is a mandatory positional; flags and stores are checked.
+        assert!(matches!(parse(&argv(&["db"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv(&["db", "--store", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv(&["db", "shrink"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv(&["db", "info"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv(&["db", "build", "--nope", "1"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_serve_db_store_flag() {
+        let cmd = parse(&argv(&["serve", "--bundle", "b", "--db-store", "/tmp/s"])).unwrap();
+        match cmd {
+            Command::Serve(s) => assert_eq!(s.db_store, Some(PathBuf::from("/tmp/s"))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ServeArgs::default().db_store, None);
+    }
+
+    #[test]
+    fn db_build_info_verify_round_trip() {
+        let dir = std::env::temp_dir().join(format!("uhscm-cli-db-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let args = DbBuildArgs {
+            out: dir.clone(),
+            items: 600,
+            bits: 16,
+            dim: 8,
+            chunk: 250, // 600 items -> segments of 250/250/100
+            ..DbBuildArgs::default()
+        };
+        let msg = run(&Command::DbBuild(args)).unwrap();
+        assert!(msg.contains("600 codes in 3 segments"), "{msg}");
+        assert!(dir.join("model.nn").exists() && dir.join("store.meta").exists());
+
+        let info = run(&Command::DbInfo { store: dir.clone() }).unwrap();
+        assert!(info.contains("codes     : 600"), "{info}");
+        assert!(info.contains("all checksums ok"), "{info}");
+        assert!(info.contains("items=600"), "{info}");
+
+        let verify = run(&Command::DbVerify { store: dir.clone(), queries: 40, top: 12 }).unwrap();
+        assert!(verify.contains("bitwise-identical"), "{verify}");
+        assert!(verify.contains("3 segments"), "{verify}");
+
+        // Rebuilding with the same recipe is byte-identical (stream +
+        // model are both seed-deterministic).
+        let dir2 = std::env::temp_dir().join(format!("uhscm-cli-db2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir2);
+        let args2 = DbBuildArgs {
+            out: dir2.clone(),
+            items: 600,
+            bits: 16,
+            dim: 8,
+            chunk: 250,
+            ..DbBuildArgs::default()
+        };
+        run(&Command::DbBuild(args2)).unwrap();
+        assert_eq!(
+            fs::read(store_path(&dir)).unwrap(),
+            fs::read(store_path(&dir2)).unwrap(),
+            "db build must be deterministic in its recipe"
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn db_info_on_missing_store_is_io_error() {
+        let missing = PathBuf::from("/definitely/not/here");
+        assert!(matches!(run(&Command::DbInfo { store: missing }), Err(CliError::Io(_))));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`core`] | `uhscm-core` | concept mining, denoising, similarity matrix, hashing loss, trainer |
 //! | [`baselines`] | `uhscm-baselines` | LSH, SH, ITQ, AGH, SSDH, GH, BGAN, MLS³RDUH, CIB, UTH |
 //! | [`serve`] | `uhscm-serve` | online retrieval: sharded index, batched encoding, admission control |
+//! | [`store`] | `uhscm-store` | out-of-core segment store: checksummed on-disk code databases |
 //!
 //! See the `examples/` directory for end-to-end usage and the `uhscm-bench`
 //! crate for the harness that regenerates every table and figure of the
@@ -41,4 +42,5 @@ pub use uhscm_linalg as linalg;
 pub use uhscm_nn as nn;
 pub use uhscm_obs as obs;
 pub use uhscm_serve as serve;
+pub use uhscm_store as store;
 pub use uhscm_vlp as vlp;

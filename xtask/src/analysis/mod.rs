@@ -60,8 +60,9 @@ pub struct RootSpec {
 
 /// The declared hot paths of the reproduction: training pipeline, trainer
 /// internals, retrieval metrics, the index probe path, the parallel
-/// fan-out runtime, and the serve read/write path (generation-swapped
-/// shards plus the batch worker and connection dispatch).
+/// fan-out runtime, the serve read/write path (generation-swapped
+/// shards plus the batch worker and connection dispatch), and the
+/// segment-store reader/writer streamed by out-of-core builds.
 pub const ROOTS: &[RootSpec] = &[
     RootSpec {
         name: "uhscm_core::pipeline",
@@ -93,6 +94,11 @@ pub const ROOTS: &[RootSpec] = &[
         name: "uhscm_serve::server",
         path: "crates/serve/src/server.rs",
         fns: RootFns::Named(&["run_batch", "handle_frame"]),
+    },
+    RootSpec {
+        name: "uhscm_store::segment",
+        path: "crates/store/src/segment.rs",
+        fns: RootFns::PubFns,
     },
 ];
 

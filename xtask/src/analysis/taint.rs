@@ -79,8 +79,17 @@ pub const GROUPS: &[SourceGroup] = &[
     },
     SourceGroup {
         name: "bundle",
-        sources: &["uhscm_serve::bundle::Bundle::load_dir", "uhscm_nn::persist::Mlp::load"],
-        boundary: &["crates/serve/src/bundle.rs", "crates/nn/src/persist.rs"],
+        sources: &[
+            "uhscm_serve::bundle::Bundle::load_dir",
+            "uhscm_nn::persist::Mlp::load",
+            // The segment-store byte reader: every header/count field it
+            // decodes is attacker-controlled until the checksum and range
+            // checks in `segment.rs` have passed.
+            "uhscm_store::segment::StoreReader::open",
+            "uhscm_store::segment::StoreReader::new",
+            "uhscm_store::segment::StoreReader::next_segment",
+        ],
+        boundary: &["crates/serve/src/bundle.rs", "crates/nn/src/persist.rs", "crates/store/"],
     },
 ];
 

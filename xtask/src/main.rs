@@ -140,8 +140,8 @@ fn usage() -> ExitCode {
          \x20                       and xtask/taint.budget from the current counts\n\
          \x20 ci                    fmt-check + lint (writes results/lint.json and\n\
          \x20                       BENCH_lint.json) + release build + tests +\n\
-         \x20                       kernel-regression gate + serve smoke (the\n\
-         \x20                       full tier-1 gate)"
+         \x20                       kernel-regression gate + serve smoke + scale\n\
+         \x20                       smoke (the full tier-1 gate)"
     );
     ExitCode::from(2)
 }
@@ -150,11 +150,11 @@ fn usage() -> ExitCode {
 /// also writes `results/lint.json`), the ROADMAP's verify commands
 /// (`cargo build --release && cargo test`), the kernel-regression gate
 /// (tuned kernels must stay bitwise identical to — and no slower than —
-/// their naive references), then the serve smoke. Stops at the first
-/// failing step.
+/// their naive references), then the serve and scale smokes. Stops at the
+/// first failing step.
 fn ci() -> ExitCode {
     let root = workspace_root();
-    println!("ci [1/6]: cargo fmt --all -- --check");
+    println!("ci [1/7]: cargo fmt --all -- --check");
     if !run_step(
         "cargo fmt",
         std::process::Command::new("cargo")
@@ -163,7 +163,7 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [2/6]: lint (report: results/lint.json, timings: BENCH_lint.json)");
+    println!("ci [2/7]: lint (report: results/lint.json, timings: BENCH_lint.json)");
     let opts = LintOpts {
         write_baseline: false,
         write_budget: false,
@@ -176,21 +176,21 @@ fn ci() -> ExitCode {
     if lint_code != 0 {
         return ExitCode::from(lint_code);
     }
-    println!("ci [3/6]: cargo build --release");
+    println!("ci [3/7]: cargo build --release");
     if !run_step(
         "cargo build",
         std::process::Command::new("cargo").args(["build", "--release"]).current_dir(&root),
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [4/6]: cargo test -q");
+    println!("ci [4/7]: cargo test -q");
     if !run_step(
         "cargo test",
         std::process::Command::new("cargo").args(["test", "-q"]).current_dir(&root),
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [5/6]: kernel regression (tuned vs naive, bitwise + throughput floor)");
+    println!("ci [5/7]: kernel regression (tuned vs naive, bitwise + throughput floor)");
     if !run_step(
         "kernel_regression",
         std::process::Command::new("cargo")
@@ -199,9 +199,14 @@ fn ci() -> ExitCode {
     ) {
         return ExitCode::from(1);
     }
-    println!("ci [6/6]: serve smoke (start -> query -> drain)");
+    println!("ci [6/7]: serve smoke (start -> query -> drain)");
     if let Err(msg) = smoke::serve_smoke(&root) {
         eprintln!("ci: serve smoke failed: {msg}");
+        return ExitCode::from(1);
+    }
+    println!("ci [7/7]: scale smoke (stream-build 10k store -> info -> verify vs in-memory)");
+    if let Err(msg) = smoke::scale_smoke(&root) {
+        eprintln!("ci: scale smoke failed: {msg}");
         return ExitCode::from(1);
     }
     println!("ci: all steps passed");

@@ -1,6 +1,7 @@
-//! CI smoke test for the online retrieval service: a full cross-process
-//! start → query → insert → remove → reload → drain cycle against the real
-//! `uhscm` binary.
+//! CI smoke tests driven against the real `uhscm` binary: a full
+//! cross-process start → query → insert → remove → reload → drain cycle
+//! for the online retrieval service ([`serve_smoke`]), and an out-of-core
+//! build → info → verify cycle for the segment store ([`scale_smoke`]).
 //!
 //! The smoke stays std-only by speaking the wire protocol by hand (it is
 //! four length bytes plus JSON) and discovering the model's input
@@ -174,6 +175,65 @@ fn drive(child: &mut Child, bundle: &Path) -> Result<(), String> {
     let mut rest = String::new();
     lines.read_to_string(&mut rest).map_err(|e| format!("reading serve output: {e}"))?;
     expect_contains(&rest, "drained cleanly", "drain message")?;
+    Ok(())
+}
+
+/// Out-of-core scale smoke: stream-build a 10k-item segment store with
+/// the real `uhscm` binary (chunked so it lands in several segments),
+/// verify and summarize it with `db info`, then let `db verify` prove the
+/// store-backed index answers bitwise-identically to the in-memory index
+/// at shard counts {1, 2, 4}.
+pub fn scale_smoke(root: &Path) -> Result<(), String> {
+    let store = root.join("target/scale-smoke-store");
+    let _ = std::fs::remove_dir_all(&store);
+
+    let uhscm = ["run", "-q", "--release", "-p", "uhscm", "--bin", "uhscm", "--"];
+    let build = Command::new("cargo")
+        .args(uhscm)
+        .args(["db", "build", "--out"])
+        .arg(&store)
+        .args(["--items", "10000", "--bits", "32", "--dim", "32", "--chunk", "2500"])
+        .args(["--seed", "7"])
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot run `uhscm db build`: {e}"))?;
+    if !build.status.success() {
+        return Err(format!("`uhscm db build` failed: {}", String::from_utf8_lossy(&build.stderr)));
+    }
+    let built = String::from_utf8_lossy(&build.stdout);
+    if !built.contains("10000 codes in 4 segments") {
+        return Err(format!("db build: expected 10000 codes in 4 segments, got: {built}"));
+    }
+
+    let info = Command::new("cargo")
+        .args(uhscm)
+        .args(["db", "info", "--store"])
+        .arg(&store)
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot run `uhscm db info`: {e}"))?;
+    let summary = String::from_utf8_lossy(&info.stdout);
+    if !info.status.success() || !summary.contains("10000") || !summary.contains("checksums ok") {
+        return Err(format!("db info: expected a verified 10000-code summary, got: {summary}"));
+    }
+
+    let verify = Command::new("cargo")
+        .args(uhscm)
+        .args(["db", "verify", "--store"])
+        .arg(&store)
+        .args(["--queries", "50", "--top", "10"])
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot run `uhscm db verify`: {e}"))?;
+    let verdict = String::from_utf8_lossy(&verify.stdout);
+    if !verify.status.success() || !verdict.contains("bitwise-identical") {
+        return Err(format!(
+            "db verify: expected a bitwise-identical verdict, got: {verdict}{}",
+            String::from_utf8_lossy(&verify.stderr)
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&store);
     Ok(())
 }
 
